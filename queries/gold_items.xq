@@ -1,0 +1,9 @@
+(: Items whose description mentions gold (XMark Q14's predicate), grouped
+   by region. :)
+declare ordering unordered;
+let $a := doc("auction.xml")
+for $r in $a/site/regions/*
+let $hits := for $i in $r/item
+             where contains(string(exactly-one($i/description)), "gold")
+             return $i/name/text()
+return <region name="{ name($r) }" gold-items="{ count($hits) }"/>

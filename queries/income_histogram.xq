@@ -1,0 +1,10 @@
+(: Income brackets over the auction site's population (Q20-flavoured). :)
+declare ordering unordered;
+let $people := doc("auction.xml")/site/people/person
+return
+  <histogram total="{ count($people) }">
+    <preferred>{ count($people/profile[@income >= 100000]) }</preferred>
+    <standard>{ count($people/profile[@income < 100000 and @income >= 30000]) }</standard>
+    <challenge>{ count($people/profile[@income < 30000]) }</challenge>
+    <unknown>{ count(for $p in $people where empty($p/profile/@income) return $p) }</unknown>
+  </histogram>

@@ -1,0 +1,7 @@
+(: Expression (3): sequence order establishes document order in
+   constructed fragments — evaluates to (true, false). :)
+let $t := doc("t.xml")
+let $b := $t//b, $d := $t//d
+let $e := <e>{ $d, $b }</e>
+return (exactly-one($b) << exactly-one($d),
+        exactly-one($e/b) << exactly-one($e/d))

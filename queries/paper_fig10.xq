@@ -1,0 +1,5 @@
+(: The paper's Section 1 example: under unordered { }, the node set union
+   '|' is traded for low-cost sequence concatenation ',' — all c elements
+   may precede the d elements. :)
+let $t := doc("t.xml")
+return unordered { $t//(c|d) }

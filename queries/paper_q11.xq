@@ -1,0 +1,9 @@
+(: XMark Q11, the query of Table 2: a value join between person incomes
+   and auction opening bids, whose result order is unobservable under
+   fn:count. :)
+let $auction := doc("auction.xml") return
+for $p in $auction/site/people/person
+let $l := for $i in $auction/site/open_auctions/open_auction/initial
+          where $p/profile/@income > 5000 * $i
+          return $i
+return <items name="{ $p/name/text() }">{ count($l) }</items>

@@ -1,0 +1,4 @@
+(: XMark Q6, the query of Figures 6 and 9. Run it with --mode unordered
+   and watch the plan lose every rownum operator. :)
+let $auction := doc("auction.xml") return
+for $b in $auction//site/regions return count($b//item)

@@ -1,0 +1,8 @@
+(: Sellers ranked by number of open auctions — order by makes the binding
+   order irrelevant (context (f) of the paper), so the compiler uses
+   BIND# even under ordering mode ordered. :)
+let $a := doc("auction.xml")
+for $s in distinct-values($a/site/open_auctions/open_auction/seller/@person)
+let $n := count($a/site/open_auctions/open_auction[seller/@person = $s])
+order by $n descending
+return <seller id="{ $s }" auctions="{ $n }"/>
