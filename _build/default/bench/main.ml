@@ -1,0 +1,440 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (Section 5) plus the plan-level figures.
+
+     fig6       Figure 6:  Q6 plans under ordered vs unordered (raw)
+     fig9       Figure 9:  Q6 plan after column dependency analysis
+     fig10      Figure 10: unordered { $t//(c|d) } — union becomes concat
+     table2     Table 2:   Q11 execution profile breakdown
+     plansizes  in-text:   operator counts before/after CDA (Q11: 235->141)
+     fig12      Figure 12: XMark Q1-Q20 speedups across document sizes
+     micro      Section 3/4 premise: % (rownum) vs # (rowid) operator cost,
+                and staircase-join step throughput
+
+   Run with no arguments to execute everything; pass experiment names to
+   select. Environment knobs:
+     XRQ_CUTOFF        per-query cutoff in seconds (default 30, as in the paper)
+     XRQ_SCALES        comma-separated XMark scale factors for fig12
+     XRQ_TABLE2_SCALE  XMark scale for the Q11 profile (default 0.02) *)
+
+module A = Algebra.Plan
+
+let section title =
+  Printf.printf "\n==============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==============================================================\n%!"
+
+let mode_unordered = { Engine.default_opts with Engine.mode = Some Xquery.Ast.Unordered }
+let mode_unordered_nocda =
+  { Engine.default_opts with
+    Engine.mode = Some Xquery.Ast.Unordered; Engine.cda = false }
+
+let cutoff =
+  try float_of_string (Sys.getenv "XRQ_CUTOFF") with Not_found | Failure _ -> 30.0
+
+let with_store scale f =
+  let st = Xmldb.Doc_store.create () in
+  let _, bytes = Xmark.Xmark_gen.load ~scale st in
+  f st bytes
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Execution time of a precompiled query: repeat short runs (up to 7 or a
+   0.5 s budget) and report the minimum — compilation is excluded. *)
+let measure_exec ?(budget = 0.5) run =
+  let n = ref 0 in
+  let best = ref infinity in
+  let total = ref 0.0 in
+  let items = ref 0 in
+  (* always at least two runs: single-run variance dominates at sizes
+     where one execution exceeds the budget *)
+  while (!n < 7 && !total < budget) || !n < 2 do
+    let t0 = Unix.gettimeofday () in
+    items := run ();
+    let dt = Unix.gettimeofday () -. t0 in
+    best := Float.min !best dt;
+    total := !total +. dt;
+    incr n
+  done;
+  (!items, !best)
+
+(* ------------------------------------------------------------------ fig6 *)
+
+let q6 = Xmark.Xmark_queries.q6
+
+let fig6 () =
+  section "Figure 6 — plan emitted for XMark Q6 under varying ordering mode";
+  let _, raw_ord, _ = Engine.plans_of ~opts:Engine.ordered_baseline q6 in
+  let _, raw_unord, _ = Engine.plans_of ~opts:mode_unordered_nocda q6 in
+  Printf.printf "\n(a) ordering mode ordered:   %s\n" (Algebra.Plan_pp.summary raw_ord);
+  print_string (Algebra.Plan_pp.to_tree raw_ord);
+  Printf.printf "\n(b) ordering mode unordered: %s\n" (Algebra.Plan_pp.summary raw_unord);
+  print_string (Algebra.Plan_pp.to_tree raw_unord);
+  Printf.printf
+    "\npaper: the ordered plan carries 5 %% operators; under unordered all\n\
+     but the result numbering (iter->seq, interaction 4) trade %% for #.\n";
+  Printf.printf "measured: ordered %d %%; unordered %d %% and %d #\n"
+    (A.count_kind raw_ord "%") (A.count_kind raw_unord "%")
+    (A.count_kind raw_unord "#")
+
+(* ------------------------------------------------------------------ fig9 *)
+
+let fig9 () =
+  section "Figure 9 — Q6 plan after column dependency analysis";
+  let _, _, opt = Engine.plans_of ~opts:mode_unordered q6 in
+  print_string (Algebra.Plan_pp.to_tree opt);
+  Printf.printf "\n%s\n" (Algebra.Plan_pp.summary opt);
+  Printf.printf
+    "paper: order is (almost) no concern; the residual %%pos1 degrades to a\n\
+     free # via constant/arbitrary column properties (Section 7).\n\
+     measured: %d %% operators remain.\n"
+    (A.count_kind opt "%")
+
+(* ----------------------------------------------------------------- fig10 *)
+
+let fig10 () =
+  section "Figure 10 — unordered { $t//(c|d) }: '|' traded for ','";
+  let q = {|let $t := doc("auction.xml") return unordered { $t//(c|d) }|} in
+  let _, raw, opt = Engine.plans_of ~opts:Engine.default_opts q in
+  Printf.printf "\nbefore column dependency analysis: %s\n" (Algebra.Plan_pp.summary raw);
+  Printf.printf "after:                             %s\n\n" (Algebra.Plan_pp.summary opt);
+  print_string (Algebra.Plan_pp.to_tree opt);
+  Printf.printf
+    "\npaper: the document order-aware union is cut down to sequence\n\
+     concatenation (a plain disjoint union), no sort remains.\n\
+     measured: %d %% operators; union survives as append: %b\n"
+    (A.count_kind opt "%")
+    (A.count_kind opt "∪" > 0)
+
+(* ---------------------------------------------------------------- table2 *)
+
+let table2 () =
+  section "Table 2 — profile breakdown for XMark Q11";
+  let scale =
+    try float_of_string (Sys.getenv "XRQ_TABLE2_SCALE")
+    with Not_found | Failure _ -> 0.02
+  in
+  with_store scale (fun st bytes ->
+      Printf.printf "auction.xml: %.2f MB serialized, %d nodes\n\n"
+        (float_of_int bytes /. 1e6) (Xmldb.Doc_store.total_nodes st);
+      let run_profiled name opts =
+        let r, secs =
+          time (fun () ->
+              Engine.run ~opts ~with_profile:true st Xmark.Xmark_queries.q11)
+        in
+        Printf.printf "--- %s (%d result items, %.1f ms total) ---\n"
+          name (List.length r.Engine.items) (secs *. 1000.0);
+        (match r.Engine.profile with
+         | Some p -> print_string (Algebra.Profile.to_string p)
+         | None -> ());
+        print_newline ();
+        secs
+      in
+      let t_ord = run_profiled "ordering mode ordered (baseline)" Engine.ordered_baseline in
+      let t_un = run_profiled "order indifference exploited" mode_unordered in
+      Printf.printf
+        "paper: join (45%%) and the iter->seq reorder (45%%) dominate the\n\
+         ordered run; exploiting order indifference removes the reorder\n\
+         share, saving 45%% of execution time.\n\
+         measured end-to-end: %.1f ms -> %.1f ms (%.0f%% speedup)\n"
+        (t_ord *. 1000.) (t_un *. 1000.)
+        ((t_ord /. t_un -. 1.0) *. 100.))
+
+(* ------------------------------------------------------------- plansizes *)
+
+let has_descendant_step p =
+  List.exists
+    (fun (n : A.node) ->
+       match n.A.op with
+       | A.Step { axis = Xmldb.Axis.Descendant; _ } -> true
+       | _ -> false)
+    (A.topo_order p)
+
+let plansizes () =
+  section "In-text — plan sizes before/after column dependency analysis";
+  Printf.printf "%-5s %15s %15s %20s %14s\n" "query"
+    "ordered (raw)" "unord (raw)" "unord + CDA" "steps merged";
+  List.iter
+    (fun (name, q) ->
+       let _, raw_ord, _ = Engine.plans_of ~opts:Engine.ordered_baseline q in
+       let _, raw_un, opt = Engine.plans_of ~opts:mode_unordered q in
+       let merged = has_descendant_step opt && not (has_descendant_step raw_un) in
+       Printf.printf "%-5s %11d ops %11d ops %10d ops (%d %%) %12s\n" name
+         (A.count_ops raw_ord) (A.count_ops raw_un) (A.count_ops opt)
+         (A.count_kind opt "%")
+         (if merged then "yes" else "-"))
+    Xmark.Xmark_queries.all;
+  let _, raw, opt = Engine.plans_of ~opts:mode_unordered Xmark.Xmark_queries.q11 in
+  Printf.printf
+    "\npaper (Q11): the initial DAG of 235 operators is cut down to 141 (-40%%).\n\
+     measured (Q11): %d -> %d operators (-%.0f%%).\n"
+    (A.count_ops raw) (A.count_ops opt)
+    (100.0
+     *. (1.0 -. (float_of_int (A.count_ops opt) /. float_of_int (A.count_ops raw))))
+
+(* ----------------------------------------------------------------- fig12 *)
+
+let default_scales = [ 0.002; 0.01; 0.05; 0.2 ]
+
+let fig12_scales () =
+  match Sys.getenv_opt "XRQ_SCALES" with
+  | None -> default_scales
+  | Some s -> List.map float_of_string (String.split_on_char ',' (String.trim s))
+
+let fig12 () =
+  section "Figure 12 — observed impact of order indifference (speedup), XMark Q1-Q20";
+  Printf.printf
+    "speedup = t(ordered baseline) / t(order indifference exploited) - 1,\n\
+     in %%; per-query cutoff %.0f s (the paper's setting); '-' = not run\n\
+     (exceeded or predicted to exceed the cutoff).\n\n%!"
+    cutoff;
+  let scales = fig12_scales () in
+  let nscales = List.length scales in
+  let qnames = List.map fst Xmark.Xmark_queries.all in
+  let cells : (string * int, float option) Hashtbl.t = Hashtbl.create 128 in
+  let sizes_mb = Array.make nscales 0.0 in
+  let last_time : (string, float) Hashtbl.t = Hashtbl.create 32 in
+  let skipped : (string, unit) Hashtbl.t = Hashtbl.create 32 in
+  List.iteri
+    (fun si scale ->
+       with_store scale (fun st bytes ->
+           let mb = float_of_int bytes /. 1e6 in
+           sizes_mb.(si) <- mb;
+           Printf.printf "--- document size %.2f MB (scale %g, %d nodes) ---\n%!"
+             mb scale (Xmldb.Doc_store.total_nodes st);
+           List.iter
+             (fun (name, q) ->
+                let predicted_blowup =
+                  match Hashtbl.find_opt last_time name with
+                  | Some t when si > 0 ->
+                    (* assume up to quadratic growth in document size *)
+                    let ratio =
+                      List.nth scales si /. List.nth scales (si - 1)
+                    in
+                    t *. ratio *. ratio > cutoff
+                  | _ -> false
+                in
+                if Hashtbl.mem skipped name || predicted_blowup then begin
+                  Hashtbl.replace skipped name ();
+                  Hashtbl.replace cells (name, si) None;
+                  Printf.printf "%-4s %10s\n%!" name "-"
+                end
+                else begin
+                  let _, run_base = Engine.prepare ~opts:Engine.ordered_baseline st q in
+                  let _, run_un = Engine.prepare ~opts:mode_unordered st q in
+                  let n1, t_base = measure_exec run_base in
+                  let n2, t_un = measure_exec run_un in
+                  Hashtbl.replace last_time name (Float.max t_base t_un);
+                  if Float.max t_base t_un > cutoff then
+                    Hashtbl.replace skipped name ();
+                  let speedup = (t_base /. t_un -. 1.0) *. 100.0 in
+                  Hashtbl.replace cells (name, si) (Some speedup);
+                  Printf.printf
+                    "%-4s %9.1f ms -> %9.1f ms   speedup %7.0f%%%s\n%!" name
+                    (t_base *. 1000.) (t_un *. 1000.) speedup
+                    (if n1 <> n2 then "  !! result count mismatch" else "")
+                end)
+             Xmark.Xmark_queries.all))
+    scales;
+  Printf.printf "\nspeedup matrix [%%] (rows: queries; columns: document size):\n\n";
+  Printf.printf "%-5s" "";
+  Array.iter (fun mb -> Printf.printf " %9s" (Printf.sprintf "%.2fMB" mb)) sizes_mb;
+  print_newline ();
+  List.iter
+    (fun name ->
+       Printf.printf "%-5s" name;
+       for si = 0 to nscales - 1 do
+         match Hashtbl.find_opt cells (name, si) with
+         | Some (Some s) -> Printf.printf " %8.0f%%" s
+         | _ -> Printf.printf " %9s" "-"
+       done;
+       print_newline ())
+    qnames;
+  Printf.printf
+    "\npaper: speedups range from 0%% to 10,000%%; Q6 and Q7 are exceptional\n\
+     because removing the %% between adjacent steps lets them merge into a\n\
+     single descendant step.\n"
+
+(* ----------------------------------------------------------------- micro *)
+
+(* Bechamel-based micro benchmark of the engine-level premise: the rownum
+   primitive % sorts, the rowid primitive # stamps. *)
+let bechamel_run tests =
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false
+                   ~predictors:[| Measure.run |]) instance raw
+  in
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/run\n" name est
+      | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+
+let micro () =
+  section "Micro — % (rownum, sorts) vs # (rowid, free); staircase join";
+  let st = Xmldb.Doc_store.create () in
+  let sizes = [ 1_000; 10_000; 100_000 ] in
+  let tests =
+    List.concat_map
+      (fun n ->
+         let b = A.builder () in
+         let rng = Basis.Prng.create 7 in
+         let rows =
+           List.init n (fun i ->
+               [| Algebra.Value.Int (1 + (i mod 97));
+                  Algebra.Value.Int (Basis.Prng.int rng 1000000) |])
+         in
+         let t = A.lit b [| "iter"; "item" |] rows in
+         let input = Algebra.Eval.run st t in
+         ignore input;
+         let rn = A.rownum b t "pos" [ ("item", A.Asc) ] (Some "iter") in
+         let ri = A.rowid b t "pos" in
+         let eval_over node () =
+           (* the literal re-evaluates from its row list; both arms pay it *)
+           ignore (Algebra.Eval.run st node)
+         in
+         [ Bechamel.Test.make
+             ~name:(Printf.sprintf "rownum %% n=%d" n)
+             (Bechamel.Staged.stage (eval_over rn));
+           Bechamel.Test.make
+             ~name:(Printf.sprintf "rowid  # n=%d" n)
+             (Bechamel.Staged.stage (eval_over ri)) ])
+      sizes
+  in
+  bechamel_run
+    (Bechamel.Test.make_grouped ~name:"order primitives" tests);
+  (* the wall-clock view at the largest size, input evaluation excluded *)
+  List.iter
+    (fun n ->
+       let b = A.builder () in
+       let rng = Basis.Prng.create 7 in
+       let rows =
+         List.init n (fun i ->
+             [| Algebra.Value.Int (1 + (i mod 97));
+                Algebra.Value.Int (Basis.Prng.int rng 1000000) |])
+       in
+       let t = A.lit b [| "iter"; "item" |] rows in
+       let rn = A.rownum b t "pos" [ ("item", A.Asc) ] (Some "iter") in
+       let ri = A.rowid b t "pos" in
+       let measure node =
+         let c = Algebra.Eval.create st in
+         ignore (Algebra.Eval.eval c t);
+         let t0 = Unix.gettimeofday () in
+         ignore (Algebra.Eval.eval c node);
+         Unix.gettimeofday () -. t0
+       in
+       let t_rownum = measure rn and t_rowid = measure ri in
+       Printf.printf
+         "n = %9d   %%: %9.2f ms   #: %9.2f ms   ratio %5.1fx\n%!" n
+         (t_rownum *. 1000.) (t_rowid *. 1000.)
+         (t_rownum /. Float.max 1e-9 t_rowid))
+    [ 1_000_000 ];
+  let st = Xmldb.Doc_store.create () in
+  let root, bytes = Xmark.Xmark_gen.load ~scale:0.05 st in
+  let _, t_desc =
+    time (fun () ->
+        Xmldb.Staircase.step st Xmldb.Axis.Descendant Xmldb.Node_test.Any_node
+          [| root |])
+  in
+  let nodes = Xmldb.Doc_store.total_nodes st in
+  Printf.printf
+    "\nstaircase descendant::node() over %.1f MB (%d nodes): %.2f ms (%.1f M nodes/s)\n"
+    (float_of_int bytes /. 1e6) nodes (t_desc *. 1000.)
+    (float_of_int nodes /. t_desc /. 1e6);
+  (* the pluggable ⊘ implementations on a selective tag (paper, Section 3:
+     TwigStack-style element streams vs staircase scan) *)
+  let ti = Xmldb.Tag_index.create st in
+  let test_tag tag =
+    let t' = Xmldb.Node_test.Name (Xmldb.Doc_store.name_test_id st (Xmldb.Qname.make tag)) in
+    let r1, t_scan =
+      time (fun () -> Xmldb.Staircase.step st Xmldb.Axis.Descendant t' [| root |])
+    in
+    ignore (Xmldb.Tag_index.step ti Xmldb.Axis.Descendant t' [| root |]);
+    let r2, t_idx =
+      time (fun () -> Xmldb.Tag_index.step ti Xmldb.Axis.Descendant t' [| root |])
+    in
+    Printf.printf
+      "descendant::%-10s %6d nodes   scan %8.3f ms   tag-index %8.3f ms (warm)%s\n"
+      tag (Array.length r1) (t_scan *. 1000.) (t_idx *. 1000.)
+      (if Array.length r1 <> Array.length r2 then "  !! mismatch" else "")
+  in
+  List.iter test_tag [ "item"; "keyword"; "person"; "emph" ]
+
+(* -------------------------------------------------------------- ablation *)
+
+(* Which mechanism contributes what: the Figure-7 rules alone, CDA alone,
+   both, hoisting, and the alternative step implementation. *)
+let ablation () =
+  section "Ablation — contribution of each mechanism (execution time, ms)";
+  let stages =
+    [ ("baseline (ordered, no opt)", Engine.ordered_baseline);
+      ("rules only (unord, no CDA)", mode_unordered_nocda);
+      ("CDA only (ordered)",
+       { Engine.default_opts with Engine.mode = Some Xquery.Ast.Ordered });
+      ("rules + CDA (full)", mode_unordered);
+      ("full, hoisting off",
+       { mode_unordered with Engine.hoist = false });
+      ("full, join recognition off",
+       { mode_unordered with Engine.join_rec = false });
+      ("full, tag-index steps",
+       { mode_unordered with Engine.step_impl = Algebra.Eval.Tag_index }) ]
+  in
+  let queries = [ "Q1"; "Q5"; "Q6"; "Q8"; "Q11"; "Q14"; "Q19"; "Q20" ] in
+  let scale =
+    try float_of_string (Sys.getenv "XRQ_ABLATION_SCALE")
+    with Not_found | Failure _ -> 0.02
+  in
+  with_store scale (fun st bytes ->
+      Printf.printf "auction.xml: %.2f MB
+
+" (float_of_int bytes /. 1e6);
+      Printf.printf "%-28s" "";
+      List.iter (fun q -> Printf.printf " %9s" q) queries;
+      print_newline ();
+      List.iter
+        (fun (name, opts) ->
+           Printf.printf "%-28s" name;
+           List.iter
+             (fun qn ->
+                let _, run = Engine.prepare ~opts st (Xmark.Xmark_queries.get qn) in
+                let _, t = measure_exec run in
+                Printf.printf " %7.1fms" (t *. 1000.))
+             queries;
+           print_newline ())
+        stages;
+      Printf.printf
+        "
+Reading guide: rules without CDA barely help (the dead %% chains
+         remain, Section 4.1); CDA alone helps ordered plans a little
+         (intermediate path sorts whose pos is consumed by a next step);
+         only rules + CDA realizes the full effect. Hoisting matters for
+         queries with loop-invariant paths (Q8/Q11); tag-indexed steps
+         trade scan time for stream lookups on selective tags.
+")
+
+(* ---------------------------------------------------------------- driver *)
+
+let experiments =
+  [ ("fig6", fig6); ("fig9", fig9); ("fig10", fig10); ("table2", table2);
+    ("plansizes", plansizes); ("fig12", fig12); ("micro", micro);
+    ("ablation", ablation) ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let selected = if args = [] then List.map fst experiments else args in
+  List.iter
+    (fun name ->
+       match List.assoc_opt name experiments with
+       | Some f -> f ()
+       | None ->
+         Printf.eprintf "unknown experiment %S; available: %s\n" name
+           (String.concat ", " (List.map fst experiments));
+         exit 1)
+    selected

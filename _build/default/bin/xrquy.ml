@@ -1,0 +1,225 @@
+(* xrquy — the command-line front end.
+
+     xrquy run   [-d uri=file.xml ...] [-q query.xq | -e expr] [options]
+     xrquy plan  [-e expr | -q file] [options]     print the algebra plan
+     xrquy xmark [--scale f] [--query Qn] [options] run XMark queries
+     xrquy gen   [--scale f] [-o out.xml]           generate an XMark doc
+
+   Options shared by run/plan/xmark:
+     --mode ordered|unordered    force the ordering mode
+     --no-rules                  disable the Figure-7 rules (baseline)
+     --no-cda                    disable column dependency analysis
+     --no-hoist                  disable loop-invariant hoisting
+     --interpret                 use the reference interpreter
+     --profile                   print the per-bucket execution profile
+     --dot                       print plans as Graphviz dot *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* ---------------------------------------------------------- common args *)
+
+let docs_arg =
+  let doc = "Load an XML document and register it as URI (uri=path)." in
+  Arg.(value & opt_all string [] & info [ "d"; "doc" ] ~docv:"URI=FILE" ~doc)
+
+let query_file_arg =
+  let doc = "Read the query from $(docv)." in
+  Arg.(value & opt (some string) None & info [ "q"; "query-file" ] ~docv:"FILE" ~doc)
+
+let expr_arg =
+  let doc = "The query text itself." in
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc)
+
+let mode_arg =
+  let doc = "Force the ordering mode (overrides the query prolog)." in
+  Arg.(value & opt (some (enum [ ("ordered", Xquery.Ast.Ordered);
+                                 ("unordered", Xquery.Ast.Unordered) ])) None
+       & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let no_rules_arg =
+  Arg.(value & flag & info [ "no-rules" ]
+         ~doc:"Disable the order-indifference compilation rules \
+               (FN:UNORDERED, LOC#, BIND#).")
+
+let no_cda_arg =
+  Arg.(value & flag & info [ "no-cda" ]
+         ~doc:"Disable column dependency analysis and plan simplification.")
+
+let no_hoist_arg =
+  Arg.(value & flag & info [ "no-hoist" ] ~doc:"Disable loop-invariant hoisting.")
+
+let interpret_arg =
+  Arg.(value & flag & info [ "interpret" ]
+         ~doc:"Evaluate with the reference tree-walking interpreter.")
+
+let profile_arg =
+  Arg.(value & flag & info [ "profile" ] ~doc:"Print the execution profile.")
+
+let dot_arg =
+  Arg.(value & flag & info [ "dot" ] ~doc:"Print plans in Graphviz dot syntax.")
+
+let no_joinrec_arg =
+  Arg.(value & flag & info [ "no-joinrec" ]
+         ~doc:"Disable FLWOR where-clause value-join recognition.")
+
+let tag_index_arg =
+  Arg.(value & flag & info [ "tag-index" ]
+         ~doc:"Evaluate steps with TwigStack-style tag-indexed element                streams instead of the staircase scan.")
+
+let mk_opts ?(no_joinrec = false) mode no_rules no_cda no_hoist interpret tag_index =
+  { Engine.mode;
+    unordered_rules = not no_rules;
+    cda = not no_cda;
+    hoist = not no_hoist;
+    backend = (if interpret then Engine.Interpreted else Engine.Compiled);
+    step_impl =
+      (if tag_index then Algebra.Eval.Tag_index else Algebra.Eval.Scan);
+    join_rec = not no_joinrec }
+
+let load_documents store specs =
+  List.iter
+    (fun spec ->
+       match String.index_opt spec '=' with
+       | Some i ->
+         let uri = String.sub spec 0 i in
+         let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+         ignore (Xmldb.Xml_parser.load_file store ~uri path)
+       | None ->
+         ignore (Xmldb.Xml_parser.load_file store ~uri:(Filename.basename spec) spec))
+    specs
+
+let query_text query_file expr =
+  match (query_file, expr) with
+  | Some f, _ -> read_file f
+  | None, Some e -> e
+  | None, None -> failwith "no query given (positional QUERY or -q FILE)"
+
+let handle f =
+  match f () with
+  | () -> 0
+  | exception Basis.Err.Dynamic_error m -> Printf.eprintf "dynamic error: %s\n" m; 1
+  | exception Basis.Err.Static_error m -> Printf.eprintf "static error: %s\n" m; 1
+  | exception Xquery.Parser.Syntax_error (m, pos) ->
+    Printf.eprintf "syntax error at offset %d: %s\n" pos m; 1
+  | exception Xmldb.Xml_parser.Parse_error (m, pos) ->
+    Printf.eprintf "XML parse error at offset %d: %s\n" pos m; 1
+  | exception Failure m -> Printf.eprintf "error: %s\n" m; 1
+
+(* ----------------------------------------------------------------- run *)
+
+let run_cmd =
+  let action docs qf expr mode no_rules no_cda no_hoist interpret profile tag_index no_joinrec =
+    handle (fun () ->
+        let store = Xmldb.Doc_store.create () in
+        load_documents store docs;
+        let opts = mk_opts ~no_joinrec mode no_rules no_cda no_hoist interpret tag_index in
+        let r = Engine.run ~opts ~with_profile:profile store (query_text qf expr) in
+        print_endline r.Engine.serialized;
+        (match r.Engine.profile with
+         | Some p ->
+           prerr_newline ();
+           prerr_string (Algebra.Profile.to_string p)
+         | None -> ());
+        Printf.eprintf "-- %d items, %.1f ms\n" (List.length r.Engine.items)
+          (r.Engine.wall_seconds *. 1000.0))
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Evaluate an XQuery expression")
+    Term.(const action $ docs_arg $ query_file_arg $ expr_arg $ mode_arg
+          $ no_rules_arg $ no_cda_arg $ no_hoist_arg $ interpret_arg
+          $ profile_arg $ tag_index_arg $ no_joinrec_arg)
+
+(* ---------------------------------------------------------------- plan *)
+
+let plan_cmd =
+  let action docs qf expr mode no_rules no_cda no_hoist dot =
+    handle (fun () ->
+        ignore docs;
+        let opts = mk_opts mode no_rules no_cda no_hoist false false in
+        let _, raw, optimized = Engine.plans_of ~opts (query_text qf expr) in
+        let render p =
+          if dot then Algebra.Plan_pp.to_dot p else Algebra.Plan_pp.to_tree p
+        in
+        Printf.printf "-- emitted plan: %s\n%s\n" (Algebra.Plan_pp.summary raw)
+          (if opts.Engine.cda then "" else render raw);
+        if opts.Engine.cda then begin
+          Printf.printf "-- after column dependency analysis: %s\n"
+            (Algebra.Plan_pp.summary optimized);
+          print_string (render optimized)
+        end)
+  in
+  Cmd.v (Cmd.info "plan" ~doc:"Compile a query and print its algebra plan")
+    Term.(const action $ docs_arg $ query_file_arg $ expr_arg $ mode_arg
+          $ no_rules_arg $ no_cda_arg $ no_hoist_arg $ dot_arg)
+
+(* --------------------------------------------------------------- xmark *)
+
+let scale_arg =
+  Arg.(value & opt float 0.01
+       & info [ "scale" ] ~docv:"F" ~doc:"XMark scale factor (f = 1 is ~25k persons).")
+
+let xmark_query_arg =
+  Arg.(value & opt (some string) None
+       & info [ "query" ] ~docv:"QN" ~doc:"Run a single XMark query (Q1..Q20).")
+
+let xmark_cmd =
+  let action scale qname mode no_rules no_cda no_hoist interpret profile tag_index =
+    handle (fun () ->
+        let store = Xmldb.Doc_store.create () in
+        let _, bytes = Xmark.Xmark_gen.load ~scale store in
+        Printf.eprintf "auction.xml: %.2f MB, %d nodes\n"
+          (float_of_int bytes /. 1e6) (Xmldb.Doc_store.total_nodes store);
+        let opts = mk_opts mode no_rules no_cda no_hoist interpret tag_index in
+        let queries =
+          match qname with
+          | Some n -> [ (n, Xmark.Xmark_queries.get n) ]
+          | None -> Xmark.Xmark_queries.all
+        in
+        List.iter
+          (fun (n, q) ->
+             let r = Engine.run ~opts ~with_profile:profile store q in
+             Printf.printf "%-4s %6d items %10.1f ms\n%!" n
+               (List.length r.Engine.items) (r.Engine.wall_seconds *. 1000.0);
+             match r.Engine.profile with
+             | Some p -> print_string (Algebra.Profile.to_string p)
+             | None -> ())
+          queries)
+  in
+  Cmd.v (Cmd.info "xmark" ~doc:"Run XMark benchmark queries on a generated instance")
+    Term.(const action $ scale_arg $ xmark_query_arg $ mode_arg $ no_rules_arg
+          $ no_cda_arg $ no_hoist_arg $ interpret_arg $ profile_arg
+          $ tag_index_arg)
+
+(* ----------------------------------------------------------------- gen *)
+
+let gen_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to $(docv) (default stdout).")
+  in
+  let action scale out =
+    handle (fun () ->
+        let src = Xmark.Xmark_gen.generate ~scale () in
+        match out with
+        | None -> print_string src
+        | Some path ->
+          let oc = open_out_bin path in
+          output_string oc src;
+          close_out oc;
+          Printf.eprintf "wrote %d bytes to %s\n" (String.length src) path)
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate an XMark auction.xml instance")
+    Term.(const action $ scale_arg $ out_arg)
+
+let () =
+  let info =
+    Cmd.info "xrquy" ~version:"1.0.0"
+      ~doc:"Order indifference in XQuery: a relational XQuery engine"
+  in
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; plan_cmd; xmark_cmd; gen_cmd ]))

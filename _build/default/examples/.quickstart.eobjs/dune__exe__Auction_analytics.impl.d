@@ -1,0 +1,1 @@
+examples/auction_analytics.ml: Array Engine List Printf String Sys Unix Xmark Xmldb Xquery

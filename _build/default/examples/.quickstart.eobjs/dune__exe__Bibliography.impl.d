@@ -1,0 +1,1 @@
+examples/bibliography.ml: Engine Interp List Printf Xmldb

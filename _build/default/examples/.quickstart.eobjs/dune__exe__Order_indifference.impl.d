@@ -1,0 +1,1 @@
+examples/order_indifference.ml: Algebra Engine Printf Xmldb Xquery

@@ -1,0 +1,1 @@
+examples/plan_explorer.ml: Algebra Array Engine List Printf String Sys Xmark Xquery

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Algebra Engine Printf Xmldb

@@ -1,0 +1,67 @@
+(* A realistic workload on generated auction-site data: the analytics
+   queries an operator of the XMark site would actually run, executed
+   under ordering mode unordered (none of them observes order), with the
+   speedup against the order-faithful baseline printed per query.
+
+     dune exec examples/auction_analytics.exe [scale] *)
+
+let () =
+  let scale =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 0.01
+  in
+  let store = Xmldb.Doc_store.create () in
+  let _, bytes = Xmark.Xmark_gen.load ~scale store in
+  Printf.printf "auction.xml: %.2f MB, %d nodes\n\n"
+    (float_of_int bytes /. 1e6)
+    (Xmldb.Doc_store.total_nodes store);
+
+  let unordered =
+    { Engine.default_opts with Engine.mode = Some Xquery.Ast.Unordered }
+  in
+  let analytics =
+    [ ( "auctions per region",
+        {|let $a := doc("auction.xml")
+          for $r in $a/site/regions/*
+          return <region name="{ name($r) }">{ count($r/item) }</region>|} );
+      ( "high-income bidders without homepage",
+        {|let $a := doc("auction.xml")
+          return count($a/site/people/person[profile/@income > 80000][empty(homepage)])|} );
+      ( "most expensive closed auction",
+        {|max(doc("auction.xml")/site/closed_auctions/closed_auction/price)|} );
+      ( "average bid increase",
+        {|avg(doc("auction.xml")/site/open_auctions/open_auction/bidder/increase)|} );
+      ( "items mentioning gold per region",
+        {|let $a := doc("auction.xml")
+          for $r in $a/site/regions/*
+          let $hits := for $i in $r/item
+                       where contains(string(exactly-one($i/description)), "gold")
+                       return $i
+          return <gold region="{ name($r) }">{ count($hits) }</gold>|} );
+      ( "education histogram",
+        {|let $a := doc("auction.xml")
+          for $e in distinct-values($a/site/people/person/profile/education)
+          let $n := count($a/site/people/person[profile/education = $e])
+          order by $n descending
+          return <education level="{ $e }">{ $n }</education>|} );
+      ( "sellers who are also bidders",
+        {|let $a := doc("auction.xml")
+          let $sellers := $a/site/open_auctions/open_auction/seller/@person
+          let $bidders := $a/site/open_auctions/open_auction/bidder/personref/@person
+          return count(distinct-values(
+            for $s in $sellers where $bidders = $s return $s))|} );
+    ]
+  in
+  List.iter
+    (fun (name, q) ->
+       let t0 = Unix.gettimeofday () in
+       let baseline = Engine.run ~opts:Engine.ordered_baseline store q in
+       let t1 = Unix.gettimeofday () in
+       let fast = Engine.run ~opts:unordered store q in
+       let t2 = Unix.gettimeofday () in
+       ignore baseline;
+       Printf.printf "%-40s %8.1f ms -> %8.1f ms\n  %s\n\n" name
+         ((t1 -. t0) *. 1000.0) ((t2 -. t1) *. 1000.0)
+         (if String.length fast.Engine.serialized > 200 then
+            String.sub fast.Engine.serialized 0 200 ^ "..."
+          else fast.Engine.serialized))
+    analytics

@@ -1,0 +1,113 @@
+(* The bibliography workload of the W3C "XML Query Use Cases" (use case
+   XMP) — the queries every XQuery paper's intro gestures at. Each query
+   runs on both engines (compiled plans and the reference interpreter) and
+   the example asserts they agree before printing.
+
+     dune exec examples/bibliography.exe *)
+
+let bib =
+  {|<bib>
+      <book year="1994">
+        <title>TCP/IP Illustrated</title>
+        <author><last>Stevens</last><first>W.</first></author>
+        <publisher>Addison-Wesley</publisher>
+        <price>65.95</price>
+      </book>
+      <book year="1992">
+        <title>Advanced Programming in the Unix environment</title>
+        <author><last>Stevens</last><first>W.</first></author>
+        <publisher>Addison-Wesley</publisher>
+        <price>65.95</price>
+      </book>
+      <book year="2000">
+        <title>Data on the Web</title>
+        <author><last>Abiteboul</last><first>Serge</first></author>
+        <author><last>Buneman</last><first>Peter</first></author>
+        <author><last>Suciu</last><first>Dan</first></author>
+        <publisher>Morgan Kaufmann Publishers</publisher>
+        <price>39.95</price>
+      </book>
+      <book year="1999">
+        <title>The Economics of Technology and Content for Digital TV</title>
+        <editor><last>Gerbarg</last><first>Darcy</first><affiliation>CITI</affiliation></editor>
+        <publisher>Kluwer Academic Publishers</publisher>
+        <price>129.95</price>
+      </book>
+    </bib>|}
+
+let queries =
+  [ ( "XMP-Q1: books published by Addison-Wesley after 1991",
+      {|<bib>{
+          for $b in doc("bib.xml")/bib/book
+          where $b/publisher = "Addison-Wesley" and $b/@year > 1991
+          return <book year="{ $b/@year }">{ $b/title }</book>
+        }</bib>|} );
+    ( "XMP-Q3: title-author pairs",
+      {|<results>{
+          for $b in doc("bib.xml")/bib/book
+          return <result>{ $b/title }{ $b/author }</result>
+        }</results>|} );
+    ( "XMP-Q4: books per author",
+      {|<results>{
+          for $last in distinct-values(doc("bib.xml")//author/last)
+          order by $last
+          return
+            <result>
+              <author>{ $last }</author>
+              { for $b in doc("bib.xml")/bib/book
+                where $b/author/last = $last
+                return $b/title }
+            </result>
+        }</results>|} );
+    ( "XMP-Q5: titles with prices (join shape)",
+      {|<books-with-prices>{
+          for $b in doc("bib.xml")//book
+          return <book-with-price>{ $b/title }<price>{ $b/price/text() }</price></book-with-price>
+        }</books-with-prices>|} );
+    ( "XMP-Q6: books with more than one author",
+      {|<bib>{
+          for $b in doc("bib.xml")//book
+          where count($b/author) > 1
+          return <book>{ $b/title }{ $b/author }</book>
+        }</bib>|} );
+    ( "XMP-Q7: by publisher, sorted by title",
+      {|<bib>{
+          for $b in doc("bib.xml")//book[publisher = "Addison-Wesley"]
+          order by string(exactly-one($b/title))
+          return <book>{ $b/@year }{ $b/title }</book>
+        }</bib>|} );
+    ( "XMP-Q10: prices summarized",
+      {|<prices>
+          <minimum>{ min(doc("bib.xml")//price) }</minimum>
+          <maximum>{ max(doc("bib.xml")//price) }</maximum>
+          <average>{ round(100 * avg(doc("bib.xml")//price)) div 100 }</average>
+        </prices>|} );
+    ( "XMP-Q11: books by first author last name",
+      {|<bib>{
+          for $b in doc("bib.xml")//book
+          where $b/author[1]/last = "Stevens"
+          return $b/title
+        }</bib>|} );
+    ( "XMP-Q12: editors become authorship notes",
+      {|<bib>{
+          for $b in doc("bib.xml")//book[editor]
+          return <reference>{ $b/title }<org>{ $b/editor/affiliation/text() }</org></reference>
+        }</bib>|} );
+  ]
+
+let () =
+  let st = Xmldb.Doc_store.create () in
+  let _ = Xmldb.Xml_parser.load_document ~strip_ws:true st ~uri:"bib.xml" bib in
+  let failures = ref 0 in
+  List.iter
+    (fun (name, q) ->
+       let compiled = Engine.run st q in
+       let interpreted = Interp.Xdm.serialize st (Interp.Interpreter.run st q) in
+       if compiled.Engine.serialized <> interpreted then begin
+         incr failures;
+         Printf.printf "!! %s: compiled and interpreted disagree\n  %s\n  %s\n"
+           name compiled.Engine.serialized interpreted
+       end
+       else Printf.printf "== %s ==\n%s\n\n" name compiled.Engine.serialized)
+    queries;
+  if !failures > 0 then exit 1

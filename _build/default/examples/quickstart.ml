@@ -1,0 +1,37 @@
+(* Quickstart: load a document, run XQuery, look at a plan.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. A store holds any number of documents (and nodes constructed at
+        query runtime). *)
+  let store = Xmldb.Doc_store.create () in
+  let _root =
+    Xmldb.Xml_parser.load_document store ~uri:"books.xml"
+      {|<catalog>
+          <book year="2003"><title>Purely Functional Data Structures</title><price>39.95</price></book>
+          <book year="1994"><title>ML for the Working Programmer</title><price>54.00</price></book>
+          <book year="2013"><title>Real World OCaml</title><price>0.00</price></book>
+        </catalog>|}
+  in
+
+  (* 2. Run queries: Engine.run parses, normalizes, compiles to relational
+        algebra, optimizes and executes. *)
+  let show q =
+    Printf.printf "Q: %s\n=> %s\n\n" q (Engine.run_to_string store q)
+  in
+  show {|doc("books.xml")/catalog/book/title/text()|};
+  show {|for $b in doc("books.xml")/catalog/book
+         where $b/price > 10
+         order by $b/price descending
+         return <cheap>{ $b/title/text() }</cheap>|};
+  show {|count(doc("books.xml")//book[@year >= 2000])|};
+  show {|avg(doc("books.xml")//price)|};
+
+  (* 3. Inspect the compiled plan and what the optimizer did to it. *)
+  let q = {|unordered { doc("books.xml")//(title|price) }|} in
+  let _, raw, optimized = Engine.plans_of q in
+  Printf.printf "plan for %s\n  raw:       %s\n  optimized: %s\n%s" q
+    (Algebra.Plan_pp.summary raw)
+    (Algebra.Plan_pp.summary optimized)
+    (Algebra.Plan_pp.to_tree optimized)

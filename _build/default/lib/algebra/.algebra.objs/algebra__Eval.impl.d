@@ -1,0 +1,1 @@
+lib/algebra/eval.ml: Array Basis Buffer Err Float Hashtbl Int List Option Plan Profile String Table Unix Value Vec Xmldb

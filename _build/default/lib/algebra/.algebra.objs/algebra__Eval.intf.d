@@ -1,0 +1,1 @@
+lib/algebra/eval.mli: Plan Profile Table Value Xmldb

@@ -1,0 +1,1 @@
+lib/algebra/plan.ml: Hashtbl List Option String Value Xmldb

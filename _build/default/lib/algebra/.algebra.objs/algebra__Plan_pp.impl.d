@@ -1,0 +1,1 @@
+lib/algebra/plan_pp.ml: Array Buffer Format Hashtbl List Plan Printf String Value Xmldb

@@ -1,0 +1,1 @@
+lib/algebra/plan_pp.mli: Plan

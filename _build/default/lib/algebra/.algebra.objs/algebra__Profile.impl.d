@@ -1,0 +1,1 @@
+lib/algebra/profile.ml: Float Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/algebra/profile.mli: Format

@@ -1,0 +1,1 @@
+lib/algebra/table.ml: Array Basis Buffer Err Format List Printf String Value

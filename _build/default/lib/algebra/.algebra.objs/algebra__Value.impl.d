@@ -1,0 +1,1 @@
+lib/algebra/value.ml: Basis Bool Err Float Format Hashtbl Int Printf String Xmldb

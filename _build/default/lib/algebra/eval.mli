@@ -1,0 +1,41 @@
+(** The columnar executor: evaluates an algebra DAG bottom-up, memoizing
+    every node's result by node id, so Pathfinder-style DAG sharing
+    translates into single evaluation.
+
+    The engine is "inherently unordered": no operator promises any row
+    order; all order semantics live in explicit [pos]/[iter] columns. The
+    cost asymmetry the paper's results rest on holds: [Rownum] ("%") sorts
+    its input, [Rowid] ("#") stamps a counter. Integer join/group keys
+    (iter/bind columns) take unboxed fast paths. *)
+
+(** Which implementation realizes the step operator ⊘ (paper, Section 3):
+    the staircase-join scan, or TwigStack-style tag-indexed element
+    streams (used where applicable, scan elsewhere). *)
+type step_impl = Scan | Tag_index
+
+(** An evaluation context: result cache + store + optional profile. *)
+type ctx
+
+val create :
+  ?profile:Profile.t -> ?step_impl:step_impl -> Xmldb.Doc_store.t -> ctx
+
+(** Evaluate a node (and, transitively, its children) against the context;
+    cached results are returned as-is. When profiling, each node's local
+    evaluation time goes to its label's bucket (or its operator symbol
+    when unlabeled). *)
+val eval : ctx -> Plan.node -> Table.t
+
+(** [run ?profile store root] — evaluate against a fresh context. *)
+val run :
+  ?profile:Profile.t -> ?step_impl:step_impl -> Xmldb.Doc_store.t ->
+  Plan.node -> Table.t
+
+(** {2 Primitive semantics} (exposed for the interpreter and tests) *)
+
+(** Atomization: nodes become their string value; atomics pass through. *)
+val atomize : Xmldb.Doc_store.t -> Value.t -> Value.t
+
+val apply1 : Xmldb.Doc_store.t -> Plan.prim1 -> Value.t -> Value.t
+val apply2 : Xmldb.Doc_store.t -> Plan.prim2 -> Value.t -> Value.t -> Value.t
+val apply3 :
+  Xmldb.Doc_store.t -> Plan.prim3 -> Value.t -> Value.t -> Value.t -> Value.t

@@ -1,0 +1,35 @@
+(* Per-operator wall-clock profiling, the instrument behind Table 2 of the
+   paper (the Q11 execution-time breakdown). The compiler labels plan nodes
+   with the source sub-expression they implement; the executor adds the
+   local evaluation time of every node to its label's bucket. *)
+
+type t = {
+  buckets : (string, float ref) Hashtbl.t;
+}
+
+let create () = { buckets = Hashtbl.create 32 }
+
+let add t label seconds =
+  match Hashtbl.find_opt t.buckets label with
+  | Some r -> r := !r +. seconds
+  | None -> Hashtbl.add t.buckets label (ref seconds)
+
+let total t = Hashtbl.fold (fun _ r acc -> acc +. !r) t.buckets 0.0
+
+(* Buckets sorted by descending time. *)
+let rows t =
+  let l = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.buckets [] in
+  List.sort (fun (_, a) (_, b) -> Float.compare b a) l
+
+(* Render in the style of the paper's Table 2: time [ms] and % of total. *)
+let pp fmt t =
+  let tot = total t in
+  Format.fprintf fmt "%-42s %12s %6s@." "Bucket" "Time [ms]" "%";
+  List.iter
+    (fun (label, secs) ->
+       let pct = if tot > 0.0 then 100.0 *. secs /. tot else 0.0 in
+       Format.fprintf fmt "%-42s %12.1f %5.1f%%@." label (secs *. 1000.0) pct)
+    (rows t);
+  Format.fprintf fmt "%-42s %12.1f@." "total" (tot *. 1000.0)
+
+let to_string t = Format.asprintf "%a" pp t

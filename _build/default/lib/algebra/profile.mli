@@ -1,0 +1,21 @@
+(** Per-operator wall-clock profiling — the instrument behind the paper's
+    Table 2 (the Q11 execution-time breakdown). The compiler labels plan
+    nodes with the sub-expression category they implement; the executor
+    adds each node's local evaluation time to its label's bucket. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t label seconds] accumulates into [label]'s bucket. *)
+val add : t -> string -> float -> unit
+
+val total : t -> float
+
+(** Buckets with their accumulated seconds, largest first. *)
+val rows : t -> (string * float) list
+
+(** Render in the style of the paper's Table 2: time in ms and % share. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,260 @@
+(* Item values stored in table cells. Atomic values follow a pragmatic XDM
+   subset: integers, doubles (also standing in for xs:decimal), strings
+   (also standing in for xs:untypedAtomic — every value atomized from a
+   node is a string, as in an untyped document), booleans and QNames.
+
+   The comparison/arithmetic semantics implement XQuery general-comparison
+   coercion: an untyped (string) operand meeting a numeric operand is cast
+   to xs:double; value comparisons between incompatible types raise a
+   dynamic error. *)
+
+open Basis
+
+type t =
+  | Int of int
+  | Dbl of float
+  | Str of string
+  | Bool of bool
+  | Qname_v of Xmldb.Qname.t
+  | Node of Xmldb.Node_id.t
+
+let type_name = function
+  | Int _ -> "xs:integer"
+  | Dbl _ -> "xs:double"
+  | Str _ -> "xs:string"
+  | Bool _ -> "xs:boolean"
+  | Qname_v _ -> "xs:QName"
+  | Node _ -> "node()"
+
+let is_node = function Node _ -> true | _ -> false
+let is_numeric = function Int _ | Dbl _ -> true | _ -> false
+
+(* -- casts ---------------------------------------------------------------- *)
+
+let parse_number s =
+  let s = String.trim s in
+  match int_of_string_opt s with
+  | Some i -> Some (Int i)
+  | None ->
+    (match float_of_string_opt s with
+     | Some f -> Some (Dbl f)
+     | None ->
+       (match s with
+        | "INF" -> Some (Dbl infinity)
+        | "-INF" -> Some (Dbl neg_infinity)
+        | "NaN" -> Some (Dbl nan)
+        | _ -> None))
+
+let float_value = function
+  | Int i -> float_of_int i
+  | Dbl f -> f
+  | Str s ->
+    (match parse_number s with
+     | Some (Int i) -> float_of_int i
+     | Some (Dbl f) -> f
+     | _ -> Err.dynamic "cannot cast %S to xs:double" s
+     | exception _ -> Err.dynamic "cannot cast %S to xs:double" s)
+  | Bool b -> if b then 1.0 else 0.0
+  | v -> Err.dynamic "cannot cast %s to xs:double" (type_name v)
+
+let int_value = function
+  | Int i -> i
+  | Dbl f ->
+    if Float.is_integer f then int_of_float f
+    else Err.dynamic "cannot cast %g to xs:integer" f
+  | Str s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some i -> i
+     | None -> Err.dynamic "cannot cast %S to xs:integer" s)
+  | Bool b -> if b then 1 else 0
+  | v -> Err.dynamic "cannot cast %s to xs:integer" (type_name v)
+
+(* The xs:boolean *cast* (used by casts and boolean-vs-untyped
+   comparisons): only the boolean lexical forms are accepted. *)
+let bool_value = function
+  | Bool b -> b
+  | Str "true" | Str "1" -> true
+  | Str "false" | Str "0" -> false
+  | Int i -> i <> 0
+  | Dbl f -> not (f = 0.0 || Float.is_nan f)
+  | v -> Err.dynamic "cannot cast %s to xs:boolean" (type_name v)
+
+(* The *effective boolean value* of a singleton atomic (different from the
+   cast: any non-empty string is true). Nodes are handled by the caller
+   (a node's EBV is true). *)
+let ebv_atomic = function
+  | Bool b -> b
+  | Str s -> s <> ""
+  | Int i -> i <> 0
+  | Dbl f -> not (f = 0.0 || Float.is_nan f)
+  | v -> Err.dynamic "no effective boolean value for %s" (type_name v)
+
+(* Serialization of atomic values (XDM canonical-ish forms). *)
+let to_string = function
+  | Int i -> string_of_int i
+  | Dbl f ->
+    if Float.is_nan f then "NaN"
+    else if f = infinity then "INF"
+    else if f = neg_infinity then "-INF"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.0f" f
+    else begin
+      let s = Printf.sprintf "%.12g" f in
+      s
+    end
+  | Str s -> s
+  | Bool b -> if b then "true" else "false"
+  | Qname_v q -> Xmldb.Qname.to_string q
+  | Node _ as v -> Err.dynamic "cannot stringify %s without a store" (type_name v)
+
+(* -- total order (used for sorting, grouping, dedup) ---------------------- *)
+
+let type_rank = function
+  | Bool _ -> 0 | Int _ -> 1 | Dbl _ -> 1 | Str _ -> 2 | Qname_v _ -> 3
+  | Node _ -> 4
+
+(* A deterministic total order across all values: numerics compare
+   numerically with each other, otherwise by type rank then value. Not an
+   XQuery-visible order; used internally by sort/group operators. *)
+let compare_total a b =
+  let ra = type_rank a and rb = type_rank b in
+  if ra <> rb then Int.compare ra rb
+  else
+    match (a, b) with
+    | Bool x, Bool y -> Bool.compare x y
+    | (Int _ | Dbl _), (Int _ | Dbl _) ->
+      (match (a, b) with
+       | Int x, Int y -> Int.compare x y
+       | _ -> Float.compare (float_value a) (float_value b))
+    | Str x, Str y -> String.compare x y
+    | Qname_v x, Qname_v y -> Xmldb.Qname.compare x y
+    | Node x, Node y -> Xmldb.Node_id.compare x y
+    | _ -> Err.internal "compare_total: unreachable"
+
+let equal a b = compare_total a b = 0
+
+let hash = function
+  | Int i -> Hashtbl.hash (1, i)
+  | Dbl f ->
+    if Float.is_integer f && Float.abs f < 1e18 then Hashtbl.hash (1, int_of_float f)
+    else Hashtbl.hash (1, f)
+  | Str s -> Hashtbl.hash (2, s)
+  | Bool b -> Hashtbl.hash (0, b)
+  | Qname_v q -> Hashtbl.hash (3, Xmldb.Qname.to_string q)
+  | Node n -> Hashtbl.hash (4, Xmldb.Node_id.frag n, Xmldb.Node_id.pre n)
+
+(* -- XQuery comparison with general-comparison coercion ------------------- *)
+
+type cmp_result =
+  | C_lt
+  | C_eq
+  | C_gt
+  | C_unordered  (* a NaN is involved: every comparison is false, ne is true *)
+
+let of_int_cmp c = if c < 0 then C_lt else if c = 0 then C_eq else C_gt
+
+let float_cmp x y =
+  if Float.is_nan x || Float.is_nan y then C_unordered
+  else of_int_cmp (Float.compare x y)
+
+let compare_xq a b =
+  match (a, b) with
+  | Int x, Int y -> of_int_cmp (Int.compare x y)
+  | (Int _ | Dbl _), (Int _ | Dbl _)
+  | Str _, (Int _ | Dbl _) | (Int _ | Dbl _), Str _ ->
+    (* untyped meets numeric: cast the untyped side to xs:double *)
+    float_cmp (float_value a) (float_value b)
+  | Str x, Str y -> of_int_cmp (String.compare x y)
+  | Bool x, Bool y -> of_int_cmp (Bool.compare x y)
+  | Bool x, Str s -> of_int_cmp (Bool.compare x (bool_value (Str s)))
+  | Str s, Bool y -> of_int_cmp (Bool.compare (bool_value (Str s)) y)
+  | Qname_v x, Qname_v y ->
+    if Xmldb.Qname.equal x y then C_eq
+    else of_int_cmp (Xmldb.Qname.compare x y)
+  | _ ->
+    Err.dynamic "cannot compare %s with %s" (type_name a) (type_name b)
+
+let cmp_eq a b = compare_xq a b = C_eq
+let cmp_ne a b =
+  (match compare_xq a b with C_eq -> false | C_lt | C_gt | C_unordered -> true)
+let cmp_lt a b = compare_xq a b = C_lt
+let cmp_le a b =
+  (match compare_xq a b with C_lt | C_eq -> true | C_gt | C_unordered -> false)
+let cmp_gt a b = compare_xq a b = C_gt
+let cmp_ge a b =
+  (match compare_xq a b with C_gt | C_eq -> true | C_lt | C_unordered -> false)
+
+(* -- arithmetic ------------------------------------------------------------ *)
+
+let arith_operands a b =
+  (* untyped operands are cast to xs:double per the XQuery arithmetic rules *)
+  let norm = function
+    | Str s ->
+      (match parse_number s with
+       | Some v -> (match v with Int i -> Dbl (float_of_int i) | v -> v)
+       | None -> Err.dynamic "cannot cast %S to a number" s)
+    | v -> v
+  in
+  (norm a, norm b)
+
+let add a b =
+  match arith_operands a b with
+  | Int x, Int y -> Int (x + y)
+  | x, y -> Dbl (float_value x +. float_value y)
+
+let sub a b =
+  match arith_operands a b with
+  | Int x, Int y -> Int (x - y)
+  | x, y -> Dbl (float_value x -. float_value y)
+
+let mul a b =
+  match arith_operands a b with
+  | Int x, Int y -> Int (x * y)
+  | x, y -> Dbl (float_value x *. float_value y)
+
+let div a b =
+  match arith_operands a b with
+  | Int _, Int 0 -> Err.dynamic "division by zero"
+  | Int x, Int y ->
+    if x mod y = 0 then Int (x / y)
+    else Dbl (float_of_int x /. float_of_int y)
+  | x, y -> Dbl (float_value x /. float_value y)
+
+let idiv a b =
+  match arith_operands a b with
+  | _, Int 0 -> Err.dynamic "integer division by zero"
+  | Int x, Int y ->
+    let q = x / y in
+    Int q
+  | x, y ->
+    let fy = float_value y in
+    if fy = 0.0 then Err.dynamic "integer division by zero"
+    else Int (int_of_float (Float.trunc (float_value x /. fy)))
+
+let modulo a b =
+  match arith_operands a b with
+  | _, Int 0 -> Err.dynamic "modulus by zero"
+  | Int x, Int y -> Int (x - (x / y * y))
+  | x, y -> Dbl (Float.rem (float_value x) (float_value y))
+
+let neg = function
+  | Int i -> Int (-i)
+  | Dbl f -> Dbl (-.f)
+  | Str _ as v -> (match arith_operands v (Int 0) with x, _ -> Dbl (-.(float_value x)))
+  | v -> Err.dynamic "cannot negate %s" (type_name v)
+
+(* fn:min/fn:max comparison discipline: untypedAtomic operands are cast
+   to xs:double per the spec. Since this model carries both xs:string and
+   untypedAtomic as [Str], we use: if every item in the group is numeric
+   or parses as a number, compare numerically; otherwise compare as
+   strings (see DESIGN.md). [minmax_view] returns the comparison proxy. *)
+let numeric_view = function
+  | Int _ | Dbl _ as v -> Some v
+  | Str s -> parse_number s
+  | Bool _ | Qname_v _ | Node _ -> None
+
+let pp fmt v =
+  match v with
+  | Node n -> Format.fprintf fmt "node(%s)" (Xmldb.Node_id.to_string n)
+  | Qname_v q -> Format.fprintf fmt "qname(%s)" (Xmldb.Qname.to_string q)
+  | v -> Format.pp_print_string fmt (to_string v)

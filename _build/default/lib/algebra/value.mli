@@ -1,0 +1,83 @@
+(** Item values stored in table cells: a pragmatic XDM subset.
+
+    Integers, doubles (also standing in for xs:decimal), strings (also
+    standing in for xs:untypedAtomic — atomizing a node of an untyped
+    document yields a string), booleans, QNames and node references.
+
+    Comparison and arithmetic implement the XQuery general-comparison
+    coercions: an untyped (string) operand meeting a numeric operand is
+    cast to xs:double; incompatible pairs raise dynamic errors; NaN makes
+    every comparison false except [ne]. *)
+
+type t =
+  | Int of int
+  | Dbl of float
+  | Str of string
+  | Bool of bool
+  | Qname_v of Xmldb.Qname.t
+  | Node of Xmldb.Node_id.t
+
+(** "xs:integer", "node()" and friends, for error messages. *)
+val type_name : t -> string
+
+val is_node : t -> bool
+val is_numeric : t -> bool
+
+(** {2 Casts} (raising dynamic errors on failure) *)
+
+val float_value : t -> float
+val int_value : t -> int
+
+(** The xs:boolean cast: boolean lexical forms only. *)
+val bool_value : t -> bool
+
+(** The effective boolean value of a singleton atomic: any non-empty
+    string is true (nodes are the caller's business). *)
+val ebv_atomic : t -> bool
+
+(** XDM canonical-ish serialization of an atomic value; raises on nodes
+    (their string value needs the store). *)
+val to_string : t -> string
+
+(** Parse an integer/decimal/INF/NaN lexical form. *)
+val parse_number : string -> t option
+
+(** {2 Total order} — a deterministic order across all values, used by
+    sort/group/dedup operators. Numerics compare numerically with each
+    other; otherwise by type rank, then value. Not an XQuery-visible
+    order. *)
+
+val compare_total : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** {2 XQuery comparisons} with general-comparison coercion *)
+
+type cmp_result = C_lt | C_eq | C_gt | C_unordered
+
+val compare_xq : t -> t -> cmp_result
+
+val cmp_eq : t -> t -> bool
+val cmp_ne : t -> t -> bool
+val cmp_lt : t -> t -> bool
+val cmp_le : t -> t -> bool
+val cmp_gt : t -> t -> bool
+val cmp_ge : t -> t -> bool
+
+(** {2 Arithmetic} — untyped operands cast to xs:double; [Int op Int]
+    stays integral where exact ([div] may return a double). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val idiv : t -> t -> t
+val modulo : t -> t -> t
+val neg : t -> t
+
+(** The numeric reading of a value if it has one (numerics themselves,
+    or strings that parse as numbers) — the fn:min/fn:max coercion
+    helper. *)
+val numeric_view : t -> t option
+
+val pp : Format.formatter -> t -> unit

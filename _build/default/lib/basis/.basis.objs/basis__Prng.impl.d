@@ -1,0 +1,1 @@
+lib/basis/prng.ml: Array Int64

@@ -1,0 +1,1 @@
+lib/basis/string_pool.mli:

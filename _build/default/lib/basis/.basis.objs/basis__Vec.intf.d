@@ -1,0 +1,1 @@
+lib/basis/vec.mli:

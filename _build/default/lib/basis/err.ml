@@ -1,0 +1,26 @@
+(* Error discipline shared by every layer of the system.
+
+   [Dynamic_error] corresponds to XQuery dynamic errors (the err:XPDY and
+   err:FORG families); [Static_error] to parse/normalization-time errors
+   (the err:XPST family); [Internal_error] flags broken invariants of our
+   own making (a bug, never a user error). *)
+
+exception Dynamic_error of string
+exception Static_error of string
+exception Internal_error of string
+
+let dynamic fmt = Format.kasprintf (fun s -> raise (Dynamic_error s)) fmt
+let static fmt = Format.kasprintf (fun s -> raise (Static_error s)) fmt
+let internal fmt = Format.kasprintf (fun s -> raise (Internal_error s)) fmt
+
+(* Render any of the three errors for user display; re-raises others. *)
+let to_string = function
+  | Dynamic_error m -> "dynamic error: " ^ m
+  | Static_error m -> "static error: " ^ m
+  | Internal_error m -> "internal error (please report): " ^ m
+  | e -> raise e
+
+let protect f = match f () with
+  | v -> Ok v
+  | exception (Dynamic_error _ | Static_error _ | Internal_error _ as e) ->
+    Error (to_string e)

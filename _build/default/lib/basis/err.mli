@@ -1,0 +1,33 @@
+(** Error discipline shared by every layer.
+
+    Three exception classes partition all failures:
+    {ul
+    {- [Dynamic_error] — XQuery dynamic errors (the [err:XPDY]/[err:FORG]
+       families): division by zero, cardinality violations, missing
+       documents, invalid casts. Raised during evaluation.}
+    {- [Static_error] — parse- and normalization-time errors (the
+       [err:XPST] family): unknown functions, unbound context items,
+       unsupported constructs.}
+    {- [Internal_error] — a broken invariant of this implementation;
+       always a bug, never a user error.}} *)
+
+exception Dynamic_error of string
+exception Static_error of string
+exception Internal_error of string
+
+(** [dynamic fmt ...] raises {!Dynamic_error} with a formatted message. *)
+val dynamic : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** [static fmt ...] raises {!Static_error} with a formatted message. *)
+val static : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** [internal fmt ...] raises {!Internal_error} with a formatted message. *)
+val internal : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Render one of the three errors for user display. Re-raises any other
+    exception. *)
+val to_string : exn -> string
+
+(** [protect f] runs [f ()] and captures the three error classes as
+    [Error message]; other exceptions propagate. *)
+val protect : (unit -> 'a) -> ('a, string) result

@@ -1,0 +1,38 @@
+(* SplitMix64 — deterministic, seedable PRNG for the XMark generator and
+   workload synthesis. Independent of [Random] so that generated documents
+   are bit-stable across OCaml versions and test runs. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int";
+  let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  r mod bound
+
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Zipf-like skewed choice over [0, n): rank 0 is most likely. XMark uses
+   skewed reference distributions (people watching popular auctions). *)
+let zipf t n =
+  if n <= 0 then invalid_arg "Prng.zipf";
+  let u = float t in
+  let r = int_of_float (float_of_int n ** u) - 1 in
+  if r < 0 then 0 else if r >= n then n - 1 else r
+
+let pick t arr = arr.(int t (Array.length arr))

@@ -1,0 +1,25 @@
+(** SplitMix64 — a deterministic, seedable PRNG. The XMark generator uses
+    it instead of [Random] so generated documents are bit-stable across
+    OCaml versions and runs. *)
+
+type t
+
+val create : int -> t
+
+val next_int64 : t -> int64
+
+(** Uniform integer in [\[0, bound)]; raises [Invalid_argument] when
+    [bound <= 0]. *)
+val int : t -> int -> int
+
+(** Uniform float in [\[0, 1)]. *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** Zipf-like skewed choice over [\[0, n)]: rank 0 is the most likely.
+    Models XMark's skewed cross-references (popular auctions, people). *)
+val zipf : t -> int -> int
+
+(** Uniform choice from a non-empty array. *)
+val pick : t -> 'a array -> 'a

@@ -1,0 +1,26 @@
+(* String interning. The document store keeps tag names and text values as
+   integer ids into a pool, which makes node tables compact and makes
+   name-test comparison an integer comparison (the property staircase join
+   and TwigStack-style evaluation rely on). *)
+
+type t = {
+  table : (string, int) Hashtbl.t;
+  strings : string Vec.t;
+}
+
+let create () = { table = Hashtbl.create 64; strings = Vec.create "" }
+
+let intern t s =
+  match Hashtbl.find_opt t.table s with
+  | Some id -> id
+  | None ->
+    let id = Vec.length t.strings in
+    Vec.push t.strings s;
+    Hashtbl.add t.table s id;
+    id
+
+let find_opt t s = Hashtbl.find_opt t.table s
+
+let get t id = Vec.get t.strings id
+
+let size t = Vec.length t.strings

@@ -1,0 +1,20 @@
+(** String interning. The document store keeps tag names and text values
+    as integer ids into a pool, which keeps node tables compact and makes
+    name-test matching an integer comparison. *)
+
+type t
+
+val create : unit -> t
+
+(** [intern t s] returns the id of [s], allocating a fresh one on first
+    sight. Ids are dense, starting at 0. *)
+val intern : t -> string -> int
+
+(** The id of [s] if it was ever interned. *)
+val find_opt : t -> string -> int option
+
+(** The string behind an id; raises on unknown ids. *)
+val get : t -> int -> string
+
+(** Number of distinct strings interned so far. *)
+val size : t -> int

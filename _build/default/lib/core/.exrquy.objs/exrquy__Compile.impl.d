@@ -1,0 +1,1 @@
+lib/core/compile.ml: Algebra Basis Err Float List Option Printf Set String Xmldb Xquery

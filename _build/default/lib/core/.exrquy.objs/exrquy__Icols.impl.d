@@ -1,0 +1,1 @@
+lib/core/icols.ml: Algebra Array Hashtbl List Option Properties Set String Xmldb

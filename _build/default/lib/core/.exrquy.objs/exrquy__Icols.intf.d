@@ -1,0 +1,1 @@
+lib/core/icols.mli: Algebra Hashtbl Properties Set String

@@ -1,0 +1,1 @@
+lib/core/properties.ml: Algebra Array Basis Err Hashtbl List Map Seq Set String

@@ -1,0 +1,154 @@
+(* Bottom-up plan property inference:
+
+     - static schema (column set) of every operator,
+     - constant columns (every row carries the same, known value),
+     - "arbitrary" columns: columns whose values were produced by the
+       rowid operator # and therefore carry no semantic order information.
+
+   This is the property framework the paper's wrap-up (Section 7) uses to
+   degrade the residual %pos1:<bind,pos>||iter1 of Figure 9 to a free
+   numbering: iter1 and pos are found constant, bind is found arbitrary,
+   which empties %'s order criteria. *)
+
+open Basis
+module A = Algebra.Plan
+module Value = Algebra.Value
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type props = {
+  schema : SSet.t;
+  consts : Value.t SMap.t;   (* column -> the value it always carries *)
+  arbitrary : SSet.t;        (* columns born from # (rowid) *)
+}
+
+type t = (int, props) Hashtbl.t
+
+let props tbl (n : A.node) : props =
+  match Hashtbl.find_opt tbl n.A.id with
+  | Some p -> p
+  | None -> Err.internal "properties: node %d not inferred" n.A.id
+
+let schema_list tbl n = SSet.elements (props tbl n).schema
+
+(* restrict a map/set to a column set *)
+let restrict_map m cols = SMap.filter (fun c _ -> SSet.mem c cols) m
+let restrict_set s cols = SSet.inter s cols
+
+let infer (root : A.node) : t =
+  let tbl : t = Hashtbl.create 64 in
+  let get n = props tbl n in
+  List.iter
+    (fun (n : A.node) ->
+       let p =
+         match n.A.op with
+         | A.Lit { schema; rows } ->
+           let schema_set = SSet.of_list (Array.to_list schema) in
+           let consts =
+             match rows with
+             | [ row ] ->
+               Array.to_seq schema
+               |> Seq.mapi (fun i c -> (c, row.(i)))
+               |> SMap.of_seq
+             | _ -> SMap.empty
+           in
+           { schema = schema_set; consts; arbitrary = SSet.empty }
+         | A.Project { input; cols } ->
+           let pi = get input in
+           let schema = SSet.of_list (List.map fst cols) in
+           let consts =
+             List.fold_left
+               (fun acc (nw, src) ->
+                  match SMap.find_opt src pi.consts with
+                  | Some v -> SMap.add nw v acc
+                  | None -> acc)
+               SMap.empty cols
+           in
+           let arbitrary =
+             List.fold_left
+               (fun acc (nw, src) ->
+                  if SSet.mem src pi.arbitrary then SSet.add nw acc else acc)
+               SSet.empty cols
+           in
+           { schema; consts; arbitrary }
+         | A.Select { input; _ } | A.Distinct { input } -> get input
+         | A.Semijoin { left; _ } | A.Antijoin { left; _ } -> get left
+         | A.Join { left; right; _ } | A.Thetajoin { left; right; _ }
+         | A.Cross { left; right } ->
+           let pl = get left and pr = get right in
+           { schema = SSet.union pl.schema pr.schema;
+             consts =
+               SMap.union (fun _ v _ -> Some v) pl.consts pr.consts;
+             arbitrary = SSet.union pl.arbitrary pr.arbitrary }
+         | A.Union { left; right } ->
+           let pl = get left and pr = get right in
+           (* a column is constant after union iff constant with the same
+              value on both sides *)
+           let consts =
+             SMap.merge
+               (fun _ a b ->
+                  match (a, b) with
+                  | Some va, Some vb when Value.equal va vb -> Some va
+                  | _ -> None)
+               pl.consts pr.consts
+           in
+           { schema = pl.schema;
+             consts;
+             arbitrary = SSet.inter pl.arbitrary pr.arbitrary }
+         | A.Rownum { input; res; _ } ->
+           let pi = get input in
+           { pi with schema = SSet.add res pi.schema }
+         | A.Rowid { input; res } ->
+           let pi = get input in
+           { schema = SSet.add res pi.schema;
+             consts = pi.consts;
+             arbitrary = SSet.add res pi.arbitrary }
+         | A.Attach { input; res; value } ->
+           let pi = get input in
+           { schema = SSet.add res pi.schema;
+             consts = SMap.add res value pi.consts;
+             arbitrary = pi.arbitrary }
+         | A.Fun1 { input; res; _ } | A.Fun2 { input; res; _ }
+         | A.Fun3 { input; res; _ } ->
+           let pi = get input in
+           { pi with schema = SSet.add res pi.schema }
+         | A.Aggr { input; res; part; _ } ->
+           let pi = get input in
+           let schema, keep =
+             match part with
+             | Some p -> (SSet.of_list [ p; res ], SSet.singleton p)
+             | None -> (SSet.singleton res, SSet.empty)
+           in
+           (* group-key values are a subset of the input's *)
+           { schema;
+             consts = restrict_map pi.consts keep;
+             arbitrary = restrict_set pi.arbitrary keep }
+         | A.Step { input; _ } | A.Doc { input } | A.Textnode { input }
+         | A.Commentnode { input } | A.Pinode { input } ->
+           let pi = get input in
+           let keep = SSet.singleton "iter" in
+           { schema = SSet.of_list [ "iter"; "item" ];
+             consts = restrict_map pi.consts keep;
+             arbitrary = restrict_set pi.arbitrary keep }
+         | A.Id_lookup { context; _ } ->
+           let pc = get context in
+           let keep = SSet.singleton "iter" in
+           { schema = SSet.of_list [ "iter"; "item" ];
+             consts = restrict_map pc.consts keep;
+             arbitrary = restrict_set pc.arbitrary keep }
+         | A.Elem { qnames; _ } | A.Attr { qnames; _ } ->
+           let pq = get qnames in
+           let keep = SSet.singleton "iter" in
+           { schema = SSet.of_list [ "iter"; "item" ];
+             consts = restrict_map pq.consts keep;
+             arbitrary = restrict_set pq.arbitrary keep }
+         | A.Range { input; _ } | A.Textify { input } ->
+           let pi = get input in
+           let keep = SSet.singleton "iter" in
+           { schema = SSet.of_list [ "iter"; "pos"; "item" ];
+             consts = restrict_map pi.consts keep;
+             arbitrary = restrict_set pi.arbitrary keep }
+       in
+       Hashtbl.replace tbl n.A.id p)
+    (A.topo_order root);
+  tbl

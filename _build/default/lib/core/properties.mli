@@ -1,0 +1,31 @@
+(** Bottom-up plan property inference:
+    {ul
+    {- the static schema (column set) of every operator;}
+    {- {e constant} columns — every row carries the same, known value;}
+    {- {e arbitrary} columns — born from the rowid operator [#], hence
+       carrying no semantic order information.}}
+
+    This is the property framework the paper's Section 7 uses to degrade
+    the residual [%pos1:⟨bind,pos⟩‖iter1] of Figure 9: [iter1] and [pos]
+    are found constant, [bind] arbitrary, which empties the rownum's
+    order criteria and turns it into a free numbering. *)
+
+module SMap : Map.S with type key = string and type 'a t = 'a Map.Make(String).t
+module SSet : Set.S with type elt = string and type t = Set.Make(String).t
+
+type props = {
+  schema : SSet.t;
+  consts : Algebra.Value.t SMap.t;  (** column → its constant value *)
+  arbitrary : SSet.t;               (** columns born from # *)
+}
+
+(** Inference result: properties per plan-node id. *)
+type t
+
+(** Infer properties for every node reachable from the root. *)
+val infer : Algebra.Plan.node -> t
+
+(** Look up a node's properties; internal error if it was not inferred. *)
+val props : t -> Algebra.Plan.node -> props
+
+val schema_list : t -> Algebra.Plan.node -> string list

@@ -1,0 +1,142 @@
+(* The end-to-end engine façade:
+
+     parse -> normalize (J.K) -> compile (=>) -> optimize -> execute -> serialize
+
+   [opts] exposes every knob the paper's experiments need:
+     - [mode]: force ordering mode ordered/unordered (overrides the prolog)
+     - [unordered_rules]: the Figure-7 rules FN:UNORDERED / LOC# / BIND#
+     - [cda]: column dependency analysis + plan simplification (Section 4.1)
+     - [hoist]: loop-invariant hoisting
+     - [backend]: compiled plans or the reference interpreter *)
+
+module Value = Algebra.Value
+
+type backend = Compiled | Interpreted
+
+type opts = {
+  mode : Xquery.Ast.ordering_mode option;
+  unordered_rules : bool;
+  cda : bool;
+  hoist : bool;
+  backend : backend;
+  step_impl : Algebra.Eval.step_impl;
+  join_rec : bool;
+}
+
+let default_opts = {
+  mode = None;
+  unordered_rules = true;
+  cda = true;
+  hoist = true;
+  backend = Compiled;
+  step_impl = Algebra.Eval.Scan;
+  join_rec = true;
+}
+
+(* Pathfinder with order indifference disabled: every plan is emitted as if
+   ordering mode ordered were in effect, and no cleanup runs. *)
+let ordered_baseline = { default_opts with unordered_rules = false; cda = false }
+
+type result = {
+  items : Value.t list;        (* the result sequence *)
+  serialized : string;
+  plan : Algebra.Plan.node option;          (* after optimization *)
+  raw_plan : Algebra.Plan.node option;      (* before optimization *)
+  profile : Algebra.Profile.t option;
+  wall_seconds : float;
+}
+
+let parse_and_normalize ?mode text =
+  let q = Xquery.Parser.parse_query text in
+  Xquery.Normalize.normalize_query ?mode_override:mode q
+
+(* Compile a query text to an (unoptimized, optimized) plan pair. *)
+let plans_of ?(opts = default_opts) text =
+  let core = parse_and_normalize ?mode:opts.mode text in
+  let cfg =
+    { (Exrquy.Compile.default_cfg ()) with
+      unordered_rules = opts.unordered_rules;
+      hoist = opts.hoist;
+      join_rec = opts.join_rec }
+  in
+  let _, raw = Exrquy.Compile.compile_core ~cfg core in
+  let optimized = if opts.cda then Exrquy.Icols.optimize cfg.b raw else raw in
+  (cfg, raw, optimized)
+
+(* Attribute plan nodes to the profile buckets of the paper's Table 2. *)
+let label_plan root =
+  List.iter
+    (fun (n : Algebra.Plan.node) ->
+       if n.Algebra.Plan.label = "" then
+         Algebra.Plan.set_label n
+           (match n.Algebra.Plan.op with
+            | Algebra.Plan.Step _ | Algebra.Plan.Doc _
+            | Algebra.Plan.Id_lookup _ -> "path steps"
+            | Algebra.Plan.Rownum _ -> "order (rownum %)"
+            | Algebra.Plan.Join _ | Algebra.Plan.Thetajoin _
+            | Algebra.Plan.Cross _ | Algebra.Plan.Semijoin _
+            | Algebra.Plan.Antijoin _ -> "join"
+            | Algebra.Plan.Elem _ | Algebra.Plan.Attr _
+            | Algebra.Plan.Textnode _ | Algebra.Plan.Commentnode _
+            | Algebra.Plan.Pinode _ | Algebra.Plan.Textify _ -> "construction"
+            | Algebra.Plan.Aggr _ -> "aggregation"
+            | Algebra.Plan.Fun1 _ | Algebra.Plan.Fun2 _
+            | Algebra.Plan.Fun3 _ -> "arithmetic/comparison"
+            | Algebra.Plan.Select _ -> "selection"
+            | Algebra.Plan.Distinct _ -> "duplicate elimination"
+            | Algebra.Plan.Project _ | Algebra.Plan.Attach _
+            | Algebra.Plan.Rowid _ | Algebra.Plan.Lit _
+            | Algebra.Plan.Union _ | Algebra.Plan.Range _ -> "plumbing"))
+    (Algebra.Plan.topo_order root)
+
+(* Extract the result sequence from the final iter|pos|item table. *)
+let items_of_table t =
+  let n = Algebra.Table.nrows t in
+  let rows =
+    List.init n (fun i ->
+        (Algebra.Value.int_value (Algebra.Table.get t "pos" i),
+         Algebra.Table.get t "item" i))
+  in
+  List.map snd (List.sort (fun (a, _) (b, _) -> Int.compare a b) rows)
+
+let run ?(opts = default_opts) ?(with_profile = false) store text : result =
+  let t0 = Unix.gettimeofday () in
+  match opts.backend with
+  | Interpreted ->
+    let core = parse_and_normalize ?mode:opts.mode text in
+    let items = Interp.Interpreter.eval_core store core in
+    { items;
+      serialized = Interp.Xdm.serialize store items;
+      plan = None; raw_plan = None; profile = None;
+      wall_seconds = Unix.gettimeofday () -. t0 }
+  | Compiled ->
+    let _, raw, optimized = plans_of ~opts text in
+    label_plan optimized;
+    let profile = if with_profile then Some (Algebra.Profile.create ()) else None in
+    let table =
+      Algebra.Eval.run ?profile ~step_impl:opts.step_impl store optimized
+    in
+    let items = items_of_table table in
+    { items;
+      serialized = Interp.Xdm.serialize store items;
+      plan = Some optimized; raw_plan = Some raw; profile;
+      wall_seconds = Unix.gettimeofday () -. t0 }
+
+let run_to_string ?opts store text = (run ?opts store text).serialized
+
+(* Compile once, execute many times (benchmark harness): returns the
+   optimized plan and a closure that runs it against a fresh evaluation
+   context, returning the item count. *)
+let prepare ?(opts = default_opts) store text =
+  match opts.backend with
+  | Interpreted ->
+    let core = parse_and_normalize ?mode:opts.mode text in
+    (None, fun () -> List.length (Interp.Interpreter.eval_core store core))
+  | Compiled ->
+    let _, _, optimized = plans_of ~opts text in
+    ( Some optimized,
+      fun () ->
+        let table =
+          Algebra.Eval.run ~step_impl:opts.step_impl store optimized
+        in
+        Algebra.Table.nrows table )

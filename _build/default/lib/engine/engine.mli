@@ -1,0 +1,61 @@
+(** The end-to-end engine façade:
+
+    {v parse → normalize (J·K) → compile (⇒) → optimize → execute → serialize v}
+
+    {!opts} exposes every knob the paper's experiments need; the two
+    canonical settings are {!default_opts} (everything on) and
+    {!ordered_baseline} (order indifference ignored — plans emitted as if
+    ordering mode ordered, no cleanup — the comparison system of the
+    paper's Section 5). *)
+
+type backend = Compiled | Interpreted
+
+type opts = {
+  mode : Xquery.Ast.ordering_mode option;
+      (** force the ordering mode (overrides the prolog) *)
+  unordered_rules : bool;  (** the Figure-7 rules FN:UNORDERED/LOC#/BIND# *)
+  cda : bool;              (** column dependency analysis (Section 4.1) *)
+  hoist : bool;            (** loop-invariant hoisting *)
+  backend : backend;       (** compiled plans or the reference interpreter *)
+  step_impl : Algebra.Eval.step_impl;
+      (** how the step operator ⊘ is realized: staircase scan or
+          TwigStack-style tag-indexed streams *)
+  join_rec : bool;  (** FLWOR where-clause value-join recognition *)
+}
+
+val default_opts : opts
+
+(** Order indifference disabled end to end. *)
+val ordered_baseline : opts
+
+type result = {
+  items : Algebra.Value.t list;  (** the result sequence *)
+  serialized : string;
+  plan : Algebra.Plan.node option;      (** after optimization *)
+  raw_plan : Algebra.Plan.node option;  (** before optimization *)
+  profile : Algebra.Profile.t option;
+  wall_seconds : float;
+}
+
+val parse_and_normalize :
+  ?mode:Xquery.Ast.ordering_mode -> string -> Xquery.Core_ast.core
+
+(** Compile a query text; returns (compiler cfg, raw plan, optimized
+    plan). With [opts.cda = false] the optimized plan equals the raw
+    plan. *)
+val plans_of :
+  ?opts:opts -> string ->
+  Exrquy.Compile.cfg * Algebra.Plan.node * Algebra.Plan.node
+
+(** Evaluate a query against the store. [with_profile] attaches a
+    per-bucket execution profile (the paper's Table 2 instrument). *)
+val run : ?opts:opts -> ?with_profile:bool -> Xmldb.Doc_store.t -> string -> result
+
+val run_to_string : ?opts:opts -> Xmldb.Doc_store.t -> string -> string
+
+(** Compile once, execute many times (benchmarking): returns the optimized
+    plan (when compiled) and a closure that evaluates it against a fresh
+    context, returning the result's row count. *)
+val prepare :
+  ?opts:opts -> Xmldb.Doc_store.t -> string ->
+  Algebra.Plan.node option * (unit -> int)

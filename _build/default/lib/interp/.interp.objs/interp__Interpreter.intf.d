@@ -1,0 +1,1 @@
+lib/interp/interpreter.mli: Xdm Xmldb Xquery

@@ -1,0 +1,1 @@
+lib/interp/xdm.ml: Algebra Basis Buffer Err List Xmldb

@@ -1,0 +1,1 @@
+lib/interp/xdm.mli: Algebra Xmldb

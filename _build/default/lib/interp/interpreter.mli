@@ -1,0 +1,14 @@
+(** The reference interpreter: a direct, tree-walking evaluator of XQuery
+    Core with strict ordered semantics — [fn:unordered] is the identity,
+    as in the open-source processors the paper surveys in Section 6.
+
+    It plays two roles: the semantics oracle for differential testing of
+    the compiler, and the order-oblivious baseline engine. *)
+
+(** Evaluate a Core expression against a store (no variables in scope). *)
+val eval_core : Xmldb.Doc_store.t -> Xquery.Core_ast.core -> Xdm.seq
+
+(** Parse, normalize and evaluate a full query text. *)
+val run : Xmldb.Doc_store.t -> string -> Xdm.seq
+
+val run_to_string : Xmldb.Doc_store.t -> string -> string

@@ -1,0 +1,63 @@
+(* XDM item sequences for the reference interpreter: plain value lists in
+   sequence order. Items reuse the algebra's Value.t so results from the
+   interpreter and the compiled plans compare directly. *)
+
+open Basis
+
+type item = Algebra.Value.t
+type seq = item list
+
+let atomize store (v : item) : item =
+  match v with
+  | Algebra.Value.Node n -> Algebra.Value.Str (Xmldb.Doc_store.string_value store n)
+  | v -> v
+
+let atomize_seq store s = List.map (atomize store) s
+
+let node_of = function
+  | Algebra.Value.Node n -> n
+  | v -> Err.dynamic "expected a node, got %s" (Algebra.Value.type_name v)
+
+let singleton name = function
+  | [ v ] -> v
+  | s -> Err.dynamic "%s expects a singleton, got %d items" name (List.length s)
+
+let opt_singleton name = function
+  | [] -> None
+  | [ v ] -> Some v
+  | s -> Err.dynamic "%s expects at most one item, got %d" name (List.length s)
+
+(* Effective boolean value, per spec (ordered definition). *)
+let ebv = function
+  | [] -> false
+  | Algebra.Value.Node _ :: _ -> true
+  | [ v ] -> Algebra.Value.ebv_atomic v
+  | s -> Err.dynamic "effective boolean value of a %d-item atomic sequence"
+           (List.length s)
+
+(* Sort into document order and remove duplicates; raises on atomics. *)
+let distinct_doc_order (s : seq) : seq =
+  let nodes = List.map node_of s in
+  let sorted = List.sort_uniq Xmldb.Node_id.compare nodes in
+  List.map (fun n -> Algebra.Value.Node n) sorted
+
+let string_of_item store (v : item) =
+  Algebra.Value.to_string (atomize store v)
+
+(* Serialize a sequence: nodes serialize as XML, adjacent atomics are
+   separated by a single space (standard XQuery serialization). *)
+let serialize store (s : seq) : string =
+  let buf = Buffer.create 128 in
+  let prev_atomic = ref false in
+  List.iter
+    (fun v ->
+       match v with
+       | Algebra.Value.Node n ->
+         Xmldb.Serialize.node_to_buf store buf n;
+         prev_atomic := false
+       | atom ->
+         if !prev_atomic then Buffer.add_char buf ' ';
+         Buffer.add_string buf (Algebra.Value.to_string atom);
+         prev_atomic := true)
+    s;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/xmark/xmark_gen.ml: Array Basis Buffer List Printf Prng String Xmldb

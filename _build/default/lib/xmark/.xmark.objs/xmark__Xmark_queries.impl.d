@@ -1,0 +1,1 @@
+lib/xmark/xmark_queries.ml: List

@@ -1,0 +1,295 @@
+(* A from-scratch XMark auction-site document generator (Schmidt et al.,
+   VLDB 2002 — reference [18] of the paper). Deterministic (SplitMix64
+   PRNG, fixed seed) and scalable: [scale] plays the role of XMark's "f"
+   factor, f = 1.0 producing on the order of 10^5 element nodes here
+   (documents of a few tens of MB in serialized form).
+
+   The schema follows auction.dtd closely enough that the 20 benchmark
+   queries exercise the same shapes: skewed person->auction references,
+   optional elements (reserve, homepage, profile/@income), nested
+   description markup (parlist/listitem/text/emph/keyword for Q15/Q16),
+   and "gold"-bearing item descriptions (Q14). Entity counts use XMark's
+   f = 1 proportions: 25500 persons, 12000 open auctions, 9750 closed
+   auctions, 21750 items across six regions, 1000 categories. *)
+
+open Basis
+
+type counts = {
+  persons : int;
+  open_auctions : int;
+  closed_auctions : int;
+  items : int;        (* across all six regions *)
+  categories : int;
+}
+
+let counts_of_scale scale =
+  let n base = max 2 (int_of_float (float_of_int base *. scale)) in
+  { persons = n 25500;
+    open_auctions = n 12000;
+    closed_auctions = n 9750;
+    items = max 12 (int_of_float (21750.0 *. scale));
+    categories = n 1000 }
+
+let words =
+  [| "officer"; "embrace"; "such"; "fears"; "distinction"; "markets";
+     "gold"; "silver"; "shakespeare"; "understand"; "great"; "preserver";
+     "honour"; "summers"; "meadow"; "duteous"; "all"; "shepherd";
+     "malice"; "forsworn"; "present"; "beauty"; "tongue"; "mortal";
+     "wanton"; "praise"; "springs"; "convertest"; "increase"; "tender";
+     "heir"; "bear"; "memory"; "rose"; "riper"; "time"; "decease";
+     "creatures"; "desire"; "contracted"; "thine"; "bright"; "eyes";
+     "fuel"; "flame"; "self"; "substantial"; "abundance"; "famine";
+     "foe"; "sweet"; "cruel"; "ornament"; "herald"; "gaudy"; "spring";
+     "within"; "bud"; "buriest"; "content"; "churl"; "waste";
+     "niggarding"; "pity"; "world"; "glutton"; "grave"; "wrinkles";
+     "field"; "besiege"; "brow"; "forty"; "winters"; "livery"; "youth";
+     "proud"; "tattered"; "weed"; "small"; "worth"; "held"; "lusty";
+     "days"; "treasure"; "deep"; "sunken"; "shame"; "thriftless" |]
+
+let regions = [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+
+(* XMark distributes items unevenly across regions; keep europe and
+   namerica the largest (Q9 joins against europe items). *)
+let region_share = [| 0.10; 0.15; 0.10; 0.30; 0.25; 0.10 |]
+
+let countries = [| "United States"; "Germany"; "Netherlands"; "Japan"; "Australia"; "Kenya" |]
+let education = [| "High School"; "College"; "Graduate School"; "Other" |]
+
+type gen = {
+  rng : Prng.t;
+  buf : Buffer.t;
+  c : counts;
+}
+
+let w g = Prng.pick g.rng words
+
+let add g fmt = Printf.ksprintf (Buffer.add_string g.buf) fmt
+
+let sentence g n =
+  let parts = List.init n (fun _ -> w g) in
+  String.concat " " parts
+
+let person_name g =
+  Printf.sprintf "%s %s"
+    (String.capitalize_ascii (w g))
+    (String.capitalize_ascii (w g))
+
+(* -- description markup (exercises Q13/Q14/Q15/Q16) ----------------------- *)
+
+let rec gen_text g =
+  add g "<text>";
+  let pieces = 1 + Prng.int g.rng 3 in
+  for _ = 1 to pieces do
+    add g "%s " (sentence g (2 + Prng.int g.rng 6));
+    match Prng.int g.rng 4 with
+    | 0 -> add g "<bold>%s</bold> " (sentence g 2)
+    | 1 -> add g "<keyword>%s</keyword> " (sentence g 2)
+    | 2 ->
+      (* emph with a nested keyword: the Q15 path needs .../emph/keyword *)
+      add g "<emph>%s<keyword>%s</keyword></emph> " (w g) (sentence g 2)
+    | _ -> ()
+  done;
+  add g "</text>"
+
+and gen_parlist g depth =
+  add g "<parlist>";
+  let n = 1 + Prng.int g.rng 2 in
+  for _ = 1 to n do
+    add g "<listitem>";
+    if depth < 2 && Prng.int g.rng 3 = 0 then gen_parlist g (depth + 1)
+    else gen_text g;
+    add g "</listitem>"
+  done;
+  add g "</parlist>"
+
+let gen_description g =
+  add g "<description>";
+  if Prng.int g.rng 100 < 70 then gen_text g else gen_parlist g 0;
+  add g "</description>"
+
+(* -- items ------------------------------------------------------------------ *)
+
+let gen_item g id =
+  add g "<item id=\"item%d\">" id;
+  add g "<location>%s</location>" (Prng.pick g.rng countries);
+  add g "<quantity>%d</quantity>" (1 + Prng.int g.rng 5);
+  add g "<name>%s</name>" (sentence g 3);
+  add g "<payment>Creditcard</payment>";
+  gen_description g;
+  add g "<shipping>Will ship internationally</shipping>";
+  let ncat = 1 + Prng.int g.rng 3 in
+  for _ = 1 to ncat do
+    add g "<incategory category=\"category%d\"/>" (Prng.int g.rng g.c.categories)
+  done;
+  if Prng.int g.rng 100 < 30 then begin
+    add g "<mailbox><mail><from>%s</from><to>%s</to><date>%02d/%02d/%d</date>"
+      (person_name g) (person_name g)
+      (1 + Prng.int g.rng 12) (1 + Prng.int g.rng 28) (1998 + Prng.int g.rng 4);
+    gen_text g;
+    add g "</mail></mailbox>"
+  end;
+  add g "</item>"
+
+let gen_regions g =
+  add g "<regions>";
+  let next_id = ref 0 in
+  Array.iteri
+    (fun i r ->
+       add g "<%s>" r;
+       let n =
+         max 2 (int_of_float (float_of_int g.c.items *. region_share.(i)))
+       in
+       for _ = 1 to n do
+         gen_item g !next_id;
+         incr next_id
+       done;
+       add g "</%s>" r)
+    regions;
+  add g "</regions>";
+  !next_id
+
+(* -- categories / catgraph --------------------------------------------------- *)
+
+let gen_categories g =
+  add g "<categories>";
+  for i = 0 to g.c.categories - 1 do
+    add g "<category id=\"category%d\"><name>%s</name>" i (sentence g 2);
+    gen_description g;
+    add g "</category>"
+  done;
+  add g "</categories>";
+  add g "<catgraph>";
+  for _ = 1 to g.c.categories do
+    add g "<edge from=\"category%d\" to=\"category%d\"/>"
+      (Prng.int g.rng g.c.categories) (Prng.int g.rng g.c.categories)
+  done;
+  add g "</catgraph>"
+
+(* -- people ------------------------------------------------------------------ *)
+
+let gen_person g id =
+  add g "<person id=\"person%d\">" id;
+  add g "<name>%s</name>" (person_name g);
+  add g "<emailaddress>mailto:%s%d@example.com</emailaddress>" (w g) id;
+  if Prng.int g.rng 100 < 40 then
+    add g "<phone>+%d (%d) %d</phone>"
+      (1 + Prng.int g.rng 99) (100 + Prng.int g.rng 899) (1000000 + Prng.int g.rng 8999999);
+  if Prng.int g.rng 100 < 50 then begin
+    add g "<address><street>%d %s St</street><city>%s</city><country>%s</country><zipcode>%d</zipcode></address>"
+      (1 + Prng.int g.rng 99) (String.capitalize_ascii (w g))
+      (String.capitalize_ascii (w g)) (Prng.pick g.rng countries)
+      (10000 + Prng.int g.rng 89999)
+  end;
+  if Prng.int g.rng 100 < 50 then
+    add g "<homepage>http://www.example.com/~person%d</homepage>" id;
+  if Prng.int g.rng 100 < 60 then
+    add g "<creditcard>%04d %04d %04d %04d</creditcard>"
+      (Prng.int g.rng 10000) (Prng.int g.rng 10000)
+      (Prng.int g.rng 10000) (Prng.int g.rng 10000);
+  (* profile (with @income) on ~75% of persons: Q11/Q12/Q20 probe it *)
+  if Prng.int g.rng 100 < 75 then begin
+    let income = 9987.5 +. (Prng.float g.rng *. 125000.0) in
+    add g "<profile income=\"%.2f\">" income;
+    let ni = Prng.int g.rng 4 in
+    for _ = 1 to ni do
+      add g "<interest category=\"category%d\"/>"
+        (Prng.zipf g.rng g.c.categories)
+    done;
+    if Prng.int g.rng 100 < 60 then
+      add g "<education>%s</education>" (Prng.pick g.rng education);
+    if Prng.int g.rng 100 < 80 then
+      add g "<gender>%s</gender>" (if Prng.bool g.rng then "male" else "female");
+    add g "<business>%s</business>" (if Prng.bool g.rng then "Yes" else "No");
+    if Prng.int g.rng 100 < 70 then
+      add g "<age>%d</age>" (18 + Prng.int g.rng 60);
+    add g "</profile>"
+  end;
+  if Prng.int g.rng 100 < 40 then begin
+    add g "<watches>";
+    let nw = 1 + Prng.int g.rng 3 in
+    for _ = 1 to nw do
+      add g "<watch open_auction=\"open_auction%d\"/>"
+        (Prng.zipf g.rng g.c.open_auctions)
+    done;
+    add g "</watches>"
+  end;
+  add g "</person>"
+
+let gen_people g =
+  add g "<people>";
+  for i = 0 to g.c.persons - 1 do gen_person g i done;
+  add g "</people>"
+
+(* -- auctions ------------------------------------------------------------------ *)
+
+let money g hi = Printf.sprintf "%.2f" (0.5 +. (Prng.float g.rng *. hi))
+
+let gen_open_auction g id n_items =
+  add g "<open_auction id=\"open_auction%d\">" id;
+  (* initial ~ U(0.5, 500): income > 5000 * initial then has the few-percent
+     selectivity the paper reports for the Q11 join *)
+  let initial = 0.5 +. (Prng.float g.rng *. 500.0) in
+  add g "<initial>%.2f</initial>" initial;
+  if Prng.int g.rng 100 < 45 then
+    add g "<reserve>%s</reserve>" (money g 1000.0);
+  let nbid = Prng.int g.rng 5 in
+  let cur = ref initial in
+  for _ = 1 to nbid do
+    let inc = 1.5 +. (Prng.float g.rng *. 20.0) in
+    cur := !cur +. inc;
+    add g "<bidder><date>%02d/%02d/2001</date><time>%02d:%02d:%02d</time><personref person=\"person%d\"/><increase>%.2f</increase></bidder>"
+      (1 + Prng.int g.rng 12) (1 + Prng.int g.rng 28)
+      (Prng.int g.rng 24) (Prng.int g.rng 60) (Prng.int g.rng 60)
+      (Prng.zipf g.rng g.c.persons) inc
+  done;
+  add g "<current>%.2f</current>" !cur;
+  if Prng.int g.rng 100 < 20 then add g "<privacy>Yes</privacy>";
+  add g "<itemref item=\"item%d\"/>" (Prng.int g.rng n_items);
+  add g "<seller person=\"person%d\"/>" (Prng.zipf g.rng g.c.persons);
+  add g "<annotation><author person=\"person%d\"/>" (Prng.zipf g.rng g.c.persons);
+  gen_description g;
+  add g "<happiness>%d</happiness></annotation>" (1 + Prng.int g.rng 10);
+  add g "<quantity>%d</quantity>" (1 + Prng.int g.rng 5);
+  add g "<type>%s</type>" (if Prng.bool g.rng then "Regular" else "Featured");
+  add g "<interval><start>01/01/2001</start><end>12/31/2001</end></interval>";
+  add g "</open_auction>"
+
+let gen_closed_auction g n_items =
+  add g "<closed_auction>";
+  add g "<seller person=\"person%d\"/>" (Prng.zipf g.rng g.c.persons);
+  add g "<buyer person=\"person%d\"/>" (Prng.zipf g.rng g.c.persons);
+  add g "<itemref item=\"item%d\"/>" (Prng.int g.rng n_items);
+  add g "<price>%s</price>" (money g 200.0);
+  add g "<date>%02d/%02d/2001</date>" (1 + Prng.int g.rng 12) (1 + Prng.int g.rng 28);
+  add g "<quantity>%d</quantity>" (1 + Prng.int g.rng 5);
+  add g "<type>%s</type>" (if Prng.bool g.rng then "Regular" else "Featured");
+  add g "<annotation><author person=\"person%d\"/>" (Prng.zipf g.rng g.c.persons);
+  gen_description g;
+  add g "<happiness>%d</happiness></annotation>" (1 + Prng.int g.rng 10);
+  add g "</closed_auction>"
+
+(* ------------------------------------------------------------- entry points *)
+
+(* Generate a serialized auction document at the given scale factor. *)
+let generate ?(seed = 42) ~scale () =
+  let c = counts_of_scale scale in
+  let g = { rng = Prng.create seed; buf = Buffer.create (1 lsl 20); c } in
+  add g "<site>";
+  let n_items = gen_regions g in
+  gen_categories g;
+  gen_people g;
+  add g "<open_auctions>";
+  for i = 0 to c.open_auctions - 1 do gen_open_auction g i n_items done;
+  add g "</open_auctions>";
+  add g "<closed_auctions>";
+  for _ = 1 to c.closed_auctions do gen_closed_auction g n_items done;
+  add g "</closed_auctions>";
+  add g "</site>";
+  Buffer.contents g.buf
+
+(* Generate, parse, and register as "auction.xml" in [store]. Returns
+   (document node, serialized size in bytes). *)
+let load ?seed ?(uri = "auction.xml") ~scale store =
+  let src = generate ?seed ~scale () in
+  let root = Xmldb.Xml_parser.load_document store ~uri src in
+  (root, String.length src)

@@ -1,0 +1,31 @@
+(** A from-scratch XMark auction-site document generator (Schmidt et al.,
+    VLDB 2002 — the paper's reference [18]). Deterministic (SplitMix64,
+    fixed seed) and scalable: [scale] plays the role of XMark's "f"
+    factor, using the f = 1 proportions (25500 persons, 12000 open
+    auctions, 9750 closed auctions, 21750 items over six regions, 1000
+    categories).
+
+    The schema follows auction.dtd closely enough for all 20 benchmark
+    queries: skewed person→auction references, optional elements
+    (reserve, homepage, profile/@income), nested description markup
+    (parlist/listitem/text/emph/keyword for Q15/Q16), "gold"-bearing
+    descriptions (Q14). *)
+
+type counts = {
+  persons : int;
+  open_auctions : int;
+  closed_auctions : int;
+  items : int;
+  categories : int;
+}
+
+val counts_of_scale : float -> counts
+
+(** Generate a serialized auction document at the given scale. *)
+val generate : ?seed:int -> scale:float -> unit -> string
+
+(** Generate, parse, and register under [uri] (default "auction.xml").
+    Returns the document node and the serialized size in bytes. *)
+val load :
+  ?seed:int -> ?uri:string -> scale:float -> Xmldb.Doc_store.t ->
+  Xmldb.Node_id.t * int

@@ -1,0 +1,31 @@
+(** The 20 queries of the XMark benchmark, adapted only where the original
+    text needs ids that tiny instances lack (Q1/Q4 use low person
+    numbers). Q11 is the query the paper profiles in Table 2; Q6 is the
+    plan of Figures 6 and 9. *)
+
+val q1 : string
+val q2 : string
+val q3 : string
+val q4 : string
+val q5 : string
+val q6 : string
+val q7 : string
+val q8 : string
+val q9 : string
+val q10 : string
+val q11 : string
+val q12 : string
+val q13 : string
+val q14 : string
+val q15 : string
+val q16 : string
+val q17 : string
+val q18 : string
+val q19 : string
+val q20 : string
+
+(** All twenty, in order, as (name, text). *)
+val all : (string * string) list
+
+(** Look up by name ("Q1" .. "Q20"); raises [Not_found] otherwise. *)
+val get : string -> string

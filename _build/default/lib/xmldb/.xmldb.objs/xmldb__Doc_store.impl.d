@@ -1,0 +1,1 @@
+lib/xmldb/doc_store.ml: Array Basis Buffer Err List Node_id Node_kind Qname Qname_pool String_pool Vec

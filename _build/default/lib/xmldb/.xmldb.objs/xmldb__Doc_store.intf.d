@@ -1,0 +1,1 @@
+lib/xmldb/doc_store.mli: Node_id Node_kind Qname

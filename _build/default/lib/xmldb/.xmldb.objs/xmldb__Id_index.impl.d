@@ -1,0 +1,1 @@
+lib/xmldb/id_index.ml: Array Basis Buffer Doc_store Hashtbl List Node_id Node_kind Qname Staircase String Vec

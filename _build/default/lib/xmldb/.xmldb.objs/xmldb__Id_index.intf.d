@@ -1,0 +1,1 @@
+lib/xmldb/id_index.mli: Doc_store Node_id

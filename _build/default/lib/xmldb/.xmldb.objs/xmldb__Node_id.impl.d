@@ -1,0 +1,1 @@
+lib/xmldb/node_id.ml: Format Int Printf

@@ -1,0 +1,1 @@
+lib/xmldb/node_id.mli: Format

@@ -1,0 +1,1 @@
+lib/xmldb/node_kind.ml: Format

@@ -1,0 +1,1 @@
+lib/xmldb/node_test.ml: Node_kind Printf

@@ -1,0 +1,1 @@
+lib/xmldb/qname.mli: Format

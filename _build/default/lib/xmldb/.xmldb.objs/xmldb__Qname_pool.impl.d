@@ -1,0 +1,1 @@
+lib/xmldb/qname_pool.ml: Basis Hashtbl Qname

@@ -1,0 +1,1 @@
+lib/xmldb/serialize.ml: Array Buffer Doc_store Node_id Node_kind Qname String

@@ -1,0 +1,1 @@
+lib/xmldb/serialize.mli: Buffer Doc_store Node_id

@@ -1,0 +1,1 @@
+lib/xmldb/staircase.ml: Array Axis Basis Doc_store Err List Node_id Node_kind Node_test Qname Vec

@@ -1,0 +1,1 @@
+lib/xmldb/staircase.mli: Axis Basis Doc_store Node_id Node_kind Node_test

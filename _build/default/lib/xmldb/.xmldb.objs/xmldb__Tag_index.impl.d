@@ -1,0 +1,1 @@
+lib/xmldb/tag_index.ml: Array Axis Basis Doc_store Err Hashtbl List Node_id Node_kind Node_test Staircase Vec

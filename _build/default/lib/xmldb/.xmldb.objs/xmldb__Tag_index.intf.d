@@ -1,0 +1,1 @@
+lib/xmldb/tag_index.mli: Axis Doc_store Node_id Node_test

@@ -1,0 +1,1 @@
+lib/xmldb/xml_parser.ml: Array Basis Buffer Char Doc_store Err Format Qname String Uchar

@@ -1,0 +1,1 @@
+lib/xmldb/xml_parser.mli: Doc_store Node_id

@@ -1,0 +1,54 @@
+(* The twelve XPath axes (we omit the deprecated namespace axis). *)
+
+type t =
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Self
+  | Attribute
+  | Parent
+  | Ancestor
+  | Ancestor_or_self
+  | Following
+  | Following_sibling
+  | Preceding
+  | Preceding_sibling
+
+let to_string = function
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Self -> "self"
+  | Attribute -> "attribute"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Following -> "following"
+  | Following_sibling -> "following-sibling"
+  | Preceding -> "preceding"
+  | Preceding_sibling -> "preceding-sibling"
+
+let of_string = function
+  | "child" -> Some Child
+  | "descendant" -> Some Descendant
+  | "descendant-or-self" -> Some Descendant_or_self
+  | "self" -> Some Self
+  | "attribute" -> Some Attribute
+  | "parent" -> Some Parent
+  | "ancestor" -> Some Ancestor
+  | "ancestor-or-self" -> Some Ancestor_or_self
+  | "following" -> Some Following
+  | "following-sibling" -> Some Following_sibling
+  | "preceding" -> Some Preceding
+  | "preceding-sibling" -> Some Preceding_sibling
+  | _ -> None
+
+(* Reverse axes deliver nodes in reverse document order for the purpose of
+   positional predicates. We expose the flag; the compiler and interpreter
+   use it when numbering predicate positions. *)
+let is_reverse = function
+  | Parent | Ancestor | Ancestor_or_self | Preceding | Preceding_sibling -> true
+  | Child | Descendant | Descendant_or_self | Self | Attribute
+  | Following | Following_sibling -> false
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,298 @@
+(* The document store: Pathfinder's schema-oblivious XML encoding.
+
+   Every XML fragment (a parsed document or a run of constructed nodes)
+   is one contiguous pre/size/level table (paper, Section 3 / Figure 5):
+
+     pre    - implicit row index: preorder rank
+     kind   - node kind
+     name   - name-pool id (elements, attributes, PI targets), -1 otherwise
+     value  - text-pool id (text, attribute, comment, PI content), -1
+     size   - number of table rows in the node's subtree (descendants,
+              including inlined attribute rows)
+     level  - depth (roots of the fragment are at level 0)
+     parent - preorder rank of the parent inside this fragment, -1 for roots
+
+   Attributes are inlined immediately after their owner element and before
+   its children with size 0; axes other than [attribute] skip them.
+
+   Fragments are append-only once finished; runtime node construction
+   allocates fresh fragments, giving constructed trees a document order
+   after all existing nodes — the seq->doc order interaction (paper 2(2))
+   is realized by the *order of content rows* fed to the builder. *)
+
+open Basis
+
+type frag = {
+  kinds : Node_kind.t array;
+  names : int array;
+  values : int array;
+  sizes : int array;
+  levels : int array;
+  parents : int array;
+}
+
+type t = {
+  name_pool : Qname_pool.t;
+  text_pool : String_pool.t;
+  frags : frag Vec.t;
+  mutable documents : (string * Node_id.t) list; (* uri -> document node *)
+}
+
+let empty_frag = {
+  kinds = [||]; names = [||]; values = [||];
+  sizes = [||]; levels = [||]; parents = [||];
+}
+
+let create () = {
+  name_pool = Qname_pool.create ();
+  text_pool = String_pool.create ();
+  frags = Vec.create empty_frag;
+  documents = [];
+}
+
+let n_frags t = Vec.length t.frags
+let frag t i = Vec.get t.frags i
+let frag_length f = Array.length f.kinds
+
+(* -- name/text pools ----------------------------------------------------- *)
+
+let intern_name t q = Qname_pool.intern t.name_pool q
+let name_of_id t id = Qname_pool.get t.name_pool id
+
+(* Name id for a node test: if the name never occurs in the store, return
+   -2 which matches no node. *)
+let name_test_id t q =
+  match Qname_pool.find_opt t.name_pool q with
+  | Some id -> id
+  | None -> -2
+
+let text_of_id t id = String_pool.get t.text_pool id
+
+(* -- node accessors ------------------------------------------------------ *)
+
+let kind t (n : Node_id.t) = (frag t (Node_id.frag n)).kinds.(Node_id.pre n)
+let name_id t (n : Node_id.t) = (frag t (Node_id.frag n)).names.(Node_id.pre n)
+let size t (n : Node_id.t) = (frag t (Node_id.frag n)).sizes.(Node_id.pre n)
+let level t (n : Node_id.t) = (frag t (Node_id.frag n)).levels.(Node_id.pre n)
+
+let name t n =
+  let id = name_id t n in
+  if id < 0 then None else Some (name_of_id t id)
+
+let value t (n : Node_id.t) =
+  let id = (frag t (Node_id.frag n)).values.(Node_id.pre n) in
+  if id < 0 then "" else text_of_id t id
+
+let parent t (n : Node_id.t) =
+  let p = (frag t (Node_id.frag n)).parents.(Node_id.pre n) in
+  if p < 0 then None else Some (Node_id.make ~frag:(Node_id.frag n) ~pre:p)
+
+(* String value per XDM: elements and documents concatenate the text
+   descendants in document order, other kinds carry their own value. *)
+let string_value t (n : Node_id.t) =
+  match kind t n with
+  | Node_kind.Element | Node_kind.Document ->
+    let f = frag t (Node_id.frag n) in
+    let pre = Node_id.pre n in
+    let buf = Buffer.create 32 in
+    for p = pre + 1 to pre + f.sizes.(pre) do
+      if f.kinds.(p) = Node_kind.Text then
+        Buffer.add_string buf (text_of_id t f.values.(p))
+    done;
+    Buffer.contents buf
+  | Node_kind.Attribute | Node_kind.Text | Node_kind.Comment
+  | Node_kind.Processing_instruction -> value t n
+
+(* -- documents ----------------------------------------------------------- *)
+
+let register_document t uri root =
+  t.documents <- (uri, root) :: t.documents
+
+let find_document t uri = List.assoc_opt uri t.documents
+
+let documents t = List.rev t.documents
+
+(* -- builder ------------------------------------------------------------- *)
+
+module Builder = struct
+  type nonrec t = {
+    store : t;
+    kinds : Node_kind.t Vec.t;
+    names : int Vec.t;
+    values : int Vec.t;
+    sizes : int Vec.t;
+    levels : int Vec.t;
+    parents : int Vec.t;
+    mutable stack : int list;      (* open nodes, innermost first *)
+    mutable last_text : int;       (* pre of a trailing mergeable text node, -1 *)
+    mutable finished : bool;
+  }
+
+  let create store = {
+    store;
+    kinds = Vec.create Node_kind.Text;
+    names = Vec.create (-1);
+    values = Vec.create (-1);
+    sizes = Vec.create 0;
+    levels = Vec.create 0;
+    parents = Vec.create (-1);
+    stack = [];
+    last_text = -1;
+    finished = false;
+  }
+
+  let depth b = List.length b.stack
+
+  let cur_parent b = match b.stack with [] -> -1 | p :: _ -> p
+
+  let emit b kind name value =
+    let pre = Vec.length b.kinds in
+    Vec.push b.kinds kind;
+    Vec.push b.names name;
+    Vec.push b.values value;
+    Vec.push b.sizes 0;
+    Vec.push b.levels (depth b);
+    Vec.push b.parents (cur_parent b);
+    pre
+
+  let start_document b =
+    b.last_text <- -1;
+    let pre = emit b Node_kind.Document (-1) (-1) in
+    b.stack <- pre :: b.stack
+
+  let start_element b qname =
+    b.last_text <- -1;
+    let pre = emit b Node_kind.Element (intern_name b.store qname) (-1) in
+    b.stack <- pre :: b.stack
+
+  (* Standalone attribute construction (computed attribute constructors
+     yield parentless attribute nodes) is allowed on an empty stack. *)
+  let attribute b qname v =
+    (match b.stack with
+     | [] -> ()
+     | top :: _ ->
+       if Vec.get b.kinds top <> Node_kind.Element then
+         Err.internal "Builder.attribute: owner is not an element";
+       (* Attributes must precede any content of the open element. *)
+       if Vec.length b.kinds <> top + 1
+          && Vec.get b.kinds (Vec.length b.kinds - 1) <> Node_kind.Attribute
+       then Err.dynamic "attribute node constructed after non-attribute content");
+    let vid = String_pool.intern b.store.text_pool v in
+    ignore (emit b Node_kind.Attribute (intern_name b.store qname) vid)
+
+  let text b s =
+    if s <> "" then begin
+      if b.last_text >= 0 then begin
+        (* merge adjacent text nodes, as XDM requires after construction *)
+        let old = text_of_id b.store (Vec.get b.values b.last_text) in
+        Vec.set b.values b.last_text
+          (String_pool.intern b.store.text_pool (old ^ s))
+      end else begin
+        let vid = String_pool.intern b.store.text_pool s in
+        let pre = emit b Node_kind.Text (-1) vid in
+        b.last_text <- pre
+      end
+    end
+
+  (* Emit a text node even when [s] is empty and without merging: computed
+     text constructors (text { "" }) create a node regardless. *)
+  let force_text b s =
+    b.last_text <- -1;
+    ignore (emit b Node_kind.Text (-1) (String_pool.intern b.store.text_pool s))
+
+  let comment b s =
+    b.last_text <- -1;
+    ignore (emit b Node_kind.Comment (-1) (String_pool.intern b.store.text_pool s))
+
+  let pi b target content =
+    b.last_text <- -1;
+    let nid = intern_name b.store (Qname.make target) in
+    ignore (emit b Node_kind.Processing_instruction nid
+              (String_pool.intern b.store.text_pool content))
+
+  let close b =
+    match b.stack with
+    | [] -> Err.internal "Builder: unbalanced end of node"
+    | top :: rest ->
+      Vec.set b.sizes top (Vec.length b.kinds - top - 1);
+      b.stack <- rest;
+      b.last_text <- -1
+
+  let end_element b = close b
+  let end_document b = close b
+
+  (* Blit the subtree rooted at [pre0] of fragment [src] into the builder,
+     shifting levels and rebasing parent pointers. *)
+  let copy_node b (src : frag) pre0 =
+    b.last_text <- -1;
+    let dst0 = Vec.length b.kinds in
+    let delta_level = depth b - src.levels.(pre0) in
+    for p = pre0 to pre0 + src.sizes.(pre0) do
+      let parent =
+        if p = pre0 then cur_parent b
+        else src.parents.(p) - pre0 + dst0
+      in
+      Vec.push b.kinds src.kinds.(p);
+      Vec.push b.names src.names.(p);
+      Vec.push b.values src.values.(p);
+      Vec.push b.sizes src.sizes.(p);
+      Vec.push b.levels (src.levels.(p) + delta_level);
+      Vec.push b.parents parent
+    done;
+    b.last_text <- -1
+
+  (* Deep-copy the subtree rooted at [n] (from any fragment of the same
+     store) as content of the currently open node. Implements the node
+     copying of XQuery constructors. Copying a text node merges with an
+     adjacent text sibling; copying a document node copies its children. *)
+  let copy b (n : Node_id.t) =
+    let src = frag b.store (Node_id.frag n) in
+    let pre0 = Node_id.pre n in
+    match src.kinds.(pre0) with
+    | Node_kind.Text ->
+      text b (text_of_id b.store src.values.(pre0))
+    | Node_kind.Attribute ->
+      attribute b (name_of_id b.store src.names.(pre0))
+        (text_of_id b.store src.values.(pre0))
+    | Node_kind.Document ->
+      b.last_text <- -1;
+      let p = ref (pre0 + 1) in
+      let stop = pre0 + src.sizes.(pre0) in
+      while !p <= stop do
+        if src.kinds.(!p) = Node_kind.Text then
+          text b (text_of_id b.store src.values.(!p))
+        else copy_node b src !p;
+        p := !p + src.sizes.(!p) + 1
+      done
+    | Node_kind.Element | Node_kind.Comment | Node_kind.Processing_instruction ->
+      copy_node b src pre0
+
+  (* Freeze the builder into a new fragment; returns the fragment id and
+     the preorder ranks of the fragment's roots. *)
+  let finish b =
+    if b.finished then Err.internal "Builder.finish called twice";
+    if b.stack <> [] then Err.internal "Builder.finish with open nodes";
+    b.finished <- true;
+    let f = {
+      kinds = Vec.to_array b.kinds;
+      names = Vec.to_array b.names;
+      values = Vec.to_array b.values;
+      sizes = Vec.to_array b.sizes;
+      levels = Vec.to_array b.levels;
+      parents = Vec.to_array b.parents;
+    } in
+    let fid = Vec.length b.store.frags in
+    Vec.push b.store.frags f;
+    let roots = Vec.create (-1) in
+    let p = ref 0 in
+    while !p < Array.length f.kinds do
+      Vec.push roots !p;
+      p := !p + f.sizes.(!p) + 1
+    done;
+    (fid, Array.map (fun pre -> Node_id.make ~frag:fid ~pre) (Vec.to_array roots))
+end
+
+(* -- total node count (for stats / benchmarks) --------------------------- *)
+
+let total_nodes t =
+  Vec.fold_left (fun acc f -> acc + frag_length f) 0 t.frags

@@ -1,0 +1,123 @@
+(** The document store: Pathfinder's schema-oblivious XML encoding
+    (paper, Section 3 / Figure 5).
+
+    Every XML fragment — a parsed document or a run of constructed
+    nodes — is one contiguous pre/size/level table; see {!frag}.
+    Attributes are inlined immediately after their owner element (before
+    its children) with size 0; every axis except [attribute] skips them.
+
+    Fragments are immutable once finished. Runtime node construction
+    allocates fresh fragments, giving constructed trees a document order
+    after all existing nodes; *within* a constructed fragment, document
+    order is the order content was fed to the {!Builder} — this realizes
+    the seq→doc order interaction (paper, Section 2, interaction 2). *)
+
+(** The raw encoding of one fragment, indexed by preorder rank:
+    {ul
+    {- [kinds.(pre)] — node kind;}
+    {- [names.(pre)] — name-pool id (elements, attributes, PI targets), -1;}
+    {- [values.(pre)] — text-pool id (text/attribute/comment/PI), -1;}
+    {- [sizes.(pre)] — number of rows in the subtree (includes inlined
+       attribute rows);}
+    {- [levels.(pre)] — depth, fragment roots at level 0;}
+    {- [parents.(pre)] — preorder rank of the parent, -1 for roots.}}
+    Exposed so that axis evaluation ({!Staircase}) and serialization can
+    scan it directly. *)
+type frag = {
+  kinds : Node_kind.t array;
+  names : int array;
+  values : int array;
+  sizes : int array;
+  levels : int array;
+  parents : int array;
+}
+
+type t
+
+val create : unit -> t
+
+val n_frags : t -> int
+val frag : t -> int -> frag
+val frag_length : frag -> int
+
+(** {2 Name and text pools} *)
+
+val intern_name : t -> Qname.t -> int
+val name_of_id : t -> int -> Qname.t
+
+(** Name id for a node test; returns -2 (matching no node) when the name
+    never occurs in the store. *)
+val name_test_id : t -> Qname.t -> int
+
+val text_of_id : t -> int -> string
+
+(** {2 Node accessors} *)
+
+val kind : t -> Node_id.t -> Node_kind.t
+val name_id : t -> Node_id.t -> int
+val size : t -> Node_id.t -> int
+val level : t -> Node_id.t -> int
+val name : t -> Node_id.t -> Qname.t option
+
+(** The node's own value (attribute value, text content, ...); [""] for
+    elements and documents. *)
+val value : t -> Node_id.t -> string
+
+val parent : t -> Node_id.t -> Node_id.t option
+
+(** String value per XDM: elements and documents concatenate their text
+    descendants in document order; other kinds return their own value. *)
+val string_value : t -> Node_id.t -> string
+
+(** {2 Document registry (fn:doc)} *)
+
+val register_document : t -> string -> Node_id.t -> unit
+val find_document : t -> string -> Node_id.t option
+val documents : t -> (string * Node_id.t) list
+
+(** Total number of node rows across all fragments (statistics). *)
+val total_nodes : t -> int
+
+(** {2 Building fragments}
+
+    A builder accumulates one fragment event-style. Text pushed in
+    adjacent calls merges into a single text node (XDM); attributes must
+    precede other content of their element. *)
+module Builder : sig
+  type store := t
+  type t
+
+  val create : store -> t
+
+  val start_document : t -> unit
+  val end_document : t -> unit
+  val start_element : t -> Qname.t -> unit
+  val end_element : t -> unit
+
+  (** Add an attribute to the currently open element (or a parentless
+      attribute node when no element is open). Raises a dynamic error if
+      the open element already has non-attribute content. *)
+  val attribute : t -> Qname.t -> string -> unit
+
+  (** Append character data; empty strings are ignored, adjacent text
+      merges. *)
+  val text : t -> string -> unit
+
+  (** Emit a text node even when empty and without merging (computed text
+      constructors). *)
+  val force_text : t -> string -> unit
+
+  val comment : t -> string -> unit
+  val pi : t -> string -> string -> unit
+
+  (** Deep-copy the subtree rooted at the given node (from any fragment of
+      the same store) as content of the currently open node — XQuery
+      constructor copy semantics. Text merges with an adjacent text
+      sibling; a document node copies its children. *)
+  val copy : t -> Node_id.t -> unit
+
+  (** Freeze into a new fragment; returns its id and the node ids of the
+      fragment's roots. The builder must be balanced and is dead
+      afterwards. *)
+  val finish : t -> int * Node_id.t array
+end

@@ -1,0 +1,72 @@
+(* ID lookup (fn:id). Without DTD/schema processing, ID-ness is assigned
+   pragmatically: every attribute whose local name is "id" (or the
+   standard xml:id) is ID-typed — which matches XMark's person/item/
+   open_auction identifiers and common schema practice.
+
+   Per fragment, the index maps the id token to the *element owning* the
+   attribute; on duplicates, the first in document order wins (IDs are
+   supposed to be unique). Lookups are restricted to the context node's
+   fragment: fn:id only finds nodes in the same document. *)
+
+open Basis
+
+type t = {
+  store : Doc_store.t;
+  by_frag : (int, (string, Node_id.t) Hashtbl.t) Hashtbl.t;
+}
+
+let create store = { store; by_frag = Hashtbl.create 8 }
+
+let frag_table t frag_id =
+  match Hashtbl.find_opt t.by_frag frag_id with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 256 in
+    let f = Doc_store.frag t.store frag_id in
+    for pre = 0 to Doc_store.frag_length f - 1 do
+      if Node_kind.equal f.Doc_store.kinds.(pre) Node_kind.Attribute then begin
+        let q = Doc_store.name_of_id t.store f.Doc_store.names.(pre) in
+        if String.equal (Qname.local q) "id" then begin
+          let v = Doc_store.text_of_id t.store f.Doc_store.values.(pre) in
+          let owner = f.Doc_store.parents.(pre) in
+          if owner >= 0 && not (Hashtbl.mem tbl v) then
+            Hashtbl.add tbl v (Node_id.make ~frag:frag_id ~pre:owner)
+        end
+      end
+    done;
+    Hashtbl.add t.by_frag frag_id tbl;
+    tbl
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+(* Split an idrefs value on whitespace (each fn:id argument item may carry
+   a space-separated list of ids). *)
+let tokens s =
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter (fun c -> if is_ws c then flush () else Buffer.add_char buf c) s;
+  flush ();
+  List.rev !out
+
+(* Look up id tokens within the fragment of [ctx]; result is
+   duplicate-free, in document order. *)
+let lookup t ~ctx values =
+  let frag_id = Node_id.frag ctx in
+  let tbl = frag_table t frag_id in
+  let hits = Vec.create (Node_id.make ~frag:0 ~pre:0) in
+  List.iter
+    (fun v ->
+       List.iter
+         (fun tok ->
+            match Hashtbl.find_opt tbl tok with
+            | Some n -> Vec.push hits n
+            | None -> ())
+         (tokens v))
+    values;
+  Staircase.sort_dedup hits

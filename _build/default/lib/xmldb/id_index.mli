@@ -1,0 +1,15 @@
+(** ID lookup (fn:id). Without DTD/schema processing, every attribute with
+    local name "id" is treated as ID-typed (XMark's convention). The index
+    builds lazily per fragment and maps each id token to the element
+    owning the attribute (first in document order on duplicates). *)
+
+type t
+
+val create : Doc_store.t -> t
+
+(** Whitespace-split an idrefs value. *)
+val tokens : string -> string list
+
+(** [lookup t ~ctx values] resolves every id token of every value within
+    the fragment (document) of [ctx]; duplicate-free, document order. *)
+val lookup : t -> ctx:Node_id.t -> string list -> Node_id.t array

@@ -1,0 +1,27 @@
+(* Node identity: (fragment, preorder rank). Fragments are created in a
+   globally increasing order, so lexicographic comparison of (frag, pre)
+   is a document order that is stable across documents and constructed
+   fragments — the "implementation-defined order across documents" the
+   XDM asks for, and exactly the order-preserving identifier scheme
+   (preorder ranks) the paper assumes in Section 3 / Figure 5. *)
+
+type t = { frag : int; pre : int }
+
+let make ~frag ~pre = { frag; pre }
+
+let frag t = t.frag
+let pre t = t.pre
+
+let equal a b = a.frag = b.frag && a.pre = b.pre
+
+(* Document order. *)
+let compare a b =
+  match Int.compare a.frag b.frag with
+  | 0 -> Int.compare a.pre b.pre
+  | c -> c
+
+let hash t = (t.frag * 0x1000003) lxor t.pre
+
+let to_string t = Printf.sprintf "%d.%d" t.frag t.pre
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

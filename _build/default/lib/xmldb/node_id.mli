@@ -1,0 +1,25 @@
+(** Node identity: (fragment id, preorder rank).
+
+    Fragments are created in globally increasing order, so lexicographic
+    comparison of (frag, pre) is a stable document order across documents
+    and runtime-constructed fragments — the order-preserving identifier
+    scheme ("preorder ranks") the paper assumes in Section 3 / Figure 5. *)
+
+type t
+
+val make : frag:int -> pre:int -> t
+
+val frag : t -> int
+val pre : t -> int
+
+val equal : t -> t -> bool
+
+(** Document order. *)
+val compare : t -> t -> int
+
+val hash : t -> int
+
+(** ["frag.pre"], for diagnostics. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,24 @@
+(* The six XDM node kinds. Attributes are stored inline in the pre/size/
+   level table (immediately after their owner element, before its children,
+   with size 0); the axis evaluator filters them out of every axis except
+   [attribute] and [self]/[ancestor]-style membership tests. *)
+
+type t =
+  | Document
+  | Element
+  | Attribute
+  | Text
+  | Comment
+  | Processing_instruction
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Document -> "document"
+  | Element -> "element"
+  | Attribute -> "attribute"
+  | Text -> "text"
+  | Comment -> "comment"
+  | Processing_instruction -> "processing-instruction"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,19 @@
+(* XPath node tests: kind tests and name tests. A name test's QName is
+   kept as a string id into the store's name pool, so that matching a
+   node against a name test is an integer comparison. [Name_wild] is the
+   "*" test; [Name] with an unresolvable name (a tag that never occurs in
+   the store) is represented by id [-2], which matches nothing. *)
+
+type t =
+  | Any_node                     (* node() *)
+  | Kind of Node_kind.t          (* element(), text(), comment(), ... *)
+  | Name of int                  (* element/attribute with this name id *)
+  | Name_wild                    (* * *)
+  | Pi_target of string          (* processing-instruction("target") *)
+
+let to_string ~name_of = function
+  | Any_node -> "node()"
+  | Kind k -> Node_kind.to_string k ^ "()"
+  | Name id -> (if id = -2 then "<unknown>" else name_of id)
+  | Name_wild -> "*"
+  | Pi_target t -> Printf.sprintf "processing-instruction(%S)" t

@@ -1,0 +1,34 @@
+(* Qualified names. We keep the lexical (prefix, local) pair and do not
+   resolve namespace URIs: none of the paper's workloads (XMark, the
+   running examples) declare namespaces, and Pathfinder's encoding is
+   equally name-string based. Two QNames are equal iff prefix and local
+   part are equal. *)
+
+type t = { prefix : string; local : string }
+
+let make ?(prefix = "") local = { prefix; local }
+
+let local t = t.local
+let prefix t = t.prefix
+
+let equal a b = String.equal a.local b.local && String.equal a.prefix b.prefix
+
+let compare a b =
+  match String.compare a.local b.local with
+  | 0 -> String.compare a.prefix b.prefix
+  | c -> c
+
+let hash t = Hashtbl.hash (t.prefix, t.local)
+
+let to_string t =
+  if t.prefix = "" then t.local else t.prefix ^ ":" ^ t.local
+
+(* Parse a lexical QName, e.g. "xml:lang" or "person". *)
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> { prefix = ""; local = s }
+  | Some i ->
+    { prefix = String.sub s 0 i;
+      local = String.sub s (i + 1) (String.length s - i - 1) }
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

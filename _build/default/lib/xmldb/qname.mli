@@ -1,0 +1,25 @@
+(** Qualified names as lexical (prefix, local) pairs.
+
+    Namespace URIs are not resolved: none of the paper's workloads declare
+    namespaces, and Pathfinder's encoding is equally name-string based.
+    Two QNames are equal iff both prefix and local part are equal. *)
+
+type t
+
+(** [make ?prefix local] builds a QName; [prefix] defaults to [""]. *)
+val make : ?prefix:string -> string -> t
+
+val local : t -> string
+val prefix : t -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** ["prefix:local"], or just ["local"] with an empty prefix. *)
+val to_string : t -> string
+
+(** Parse a lexical QName, e.g. ["xml:lang"] or ["person"]. *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+(* Interning of qualified names, mirroring String_pool for QNames. *)
+
+type t = {
+  table : (Qname.t, int) Hashtbl.t;
+  qnames : Qname.t Basis.Vec.t;
+}
+
+let create () =
+  { table = Hashtbl.create 64;
+    qnames = Basis.Vec.create (Qname.make "") }
+
+let intern t q =
+  match Hashtbl.find_opt t.table q with
+  | Some id -> id
+  | None ->
+    let id = Basis.Vec.length t.qnames in
+    Basis.Vec.push t.qnames q;
+    Hashtbl.add t.table q id;
+    id
+
+let find_opt t q = Hashtbl.find_opt t.table q
+
+let get t id = Basis.Vec.get t.qnames id
+
+let size t = Basis.Vec.length t.qnames

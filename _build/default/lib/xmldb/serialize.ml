@@ -1,0 +1,98 @@
+(* XML serialization of stored nodes, used both to print query results and
+   to compare results structurally in tests (two nodes with different
+   identities but equal serializations are "deep equal"). *)
+
+let escape_text buf s =
+  String.iter
+    (fun c ->
+       match c with
+       | '&' -> Buffer.add_string buf "&amp;"
+       | '<' -> Buffer.add_string buf "&lt;"
+       | '>' -> Buffer.add_string buf "&gt;"
+       | c -> Buffer.add_char buf c)
+    s
+
+let escape_attr buf s =
+  String.iter
+    (fun c ->
+       match c with
+       | '&' -> Buffer.add_string buf "&amp;"
+       | '<' -> Buffer.add_string buf "&lt;"
+       | '"' -> Buffer.add_string buf "&quot;"
+       | '\n' -> Buffer.add_string buf "&#10;"
+       | '\t' -> Buffer.add_string buf "&#9;"
+       | c -> Buffer.add_char buf c)
+    s
+
+let rec serialize_pre store (f : Doc_store.frag) frag_id buf pre =
+  match f.kinds.(pre) with
+  | Node_kind.Document ->
+    iter_children store f frag_id buf pre
+  | Node_kind.Element ->
+    let name = Qname.to_string (Doc_store.name_of_id store f.names.(pre)) in
+    Buffer.add_char buf '<';
+    Buffer.add_string buf name;
+    (* attribute rows directly follow the element row *)
+    let p = ref (pre + 1) in
+    let stop = pre + f.sizes.(pre) in
+    while !p <= stop && f.kinds.(!p) = Node_kind.Attribute do
+      let aname = Qname.to_string (Doc_store.name_of_id store f.names.(!p)) in
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf aname;
+      Buffer.add_string buf "=\"";
+      escape_attr buf (Doc_store.text_of_id store f.values.(!p));
+      Buffer.add_char buf '"';
+      incr p
+    done;
+    if !p > stop then Buffer.add_string buf "/>"
+    else begin
+      Buffer.add_char buf '>';
+      while !p <= stop do
+        serialize_pre store f frag_id buf !p;
+        p := !p + f.sizes.(!p) + 1
+      done;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf name;
+      Buffer.add_char buf '>'
+    end
+  | Node_kind.Attribute ->
+    (* a free-standing attribute serializes as name="value" *)
+    let aname = Qname.to_string (Doc_store.name_of_id store f.names.(pre)) in
+    Buffer.add_string buf aname;
+    Buffer.add_string buf "=\"";
+    escape_attr buf (Doc_store.text_of_id store f.values.(pre));
+    Buffer.add_char buf '"'
+  | Node_kind.Text ->
+    escape_text buf (Doc_store.text_of_id store f.values.(pre))
+  | Node_kind.Comment ->
+    Buffer.add_string buf "<!--";
+    Buffer.add_string buf (Doc_store.text_of_id store f.values.(pre));
+    Buffer.add_string buf "-->"
+  | Node_kind.Processing_instruction ->
+    Buffer.add_string buf "<?";
+    Buffer.add_string buf
+      (Qname.to_string (Doc_store.name_of_id store f.names.(pre)));
+    let content = Doc_store.text_of_id store f.values.(pre) in
+    if content <> "" then begin
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf content
+    end;
+    Buffer.add_string buf "?>"
+
+and iter_children store f frag_id buf pre =
+  let p = ref (pre + 1) in
+  let stop = pre + f.sizes.(pre) in
+  while !p <= stop do
+    if f.kinds.(!p) <> Node_kind.Attribute then
+      serialize_pre store f frag_id buf !p;
+    p := !p + f.sizes.(!p) + 1
+  done
+
+let node_to_buf store buf (n : Node_id.t) =
+  let f = Doc_store.frag store (Node_id.frag n) in
+  serialize_pre store f (Node_id.frag n) buf (Node_id.pre n)
+
+let node_to_string store n =
+  let buf = Buffer.create 128 in
+  node_to_buf store buf n;
+  Buffer.contents buf

@@ -1,0 +1,8 @@
+(** XML serialization of stored nodes. Used to print query results and to
+    compare nodes structurally in tests (equal serializations = deep
+    equal). Attribute and text values are escaped; empty elements use the
+    self-closing form; document nodes serialize their children. *)
+
+val node_to_buf : Doc_store.t -> Buffer.t -> Node_id.t -> unit
+
+val node_to_string : Doc_store.t -> Node_id.t -> string

@@ -1,0 +1,221 @@
+(* Staircase-join style XPath axis evaluation over the pre/size/level
+   encoding (Grust/van Keulen/Teubner, VLDB 2003 — reference [12] of the
+   paper). This is the implementation behind the algebraic step operator
+   "⊘ ax::nt": it consumes an arbitrary set of context nodes and returns a
+   duplicate-free set of result nodes in document order.
+
+   The staircase tricks used:
+     - contexts are sorted by (frag, pre) and deduplicated up front;
+     - [descendant]/[descendant-or-self] prune context nodes whose subtree
+       is covered by an earlier context ("pruning"), making the scan of
+       the pre range emit each result exactly once, already sorted;
+     - [following] only needs the earliest context per fragment;
+     - [preceding] only needs the latest context per fragment;
+   axes whose per-context results can interleave (parent, ancestor,
+   siblings, child with nested contexts) fall back to collect + sort +
+   adjacent-dedup, which is still O(out log out). *)
+
+open Basis
+
+type ctx_groups = (int * int array) list
+(* per fragment: (frag id, sorted deduped context pres) *)
+
+let group_contexts (nodes : Node_id.t array) : ctx_groups =
+  let sorted = Array.copy nodes in
+  Array.sort Node_id.compare sorted;
+  let groups = ref [] and cur = ref [] and cur_frag = ref (-1) in
+  let flush () =
+    if !cur <> [] then
+      groups := (!cur_frag, Array.of_list (List.rev !cur)) :: !groups
+  in
+  Array.iter
+    (fun n ->
+       let f = Node_id.frag n and p = Node_id.pre n in
+       if f <> !cur_frag then begin flush (); cur_frag := f; cur := [ p ] end
+       else match !cur with
+         | q :: _ when q = p -> () (* duplicate *)
+         | _ -> cur := p :: !cur)
+    sorted;
+  flush ();
+  List.rev !groups
+
+(* Resolve the PI-target of a node test once per step call. *)
+let resolve_test store (test : Node_test.t) =
+  match test with
+  | Node_test.Pi_target t ->
+    Node_test.Name (Doc_store.name_test_id store (Qname.make t))
+  | t -> t
+
+let matches (f : Doc_store.frag) principal test pre =
+  let k = f.kinds.(pre) in
+  match (test : Node_test.t) with
+  | Node_test.Any_node -> true
+  | Node_test.Kind k' -> Node_kind.equal k k'
+  | Node_test.Name_wild -> Node_kind.equal k principal
+  | Node_test.Name id -> Node_kind.equal k principal && f.names.(pre) = id
+  | Node_test.Pi_target _ -> Err.internal "unresolved PI target test"
+
+let principal_kind (axis : Axis.t) =
+  match axis with
+  | Axis.Attribute -> Node_kind.Attribute
+  | _ -> Node_kind.Element
+
+let eval_group store (axis : Axis.t) test frag_id (ctxs : int array) out =
+  let f = Doc_store.frag store frag_id in
+  let n = Doc_store.frag_length f in
+  let principal = principal_kind axis in
+  let m pre = matches f principal test pre in
+  let emit pre = Vec.push out (Node_id.make ~frag:frag_id ~pre) in
+  let is_attr pre = Node_kind.equal f.kinds.(pre) Node_kind.Attribute in
+  let sorted_output = ref true in
+  (match axis with
+   | Axis.Self ->
+     Array.iter (fun pre -> if m pre then emit pre) ctxs
+   | Axis.Child ->
+     (* Nested contexts make per-context child runs interleave. *)
+     let covered_end = ref (-1) in
+     Array.iter
+       (fun pre ->
+          if pre <= !covered_end then sorted_output := false;
+          covered_end := max !covered_end (pre + f.sizes.(pre));
+          let p = ref (pre + 1) in
+          let stop = pre + f.sizes.(pre) in
+          while !p <= stop do
+            if is_attr !p then incr p
+            else begin
+              if m !p then emit !p;
+              p := !p + f.sizes.(!p) + 1
+            end
+          done)
+       ctxs
+   | Axis.Attribute ->
+     Array.iter
+       (fun pre ->
+          if Node_kind.equal f.kinds.(pre) Node_kind.Element then begin
+            let p = ref (pre + 1) in
+            while !p < n && is_attr !p do
+              if m !p then emit !p;
+              incr p
+            done
+          end)
+       ctxs
+   | Axis.Descendant | Axis.Descendant_or_self ->
+     (* staircase pruning: skip the part of the scan already covered *)
+     let covered_end = ref (-1) in
+     Array.iter
+       (fun pre ->
+          if axis = Axis.Descendant_or_self && is_attr pre then begin
+            (* an attribute context contributes only itself; it may land
+               after nodes already emitted by a covering ancestor scan *)
+            if pre <= !covered_end then sorted_output := false;
+            if m pre then emit pre
+          end else begin
+            let lo =
+              if axis = Axis.Descendant_or_self then pre else pre + 1 in
+            let lo = max lo (!covered_end + 1) in
+            let hi = pre + f.sizes.(pre) in
+            for p = lo to hi do
+              if (axis = Axis.Descendant_or_self && p = pre) || not (is_attr p)
+              then (if m p then emit p)
+            done;
+            covered_end := max !covered_end hi
+          end)
+       ctxs
+   | Axis.Parent ->
+     sorted_output := false;
+     Array.iter
+       (fun pre ->
+          let pa = f.parents.(pre) in
+          if pa >= 0 && m pa then emit pa)
+       ctxs
+   | Axis.Ancestor | Axis.Ancestor_or_self ->
+     sorted_output := false;
+     Array.iter
+       (fun pre ->
+          if axis = Axis.Ancestor_or_self && m pre then emit pre;
+          let p = ref f.parents.(pre) in
+          while !p >= 0 do
+            if m !p then emit !p;
+            p := f.parents.(!p)
+          done)
+       ctxs
+   | Axis.Following_sibling ->
+     sorted_output := false;
+     Array.iter
+       (fun pre ->
+          if not (is_attr pre) && f.parents.(pre) >= 0 then begin
+            let parent = f.parents.(pre) in
+            let stop = parent + f.sizes.(parent) in
+            let p = ref (pre + f.sizes.(pre) + 1) in
+            while !p <= stop do
+              if is_attr !p then incr p
+              else begin
+                if m !p then emit !p;
+                p := !p + f.sizes.(!p) + 1
+              end
+            done
+          end)
+       ctxs
+   | Axis.Preceding_sibling ->
+     sorted_output := false;
+     Array.iter
+       (fun pre ->
+          if not (is_attr pre) && f.parents.(pre) >= 0 then begin
+            let parent = f.parents.(pre) in
+            let p = ref (parent + 1) in
+            while !p < pre do
+              if is_attr !p then incr p
+              else begin
+                if m !p then emit !p;
+                p := !p + f.sizes.(!p) + 1
+              end
+            done
+          end)
+       ctxs
+   | Axis.Following ->
+     (* only the earliest context matters: its following set covers all *)
+     if Array.length ctxs > 0 then begin
+       let start =
+         Array.fold_left
+           (fun acc pre -> min acc (pre + f.sizes.(pre) + 1))
+           max_int ctxs
+       in
+       for p = start to n - 1 do
+         if (not (is_attr p)) && m p then emit p
+       done
+     end
+   | Axis.Preceding ->
+     (* p precedes some context iff it precedes the latest one and is not
+        one of its ancestors: max_ctx > p + size(p) *)
+     if Array.length ctxs > 0 then begin
+       let max_ctx = ctxs.(Array.length ctxs - 1) in
+       for p = 0 to max_ctx - 1 do
+         if p + f.sizes.(p) < max_ctx && (not (is_attr p)) && m p then emit p
+       done
+     end);
+  !sorted_output
+
+(* Sort + adjacent-dedup a Vec of node ids in place (returns fresh array). *)
+let sort_dedup (v : Node_id.t Vec.t) =
+  let a = Vec.to_array v in
+  Array.sort Node_id.compare a;
+  let out = Vec.create (Node_id.make ~frag:0 ~pre:0) ~capacity:(Array.length a) in
+  Array.iter
+    (fun n ->
+       if Vec.length out = 0 || not (Node_id.equal (Vec.last out) n) then
+         Vec.push out n)
+    a;
+  Vec.to_array out
+
+let step store (axis : Axis.t) (test : Node_test.t) (contexts : Node_id.t array) =
+  let test = resolve_test store test in
+  let groups = group_contexts contexts in
+  let out = Vec.create (Node_id.make ~frag:0 ~pre:0) in
+  let all_sorted =
+    List.fold_left
+      (fun acc (frag_id, ctxs) ->
+         let sorted = eval_group store axis test frag_id ctxs out in
+         acc && sorted)
+      true groups
+  in
+  if all_sorted then Vec.to_array out else sort_dedup out

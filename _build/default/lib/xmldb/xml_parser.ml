@@ -1,0 +1,284 @@
+(* A small, dependency-free XML 1.0 parser, sufficient for the paper's
+   workloads: elements, attributes (single- or double-quoted), character
+   data, the five predefined entities plus numeric character references,
+   comments, processing instructions, CDATA sections, an optional XML
+   declaration and DOCTYPE (both skipped). No DTD processing, no
+   namespace resolution (prefixes are kept lexically, see Qname).
+
+   Parsing streams straight into a Doc_store.Builder, so a parsed document
+   becomes one pre/size/level fragment without an intermediate tree. *)
+
+open Basis
+
+exception Parse_error of string * int (* message, byte offset *)
+
+type state = {
+  src : string;
+  mutable pos : int;
+  builder : Doc_store.Builder.t;
+  strip_ws : bool;
+}
+
+let error st fmt =
+  Format.kasprintf (fun m -> raise (Parse_error (m, st.pos))) fmt
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let advance st n = st.pos <- st.pos + n
+
+let expect st s =
+  if looking_at st s then advance st (String.length s)
+  else error st "expected %S" s
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_ws st =
+  while (match peek st with Some c when is_ws c -> true | _ -> false) do
+    advance st 1
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+  || Char.code c >= 128
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  let start = st.pos in
+  (match peek st with
+   | Some c when is_name_start c -> advance st 1
+   | _ -> error st "expected a name");
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    advance st 1
+  done;
+  String.sub st.src start (st.pos - start)
+
+(* Decode an entity reference starting right after '&'. *)
+let parse_entity st buf =
+  if looking_at st "#x" || looking_at st "#X" then begin
+    advance st 2;
+    let start = st.pos in
+    while (match peek st with
+        | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> true
+        | _ -> false) do advance st 1 done;
+    let hex = String.sub st.src start (st.pos - start) in
+    expect st ";";
+    let code = int_of_string ("0x" ^ hex) in
+    Buffer.add_utf_8_uchar buf (Uchar.of_int code)
+  end
+  else if looking_at st "#" then begin
+    advance st 1;
+    let start = st.pos in
+    while (match peek st with Some ('0' .. '9') -> true | _ -> false) do
+      advance st 1
+    done;
+    let dec = String.sub st.src start (st.pos - start) in
+    expect st ";";
+    Buffer.add_utf_8_uchar buf (Uchar.of_int (int_of_string dec))
+  end
+  else begin
+    let name = parse_name st in
+    expect st ";";
+    match name with
+    | "lt" -> Buffer.add_char buf '<'
+    | "gt" -> Buffer.add_char buf '>'
+    | "amp" -> Buffer.add_char buf '&'
+    | "quot" -> Buffer.add_char buf '"'
+    | "apos" -> Buffer.add_char buf '\''
+    | other -> error st "unknown entity &%s;" other
+  end
+
+let parse_attr_value st =
+  let quote =
+    match peek st with
+    | Some ('"' as q) | Some ('\'' as q) -> advance st 1; q
+    | _ -> error st "expected quoted attribute value"
+  in
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated attribute value"
+    | Some c when c = quote -> advance st 1
+    | Some '&' -> advance st 1; parse_entity st buf; loop ()
+    | Some c -> Buffer.add_char buf c; advance st 1; loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let all_ws s =
+  let ok = ref true in
+  String.iter (fun c -> if not (is_ws c) then ok := false) s;
+  !ok
+
+let parse_text st =
+  let buf = Buffer.create 32 in
+  let rec loop () =
+    match peek st with
+    | None | Some '<' -> ()
+    | Some '&' -> advance st 1; parse_entity st buf; loop ()
+    | Some c -> Buffer.add_char buf c; advance st 1; loop ()
+  in
+  loop ();
+  let s = Buffer.contents buf in
+  if st.strip_ws && all_ws s then () else Doc_store.Builder.text st.builder s
+
+let parse_comment st =
+  expect st "<!--";
+  let start = st.pos in
+  let rec find () =
+    if st.pos + 2 >= String.length st.src then error st "unterminated comment"
+    else if looking_at st "-->" then ()
+    else (advance st 1; find ())
+  in
+  find ();
+  let content = String.sub st.src start (st.pos - start) in
+  advance st 3;
+  Doc_store.Builder.comment st.builder content
+
+let parse_pi st =
+  expect st "<?";
+  let target = parse_name st in
+  skip_ws st;
+  let start = st.pos in
+  let rec find () =
+    if st.pos + 1 >= String.length st.src then error st "unterminated PI"
+    else if looking_at st "?>" then ()
+    else (advance st 1; find ())
+  in
+  find ();
+  let content = String.sub st.src start (st.pos - start) in
+  advance st 2;
+  Doc_store.Builder.pi st.builder target content
+
+let parse_cdata st =
+  expect st "<![CDATA[";
+  let start = st.pos in
+  let rec find () =
+    if st.pos + 2 >= String.length st.src then error st "unterminated CDATA"
+    else if looking_at st "]]>" then ()
+    else (advance st 1; find ())
+  in
+  find ();
+  let content = String.sub st.src start (st.pos - start) in
+  advance st 3;
+  Doc_store.Builder.text st.builder content
+
+let rec parse_element st =
+  expect st "<";
+  let name = parse_name st in
+  let qname = Qname.of_string name in
+  Doc_store.Builder.start_element st.builder qname;
+  (* attributes *)
+  let rec attrs () =
+    skip_ws st;
+    match peek st with
+    | Some c when is_name_start c ->
+      let aname = parse_name st in
+      skip_ws st; expect st "="; skip_ws st;
+      let v = parse_attr_value st in
+      Doc_store.Builder.attribute st.builder (Qname.of_string aname) v;
+      attrs ()
+    | _ -> ()
+  in
+  attrs ();
+  if looking_at st "/>" then begin
+    advance st 2;
+    Doc_store.Builder.end_element st.builder
+  end else begin
+    expect st ">";
+    parse_content st;
+    expect st "</";
+    let close = parse_name st in
+    if close <> name then error st "mismatched tags <%s>...</%s>" name close;
+    skip_ws st;
+    expect st ">";
+    Doc_store.Builder.end_element st.builder
+  end
+
+and parse_content st =
+  match peek st with
+  | None -> ()
+  | Some '<' ->
+    if looking_at st "</" then ()
+    else begin
+      (if looking_at st "<!--" then parse_comment st
+       else if looking_at st "<![CDATA[" then parse_cdata st
+       else if looking_at st "<?" then parse_pi st
+       else parse_element st);
+      parse_content st
+    end
+  | Some _ -> parse_text st; parse_content st
+
+let skip_doctype st =
+  expect st "<!DOCTYPE";
+  (* skip to the matching '>' allowing one level of [...] *)
+  let depth = ref 0 in
+  let rec loop () =
+    match peek st with
+    | None -> error st "unterminated DOCTYPE"
+    | Some '[' -> incr depth; advance st 1; loop ()
+    | Some ']' -> decr depth; advance st 1; loop ()
+    | Some '>' when !depth = 0 -> advance st 1
+    | Some _ -> advance st 1; loop ()
+  in
+  loop ()
+
+let parse_prolog st =
+  skip_ws st;
+  if looking_at st "<?xml" then begin
+    let rec find () =
+      if looking_at st "?>" then advance st 2
+      else if st.pos >= String.length st.src then error st "unterminated XML declaration"
+      else (advance st 1; find ())
+    in
+    find ()
+  end;
+  let rec misc () =
+    skip_ws st;
+    if looking_at st "<!--" then (parse_comment st; misc ())
+    else if looking_at st "<!DOCTYPE" then (skip_doctype st; misc ())
+    else if looking_at st "<?" then (parse_pi st; misc ())
+  in
+  misc ()
+
+(* Parse a complete document; returns its document node. *)
+let parse_document ?(strip_ws = false) store src =
+  let builder = Doc_store.Builder.create store in
+  let st = { src; pos = 0; builder; strip_ws } in
+  Doc_store.Builder.start_document builder;
+  parse_prolog st;
+  (match peek st with
+   | Some '<' -> parse_element st
+   | _ -> error st "expected root element");
+  (* trailing misc *)
+  let rec misc () =
+    skip_ws st;
+    if looking_at st "<!--" then (parse_comment st; misc ())
+    else if looking_at st "<?" then (parse_pi st; misc ())
+  in
+  misc ();
+  if st.pos <> String.length st.src then
+    error st "trailing garbage after document element";
+  Doc_store.Builder.end_document builder;
+  let _, roots = Doc_store.Builder.finish builder in
+  match roots with
+  | [| root |] -> root
+  | _ -> Err.internal "document parse produced %d roots" (Array.length roots)
+
+(* Parse and register under a URI so that fn:doc can find it. *)
+let load_document ?strip_ws store ~uri src =
+  let root = parse_document ?strip_ws store src in
+  Doc_store.register_document store uri root;
+  root
+
+let load_file ?strip_ws store ~uri path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  load_document ?strip_ws store ~uri src

@@ -1,0 +1,26 @@
+(** A small, dependency-free XML 1.0 parser, sufficient for the paper's
+    workloads: elements, attributes, character data, the five predefined
+    entities and numeric character references, comments, processing
+    instructions, CDATA sections; the XML declaration and DOCTYPE are
+    accepted and skipped. No DTD processing and no namespace resolution
+    (prefixes are kept lexically, see {!Qname}).
+
+    Parsing streams directly into a {!Doc_store.Builder}, so a document
+    becomes one pre/size/level fragment without an intermediate tree. *)
+
+(** Raised on malformed input, with a message and byte offset. *)
+exception Parse_error of string * int
+
+(** Parse a complete document into [store]; returns its document node.
+    [strip_ws] drops whitespace-only text nodes (boundary whitespace). *)
+val parse_document :
+  ?strip_ws:bool -> Doc_store.t -> string -> Node_id.t
+
+(** Like {!parse_document}, and also registers the document under [uri]
+    so that [fn:doc(uri)] finds it. *)
+val load_document :
+  ?strip_ws:bool -> Doc_store.t -> uri:string -> string -> Node_id.t
+
+(** Read [path] from disk and {!load_document} it. *)
+val load_file :
+  ?strip_ws:bool -> Doc_store.t -> uri:string -> string -> Node_id.t

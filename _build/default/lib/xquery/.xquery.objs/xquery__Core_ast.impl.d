@@ -1,0 +1,1 @@
+lib/xquery/core_ast.ml: Ast Format List Set String Xmldb

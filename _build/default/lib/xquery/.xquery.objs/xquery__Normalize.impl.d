@@ -1,0 +1,1 @@
+lib/xquery/normalize.ml: Ast Basis Core_ast Err List Option Printf String Xmldb

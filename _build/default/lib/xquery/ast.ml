@@ -1,0 +1,145 @@
+(* Surface syntax AST of the supported XQuery subset (large enough for the
+   20 XMark queries and every example of the paper). Produced by Parser,
+   consumed by Normalize. *)
+
+type ordering_mode = Ordered | Unordered
+
+type quantifier = Some_q | Every_q
+
+(* General comparisons (existential semantics), value comparisons
+   (singleton), node comparisons. *)
+type general_cmp = Geq | Gne | Glt | Gle | Ggt | Gge
+type value_cmp = Veq | Vne | Vlt | Vle | Vgt | Vge
+type node_cmp = Is | Precedes | Follows
+
+type arith = Add | Sub | Mul | Div | Idiv | Mod
+
+type sort_dir = Ascending | Descending
+
+type empty_order = Empty_greatest | Empty_least
+
+(* Node tests, lexically (QNames resolved later against the store). *)
+type node_test =
+  | Nt_name of Xmldb.Qname.t
+  | Nt_wild                          (* "*" *)
+  | Nt_prefix_wild of string         (* prefix:* *)
+  | Nt_kind_node                     (* node() *)
+  | Nt_kind_text
+  | Nt_kind_element of Xmldb.Qname.t option
+  | Nt_kind_attribute of Xmldb.Qname.t option
+  | Nt_kind_comment
+  | Nt_kind_pi of string option
+  | Nt_kind_document
+
+(* Sequence types (instance of / treat as / typeswitch). *)
+type occurrence = Occ_one | Occ_opt | Occ_star | Occ_plus
+
+type item_type =
+  | It_item
+  | It_node
+  | It_element of Xmldb.Qname.t option
+  | It_attribute of Xmldb.Qname.t option
+  | It_text
+  | It_comment
+  | It_pi
+  | It_document
+  | It_atomic of string   (* local name of the xs: type *)
+
+type seq_type =
+  | St_empty                       (* empty-sequence() *)
+  | St of item_type * occurrence
+
+type expr =
+  | E_int of int
+  | E_dec of float
+  | E_str of string
+  | E_var of string
+  | E_context_item                   (* "." *)
+  | E_seq of expr list               (* (e1, e2, ...); [] is "()" *)
+  | E_flwor of flwor
+  | E_quantified of quantifier * (string * expr) list * expr
+  | E_if of expr * expr * expr
+  | E_or of expr * expr
+  | E_and of expr * expr
+  | E_general_cmp of general_cmp * expr * expr
+  | E_value_cmp of value_cmp * expr * expr
+  | E_node_cmp of node_cmp * expr * expr
+  | E_range of expr * expr           (* e1 to e2 *)
+  | E_arith of arith * expr * expr
+  | E_unary_minus of expr
+  | E_union of expr * expr           (* "|" / union *)
+  | E_intersect of expr * expr
+  | E_except of expr * expr
+  | E_slash of expr * expr           (* e1 / e2 *)
+  | E_axis_step of Xmldb.Axis.t * node_test * expr list (* step with predicates *)
+  | E_filter of expr * expr list     (* primary expr with predicates *)
+  | E_call of string * expr list
+  | E_ordered of expr                (* ordered { e } *)
+  | E_unordered of expr              (* unordered { e } *)
+  | E_elem_direct of Xmldb.Qname.t * (Xmldb.Qname.t * attr_piece list) list * content list
+  | E_elem_computed of name_spec * expr
+  | E_attr_computed of name_spec * expr
+  | E_text_computed of expr
+  | E_comment_computed of expr
+  | E_pi_computed of name_spec * expr
+  | E_doc_computed of expr           (* document { e } *)
+  | E_instance_of of expr * seq_type
+  | E_treat_as of expr * seq_type
+  | E_castable_as of expr * string * bool   (* xs type local name, "?" *)
+  | E_cast_as of expr * string * bool
+  | E_typeswitch of expr * ts_case list * (string option * expr)
+
+and ts_case = { tvar : string option; ttype : seq_type; tbody : expr }
+
+(* Attribute value template pieces: literal text and {embedded} exprs. *)
+and attr_piece =
+  | Ap_text of string
+  | Ap_expr of expr
+
+(* Direct element content. *)
+and content =
+  | C_text of string                 (* literal character data *)
+  | C_expr of expr                   (* { enclosed } *)
+  | C_elem of expr                   (* nested direct constructor (already an expr) *)
+
+and name_spec =
+  | Name_const of Xmldb.Qname.t
+  | Name_computed of expr
+
+and flwor = {
+  clauses : clause list;
+  order_by : order_spec list;        (* empty when there is no order by *)
+  stable : bool;
+  return_ : expr;
+}
+
+and clause =
+  | For_clause of { var : string; pos_var : string option; domain : expr }
+  | Let_clause of { var : string; def : expr }
+  | Where_clause of expr
+
+and order_spec = {
+  key : expr;
+  dir : sort_dir;
+  empty : empty_order;
+}
+
+(* A user function declared in the prolog. *)
+type fun_decl = {
+  fname : string;
+  params : string list;
+  body : expr;
+}
+
+type boundary_space = Bs_strip | Bs_preserve
+
+type prolog = {
+  ordering : ordering_mode option;   (* declare ordering ... *)
+  boundary_space : boundary_space;   (* declare boundary-space ...; default strip *)
+  functions : fun_decl list;
+}
+
+type query = {
+  prolog : prolog;
+  body : expr;
+}

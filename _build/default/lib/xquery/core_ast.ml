@@ -1,0 +1,214 @@
+(* XQuery Core: the normalized dialect the compiler consumes. Normalization
+   (J.K in the paper, Section 2.2) has already:
+     - expanded // and path predicates into FLWOR + positional machinery,
+     - rewritten general comparisons and quantifier domains with
+       fn:unordered() wrappers (Rules QUANT, the general-comparison rule),
+     - wrapped the arguments of order-indifferent built-ins (Rule FN:COUNT
+       and its siblings),
+     - inlined user functions,
+     - recorded the statically known ordering mode on every order-relevant
+       construct (steps, FLWOR blocks, node-set operations) — this is what
+       lets the compiler choose LOC vs LOC# and BIND vs BIND# (Figure 7).
+
+   Unlike the W3C Core, FLWOR blocks are kept structured (clause list +
+   order by): Section 2.2 of the paper shows that fully decomposing them
+   loses the freedom that ordering mode unordered grants, so the compiler
+   wants them whole. *)
+
+type mode = Ast.ordering_mode
+
+type core =
+  | C_int of int
+  | C_dbl of float
+  | C_str of string
+  | C_qname of Xmldb.Qname.t
+  | C_empty                                  (* () *)
+  | C_var of string
+  | C_seq of core list                       (* sequence concatenation *)
+  | C_flwor of flwor
+  | C_quant of { q : Ast.quantifier; var : string; domain : core; body : core }
+  | C_if of core * core * core               (* condition already EBV-wrapped *)
+  | C_step of { input : core; axis : Xmldb.Axis.t; test : Ast.node_test; mode : mode }
+  | C_ddo of { input : core; mode : mode }   (* distinct-document-order *)
+  | C_unordered of core                      (* fn:unordered(e) *)
+  | C_gencmp of Ast.general_cmp * core * core
+  | C_valcmp of Ast.value_cmp * core * core
+  | C_nodecmp of Ast.node_cmp * core * core
+  | C_arith of Ast.arith * core * core
+  | C_neg of core
+  | C_and of core * core                     (* operands already EBV-wrapped *)
+  | C_or of core * core
+  | C_union of core * core * mode
+  | C_intersect of core * core * mode
+  | C_except of core * core * mode
+  | C_range of core * core                   (* e1 to e2 *)
+  | C_call of string * core list             (* built-ins only *)
+  | C_elem of { name : core; content : core }
+  | C_attr of { name : core; value : core }
+  | C_text of core
+  | C_comment of core
+  | C_pi of { target : core; value : core }
+  | C_textify of core   (* fs:item-sequence-to-node-sequence: atomic runs
+                           become text nodes (space-separated); nodes pass *)
+  | C_instance of { input : core; ty : Ast.seq_type }
+  | C_treat of { input : core; ty : Ast.seq_type }
+  | C_castable of { input : core; ty : string; optional : bool }
+  | C_cast of { input : core; ty : string; optional : bool }
+
+and flwor = {
+  clauses : clause list;
+  order_by : (core * Ast.sort_dir * Ast.empty_order) list;
+  return_ : core;
+  mode : mode;  (* ordering mode in effect at this FLWOR *)
+}
+
+and clause =
+  | CFor of { var : string; pos_var : string option; domain : core;
+              reverse_pos : bool
+              (* positional predicates on reverse axes number the binding
+                 sequence in reverse document order *) }
+  | CLet of { var : string; def : core }
+  | CWhere of core                           (* already EBV-wrapped *)
+
+(* Free variables (used for loop-invariant hoisting in the compiler). *)
+let free_vars e =
+  let module S = Set.Make (String) in
+  let rec go bound acc e =
+    match e with
+    | C_var v -> if S.mem v bound then acc else S.add v acc
+    | C_int _ | C_dbl _ | C_str _ | C_qname _ | C_empty -> acc
+    | C_seq es -> List.fold_left (go bound) acc es
+    | C_flwor f ->
+      let bound, acc =
+        List.fold_left
+          (fun (bound, acc) cl ->
+             match cl with
+             | CFor { var; pos_var; domain; _ } ->
+               let acc = go bound acc domain in
+               let bound = S.add var bound in
+               let bound =
+                 match pos_var with Some p -> S.add p bound | None -> bound
+               in
+               (bound, acc)
+             | CLet { var; def } ->
+               let acc = go bound acc def in
+               (S.add var bound, acc)
+             | CWhere c -> (bound, go bound acc c))
+          (bound, acc) f.clauses
+      in
+      let acc =
+        List.fold_left (fun acc (k, _, _) -> go bound acc k) acc f.order_by
+      in
+      go bound acc f.return_
+    | C_quant { var; domain; body; _ } ->
+      let acc = go bound acc domain in
+      go (S.add var bound) acc body
+    | C_if (c, t, e') -> go bound (go bound (go bound acc c) t) e'
+    | C_step { input; _ } -> go bound acc input
+    | C_ddo { input; _ } -> go bound acc input
+    | C_unordered e' | C_neg e' | C_text e' | C_comment e' | C_textify e' ->
+      go bound acc e'
+    | C_instance { input; _ } | C_treat { input; _ }
+    | C_castable { input; _ } | C_cast { input; _ } -> go bound acc input
+    | C_gencmp (_, a, b') | C_valcmp (_, a, b') | C_nodecmp (_, a, b')
+    | C_arith (_, a, b') | C_and (a, b') | C_or (a, b') | C_range (a, b') ->
+      go bound (go bound acc a) b'
+    | C_union (a, b', _) | C_intersect (a, b', _) | C_except (a, b', _) ->
+      go bound (go bound acc a) b'
+    | C_call (_, args) -> List.fold_left (go bound) acc args
+    | C_elem { name; content } -> go bound (go bound acc name) content
+    | C_attr { name; value } -> go bound (go bound acc name) value
+    | C_pi { target; value } -> go bound (go bound acc target) value
+  in
+  go S.empty S.empty e
+
+(* Pretty printer (debugging / golden tests). *)
+let rec pp fmt e =
+  let open Format in
+  match e with
+  | C_int i -> fprintf fmt "%d" i
+  | C_dbl f -> fprintf fmt "%g" f
+  | C_str s -> fprintf fmt "%S" s
+  | C_qname q -> fprintf fmt "qname(%s)" (Xmldb.Qname.to_string q)
+  | C_empty -> fprintf fmt "()"
+  | C_var v -> fprintf fmt "$%s" v
+  | C_seq es ->
+    fprintf fmt "(@[%a@])"
+      (pp_print_list ~pp_sep:(fun f () -> fprintf f ",@ ") pp) es
+  | C_flwor f ->
+    fprintf fmt "@[<v 2>flwor[%s]{"
+      (match f.mode with Ast.Ordered -> "ord" | Ast.Unordered -> "unord");
+    List.iter
+      (fun cl ->
+         match cl with
+         | CFor { var; pos_var; domain; _ } ->
+           fprintf fmt "@ for $%s%s in %a" var
+             (match pos_var with Some p -> " at $" ^ p | None -> "")
+             pp domain
+         | CLet { var; def } -> fprintf fmt "@ let $%s := %a" var pp def
+         | CWhere c -> fprintf fmt "@ where %a" pp c)
+      f.clauses;
+    if f.order_by <> [] then begin
+      fprintf fmt "@ order by ";
+      List.iter
+        (fun (k, d, _) ->
+           fprintf fmt "%a%s " pp k
+             (match d with Ast.Ascending -> "" | Ast.Descending -> " desc"))
+        f.order_by
+    end;
+    fprintf fmt "@ return %a}@]" pp f.return_
+  | C_quant { q; var; domain; body } ->
+    fprintf fmt "%s $%s in %a satisfies %a"
+      (match q with Ast.Some_q -> "some" | Ast.Every_q -> "every")
+      var pp domain pp body
+  | C_if (c, t, e') -> fprintf fmt "if (%a) then %a else %a" pp c pp t pp e'
+  | C_step { input; axis; test = _; mode } ->
+    fprintf fmt "step[%s,%s](%a)" (Xmldb.Axis.to_string axis)
+      (match mode with Ast.Ordered -> "ord" | Ast.Unordered -> "unord")
+      pp input
+  | C_ddo { input; mode } ->
+    fprintf fmt "ddo[%s](%a)"
+      (match mode with Ast.Ordered -> "ord" | Ast.Unordered -> "unord")
+      pp input
+  | C_unordered e' -> fprintf fmt "fn:unordered(%a)" pp e'
+  | C_gencmp (op, a, b) ->
+    fprintf fmt "(%a %s %a)" pp a
+      (match op with Ast.Geq -> "=" | Ast.Gne -> "!=" | Ast.Glt -> "<"
+                   | Ast.Gle -> "<=" | Ast.Ggt -> ">" | Ast.Gge -> ">=")
+      pp b
+  | C_valcmp (op, a, b) ->
+    fprintf fmt "(%a %s %a)" pp a
+      (match op with Ast.Veq -> "eq" | Ast.Vne -> "ne" | Ast.Vlt -> "lt"
+                   | Ast.Vle -> "le" | Ast.Vgt -> "gt" | Ast.Vge -> "ge")
+      pp b
+  | C_nodecmp (op, a, b) ->
+    fprintf fmt "(%a %s %a)" pp a
+      (match op with Ast.Is -> "is" | Ast.Precedes -> "<<" | Ast.Follows -> ">>")
+      pp b
+  | C_arith (op, a, b) ->
+    fprintf fmt "(%a %s %a)" pp a
+      (match op with Ast.Add -> "+" | Ast.Sub -> "-" | Ast.Mul -> "*"
+                   | Ast.Div -> "div" | Ast.Idiv -> "idiv" | Ast.Mod -> "mod")
+      pp b
+  | C_neg e' -> fprintf fmt "-(%a)" pp e'
+  | C_and (a, b) -> fprintf fmt "(%a and %a)" pp a pp b
+  | C_or (a, b) -> fprintf fmt "(%a or %a)" pp a pp b
+  | C_union (a, b, _) -> fprintf fmt "(%a | %a)" pp a pp b
+  | C_intersect (a, b, _) -> fprintf fmt "(%a intersect %a)" pp a pp b
+  | C_except (a, b, _) -> fprintf fmt "(%a except %a)" pp a pp b
+  | C_range (a, b) -> fprintf fmt "(%a to %a)" pp a pp b
+  | C_call (f, args) ->
+    fprintf fmt "%s(@[%a@])" f
+      (pp_print_list ~pp_sep:(fun f' () -> fprintf f' ",@ ") pp) args
+  | C_elem { name; content } -> fprintf fmt "element{%a}{%a}" pp name pp content
+  | C_attr { name; value } -> fprintf fmt "attribute{%a}{%a}" pp name pp value
+  | C_text e' -> fprintf fmt "text{%a}" pp e'
+  | C_comment e' -> fprintf fmt "comment{%a}" pp e'
+  | C_pi { target; value } -> fprintf fmt "pi{%a}{%a}" pp target pp value
+  | C_textify e' -> fprintf fmt "fs:textify(%a)" pp e'
+  | C_instance { input; _ } -> fprintf fmt "(%a instance of _)" pp input
+  | C_treat { input; _ } -> fprintf fmt "(%a treat as _)" pp input
+  | C_castable { input; ty; _ } -> fprintf fmt "(%a castable as xs:%s)" pp input ty
+  | C_cast { input; ty; _ } -> fprintf fmt "(%a cast as xs:%s)" pp input ty
+
+let to_string e = Format.asprintf "%a" pp e

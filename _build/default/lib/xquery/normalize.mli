@@ -1,0 +1,38 @@
+(** Normalization J·K: surface AST → XQuery Core (paper, Section 2.2).
+
+    Besides the standard lowering (path predicates → FLWOR + positional
+    machinery, EBV insertion, constructor content conversion, user
+    function inlining), this pass implements the paper's
+    order-indifference rules:
+
+    {ul
+    {- QUANT — [some]/[every] domains are wrapped in [fn:unordered()],
+       in either ordering mode;}
+    {- the general-comparison rule — both operands wrapped;}
+    {- FN:COUNT and its siblings — arguments of the order-indifferent
+       built-ins ([count], [sum], [avg], [max], [min], [empty], [exists],
+       [boolean], [not], [distinct-values], [zero-or-one], [exactly-one],
+       [one-or-more]) wrapped;}
+    {- UNION — node-set operations wrapped under ordering mode unordered;}
+    {- STEP — recorded as the [mode] field of [C_step]/[C_ddo] (the
+       compiler turns it into Rule LOC#), and likewise the [mode] of
+       [C_flwor] selects BIND vs BIND#.}}
+
+    [unordered { }] / [ordered { }] and [declare ordering] switch the
+    statically scoped mode under which sub-expressions normalize. *)
+
+(** The built-in function table: (name, min arity, max arity, 1-based
+    positions of order-indifferent arguments). *)
+val builtins : (string * int * int * int list) list
+
+(** Normalize a full query. [mode_override] forces an ordering mode
+    regardless of the prolog — the benchmarks use it to run one query
+    text under both modes. Raises [Basis.Err.Static_error] on unknown
+    functions, arity violations, unbound context items, recursive
+    user functions, and unsupported constructs. *)
+val normalize_query :
+  ?mode_override:Ast.ordering_mode -> Ast.query -> Core_ast.core
+
+(** Normalize a standalone expression under a given mode (tests and
+    examples). *)
+val normalize_expr : ?mode:Ast.ordering_mode -> Ast.expr -> Core_ast.core

@@ -1,0 +1,16 @@
+(** Recursive-descent parser for the supported XQuery subset (see
+    README/DESIGN for its extent). A single character cursor drives both
+    query mode (whitespace/comment-skipping, contextual keywords — XQuery
+    has no reserved words) and constructor mode (direct element
+    constructors, where whitespace and braces are significant). *)
+
+(** Raised on malformed queries, with a message and byte offset. *)
+exception Syntax_error of string * int
+
+(** Parse a complete query: prolog ([declare ordering],
+    [declare function], [declare boundary-space]) plus body. *)
+val parse_query : string -> Ast.query
+
+(** Parse a standalone expression (no prolog); trailing input is an
+    error. *)
+val parse_expression : string -> Ast.expr

@@ -1,0 +1,140 @@
+(* Tests for the foundation library: growable vectors, string interning,
+   the error discipline, and the deterministic PRNG. *)
+
+open Basis
+
+(* ------------------------------------------------------------------- vec *)
+
+let test_vec_basic () =
+  let v = Vec.create 0 in
+  Alcotest.(check int) "empty" 0 (Vec.length v);
+  for i = 1 to 100 do Vec.push v i done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 41);
+  Vec.set v 41 7;
+  Alcotest.(check int) "set" 7 (Vec.get v 41);
+  Alcotest.(check int) "last" 100 (Vec.last v);
+  Alcotest.(check int) "pop" 100 (Vec.pop v);
+  Alcotest.(check int) "length after pop" 99 (Vec.length v);
+  let a = Vec.to_array v in
+  Alcotest.(check int) "snapshot length" 99 (Array.length a);
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v)
+
+let test_vec_bounds () =
+  let v = Vec.create 0 in
+  Vec.push v 1;
+  (match Vec.get v 1 with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "get out of bounds");
+  (match Vec.get v (-1) with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "negative index");
+  let empty = Vec.create 0 in
+  (match Vec.pop empty with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "pop of empty")
+
+let test_vec_iteration () =
+  let v = Vec.of_array 0 [| 1; 2; 3 |] in
+  Alcotest.(check int) "fold" 6 (Vec.fold_left ( + ) 0 v);
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check int) "iteri count" 3 (List.length !acc);
+  let w = Vec.create 0 in
+  Vec.append w v;
+  Vec.append w v;
+  Alcotest.(check int) "append" 6 (Vec.length w)
+
+let vec_growth_prop =
+  QCheck2.Test.make ~count:100 ~name:"vec: to_array round-trips any pushes"
+    QCheck2.Gen.(list int)
+    (fun xs ->
+       let v = Vec.create 0 in
+       List.iter (Vec.push v) xs;
+       Array.to_list (Vec.to_array v) = xs)
+
+(* ----------------------------------------------------------- string pool *)
+
+let test_pool () =
+  let p = String_pool.create () in
+  let a = String_pool.intern p "hello" in
+  let b = String_pool.intern p "world" in
+  let a' = String_pool.intern p "hello" in
+  Alcotest.(check int) "stable ids" a a';
+  Alcotest.(check bool) "distinct ids" true (a <> b);
+  Alcotest.(check string) "get" "hello" (String_pool.get p a);
+  Alcotest.(check int) "size" 2 (String_pool.size p);
+  Alcotest.(check (option int)) "find" (Some b) (String_pool.find_opt p "world");
+  Alcotest.(check (option int)) "missing" None (String_pool.find_opt p "nope")
+
+(* ------------------------------------------------------------------ prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done;
+  let c = Prng.create 43 in
+  let diff = ref false in
+  for _ = 1 to 20 do
+    if Prng.int a 1000 <> Prng.int c 1000 then diff := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !diff
+
+let test_prng_ranges () =
+  let r = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Prng.int r 10 in
+    if x < 0 || x >= 10 then Alcotest.fail "int out of range";
+    let f = Prng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of range";
+    let z = Prng.zipf r 100 in
+    if z < 0 || z >= 100 then Alcotest.fail "zipf out of range"
+  done;
+  (match Prng.int r 0 with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "bound 0 must raise")
+
+let test_prng_zipf_skew () =
+  (* rank 0 must be (much) more likely than the median rank *)
+  let r = Prng.create 1 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20000 do
+    let z = Prng.zipf r 100 in
+    counts.(z) <- counts.(z) + 1
+  done;
+  Alcotest.(check bool) "skewed toward 0" true (counts.(0) > counts.(50) * 3)
+
+(* ------------------------------------------------------------------- err *)
+
+let test_err () =
+  (match Err.dynamic "boom %d" 1 with
+   | exception Err.Dynamic_error "boom 1" -> ()
+   | _ -> Alcotest.fail "dynamic");
+  (match Err.static "s" with
+   | exception Err.Static_error "s" -> ()
+   | _ -> Alcotest.fail "static");
+  Alcotest.(check string) "to_string"
+    "dynamic error: x" (Err.to_string (Err.Dynamic_error "x"));
+  (match Err.protect (fun () -> 42) with
+   | Ok 42 -> ()
+   | _ -> Alcotest.fail "protect ok");
+  (match Err.protect (fun () -> Err.dynamic "no") with
+   | Error m when m = "dynamic error: no" -> ()
+   | _ -> Alcotest.fail "protect error")
+
+let () =
+  Alcotest.run "basis"
+    [ ( "vec",
+        [ Alcotest.test_case "basics" `Quick test_vec_basic;
+          Alcotest.test_case "bounds" `Quick test_vec_bounds;
+          Alcotest.test_case "iteration" `Quick test_vec_iteration;
+          QCheck_alcotest.to_alcotest vec_growth_prop ] );
+      ( "string pool", [ Alcotest.test_case "interning" `Quick test_pool ] );
+      ( "prng",
+        [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "ranges" `Quick test_prng_ranges;
+          Alcotest.test_case "zipf skew" `Quick test_prng_zipf_skew ] );
+      ( "err", [ Alcotest.test_case "classes" `Quick test_err ] );
+    ]

@@ -1,0 +1,161 @@
+(* Tests for the XMark substrate: generator determinism and schema
+   coverage (the shapes the 20 queries probe), scale behaviour, and
+   well-formedness of every query against the full pipeline. *)
+
+let gen ~scale = Xmark.Xmark_gen.generate ~scale ()
+
+let load scale =
+  let st = Xmldb.Doc_store.create () in
+  let root, bytes = Xmark.Xmark_gen.load ~scale st in
+  (st, root, bytes)
+
+let count st q =
+  match Interp.Interpreter.run st q with
+  | [ Algebra.Value.Int n ] -> n
+  | _ -> Alcotest.failf "expected a single integer for %s" q
+
+(* ------------------------------------------------------------- generator *)
+
+let test_deterministic () =
+  let a = gen ~scale:0.002 and b = gen ~scale:0.002 in
+  Alcotest.(check int) "same size" (String.length a) (String.length b);
+  Alcotest.(check bool) "bit identical" true (String.equal a b);
+  let c = Xmark.Xmark_gen.generate ~seed:7 ~scale:0.002 () in
+  Alcotest.(check bool) "seed changes content" false (String.equal a c)
+
+let test_scaling () =
+  let s1 = String.length (gen ~scale:0.002) in
+  let s2 = String.length (gen ~scale:0.01) in
+  let s3 = String.length (gen ~scale:0.05) in
+  Alcotest.(check bool) "monotone growth" true (s1 < s2 && s2 < s3);
+  (* roughly linear: 5x the scale within a factor-2 band of 5x the bytes *)
+  let ratio = float_of_int s3 /. float_of_int s2 in
+  Alcotest.(check bool) "roughly linear" true (ratio > 2.5 && ratio < 10.0)
+
+let test_counts () =
+  let c = Xmark.Xmark_gen.counts_of_scale 1.0 in
+  Alcotest.(check int) "persons at f=1" 25500 c.Xmark.Xmark_gen.persons;
+  Alcotest.(check int) "open auctions at f=1" 12000 c.Xmark.Xmark_gen.open_auctions;
+  let st, _, _ = load 0.002 in
+  let c = Xmark.Xmark_gen.counts_of_scale 0.002 in
+  Alcotest.(check int) "generated persons match counts"
+    c.Xmark.Xmark_gen.persons
+    (count st {|count(doc("auction.xml")/site/people/person)|});
+  Alcotest.(check int) "generated auctions match counts"
+    c.Xmark.Xmark_gen.open_auctions
+    (count st {|count(doc("auction.xml")/site/open_auctions/open_auction)|})
+
+let test_schema_coverage () =
+  let st, _, _ = load 0.01 in
+  let nonzero what q =
+    if count st q <= 0 then Alcotest.failf "no %s generated" what
+  in
+  (* every structural feature some query depends on *)
+  nonzero "regions" {|count(doc("auction.xml")/site/regions/*)|};
+  nonzero "europe items (Q9)" {|count(doc("auction.xml")/site/regions/europe/item)|};
+  nonzero "australia items (Q13)" {|count(doc("auction.xml")/site/regions/australia/item)|};
+  nonzero "person0 (Q1)"
+    {|count(doc("auction.xml")/site/people/person[@id = "person0"])|};
+  nonzero "incomes (Q11)"
+    {|count(doc("auction.xml")/site/people/person/profile/@income)|};
+  nonzero "persons without profile (Q20 na)"
+    {|count(for $p in doc("auction.xml")/site/people/person
+            where empty($p/profile) return $p)|};
+  nonzero "homepage-less persons (Q17)"
+    {|count(for $p in doc("auction.xml")/site/people/person
+            where empty($p/homepage) return $p)|};
+  nonzero "bidders (Q2/Q3)"
+    {|count(doc("auction.xml")/site/open_auctions/open_auction/bidder)|};
+  nonzero "reserves (Q4/Q18)"
+    {|count(doc("auction.xml")/site/open_auctions/open_auction/reserve)|};
+  nonzero "initial (Q11)"
+    {|count(doc("auction.xml")/site/open_auctions/open_auction/initial)|};
+  nonzero "closed auction prices (Q5)"
+    {|count(doc("auction.xml")/site/closed_auctions/closed_auction/price)|};
+  nonzero "interest categories (Q10)"
+    {|count(doc("auction.xml")/site/people/person/profile/interest/@category)|};
+  nonzero "gold descriptions (Q14)"
+    {|count(for $i in doc("auction.xml")/site//item
+            where contains(string(exactly-one($i/description)), "gold")
+            return $i)|};
+  nonzero "nested parlists (Q15/Q16 path prefix)"
+    {|count(doc("auction.xml")//description/parlist/listitem/parlist)|};
+  nonzero "emph keywords (Q15 tail)"
+    {|count(doc("auction.xml")//text/emph/keyword)|}
+
+let test_document_parses_cleanly () =
+  (* the generator must emit well-formed XML that round-trips *)
+  let src = gen ~scale:0.002 in
+  let st = Xmldb.Doc_store.create () in
+  let root = Xmldb.Xml_parser.parse_document st src in
+  let re = Xmldb.Serialize.node_to_string st root in
+  let st2 = Xmldb.Doc_store.create () in
+  let root2 = Xmldb.Xml_parser.parse_document st2 re in
+  Alcotest.(check string) "serialize-parse stable" re
+    (Xmldb.Serialize.node_to_string st2 root2)
+
+(* --------------------------------------------------------------- queries *)
+
+let test_queries_compile () =
+  List.iter
+    (fun (name, q) ->
+       (* parse + normalize + compile + optimize, under both modes *)
+       List.iter
+         (fun opts ->
+            match Engine.plans_of ~opts q with
+            | _, raw, opt ->
+              if Algebra.Plan.count_ops raw = 0 || Algebra.Plan.count_ops opt = 0
+              then Alcotest.failf "%s: empty plan" name
+            | exception e ->
+              Alcotest.failf "%s fails to compile: %s" name (Printexc.to_string e))
+         [ Engine.default_opts;
+           Engine.ordered_baseline;
+           { Engine.default_opts with Engine.mode = Some Xquery.Ast.Unordered } ])
+    Xmark.Xmark_queries.all
+
+let test_q1_result () =
+  let st, _, _ = load 0.002 in
+  let r = Engine.run st Xmark.Xmark_queries.q1 in
+  Alcotest.(check int) "exactly one name" 1 (List.length r.Engine.items)
+
+let test_q20_brackets_partition () =
+  (* preferred + standard + challenge + na = all persons *)
+  let st, _, _ = load 0.005 in
+  let r = Engine.run_to_string st Xmark.Xmark_queries.q20 in
+  let persons = count st {|count(doc("auction.xml")/site/people/person)|} in
+  (* parse the four counters out of the result element *)
+  let st2 = Xmldb.Doc_store.create () in
+  let root = Xmldb.Xml_parser.parse_document st2 r in
+  let total =
+    List.fold_left
+      (fun acc tag ->
+         let nodes =
+           Xmldb.Staircase.step st2 Xmldb.Axis.Descendant
+             (Xmldb.Node_test.Name (Xmldb.Doc_store.name_test_id st2 (Xmldb.Qname.make tag)))
+             [| root |]
+         in
+         acc + int_of_string (Xmldb.Doc_store.string_value st2 nodes.(0)))
+      0 [ "preferred"; "standard"; "challenge"; "na" ]
+  in
+  Alcotest.(check int) "income brackets partition the population" persons total
+
+let test_q5_threshold () =
+  let st, _, _ = load 0.005 in
+  let n = count st Xmark.Xmark_queries.q5 in
+  let all = count st {|count(doc("auction.xml")/site/closed_auctions/closed_auction)|} in
+  Alcotest.(check bool) "0 <= q5 <= all" true (n >= 0 && n <= all)
+
+let () =
+  Alcotest.run "xmark"
+    [ ( "generator",
+        [ Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "scaling" `Quick test_scaling;
+          Alcotest.test_case "entity counts" `Quick test_counts;
+          Alcotest.test_case "schema coverage" `Quick test_schema_coverage;
+          Alcotest.test_case "well-formed output" `Quick test_document_parses_cleanly ] );
+      ( "queries",
+        [ Alcotest.test_case "all 20 compile under every mode" `Quick test_queries_compile;
+          Alcotest.test_case "Q1 finds person0" `Quick test_q1_result;
+          Alcotest.test_case "Q20 partitions the population" `Quick test_q20_brackets_partition;
+          Alcotest.test_case "Q5 bounded by population" `Quick test_q5_threshold ] );
+    ]

@@ -1,0 +1,276 @@
+(* Tests for the XQuery frontend: lexing/parsing of every supported
+   construct, operator precedence, error reporting, and the normalization
+   rules of the paper's Section 2.2 (unordered-wrapper insertion, ordering
+   mode propagation, predicate lowering, function inlining). *)
+
+open Xquery
+
+let parse s = Parser.parse_expression s
+let parse_q s = Parser.parse_query s
+
+let norm ?mode s = Normalize.normalize_expr ?mode (parse s)
+
+let core_str c = Core_ast.to_string c
+
+let contains ~sub s = Astring.String.is_infix ~affix:sub s
+
+let check_contains msg sub c =
+  if not (contains ~sub (core_str c)) then
+    Alcotest.failf "%s: %S not found in %s" msg sub (core_str c)
+
+let check_not_contains msg sub c =
+  if contains ~sub (core_str c) then
+    Alcotest.failf "%s: %S unexpectedly found in %s" msg sub (core_str c)
+
+let expect_syntax_error s =
+  match parse_q s with
+  | exception Parser.Syntax_error _ -> ()
+  | _ -> Alcotest.failf "expected syntax error for %s" s
+
+let expect_static_error s =
+  match Normalize.normalize_query (parse_q s) with
+  | exception Basis.Err.Static_error _ -> ()
+  | _ -> Alcotest.failf "expected static error for %s" s
+
+(* -------------------------------------------------------------- parsing *)
+
+let test_parse_literals () =
+  (match parse "42" with Ast.E_int 42 -> () | _ -> Alcotest.fail "int");
+  (match parse "3.25" with Ast.E_dec f when f = 3.25 -> () | _ -> Alcotest.fail "dec");
+  (match parse "1e3" with Ast.E_dec f when f = 1000.0 -> () | _ -> Alcotest.fail "exp");
+  (match parse {|"a""b"|} with Ast.E_str "a\"b" -> () | _ -> Alcotest.fail "str quote");
+  (match parse {|'it''s'|} with Ast.E_str "it's" -> () | _ -> Alcotest.fail "apos");
+  (match parse {|"&lt;&amp;"|} with Ast.E_str "<&" -> () | _ -> Alcotest.fail "entities")
+
+let test_parse_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3) *)
+  (match parse "1 + 2 * 3" with
+   | Ast.E_arith (Ast.Add, Ast.E_int 1, Ast.E_arith (Ast.Mul, _, _)) -> ()
+   | _ -> Alcotest.fail "arith precedence");
+  (* comparison binds looser than range *)
+  (match parse "1 to 3 = 2" with
+   | Ast.E_general_cmp (Ast.Geq, Ast.E_range _, Ast.E_int 2) -> ()
+   | _ -> Alcotest.fail "range vs cmp");
+  (* or looser than and *)
+  (match parse "1 or 2 and 3" with
+   | Ast.E_or (Ast.E_int 1, Ast.E_and _) -> ()
+   | _ -> Alcotest.fail "or/and");
+  (* union binds tighter than + *)
+  (match parse "$a/b | $a/c" with
+   | Ast.E_union _ -> ()
+   | _ -> Alcotest.fail "union")
+
+let test_parse_path () =
+  (match parse "$a//b" with
+   | Ast.E_slash
+       (Ast.E_slash (Ast.E_var "a",
+                     Ast.E_axis_step (Xmldb.Axis.Descendant_or_self,
+                                      Ast.Nt_kind_node, [])),
+        Ast.E_axis_step (Xmldb.Axis.Child, Ast.Nt_name _, [])) -> ()
+   | _ -> Alcotest.fail "// desugars via descendant-or-self (footnote 1)");
+  (match parse "$a/@id" with
+   | Ast.E_slash (_, Ast.E_axis_step (Xmldb.Axis.Attribute, _, [])) -> ()
+   | _ -> Alcotest.fail "@ abbreviation");
+  (match parse "$a/.." with
+   | Ast.E_slash (_, Ast.E_axis_step (Xmldb.Axis.Parent, _, [])) -> ()
+   | _ -> Alcotest.fail ".. abbreviation");
+  (match parse "$a/ancestor-or-self::*" with
+   | Ast.E_slash (_, Ast.E_axis_step (Xmldb.Axis.Ancestor_or_self, Ast.Nt_wild, [])) -> ()
+   | _ -> Alcotest.fail "explicit axis");
+  (match parse "$a/text()" with
+   | Ast.E_slash (_, Ast.E_axis_step (Xmldb.Axis.Child, Ast.Nt_kind_text, [])) -> ()
+   | _ -> Alcotest.fail "text() kind test");
+  (match parse "$a/b[2][last()]" with
+   | Ast.E_slash (_, Ast.E_axis_step (_, _, [ Ast.E_int 2; Ast.E_call ("last", []) ])) -> ()
+   | _ -> Alcotest.fail "stacked predicates")
+
+let test_parse_flwor () =
+  match parse "for $x at $i in (1,2), $y in (3,4) let $z := $x where $z > 1 order by $y descending return $z" with
+  | Ast.E_flwor f ->
+    (match f.Ast.clauses with
+     | [ Ast.For_clause { var = "x"; pos_var = Some "i"; _ };
+         Ast.For_clause { var = "y"; pos_var = None; _ };
+         Ast.Let_clause { var = "z"; _ };
+         Ast.Where_clause _ ] -> ()
+     | _ -> Alcotest.fail "clauses");
+    (match f.Ast.order_by with
+     | [ { Ast.dir = Ast.Descending; _ } ] -> ()
+     | _ -> Alcotest.fail "order by")
+  | _ -> Alcotest.fail "flwor"
+
+let test_parse_constructors () =
+  (match parse {|<a x="1">t</a>|} with
+   | Ast.E_elem_direct (q, [ (aq, [ Ast.Ap_text "1" ]) ], [ Ast.C_text "t" ]) ->
+     Alcotest.(check string) "tag" "a" (Xmldb.Qname.to_string q);
+     Alcotest.(check string) "attr" "x" (Xmldb.Qname.to_string aq)
+   | _ -> Alcotest.fail "direct elem");
+  (match parse {|<a>{{literal}}</a>|} with
+   | Ast.E_elem_direct (_, [], [ Ast.C_text "{literal}" ]) -> ()
+   | _ -> Alcotest.fail "brace escapes");
+  (match parse "element foo { 1 }" with
+   | Ast.E_elem_computed (Ast.Name_const _, Ast.E_int 1) -> ()
+   | _ -> Alcotest.fail "computed elem");
+  (match parse "attribute { $n } { 1 }" with
+   | Ast.E_attr_computed (Ast.Name_computed _, _) -> ()
+   | _ -> Alcotest.fail "computed attr with computed name");
+  (match parse "unordered { 1 }" with
+   | Ast.E_unordered (Ast.E_int 1) -> ()
+   | _ -> Alcotest.fail "unordered block");
+  (* "for" with no $ is an element name, not a keyword *)
+  (match parse "<for/>" with
+   | Ast.E_elem_direct _ -> ()
+   | _ -> Alcotest.fail "for as tag name")
+
+let test_parse_prolog () =
+  let q = parse_q
+      "declare ordering unordered; declare function local:f($x as xs:integer?) as xs:integer { $x + 1 }; local:f(1)"
+  in
+  Alcotest.(check bool) "ordering" true (q.Ast.prolog.Ast.ordering = Some Ast.Unordered);
+  (match q.Ast.prolog.Ast.functions with
+   | [ { Ast.fname = "local:f"; params = [ "x" ]; _ } ] -> ()
+   | _ -> Alcotest.fail "function decl")
+
+let test_parse_comments () =
+  (match parse "1 (: comment (: nested :) done :) + 2" with
+   | Ast.E_arith (Ast.Add, _, _) -> ()
+   | _ -> Alcotest.fail "nested comments")
+
+let test_parse_types () =
+  (match parse "5 instance of xs:integer+" with
+   | Ast.E_instance_of (Ast.E_int 5, Ast.St (Ast.It_atomic "integer", Ast.Occ_plus)) -> ()
+   | _ -> Alcotest.fail "instance of");
+  (match parse "$x treat as node()*" with
+   | Ast.E_treat_as (_, Ast.St (Ast.It_node, Ast.Occ_star)) -> ()
+   | _ -> Alcotest.fail "treat as");
+  (match parse "$x cast as xs:double?" with
+   | Ast.E_cast_as (_, "double", true) -> ()
+   | _ -> Alcotest.fail "cast as");
+  (match parse "$x castable as xs:boolean" with
+   | Ast.E_castable_as (_, "boolean", false) -> ()
+   | _ -> Alcotest.fail "castable as");
+  (match parse "() instance of empty-sequence()" with
+   | Ast.E_instance_of (_, Ast.St_empty) -> ()
+   | _ -> Alcotest.fail "empty-sequence()");
+  (* "instance" with no "of" is an ordinary path step *)
+  (match parse "$x/instance" with
+   | Ast.E_slash (_, Ast.E_axis_step (_, Ast.Nt_name _, [])) -> ()
+   | _ -> Alcotest.fail "instance as tag");
+  (match parse "typeswitch (1) case $v as xs:integer return $v default return 0" with
+   | Ast.E_typeswitch (_, [ { Ast.tvar = Some "v"; _ } ], (None, _)) -> ()
+   | _ -> Alcotest.fail "typeswitch");
+  (* precedence: instance of binds tighter than "and" *)
+  (match parse "1 instance of xs:integer and 2" with
+   | Ast.E_and (Ast.E_instance_of _, _) -> ()
+   | _ -> Alcotest.fail "precedence vs and")
+
+let test_parse_errors () =
+  expect_syntax_error "for $x in";
+  expect_syntax_error "1 +";
+  expect_syntax_error "<a></b>";
+  expect_syntax_error "(1, 2";
+  expect_syntax_error "$";
+  expect_syntax_error "declare ordering sideways; 1";
+  expect_syntax_error "some $x in (1) 1"
+
+(* -------------------------------------------------------- normalization *)
+
+let test_norm_gencmp_unordered () =
+  (* general comparisons wrap both operands (Section 2.2) *)
+  let c = norm "(1,2) = (2,3)" in
+  check_contains "gencmp" "fn:unordered" c
+
+let test_norm_quant () =
+  (* Rule QUANT applies in _either_ mode *)
+  let c = norm ~mode:Ast.Ordered "some $x in (1,2) satisfies $x" in
+  check_contains "quant domain wrapped" "fn:unordered" c
+
+let test_norm_aggregates () =
+  let c = norm "count((1,2))" in
+  check_contains "FN:COUNT rule" "count(fn:unordered" c;
+  let c = norm "string-join((1,2), \",\")" in
+  check_not_contains "string-join is order-sensitive" "fn:unordered" c
+
+let test_norm_union_rule () =
+  (* Rule UNION fires only under ordering mode unordered *)
+  let c = norm ~mode:Ast.Unordered "$a | $b" in
+  check_contains "UNION under unordered" "fn:unordered((" c;
+  let c = norm ~mode:Ast.Ordered "$a | $b" in
+  check_not_contains "no UNION under ordered" "fn:unordered" c
+
+let test_norm_mode_propagation () =
+  let c = norm ~mode:Ast.Ordered "unordered { $a/b }" in
+  check_contains "step sees unordered" "step[child,unord]" c;
+  let c = norm ~mode:Ast.Unordered "ordered { $a/b }" in
+  check_contains "step sees ordered" "step[child,ord]" c
+
+let test_norm_predicates () =
+  (* numeric predicate becomes a position test *)
+  let c = norm "$a/b[2]" in
+  check_contains "positional" "eq 2" c;
+  (* last() forces a count binding *)
+  let c = norm "$a/b[last()]" in
+  check_contains "last binding" "count(" c;
+  (* boolean predicate goes through ebv *)
+  let c = norm "$a/b[c]" in
+  check_contains "ebv" "fs:ebv" c
+
+let test_norm_boundary_ws () =
+  let c = norm "<a> <b/> </a>" in
+  check_not_contains "boundary ws stripped" "text{" c;
+  let c = norm "<a> x </a>" in
+  check_contains "real text kept" "text{\" x \"}" c
+
+let test_norm_udf () =
+  let q = parse_q "declare function local:f($x) { $x * 2 }; local:f(local:f(3))" in
+  let c = Normalize.normalize_query q in
+  check_contains "inlined body" "* 2" c;
+  check_not_contains "no residual call" "local:f" (c);
+  expect_static_error
+    "declare function local:f($x) { local:f($x) }; local:f(1)"
+
+let test_norm_errors () =
+  expect_static_error ".";                        (* no context item *)
+  expect_static_error "position()";
+  expect_static_error "nosuchfn(1)";
+  expect_static_error "count()";
+  expect_static_error "count(1,2)";
+  expect_static_error "document { 1 }"
+
+let test_norm_avt () =
+  let c = norm {|<e a="x{1+1}y"/>|} in
+  check_contains "avt concat" "concat" c;
+  check_contains "avt join" "fs:joinws" c
+
+(* an end-to-end sanity check that normalize output is stable for the
+   paper's running expression (1) *)
+let test_norm_paper_example () =
+  let c = norm ~mode:Ast.Unordered "unordered { $t//(c|d) }" in
+  (* Rules STEP+UNION: both the step chain and the union get wrapped *)
+  check_contains "dos step unordered" "step[descendant-or-self,unord]" c;
+  check_contains "union wrapped" "fn:unordered((" c
+
+let () =
+  Alcotest.run "xquery"
+    [ ( "parser",
+        [ Alcotest.test_case "literals" `Quick test_parse_literals;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "paths" `Quick test_parse_path;
+          Alcotest.test_case "flwor" `Quick test_parse_flwor;
+          Alcotest.test_case "constructors" `Quick test_parse_constructors;
+          Alcotest.test_case "prolog" `Quick test_parse_prolog;
+          Alcotest.test_case "comments" `Quick test_parse_comments;
+          Alcotest.test_case "type operators" `Quick test_parse_types;
+          Alcotest.test_case "errors" `Quick test_parse_errors ] );
+      ( "normalize",
+        [ Alcotest.test_case "general cmp wraps operands" `Quick test_norm_gencmp_unordered;
+          Alcotest.test_case "rule QUANT" `Quick test_norm_quant;
+          Alcotest.test_case "rule FN:COUNT + siblings" `Quick test_norm_aggregates;
+          Alcotest.test_case "rule UNION" `Quick test_norm_union_rule;
+          Alcotest.test_case "mode propagation" `Quick test_norm_mode_propagation;
+          Alcotest.test_case "predicate lowering" `Quick test_norm_predicates;
+          Alcotest.test_case "boundary whitespace" `Quick test_norm_boundary_ws;
+          Alcotest.test_case "function inlining" `Quick test_norm_udf;
+          Alcotest.test_case "static errors" `Quick test_norm_errors;
+          Alcotest.test_case "attribute value templates" `Quick test_norm_avt;
+          Alcotest.test_case "paper expression (1)" `Quick test_norm_paper_example ] );
+    ]
