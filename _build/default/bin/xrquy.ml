@@ -12,7 +12,18 @@
      --no-hoist                  disable loop-invariant hoisting
      --interpret                 use the reference interpreter
      --profile                   print the per-bucket execution profile
-     --dot                       print plans as Graphviz dot *)
+     --dot                       print plans as Graphviz dot
+
+   Resource governance (run/xmark):
+     --timeout S                 wall-clock deadline per query, in seconds
+     --max-rows N                cumulative materialized-row budget
+     --max-bytes N               cumulative estimated-byte budget
+     --max-ops N                 operator-evaluation budget
+     --no-fallback               fail instead of degrading to the
+                                 interpreter on internal errors
+
+   Every command exits 0 on success, or with the error taxonomy's code:
+   1 dynamic, 2 static (incl. parse errors), 3 resource, 4 internal. *)
 
 open Cmdliner
 
@@ -73,7 +84,41 @@ let tag_index_arg =
   Arg.(value & flag & info [ "tag-index" ]
          ~doc:"Evaluate steps with TwigStack-style tag-indexed element                streams instead of the staircase scan.")
 
-let mk_opts ?(no_joinrec = false) mode no_rules no_cda no_hoist interpret tag_index =
+let timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "timeout" ] ~docv:"S"
+           ~doc:"Abort the query after $(docv) seconds (exit code 3).")
+
+let max_rows_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-rows" ] ~docv:"N"
+           ~doc:"Abort after materializing $(docv) rows across all operators.")
+
+let max_bytes_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-bytes" ] ~docv:"N"
+           ~doc:"Abort after materializing an estimated $(docv) bytes.")
+
+let max_ops_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-ops" ] ~docv:"N"
+           ~doc:"Abort after $(docv) operator evaluations.")
+
+let no_fallback_arg =
+  Arg.(value & flag & info [ "no-fallback" ]
+         ~doc:"Disable graceful degradation: report internal errors of the \
+               compiled backend instead of retrying on the interpreter.")
+
+let budget_spec timeout_s max_rows max_bytes max_ops =
+  match (timeout_s, max_rows, max_bytes, max_ops) with
+  | None, None, None, None -> None
+  | _ ->
+    Some
+      { Basis.Budget.unlimited with
+        Basis.Budget.timeout_s; max_rows; max_bytes; max_ops }
+
+let mk_opts ?(no_joinrec = false) ?budget ?(no_fallback = false)
+    mode no_rules no_cda no_hoist interpret tag_index =
   { Engine.mode;
     unordered_rules = not no_rules;
     cda = not no_cda;
@@ -81,7 +126,9 @@ let mk_opts ?(no_joinrec = false) mode no_rules no_cda no_hoist interpret tag_in
     backend = (if interpret then Engine.Interpreted else Engine.Compiled);
     step_impl =
       (if tag_index then Algebra.Eval.Tag_index else Algebra.Eval.Scan);
-    join_rec = not no_joinrec }
+    join_rec = not no_joinrec;
+    budget;
+    fallback = not no_fallback }
 
 let load_documents store specs =
   List.iter
@@ -99,29 +146,51 @@ let query_text query_file expr =
   match (query_file, expr) with
   | Some f, _ -> read_file f
   | None, Some e -> e
-  | None, None -> failwith "no query given (positional QUERY or -q FILE)"
+  | None, None -> Basis.Err.static "no query given (positional QUERY or -q FILE)"
 
+(* One readable line per failure, one exit code per error class:
+   1 dynamic, 2 static, 3 resource, 4 internal. *)
 let handle f =
   match f () with
   | () -> 0
-  | exception Basis.Err.Dynamic_error m -> Printf.eprintf "dynamic error: %s\n" m; 1
-  | exception Basis.Err.Static_error m -> Printf.eprintf "static error: %s\n" m; 1
-  | exception Xquery.Parser.Syntax_error (m, pos) ->
-    Printf.eprintf "syntax error at offset %d: %s\n" pos m; 1
-  | exception Xmldb.Xml_parser.Parse_error (m, pos) ->
-    Printf.eprintf "XML parse error at offset %d: %s\n" pos m; 1
-  | exception Failure m -> Printf.eprintf "error: %s\n" m; 1
+  | exception e ->
+    (match Engine.classify_error e with
+     | Some { Engine.kind; message } ->
+       Printf.eprintf "xrquy: %s error: %s\n" (Basis.Err.kind_label kind)
+         message;
+       Basis.Err.exit_code kind
+     | None ->
+       (match e with
+        | Sys_error m ->
+          (* missing query/document file and friends: the user's input *)
+          Printf.eprintf "xrquy: static error: %s\n" m;
+          Basis.Err.exit_code Basis.Err.Static
+        | Failure m ->
+          Printf.eprintf "xrquy: internal error: %s\n" m;
+          Basis.Err.exit_code Basis.Err.Internal
+        | e -> raise e))
+
+let report_degraded r =
+  match r.Engine.degraded with
+  | Some reason -> Printf.eprintf "xrquy: degraded: %s\n" reason
+  | None -> ()
 
 (* ----------------------------------------------------------------- run *)
 
 let run_cmd =
-  let action docs qf expr mode no_rules no_cda no_hoist interpret profile tag_index no_joinrec =
+  let action docs qf expr mode no_rules no_cda no_hoist interpret profile
+      tag_index no_joinrec timeout max_rows max_bytes max_ops no_fallback =
     handle (fun () ->
         let store = Xmldb.Doc_store.create () in
         load_documents store docs;
-        let opts = mk_opts ~no_joinrec mode no_rules no_cda no_hoist interpret tag_index in
+        let budget = budget_spec timeout max_rows max_bytes max_ops in
+        let opts =
+          mk_opts ~no_joinrec ?budget ~no_fallback mode no_rules no_cda
+            no_hoist interpret tag_index
+        in
         let r = Engine.run ~opts ~with_profile:profile store (query_text qf expr) in
         print_endline r.Engine.serialized;
+        report_degraded r;
         (match r.Engine.profile with
          | Some p ->
            prerr_newline ();
@@ -133,7 +202,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Evaluate an XQuery expression")
     Term.(const action $ docs_arg $ query_file_arg $ expr_arg $ mode_arg
           $ no_rules_arg $ no_cda_arg $ no_hoist_arg $ interpret_arg
-          $ profile_arg $ tag_index_arg $ no_joinrec_arg)
+          $ profile_arg $ tag_index_arg $ no_joinrec_arg $ timeout_arg
+          $ max_rows_arg $ max_bytes_arg $ max_ops_arg $ no_fallback_arg)
 
 (* ---------------------------------------------------------------- plan *)
 
@@ -169,13 +239,18 @@ let xmark_query_arg =
        & info [ "query" ] ~docv:"QN" ~doc:"Run a single XMark query (Q1..Q20).")
 
 let xmark_cmd =
-  let action scale qname mode no_rules no_cda no_hoist interpret profile tag_index =
+  let action scale qname mode no_rules no_cda no_hoist interpret profile
+      tag_index timeout max_rows max_bytes max_ops no_fallback =
     handle (fun () ->
         let store = Xmldb.Doc_store.create () in
         let _, bytes = Xmark.Xmark_gen.load ~scale store in
         Printf.eprintf "auction.xml: %.2f MB, %d nodes\n"
           (float_of_int bytes /. 1e6) (Xmldb.Doc_store.total_nodes store);
-        let opts = mk_opts mode no_rules no_cda no_hoist interpret tag_index in
+        let budget = budget_spec timeout max_rows max_bytes max_ops in
+        let opts =
+          mk_opts ?budget ~no_fallback mode no_rules no_cda no_hoist
+            interpret tag_index
+        in
         let queries =
           match qname with
           | Some n -> [ (n, Xmark.Xmark_queries.get n) ]
@@ -186,6 +261,7 @@ let xmark_cmd =
              let r = Engine.run ~opts ~with_profile:profile store q in
              Printf.printf "%-4s %6d items %10.1f ms\n%!" n
                (List.length r.Engine.items) (r.Engine.wall_seconds *. 1000.0);
+             report_degraded r;
              match r.Engine.profile with
              | Some p -> print_string (Algebra.Profile.to_string p)
              | None -> ())
@@ -194,7 +270,8 @@ let xmark_cmd =
   Cmd.v (Cmd.info "xmark" ~doc:"Run XMark benchmark queries on a generated instance")
     Term.(const action $ scale_arg $ xmark_query_arg $ mode_arg $ no_rules_arg
           $ no_cda_arg $ no_hoist_arg $ interpret_arg $ profile_arg
-          $ tag_index_arg)
+          $ tag_index_arg $ timeout_arg $ max_rows_arg $ max_bytes_arg
+          $ max_ops_arg $ no_fallback_arg)
 
 (* ----------------------------------------------------------------- gen *)
 

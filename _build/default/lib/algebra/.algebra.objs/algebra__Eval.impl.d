@@ -1,1 +1,1 @@
-lib/algebra/eval.ml: Array Basis Buffer Err Float Hashtbl Int List Option Plan Profile String Table Unix Value Vec Xmldb
+lib/algebra/eval.ml: Array Basis Budget Buffer Err Float Hashtbl Int List Option Plan Profile String Table Unix Value Vec Xmldb

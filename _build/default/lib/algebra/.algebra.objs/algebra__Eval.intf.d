@@ -1,1 +1,1 @@
-lib/algebra/eval.mli: Plan Profile Table Value Xmldb
+lib/algebra/eval.mli: Basis Plan Profile Table Value Xmldb

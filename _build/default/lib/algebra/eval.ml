@@ -16,14 +16,16 @@ type ctx = {
   store : Xmldb.Doc_store.t;
   cache : (int, Table.t) Hashtbl.t;
   profile : Profile.t option;
+  guard : Budget.t option;  (* resource governor, checked per operator *)
   tag_index : Xmldb.Tag_index.t option;  (* Some = use it where applicable *)
   mutable id_index : Xmldb.Id_index.t option;  (* built on first fn:id *)
 }
 
-let create ?profile ?(step_impl = Scan) store =
+let create ?profile ?guard ?(step_impl = Scan) store =
   { store;
     cache = Hashtbl.create 128;
     profile;
+    guard;
     tag_index =
       (match step_impl with
        | Scan -> None
@@ -962,10 +964,19 @@ let rec eval ctx (n : node) : Table.t =
   match Hashtbl.find_opt ctx.cache n.id with
   | Some t -> t
   | None ->
+    (* the operator boundary: deadline / op-budget / cancellation / fault
+       injection all fire here, before any work for this node *)
+    (match ctx.guard with Some g -> Budget.check g | None -> ());
     (* evaluate children first so their time is attributed to them *)
     List.iter (fun c -> ignore (eval ctx c)) (children n.op);
     let t0 = match ctx.profile with Some _ -> now () | None -> 0.0 in
     let t = eval_local ctx n.op in
+    (match ctx.guard with
+     | Some g ->
+       Budget.add_rows g (Table.nrows t);
+       if Budget.wants_bytes g then
+         Budget.add_bytes g (Table.estimated_bytes t)
+     | None -> ());
     (match ctx.profile with
      | Some p ->
        let label = if n.label = "" then op_symbol n.op else n.label in
@@ -1020,6 +1031,6 @@ and eval_local ctx op =
     eval_id_lookup idx ctx.store (e values) (e context)
 
 (* Evaluate a whole plan against a fresh context. *)
-let run ?profile ?step_impl store root =
-  let ctx = create ?profile ?step_impl store in
+let run ?profile ?guard ?step_impl store root =
+  let ctx = create ?profile ?guard ?step_impl store in
   eval ctx root

@@ -13,11 +13,18 @@
     streams (used where applicable, scan elsewhere). *)
 type step_impl = Scan | Tag_index
 
-(** An evaluation context: result cache + store + optional profile. *)
+(** An evaluation context: result cache + store + optional profile +
+    optional resource guard. *)
 type ctx
 
+(** [guard] is checked at every operator boundary (one {!Basis.Budget.check}
+    per plan-node evaluation; cache hits are free) and charged with every
+    materialized result table's rows and — when a byte budget is armed —
+    estimated bytes. Exhaustion raises {!Basis.Err.Resource_error} and the
+    evaluation unwinds; no partial table escapes. *)
 val create :
-  ?profile:Profile.t -> ?step_impl:step_impl -> Xmldb.Doc_store.t -> ctx
+  ?profile:Profile.t -> ?guard:Basis.Budget.t -> ?step_impl:step_impl ->
+  Xmldb.Doc_store.t -> ctx
 
 (** Evaluate a node (and, transitively, its children) against the context;
     cached results are returned as-is. When profiling, each node's local
@@ -25,10 +32,10 @@ val create :
     when unlabeled). *)
 val eval : ctx -> Plan.node -> Table.t
 
-(** [run ?profile store root] — evaluate against a fresh context. *)
+(** [run ?profile ?guard store root] — evaluate against a fresh context. *)
 val run :
-  ?profile:Profile.t -> ?step_impl:step_impl -> Xmldb.Doc_store.t ->
-  Plan.node -> Table.t
+  ?profile:Profile.t -> ?guard:Basis.Budget.t -> ?step_impl:step_impl ->
+  Xmldb.Doc_store.t -> Plan.node -> Table.t
 
 (** {2 Primitive semantics} (exposed for the interpreter and tests) *)
 

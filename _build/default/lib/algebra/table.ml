@@ -107,3 +107,13 @@ let to_string ?(max_rows = 20) t =
   if t.nrows > n then
     Buffer.add_string buf (Printf.sprintf "... (%d rows)\n" t.nrows);
   Buffer.contents buf
+
+(* Estimated memory footprint: the Budget byte-accounting currency. *)
+let estimated_bytes t =
+  let total = ref 64 in
+  Array.iter
+    (fun c ->
+       total := !total + 16;
+       Array.iter (fun v -> total := !total + Value.estimated_bytes v) c)
+    t.cols;
+  !total

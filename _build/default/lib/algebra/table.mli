@@ -49,3 +49,6 @@ val union : t -> t -> t
 
 (** Debug rendering (up to [max_rows] rows). *)
 val to_string : ?max_rows:int -> t -> string
+
+(** Estimated memory footprint in bytes (see {!Value.estimated_bytes}). *)
+val estimated_bytes : t -> int

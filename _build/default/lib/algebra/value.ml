@@ -258,3 +258,13 @@ let pp fmt v =
   | Node n -> Format.fprintf fmt "node(%s)" (Xmldb.Node_id.to_string n)
   | Qname_v q -> Format.fprintf fmt "qname(%s)" (Xmldb.Qname.to_string q)
   | v -> Format.pp_print_string fmt (to_string v)
+
+(* Rough per-cell memory footprint (boxed OCaml representation), the
+   currency of Budget byte accounting. Deliberately an estimate: close
+   enough to catch a runaway materialization, cheap enough to compute. *)
+let estimated_bytes = function
+  | Int _ | Bool _ -> 16
+  | Dbl _ -> 24
+  | Str s -> 32 + String.length s
+  | Qname_v _ -> 48
+  | Node _ -> 24

@@ -81,3 +81,7 @@ val neg : t -> t
 val numeric_view : t -> t option
 
 val pp : Format.formatter -> t -> unit
+
+(** Rough per-cell memory footprint in bytes (the currency of
+    {!Basis.Budget} byte accounting) — an estimate, not an exact size. *)
+val estimated_bytes : t -> int

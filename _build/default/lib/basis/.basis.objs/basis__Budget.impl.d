@@ -1,0 +1,1 @@
+lib/basis/budget.ml: Err Option Unix

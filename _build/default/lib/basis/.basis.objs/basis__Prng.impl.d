@@ -1,1 +1,1 @@
-lib/basis/prng.ml: Array Int64
+lib/basis/prng.ml: Array Err Int64

@@ -1,1 +1,1 @@
-lib/basis/vec.ml: Array
+lib/basis/vec.ml: Array Err

@@ -1,0 +1,105 @@
+(* Resource governance for query evaluation.
+
+   A [spec] declares the limits a caller is willing to grant a query; a
+   running guard [t] (one per evaluation, [start spec]) accounts work
+   against them. Both executors call [check] at every operator boundary —
+   once per algebra-node evaluation in the columnar executor, once per
+   core-expression node in the reference interpreter — and [add_rows] /
+   [add_bytes] after materializing a result. Exhaustion raises
+   [Err.Resource_error]; evaluation unwinds through the ordinary exception
+   path, so no partial result can escape.
+
+   Cancellation is cooperative: flipping a [cancel] switch makes the
+   *next* boundary check raise. Granularity is therefore one operator —
+   a single enormous operator is only interrupted at its end.
+
+   The fault-injection hook ([fault_at = Some n]) turns the n-th boundary
+   check into [Err.Internal_error], deterministically. Tests seed
+   [Basis.Prng] to pick boundaries and prove that every operator unwinds
+   cleanly and that the engine's interpreter fallback engages. *)
+
+type cancel = bool ref
+
+let cancel_switch () = ref false
+let cancel c = c := true
+let cancelled c = !c
+
+type spec = {
+  timeout_s : float option;
+  max_rows : int option;
+  max_bytes : int option;
+  max_ops : int option;
+  cancel : cancel option;
+  fault_at : int option;
+}
+
+let unlimited =
+  { timeout_s = None;
+    max_rows = None;
+    max_bytes = None;
+    max_ops = None;
+    cancel = None;
+    fault_at = None }
+
+let limits ?timeout_s ?max_rows ?max_bytes ?max_ops ?cancel ?fault_at () =
+  { timeout_s; max_rows; max_bytes; max_ops; cancel; fault_at }
+
+type t = {
+  spec : spec;
+  deadline : float option;  (* absolute, Unix.gettimeofday scale *)
+  mutable ops : int;
+  mutable rows : int;
+  mutable bytes : int;
+}
+
+let start spec =
+  { spec;
+    deadline =
+      Option.map (fun s -> Unix.gettimeofday () +. s) spec.timeout_s;
+    ops = 0;
+    rows = 0;
+    bytes = 0 }
+
+let ops t = t.ops
+let rows t = t.rows
+let bytes t = t.bytes
+
+(* Byte accounting costs a walk over the materialized values, so callers
+   skip the estimate entirely unless a byte budget is armed. *)
+let wants_bytes t = t.spec.max_bytes <> None
+
+let check t =
+  t.ops <- t.ops + 1;
+  (match t.spec.fault_at with
+   | Some n when t.ops = n ->
+     Err.internal "injected fault at operator boundary %d" n
+   | _ -> ());
+  (match t.spec.cancel with
+   | Some c when !c -> Err.resource "query cancelled"
+   | _ -> ());
+  (match t.spec.max_ops with
+   | Some m when t.ops > m ->
+     Err.resource "operator budget exhausted (limit %d evaluations)" m
+   | _ -> ());
+  match t.deadline with
+  | Some d when Unix.gettimeofday () >= d ->
+    (match t.spec.timeout_s with
+     | Some s -> Err.resource "deadline exceeded (limit %gs)" s
+     | None -> assert false)
+  | _ -> ()
+
+let add_rows t n =
+  t.rows <- t.rows + n;
+  match t.spec.max_rows with
+  | Some m when t.rows > m ->
+    Err.resource "row budget exhausted (%d rows materialized, limit %d)"
+      t.rows m
+  | _ -> ()
+
+let add_bytes t n =
+  t.bytes <- t.bytes + n;
+  match t.spec.max_bytes with
+  | Some m when t.bytes > m ->
+    Err.resource
+      "byte budget exhausted (~%d bytes materialized, limit %d)" t.bytes m
+  | _ -> ()

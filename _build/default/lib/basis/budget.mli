@@ -1,0 +1,73 @@
+(** Resource governance for query evaluation: wall-clock deadline, output
+    row budget, estimated-byte budget, operator-evaluation-count budget,
+    cooperative cancellation, and a deterministic fault-injection hook.
+
+    A {!spec} declares the limits; {!start} arms a fresh guard for one
+    evaluation. Executors call {!check} at every operator boundary and
+    {!add_rows}/{!add_bytes} after materializing results; exhaustion
+    raises {!Err.Resource_error}, unwinding through the normal exception
+    path so no partial result escapes.
+
+    Cancellation is cooperative with operator granularity: flipping a
+    {!cancel} switch makes the next boundary check raise. *)
+
+(** A shared cancellation switch. Create one, stash it in a {!spec}, and
+    flip it (e.g. from a signal handler or another domain's request
+    router) to stop the query at its next operator boundary. *)
+type cancel
+
+val cancel_switch : unit -> cancel
+val cancel : cancel -> unit
+val cancelled : cancel -> bool
+
+type spec = {
+  timeout_s : float option;
+      (** relative deadline in seconds, armed by {!start}; [<= 0.] means
+          already expired *)
+  max_rows : int option;
+      (** cumulative rows materialized across all operators *)
+  max_bytes : int option;
+      (** cumulative estimated bytes materialized across all operators *)
+  max_ops : int option;  (** operator (plan/core node) evaluations *)
+  cancel : cancel option;
+  fault_at : int option;
+      (** fault injection: the n-th {!check} raises
+          {!Err.Internal_error} — test machinery, never set it in
+          production paths *)
+}
+
+(** No limits at all. Build specs as [{ unlimited with ... }]. *)
+val unlimited : spec
+
+(** Keyword-argument spec builder. *)
+val limits :
+  ?timeout_s:float -> ?max_rows:int -> ?max_bytes:int -> ?max_ops:int ->
+  ?cancel:cancel -> ?fault_at:int -> unit -> spec
+
+(** A running guard: counters plus the absolute deadline. *)
+type t
+
+(** Arm a guard: the deadline clock starts now. *)
+val start : spec -> t
+
+val ops : t -> int
+val rows : t -> int
+val bytes : t -> int
+
+(** The operator-boundary check: counts one operator evaluation, then
+    raises {!Err.Resource_error} on cancellation, an exhausted operator
+    budget, or a passed deadline — or {!Err.Internal_error} when this is
+    the boundary selected by [fault_at]. *)
+val check : t -> unit
+
+(** Account [n] materialized rows; raises {!Err.Resource_error} past
+    [max_rows]. *)
+val add_rows : t -> int -> unit
+
+(** Account [n] estimated bytes; raises {!Err.Resource_error} past
+    [max_bytes]. *)
+val add_bytes : t -> int -> unit
+
+(** Whether a byte budget is armed — callers skip the (linear-cost) byte
+    estimate when it is not. *)
+val wants_bytes : t -> bool

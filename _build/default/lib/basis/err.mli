@@ -1,6 +1,6 @@
 (** Error discipline shared by every layer.
 
-    Three exception classes partition all failures:
+    Four exception classes partition all failures:
     {ul
     {- [Dynamic_error] — XQuery dynamic errors (the [err:XPDY]/[err:FORG]
        families): division by zero, cardinality violations, missing
@@ -8,12 +8,20 @@
     {- [Static_error] — parse- and normalization-time errors (the
        [err:XPST] family): unknown functions, unbound context items,
        unsupported constructs.}
+    {- [Resource_error] — an execution budget was exhausted (wall-clock
+       deadline, row/byte/operator budgets of {!Budget}) or the query was
+       cancelled. Not a bug and not a query error: the work was refused.}
     {- [Internal_error] — a broken invariant of this implementation;
        always a bug, never a user error.}} *)
 
 exception Dynamic_error of string
 exception Static_error of string
 exception Internal_error of string
+exception Resource_error of string
+
+(** The four error classes as a value, for dispatch without exception
+    matching. *)
+type kind = Dynamic | Static | Resource | Internal
 
 (** [dynamic fmt ...] raises {!Dynamic_error} with a formatted message. *)
 val dynamic : ('a, Format.formatter, unit, 'b) format4 -> 'a
@@ -24,10 +32,27 @@ val static : ('a, Format.formatter, unit, 'b) format4 -> 'a
 (** [internal fmt ...] raises {!Internal_error} with a formatted message. *)
 val internal : ('a, Format.formatter, unit, 'b) format4 -> 'a
 
-(** Render one of the three errors for user display. Re-raises any other
+(** [resource fmt ...] raises {!Resource_error} with a formatted message. *)
+val resource : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** "dynamic" / "static" / "resource" / "internal". *)
+val kind_label : kind -> string
+
+(** The CLI exit-code contract: dynamic 1, static 2, resource 3,
+    internal 4. *)
+val exit_code : kind -> int
+
+(** [classify e] is [Some (kind, message)] for the four error classes,
+    [None] for any other exception. *)
+val classify : exn -> (kind * string) option
+
+(** Render one of the four errors for user display. Re-raises any other
     exception. *)
 val to_string : exn -> string
 
-(** [protect f] runs [f ()] and captures the three error classes as
+(** [protect f] runs [f ()] and captures the four error classes as
     [Error message]; other exceptions propagate. *)
 val protect : (unit -> 'a) -> ('a, string) result
+
+(** Like {!protect}, keeping the error class. *)
+val protect_kind : (unit -> 'a) -> ('a, kind * string) result

@@ -7,9 +7,14 @@
      - [unordered_rules]: the Figure-7 rules FN:UNORDERED / LOC# / BIND#
      - [cda]: column dependency analysis + plan simplification (Section 4.1)
      - [hoist]: loop-invariant hoisting
-     - [backend]: compiled plans or the reference interpreter *)
+     - [backend]: compiled plans or the reference interpreter
+     - [budget]: resource governance (deadline / rows / bytes / op count /
+       cancellation), armed afresh for every run
+     - [fallback]: graceful degradation — an internal error in the
+       compiled backend retries the query on the reference interpreter *)
 
 module Value = Algebra.Value
+module Budget = Basis.Budget
 
 type backend = Compiled | Interpreted
 
@@ -21,6 +26,8 @@ type opts = {
   backend : backend;
   step_impl : Algebra.Eval.step_impl;
   join_rec : bool;
+  budget : Budget.spec option;
+  fallback : bool;
 }
 
 let default_opts = {
@@ -31,6 +38,8 @@ let default_opts = {
   backend = Compiled;
   step_impl = Algebra.Eval.Scan;
   join_rec = true;
+  budget = None;
+  fallback = true;
 }
 
 (* Pathfinder with order indifference disabled: every plan is emitted as if
@@ -44,6 +53,7 @@ type result = {
   raw_plan : Algebra.Plan.node option;      (* before optimization *)
   profile : Algebra.Profile.t option;
   wall_seconds : float;
+  degraded : string option;    (* Some reason: served by the fallback path *)
 }
 
 let parse_and_normalize ?mode text =
@@ -99,30 +109,90 @@ let items_of_table t =
   in
   List.map snd (List.sort (fun (a, _) (b, _) -> Int.compare a b) rows)
 
+(* The fault-injection hook lives in the compiled executor's boundary
+   checks only: the interpreter (and in particular the fallback retry)
+   always runs with the hook disarmed, so injected faults prove the
+   degradation path out rather than re-firing inside it. *)
+let interp_guard opts =
+  Option.map
+    (fun spec -> Budget.start { spec with Budget.fault_at = None })
+    opts.budget
+
 let run ?(opts = default_opts) ?(with_profile = false) store text : result =
   let t0 = Unix.gettimeofday () in
-  match opts.backend with
-  | Interpreted ->
+  let run_interpreted ~degraded () =
     let core = parse_and_normalize ?mode:opts.mode text in
-    let items = Interp.Interpreter.eval_core store core in
+    let items =
+      Interp.Interpreter.eval_core ?guard:(interp_guard opts) store core
+    in
     { items;
       serialized = Interp.Xdm.serialize store items;
       plan = None; raw_plan = None; profile = None;
-      wall_seconds = Unix.gettimeofday () -. t0 }
+      wall_seconds = Unix.gettimeofday () -. t0;
+      degraded }
+  in
+  match opts.backend with
+  | Interpreted -> run_interpreted ~degraded:None ()
   | Compiled ->
-    let _, raw, optimized = plans_of ~opts text in
-    label_plan optimized;
-    let profile = if with_profile then Some (Algebra.Profile.create ()) else None in
-    let table =
-      Algebra.Eval.run ?profile ~step_impl:opts.step_impl store optimized
+    let run_compiled () =
+      let _, raw, optimized = plans_of ~opts text in
+      label_plan optimized;
+      let profile = if with_profile then Some (Algebra.Profile.create ()) else None in
+      let guard = Option.map Budget.start opts.budget in
+      let table =
+        Algebra.Eval.run ?profile ?guard ~step_impl:opts.step_impl store
+          optimized
+      in
+      let items = items_of_table table in
+      { items;
+        serialized = Interp.Xdm.serialize store items;
+        plan = Some optimized; raw_plan = Some raw; profile;
+        wall_seconds = Unix.gettimeofday () -. t0;
+        degraded = None }
     in
-    let items = items_of_table table in
-    { items;
-      serialized = Interp.Xdm.serialize store items;
-      plan = Some optimized; raw_plan = Some raw; profile;
-      wall_seconds = Unix.gettimeofday () -. t0 }
+    (match run_compiled () with
+     | r -> r
+     | exception Basis.Err.Internal_error m when opts.fallback ->
+       (* graceful degradation: a compiler/executor bug must not take the
+          query down — retry on the reference interpreter (its guard is
+          re-armed: the fallback run gets a fresh budget) *)
+       run_interpreted
+         ~degraded:
+           (Some
+              (Printf.sprintf
+                 "compiled backend failed (internal error: %s); \
+                  answered by the reference interpreter" m))
+         ())
 
 let run_to_string ?opts store text = (run ?opts store text).serialized
+
+(* ---------------------------------------------- classified error capture *)
+
+type error = { kind : Basis.Err.kind; message : string }
+
+(* Fold the front-end parsers' positioned exceptions into the uniform
+   taxonomy: anything the query author wrote wrong is a static error. *)
+let classify_error = function
+  | Xquery.Parser.Syntax_error (m, pos) ->
+    Some
+      { kind = Basis.Err.Static;
+        message = Printf.sprintf "syntax error at offset %d: %s" pos m }
+  | Xmldb.Xml_parser.Parse_error (m, pos) ->
+    Some
+      { kind = Basis.Err.Static;
+        message = Printf.sprintf "XML parse error at offset %d: %s" pos m }
+  | e ->
+    Option.map
+      (fun (kind, message) -> { kind; message })
+      (Basis.Err.classify e)
+
+let run_result ?opts ?with_profile store text =
+  match run ?opts ?with_profile store text with
+  | r -> Ok r
+  | exception e ->
+    (match classify_error e with
+     | Some err -> Error err
+     | None -> raise e)
 
 (* Compile once, execute many times (benchmark harness): returns the
    optimized plan and a closure that runs it against a fresh evaluation
@@ -131,12 +201,17 @@ let prepare ?(opts = default_opts) store text =
   match opts.backend with
   | Interpreted ->
     let core = parse_and_normalize ?mode:opts.mode text in
-    (None, fun () -> List.length (Interp.Interpreter.eval_core store core))
+    ( None,
+      fun () ->
+        List.length
+          (Interp.Interpreter.eval_core ?guard:(interp_guard opts) store core)
+    )
   | Compiled ->
     let _, _, optimized = plans_of ~opts text in
     ( Some optimized,
       fun () ->
+        let guard = Option.map Budget.start opts.budget in
         let table =
-          Algebra.Eval.run ~step_impl:opts.step_impl store optimized
+          Algebra.Eval.run ?guard ~step_impl:opts.step_impl store optimized
         in
         Algebra.Table.nrows table )

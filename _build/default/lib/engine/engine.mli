@@ -21,6 +21,14 @@ type opts = {
       (** how the step operator ⊘ is realized: staircase scan or
           TwigStack-style tag-indexed streams *)
   join_rec : bool;  (** FLWOR where-clause value-join recognition *)
+  budget : Basis.Budget.spec option;
+      (** resource governance — a fresh guard is armed per run (and per
+          {!prepare} closure call); exhaustion raises
+          {!Basis.Err.Resource_error} from either backend *)
+  fallback : bool;
+      (** graceful degradation: when the compiled backend raises
+          {!Basis.Err.Internal_error}, retry on the reference interpreter
+          and report via {!result.degraded} (default [true]) *)
 }
 
 val default_opts : opts
@@ -35,6 +43,9 @@ type result = {
   raw_plan : Algebra.Plan.node option;  (** before optimization *)
   profile : Algebra.Profile.t option;
   wall_seconds : float;
+  degraded : string option;
+      (** [Some reason] when the compiled backend failed internally and
+          the answer was served by the interpreter fallback *)
 }
 
 val parse_and_normalize :
@@ -52,6 +63,21 @@ val plans_of :
 val run : ?opts:opts -> ?with_profile:bool -> Xmldb.Doc_store.t -> string -> result
 
 val run_to_string : ?opts:opts -> Xmldb.Doc_store.t -> string -> string
+
+(** A classified failure: one of the four {!Basis.Err.kind} classes plus
+    a rendered message. *)
+type error = { kind : Basis.Err.kind; message : string }
+
+(** Classify an exception into the uniform error taxonomy: the four
+    {!Basis.Err} classes plus the front-end parsers' positioned
+    exceptions (both static). [None] for anything else. *)
+val classify_error : exn -> error option
+
+(** {!run}, with every classified error captured as [Error]; unknown
+    exceptions still propagate. *)
+val run_result :
+  ?opts:opts -> ?with_profile:bool -> Xmldb.Doc_store.t -> string ->
+  (result, error) Stdlib.result
 
 (** Compile once, execute many times (benchmarking): returns the optimized
     plan (when compiled) and a closure that evaluates it against a fresh

@@ -1,1 +1,1 @@
-lib/interp/interpreter.ml: Algebra Array Basis Err Float List Option String Xdm Xmldb Xquery
+lib/interp/interpreter.ml: Algebra Array Basis Budget Err Float List Option String Xdm Xmldb Xquery

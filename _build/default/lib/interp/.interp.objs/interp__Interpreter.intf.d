@@ -1,1 +1,1 @@
-lib/interp/interpreter.mli: Xdm Xmldb Xquery
+lib/interp/interpreter.mli: Basis Xdm Xmldb Xquery

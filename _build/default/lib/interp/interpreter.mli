@@ -5,10 +5,16 @@
     It plays two roles: the semantics oracle for differential testing of
     the compiler, and the order-oblivious baseline engine. *)
 
-(** Evaluate a Core expression against a store (no variables in scope). *)
-val eval_core : Xmldb.Doc_store.t -> Xquery.Core_ast.core -> Xdm.seq
+(** Evaluate a Core expression against a store (no variables in scope).
+    [guard] is checked at every core-expression node (the interpreter's
+    operator boundary) and charged with every materialized sequence;
+    exhaustion raises {!Basis.Err.Resource_error}. *)
+val eval_core :
+  ?guard:Basis.Budget.t -> Xmldb.Doc_store.t -> Xquery.Core_ast.core ->
+  Xdm.seq
 
 (** Parse, normalize and evaluate a full query text. *)
-val run : Xmldb.Doc_store.t -> string -> Xdm.seq
+val run : ?guard:Basis.Budget.t -> Xmldb.Doc_store.t -> string -> Xdm.seq
 
-val run_to_string : Xmldb.Doc_store.t -> string -> string
+val run_to_string :
+  ?guard:Basis.Budget.t -> Xmldb.Doc_store.t -> string -> string

@@ -1,1 +1,1 @@
-lib/xquery/parser.ml: Ast Buffer Char Format List String Uchar Xmldb
+lib/xquery/parser.ml: Ast Basis Buffer Char Format List String Uchar Xmldb

@@ -797,7 +797,7 @@ and parse_filter_or_step st =
          | "text" -> E_text_computed e
          | "comment" -> E_comment_computed e
          | "document" -> E_doc_computed e
-         | _ -> assert false)
+         | other -> Basis.Err.internal "parser: unreachable curly constructor %S" other)
     end
     else if List.mem name [ "element"; "attribute"; "processing-instruction" ]
             && (looking_at st "{"
@@ -835,7 +835,7 @@ and parse_filter_or_step st =
            | "element" -> E_elem_computed (nspec, body)
            | "attribute" -> E_attr_computed (nspec, body)
            | "processing-instruction" -> E_pi_computed (nspec, body)
-           | _ -> assert false)
+           | other -> Basis.Err.internal "parser: unreachable computed constructor %S" other)
       end
     end
     else if looking_at st "(" then begin

@@ -1,0 +1,248 @@
+(* Differential fuzz harness (the paper's Section-5 methodology as a
+   correctness oracle): a seeded generator of small core XQuery
+   expressions, each evaluated under
+
+       {compiled, interpreted} x {default_opts, ordered_baseline}
+                               x {without, with (generous) budgets}
+
+   asserting identical results — or identically *classified* errors —
+   across the whole matrix. (For the interpreter the plan options are
+   vacuous, so its two plan variants collapse into one run per budget
+   setting.)
+
+   Divergence policy:
+     - both sides Ok              -> serialized item lists must match
+                                     (multiset-compare when the query
+                                     contains order-latitude constructs:
+                                     unordered {} / distinct-values)
+     - both sides Error           -> the Err.kind classes must match
+     - Ok vs dynamic error        -> tolerated: XQuery 2.3.4 grants
+                                     latitude over evaluating erroneous
+                                     expressions whose value is unneeded
+     - Internal or Resource error -> always a failure (budgets here are
+                                     generous by construction)
+     - any unclassified exception -> always a failure
+
+   Every divergence logs the seed and the query text, so a failure
+   reproduces with --start SEED --seeds 1.
+
+   Usage: fuzz_differential [--seeds N] [--start K] [--deadline S] [-v]
+   Exit status: 0 = clean, 1 = divergences found. *)
+
+open Basis
+module Value = Algebra.Value
+
+let doc_xml = "<a><b><c/><d/></b><c/><e k=\"1\">x<f/>y</e></a>"
+
+let mk_store () =
+  let st = Xmldb.Doc_store.create () in
+  let _ = Xmldb.Xml_parser.load_document st ~uri:"t.xml" doc_xml in
+  st
+
+(* ------------------------------------------------------------- generator *)
+
+(* Seeded random expression generator. [lax] is flipped when the emitted
+   query contains a construct whose result order is implementation
+   latitude (unordered {}, distinct-values): those queries compare as
+   multisets. All emitted text parses by construction. *)
+let gen_query ~lax prng =
+  let var_names = [| "v"; "w"; "x" |] in
+  let rec gen depth vars =
+    let atom () =
+      match Prng.int prng 7 with
+      | 0 -> string_of_int (Prng.int prng 10)
+      | 1 -> "()"
+      | 2 -> Printf.sprintf "\"s%d\"" (Prng.int prng 3)
+      | 3 ->
+        (match vars with
+         | [] -> string_of_int (1 + Prng.int prng 5)
+         | _ -> "$" ^ Prng.pick prng (Array.of_list vars))
+      | 4 -> Printf.sprintf "%d.5" (Prng.int prng 5)
+      | 5 -> Printf.sprintf "(%d to %d)" (1 + Prng.int prng 3) (Prng.int prng 8)
+      | _ -> "true()"
+    in
+    if depth <= 0 then atom ()
+    else
+      let sub () = gen (depth - 1) vars in
+      match Prng.int prng 16 with
+      | 0 ->
+        let op = Prng.pick prng [| "+"; "-"; "*" |] in
+        Printf.sprintf "(%s %s %s)" (sub ()) op (sub ())
+      | 1 ->
+        (* division: a deliberate dynamic-error source (div by zero) *)
+        let op = Prng.pick prng [| "div"; "idiv"; "mod" |] in
+        Printf.sprintf "(%s %s %s)" (sub ()) op (sub ())
+      | 2 ->
+        let op = Prng.pick prng [| "="; "!="; "<"; ">="; "eq"; "lt" |] in
+        Printf.sprintf "(%s %s %s)" (sub ()) op (sub ())
+      | 3 -> Printf.sprintf "(%s, %s)" (sub ()) (sub ())
+      | 4 ->
+        let v = Prng.pick prng var_names in
+        Printf.sprintf "(for $%s in (%s) return %s)" v (sub ())
+          (gen (depth - 1) (v :: vars))
+      | 5 ->
+        let v = Prng.pick prng var_names in
+        Printf.sprintf "(let $%s := (%s) return %s)" v (sub ())
+          (gen (depth - 1) (v :: vars))
+      | 6 ->
+        let v = Prng.pick prng var_names in
+        Printf.sprintf
+          "(for $%s in (%s) where boolean(($%s, %s)[1] >= 2) return %s)" v
+          (sub ()) v
+          (gen (depth - 1) (v :: vars))
+          (gen (depth - 1) (v :: vars))
+      | 7 ->
+        Printf.sprintf "(if (boolean((%s, 0)[1] >= 1)) then %s else %s)"
+          (sub ()) (sub ()) (sub ())
+      | 8 ->
+        let f = Prng.pick prng [| "count"; "sum"; "empty"; "exists"; "reverse" |] in
+        Printf.sprintf "%s(%s)" f (sub ())
+      | 9 ->
+        let ax = Prng.pick prng [| "//"; "/a/"; "/a/b/"; "//b/" |] in
+        let tag = Prng.pick prng [| "c"; "d"; "e"; "f"; "*"; "zz" |] in
+        Printf.sprintf "doc(\"t.xml\")%s%s" ax tag
+      | 10 ->
+        let tag = Prng.pick prng [| "c"; "*" |] in
+        Printf.sprintf "count(doc(\"t.xml\")//%s[boolean((%s, 0)[1] >= 1)])"
+          tag (sub ())
+      | 11 ->
+        let q = Prng.pick prng [| "some"; "every" |] in
+        let v = Prng.pick prng var_names in
+        Printf.sprintf "(%s $%s in (%s) satisfies boolean(($%s, %s)[1] >= 1))"
+          q v (sub ()) v
+          (gen (depth - 1) (v :: vars))
+      | 12 ->
+        let f = Prng.pick prng [| "concat"; "contains"; "starts-with" |] in
+        Printf.sprintf "%s(string((%s)[1]), string((%s)[1]))" f (sub ()) (sub ())
+      | 13 ->
+        lax := true;
+        let tag = Prng.pick prng [| "c"; "d"; "*" |] in
+        Printf.sprintf "unordered { doc(\"t.xml\")//%s }" tag
+      | 14 ->
+        lax := true;
+        Printf.sprintf "distinct-values((%s, %s))" (sub ()) (sub ())
+      | _ -> Printf.sprintf "<r>{%s}</r>" (sub ())
+  in
+  gen (2 + Prng.int prng 2) []
+
+(* -------------------------------------------------------------- evaluator *)
+
+type outcome =
+  | Items of string list          (* per-item serialization *)
+  | Failed of Err.kind * string
+  | Blew_up of string             (* unclassified exception: always a bug *)
+
+let ser st items =
+  List.map
+    (fun it ->
+       match it with
+       | Value.Node n -> Xmldb.Serialize.node_to_string st n
+       | v -> Value.to_string v)
+    items
+
+let evaluate ~opts q =
+  (* a fresh store per evaluation: constructors mutate the store, and
+     isolation keeps node serializations comparable *)
+  let st = mk_store () in
+  match Engine.run_result ~opts st q with
+  | Ok r -> Items (ser st r.Engine.items)
+  | Error { Engine.kind; message } -> Failed (kind, message)
+  | exception e -> Blew_up (Printexc.to_string e)
+
+let configs ~budget_spec =
+  let with_budget o = { o with Engine.budget = Some budget_spec } in
+  let interp = { Engine.default_opts with Engine.backend = Engine.Interpreted } in
+  [ ("interp", interp);
+    ("interp+budget", with_budget interp);
+    ("compiled/default", Engine.default_opts);
+    ("compiled/default+budget", with_budget Engine.default_opts);
+    ("compiled/baseline", Engine.ordered_baseline);
+    ("compiled/baseline+budget", with_budget Engine.ordered_baseline) ]
+
+(* ------------------------------------------------------------ comparison *)
+
+let canon ~lax items = if lax then List.sort compare items else items
+
+let divergence ~lax reference got =
+  match (reference, got) with
+  | Items a, Items b ->
+    if canon ~lax a = canon ~lax b then None
+    else
+      Some
+        (Printf.sprintf "results differ:\n    ref: %s\n    got: %s"
+           (String.concat " | " a) (String.concat " | " b))
+  | Failed (k1, _), Failed (k2, _) ->
+    if k1 = k2 then None
+    else if k1 = Err.Dynamic && k2 = Err.Dynamic then None
+    else
+      Some
+        (Printf.sprintf "error classes differ: %s vs %s" (Err.kind_label k1)
+           (Err.kind_label k2))
+  (* XQuery 2.3.4 latitude: one side may skip an erroneous subexpression
+     whose value the plan never demands *)
+  | Items _, Failed (Err.Dynamic, _) | Failed (Err.Dynamic, _), Items _ -> None
+  | Items _, Failed (k, m) | Failed (k, m), Items _ ->
+    Some (Printf.sprintf "%s error on one side only: %s" (Err.kind_label k) m)
+  | Blew_up m, _ | _, Blew_up m ->
+    Some (Printf.sprintf "uncaught exception: %s" m)
+
+(* ------------------------------------------------------------------ main *)
+
+let () =
+  let seeds = ref 200 in
+  let start = ref 0 in
+  let deadline = ref 2.0 in
+  let verbose = ref false in
+  let rec parse_args = function
+    | [] -> ()
+    | "--seeds" :: n :: rest -> seeds := int_of_string n; parse_args rest
+    | "--start" :: n :: rest -> start := int_of_string n; parse_args rest
+    | "--deadline" :: s :: rest -> deadline := float_of_string s; parse_args rest
+    | "-v" :: rest | "--verbose" :: rest -> verbose := true; parse_args rest
+    | a :: _ -> Printf.eprintf "fuzz_differential: unknown argument %s\n" a; exit 2
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  (* generous per-query budgets: a safety net, never a semantic actor —
+     any Resource_error under these limits is reported as a divergence *)
+  let budget_spec =
+    Budget.limits ~timeout_s:!deadline ~max_rows:2_000_000
+      ~max_bytes:200_000_000 ~max_ops:2_000_000 ()
+  in
+  let failures = ref 0 in
+  let tolerated = ref 0 in
+  for seed = !start to !start + !seeds - 1 do
+    let prng = Prng.create seed in
+    let lax = ref false in
+    let q = gen_query ~lax prng in
+    if !verbose then Printf.printf "seed %d: %s\n%!" seed q;
+    let reference =
+      evaluate ~opts:{ Engine.default_opts with Engine.backend = Engine.Interpreted } q
+    in
+    (match reference with
+     | Blew_up m ->
+       incr failures;
+       Printf.printf "DIVERGENCE seed=%d [interp reference] query=%s\n  %s\n%!"
+         seed q m
+     | _ -> ());
+    List.iter
+      (fun (cname, opts) ->
+         let got = evaluate ~opts q in
+         (match (reference, got) with
+          | Items _, Failed (Err.Dynamic, _) | Failed (Err.Dynamic, _), Items _ ->
+            incr tolerated
+          | _ -> ());
+         match divergence ~lax:!lax reference got with
+         | None -> ()
+         | Some why ->
+           incr failures;
+           Printf.printf "DIVERGENCE seed=%d [%s] query=%s\n  %s\n%!" seed
+             cname q why)
+      (configs ~budget_spec)
+  done;
+  Printf.printf
+    "fuzz_differential: %d seeds (%d..%d), 6 configs each: %d divergences, \
+     %d tolerated error-latitude disagreements\n%!"
+    !seeds !start
+    (!start + !seeds - 1)
+    !failures !tolerated;
+  exit (if !failures > 0 then 1 else 0)

@@ -22,17 +22,19 @@ let test_vec_basic () =
   Alcotest.(check int) "cleared" 0 (Vec.length v)
 
 let test_vec_bounds () =
+  (* out-of-bounds access is a broken invariant of ours, not a user
+     error: the uniform taxonomy reports it as Err.Internal_error *)
   let v = Vec.create 0 in
   Vec.push v 1;
   (match Vec.get v 1 with
-   | exception Invalid_argument _ -> ()
+   | exception Err.Internal_error _ -> ()
    | _ -> Alcotest.fail "get out of bounds");
   (match Vec.get v (-1) with
-   | exception Invalid_argument _ -> ()
+   | exception Err.Internal_error _ -> ()
    | _ -> Alcotest.fail "negative index");
   let empty = Vec.create 0 in
   (match Vec.pop empty with
-   | exception Invalid_argument _ -> ()
+   | exception Err.Internal_error _ -> ()
    | _ -> Alcotest.fail "pop of empty")
 
 let test_vec_iteration () =
@@ -93,7 +95,7 @@ let test_prng_ranges () =
     if z < 0 || z >= 100 then Alcotest.fail "zipf out of range"
   done;
   (match Prng.int r 0 with
-   | exception Invalid_argument _ -> ()
+   | exception Err.Internal_error _ -> ()
    | _ -> Alcotest.fail "bound 0 must raise")
 
 let test_prng_zipf_skew () =
@@ -122,7 +124,92 @@ let test_err () =
    | _ -> Alcotest.fail "protect ok");
   (match Err.protect (fun () -> Err.dynamic "no") with
    | Error m when m = "dynamic error: no" -> ()
-   | _ -> Alcotest.fail "protect error")
+   | _ -> Alcotest.fail "protect error");
+  (match Err.resource "over %s" "budget" with
+   | exception Err.Resource_error "over budget" -> ()
+   | _ -> Alcotest.fail "resource");
+  (match Err.protect (fun () -> Err.resource "slow") with
+   | Error "resource error: slow" -> ()
+   | _ -> Alcotest.fail "protect resource");
+  (match Err.protect_kind (fun () -> Err.resource "slow") with
+   | Error (Err.Resource, "slow") -> ()
+   | _ -> Alcotest.fail "protect_kind resource");
+  Alcotest.(check (list int)) "exit codes distinct"
+    [ 1; 2; 3; 4 ]
+    (List.map Err.exit_code [ Err.Dynamic; Err.Static; Err.Resource; Err.Internal ]);
+  (match Err.classify (Err.Internal_error "bug") with
+   | Some (Err.Internal, "bug") -> ()
+   | _ -> Alcotest.fail "classify internal");
+  Alcotest.(check bool) "classify foreign" true
+    (Err.classify Exit = None)
+
+(* ---------------------------------------------------------------- budget *)
+
+let resource_raised f =
+  match f () with
+  | exception Err.Resource_error _ -> true
+  | _ -> false
+
+let test_budget_ops () =
+  let g = Budget.start (Budget.limits ~max_ops:3 ()) in
+  Budget.check g; Budget.check g; Budget.check g;
+  Alcotest.(check int) "ops counted" 3 (Budget.ops g);
+  Alcotest.(check bool) "4th check raises" true
+    (resource_raised (fun () -> Budget.check g))
+
+let test_budget_rows_bytes () =
+  let g = Budget.start (Budget.limits ~max_rows:10 ()) in
+  Budget.add_rows g 6;
+  Budget.add_rows g 4;
+  Alcotest.(check bool) "11th row raises" true
+    (resource_raised (fun () -> Budget.add_rows g 1));
+  let g = Budget.start (Budget.limits ~max_bytes:100 ()) in
+  Alcotest.(check bool) "byte accounting armed" true (Budget.wants_bytes g);
+  Budget.add_bytes g 99;
+  Alcotest.(check bool) "101st byte raises" true
+    (resource_raised (fun () -> Budget.add_bytes g 2));
+  let unarmed = Budget.start Budget.unlimited in
+  Alcotest.(check bool) "byte accounting unarmed" false
+    (Budget.wants_bytes unarmed);
+  (* unlimited guards never trip *)
+  for _ = 1 to 1000 do Budget.check unarmed done;
+  Budget.add_rows unarmed max_int;
+  Budget.add_bytes unarmed max_int
+
+let test_budget_deadline () =
+  let g = Budget.start (Budget.limits ~timeout_s:0.0 ()) in
+  Alcotest.(check bool) "expired deadline raises" true
+    (resource_raised (fun () -> Budget.check g));
+  let g = Budget.start (Budget.limits ~timeout_s:60.0 ()) in
+  Budget.check g (* far deadline does not *)
+
+let test_budget_cancel () =
+  let c = Budget.cancel_switch () in
+  let g = Budget.start (Budget.limits ~cancel:c ()) in
+  Budget.check g;
+  Alcotest.(check bool) "not yet cancelled" false (Budget.cancelled c);
+  Budget.cancel c;
+  Alcotest.(check bool) "cancelled" true (Budget.cancelled c);
+  Alcotest.(check bool) "next boundary raises" true
+    (resource_raised (fun () -> Budget.check g))
+
+let test_budget_fault () =
+  (* the injected fault is an internal error (a fake bug), not a
+     resource error — it must engage the engine's fallback machinery *)
+  let g = Budget.start (Budget.limits ~fault_at:3 ()) in
+  Budget.check g; Budget.check g;
+  (match Budget.check g with
+   | exception Err.Internal_error m ->
+     Alcotest.(check bool) "message names the boundary" true
+       (m = "injected fault at operator boundary 3")
+   | () -> Alcotest.fail "fault did not fire");
+  (* deterministic: same spec, same boundary *)
+  let g' = Budget.start (Budget.limits ~fault_at:3 ()) in
+  Budget.check g'; Budget.check g';
+  Alcotest.(check bool) "fires again at 3" true
+    (match Budget.check g' with
+     | exception Err.Internal_error _ -> true
+     | () -> false)
 
 let () =
   Alcotest.run "basis"
@@ -137,4 +224,10 @@ let () =
           Alcotest.test_case "ranges" `Quick test_prng_ranges;
           Alcotest.test_case "zipf skew" `Quick test_prng_zipf_skew ] );
       ( "err", [ Alcotest.test_case "classes" `Quick test_err ] );
+      ( "budget",
+        [ Alcotest.test_case "op budget" `Quick test_budget_ops;
+          Alcotest.test_case "row and byte budgets" `Quick test_budget_rows_bytes;
+          Alcotest.test_case "deadline" `Quick test_budget_deadline;
+          Alcotest.test_case "cancellation" `Quick test_budget_cancel;
+          Alcotest.test_case "fault injection" `Quick test_budget_fault ] );
     ]

@@ -1,0 +1,278 @@
+(* Resource governance and graceful degradation, end to end:
+
+     - every budget axis (deadline / rows / bytes / op count) and
+       cooperative cancellation raise Err.Resource_error from BOTH
+       backends — never a crash, never a partial result;
+     - a generous budget is semantically transparent;
+     - deterministic fault injection at every operator boundary of the
+       paper's Figure-10 query engages the interpreter fallback and still
+       yields the correct answer;
+     - front-end errors (malformed XML, query syntax errors) carry
+       position info and classify as static errors. *)
+
+open Basis
+module Value = Algebra.Value
+
+let doc_xml = "<a><b><c/><d/></b><c/><e k=\"1\">x<f/>y</e></a>"
+
+let mk_store () =
+  let st = Xmldb.Doc_store.create () in
+  let _ = Xmldb.Xml_parser.load_document st ~uri:"t.xml" doc_xml in
+  st
+
+(* serialize each item separately so sequences compare item-wise *)
+let ser st items =
+  List.map
+    (fun it ->
+       match it with
+       | Value.Node n -> Xmldb.Serialize.node_to_string st n
+       | v -> Value.to_string v)
+    items
+
+let backends = [ ("compiled", Engine.Compiled); ("interpreted", Engine.Interpreted) ]
+
+let run_with ~backend spec q =
+  let opts = { Engine.default_opts with Engine.backend; budget = Some spec } in
+  Engine.run_result ~opts (mk_store ()) q
+
+let expect_resource name r =
+  match r with
+  | Error { Engine.kind = Err.Resource; _ } -> ()
+  | Ok _ -> Alcotest.failf "%s: expected Resource_error, got a result" name
+  | Error { Engine.kind; message } ->
+    Alcotest.failf "%s: expected a resource error, got %s error: %s" name
+      (Err.kind_label kind) message
+
+(* enough work that every budget axis has something to exhaust *)
+let heavy = "count(for $v in 1 to 200 for $w in 1 to 200 return $v * $w)"
+let stringy =
+  "string-join(for $v in 1 to 200 return \"xxxxxxxxxxxxxxxxxxxx\", \",\")"
+
+(* ----------------------------------------------------- budget exhaustion *)
+
+let test_deadline () =
+  List.iter
+    (fun (name, backend) ->
+       expect_resource (name ^ "/deadline")
+         (run_with ~backend (Budget.limits ~timeout_s:0.0 ()) heavy))
+    backends
+
+let test_row_budget () =
+  List.iter
+    (fun (name, backend) ->
+       expect_resource (name ^ "/rows")
+         (run_with ~backend (Budget.limits ~max_rows:500 ()) heavy))
+    backends
+
+let test_byte_budget () =
+  List.iter
+    (fun (name, backend) ->
+       expect_resource (name ^ "/bytes")
+         (run_with ~backend (Budget.limits ~max_bytes:2048 ()) stringy))
+    backends
+
+let test_op_budget () =
+  List.iter
+    (fun (name, backend) ->
+       expect_resource (name ^ "/ops")
+         (run_with ~backend (Budget.limits ~max_ops:5 ()) heavy))
+    backends
+
+let test_cancellation () =
+  (* cooperative cancellation: the switch is flipped before evaluation
+     reaches its first operator boundary, so the run is interrupted
+     mid-query (after parse/compile, inside evaluation) *)
+  List.iter
+    (fun (name, backend) ->
+       let c = Budget.cancel_switch () in
+       Budget.cancel c;
+       expect_resource (name ^ "/cancel")
+         (run_with ~backend (Budget.limits ~cancel:c ()) heavy))
+    backends
+
+let test_generous_budget_transparent () =
+  (* a budget the query fits into must not change its meaning *)
+  let spec =
+    Budget.limits ~timeout_s:30.0 ~max_rows:2_000_000
+      ~max_bytes:200_000_000 ~max_ops:2_000_000 ()
+  in
+  let queries =
+    [ heavy; stringy; "doc(\"t.xml\")//c"; "(1,2.5,\"s\")";
+      "for $v in doc(\"t.xml\")//* return local-name($v)" ]
+  in
+  List.iter
+    (fun (name, backend) ->
+       List.iter
+         (fun q ->
+            let plain =
+              Engine.run
+                ~opts:{ Engine.default_opts with Engine.backend }
+                (mk_store ()) q
+            in
+            match run_with ~backend spec q with
+            | Ok budgeted ->
+              Alcotest.(check string)
+                (Printf.sprintf "%s: %s" name q)
+                plain.Engine.serialized budgeted.Engine.serialized
+            | Error { Engine.kind; message } ->
+              Alcotest.failf "%s: %s: generous budget tripped: %s error: %s"
+                name q (Err.kind_label kind) message)
+         queries)
+    backends
+
+(* ------------------------------------------------------- fault injection *)
+
+let fig10 = "let $t := doc(\"t.xml\") return unordered { $t//(c|d) }"
+
+let multiset items = List.sort compare items
+
+let count_boundaries st q =
+  let _, _, optimized = Engine.plans_of ~opts:Engine.default_opts q in
+  let g = Budget.start Budget.unlimited in
+  ignore (Algebra.Eval.run ~guard:g st optimized);
+  Budget.ops g
+
+let test_fault_sweep_fig10 () =
+  let st = mk_store () in
+  let reference =
+    Engine.run
+      ~opts:{ Engine.default_opts with Engine.backend = Engine.Interpreted }
+      st fig10
+  in
+  let expected = multiset (ser st reference.Engine.items) in
+  let n = count_boundaries st fig10 in
+  if n < 3 then Alcotest.failf "suspiciously few operator boundaries (%d)" n;
+  for k = 1 to n do
+    let opts =
+      { Engine.default_opts with
+        Engine.budget = Some (Budget.limits ~fault_at:k ()) }
+    in
+    match Engine.run ~opts st fig10 with
+    | r ->
+      (match r.Engine.degraded with
+       | Some _ -> ()
+       | None ->
+         Alcotest.failf "fault at boundary %d/%d: fallback did not engage" k n);
+      let got = multiset (ser st r.Engine.items) in
+      if got <> expected then
+        Alcotest.failf "fault at boundary %d/%d: degraded result differs" k n
+    | exception e ->
+      Alcotest.failf "fault at boundary %d/%d escaped the fallback: %s" k n
+        (Printexc.to_string e)
+  done
+
+let test_fault_without_fallback () =
+  let st = mk_store () in
+  let opts =
+    { Engine.default_opts with
+      Engine.budget = Some (Budget.limits ~fault_at:1 ());
+      Engine.fallback = false }
+  in
+  match Engine.run ~opts st fig10 with
+  | exception Err.Internal_error _ -> ()
+  | _ -> Alcotest.fail "with fallback disabled the injected fault must surface"
+
+let test_fault_seeded_determinism () =
+  (* boundaries picked by a seeded Prng: the same seed must produce the
+     same degradation behavior and the same answer, twice *)
+  let queries =
+    [ fig10; heavy; "doc(\"t.xml\")//c"; "sum(for $v in 1 to 9 return $v)" ]
+  in
+  let outcome k q =
+    let st = mk_store () in
+    let opts =
+      { Engine.default_opts with
+        Engine.budget = Some (Budget.limits ~fault_at:k ()) }
+    in
+    let r = Engine.run ~opts st q in
+    (Option.is_some r.Engine.degraded, multiset (ser st r.Engine.items))
+  in
+  let prng = Prng.create 0xFA17 in
+  List.iter
+    (fun q ->
+       let k = 1 + Prng.int prng 40 in
+       let a = outcome k q and b = outcome k q in
+       if a <> b then
+         Alcotest.failf "fault at %d not deterministic for %s" k q)
+    queries
+
+(* ------------------------------------------- front-end error classification *)
+
+let test_malformed_xml () =
+  let check_static src =
+    let st = Xmldb.Doc_store.create () in
+    match Xmldb.Xml_parser.load_document st ~uri:"bad.xml" src with
+    | exception e ->
+      (match Engine.classify_error e with
+       | Some { Engine.kind = Err.Static; message } ->
+         if not (Astring.String.is_infix ~affix:"offset" message) then
+           Alcotest.failf "no position info in %S" message
+       | Some { Engine.kind; _ } ->
+         Alcotest.failf "%S classified as %s" src (Err.kind_label kind)
+       | None -> Alcotest.failf "%S not classified" src)
+    | _ -> Alcotest.failf "expected a parse error for %S" src
+  in
+  List.iter check_static
+    [ "<a>"; "<a></b>"; "<a attr></a>"; "<a>&unknown;</a>"; "<a/><b/>"; "" ]
+
+let test_query_syntax_positions () =
+  let pos_of src =
+    match Xquery.Parser.parse_query src with
+    | exception Xquery.Parser.Syntax_error (_, pos) -> pos
+    | _ -> Alcotest.failf "expected a syntax error for %S" src
+  in
+  List.iter
+    (fun src ->
+       let p = pos_of src in
+       if p < 0 || p > String.length src then
+         Alcotest.failf "offset %d out of range for %S" p src)
+    [ "1 +"; "for $x in"; "let $y :="; "if (1) then 2"; "1 =" ];
+  (* classification folds the position into a static error message *)
+  (match Xquery.Parser.parse_query "1 +" with
+   | exception e ->
+     (match Engine.classify_error e with
+      | Some { Engine.kind = Err.Static; message } ->
+        if not (Astring.String.is_infix ~affix:"offset" message) then
+          Alcotest.failf "no position info in %S" message
+      | _ -> Alcotest.fail "syntax error not classified static")
+   | _ -> Alcotest.fail "expected a syntax error")
+
+let test_resource_error_not_degraded () =
+  (* budget exhaustion must NOT trigger the interpreter fallback: the
+     fallback is for our bugs, not for refused work *)
+  let st = mk_store () in
+  let opts =
+    { Engine.default_opts with
+      Engine.budget = Some (Budget.limits ~max_rows:100 ()) }
+  in
+  match Engine.run ~opts st heavy with
+  | exception Err.Resource_error _ -> ()
+  | r ->
+    (match r.Engine.degraded with
+     | Some _ -> Alcotest.fail "resource exhaustion engaged the fallback"
+     | None -> Alcotest.fail "row budget did not trip")
+
+let () =
+  Alcotest.run "robustness"
+    [ ( "budgets",
+        [ Alcotest.test_case "deadline" `Quick test_deadline;
+          Alcotest.test_case "row budget" `Quick test_row_budget;
+          Alcotest.test_case "byte budget" `Quick test_byte_budget;
+          Alcotest.test_case "op budget" `Quick test_op_budget;
+          Alcotest.test_case "cancellation" `Quick test_cancellation;
+          Alcotest.test_case "generous budget transparent" `Quick
+            test_generous_budget_transparent;
+          Alcotest.test_case "no fallback on resource errors" `Quick
+            test_resource_error_not_degraded ] );
+      ( "fault injection",
+        [ Alcotest.test_case "every boundary of Figure 10" `Quick
+            test_fault_sweep_fig10;
+          Alcotest.test_case "no fallback surfaces the fault" `Quick
+            test_fault_without_fallback;
+          Alcotest.test_case "seeded determinism" `Quick
+            test_fault_seeded_determinism ] );
+      ( "front-end errors",
+        [ Alcotest.test_case "malformed XML" `Quick test_malformed_xml;
+          Alcotest.test_case "syntax error positions" `Quick
+            test_query_syntax_positions ] );
+    ]

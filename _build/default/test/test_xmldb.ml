@@ -61,7 +61,10 @@ let test_parse_errors () =
   let st = store () in
   let fails src =
     match parse st src with
-    | exception Xml_parser.Parse_error _ -> ()
+    | exception Xml_parser.Parse_error (_, pos) ->
+      (* the reported offset must point into (or just past) the source *)
+      if pos < 0 || pos > String.length src then
+        Alcotest.failf "offset %d out of range for %S" pos src
     | _ -> Alcotest.failf "expected parse error for %s" src
   in
   fails "<a>";
@@ -69,7 +72,12 @@ let test_parse_errors () =
   fails "<a attr></a>";
   fails "<a>&unknown;</a>";
   fails "<a/><b/>";
-  fails ""
+  fails "";
+  (* a late error is reported late, not at offset 0 *)
+  (match parse st "<root><x></y></root>" with
+   | exception Xml_parser.Parse_error (_, pos) ->
+     if pos < 6 then Alcotest.failf "mismatched close tag reported at %d" pos
+   | _ -> Alcotest.fail "expected parse error for mismatched close tag")
 
 let test_strip_ws () =
   let st = store () in

@@ -24,7 +24,10 @@ let check_not_contains msg sub c =
 
 let expect_syntax_error s =
   match parse_q s with
-  | exception Parser.Syntax_error _ -> ()
+  | exception Parser.Syntax_error (_, pos) ->
+    (* position info must point into (or just past) the query text *)
+    if pos < 0 || pos > String.length s then
+      Alcotest.failf "syntax error offset %d out of range for %S" pos s
   | _ -> Alcotest.failf "expected syntax error for %s" s
 
 let expect_static_error s =

@@ -2,25 +2,62 @@
 
    [Dynamic_error] corresponds to XQuery dynamic errors (the err:XPDY and
    err:FORG families); [Static_error] to parse/normalization-time errors
-   (the err:XPST family); [Internal_error] flags broken invariants of our
-   own making (a bug, never a user error). *)
+   (the err:XPST family); [Resource_error] to exhausted execution budgets
+   (deadline, rows, bytes, operator count) and cooperative cancellation;
+   [Internal_error] flags broken invariants of our own making (a bug,
+   never a user error). *)
 
 exception Dynamic_error of string
 exception Static_error of string
 exception Internal_error of string
+exception Resource_error of string
+
+type kind = Dynamic | Static | Resource | Internal
 
 let dynamic fmt = Format.kasprintf (fun s -> raise (Dynamic_error s)) fmt
 let static fmt = Format.kasprintf (fun s -> raise (Static_error s)) fmt
 let internal fmt = Format.kasprintf (fun s -> raise (Internal_error s)) fmt
+let resource fmt = Format.kasprintf (fun s -> raise (Resource_error s)) fmt
 
-(* Render any of the three errors for user display; re-raises others. *)
-let to_string = function
-  | Dynamic_error m -> "dynamic error: " ^ m
-  | Static_error m -> "static error: " ^ m
-  | Internal_error m -> "internal error (please report): " ^ m
-  | e -> raise e
+let kind_label = function
+  | Dynamic -> "dynamic"
+  | Static -> "static"
+  | Resource -> "resource"
+  | Internal -> "internal"
+
+(* The CLI contract: one distinct exit code per error class. *)
+let exit_code = function
+  | Dynamic -> 1
+  | Static -> 2
+  | Resource -> 3
+  | Internal -> 4
+
+let classify = function
+  | Dynamic_error m -> Some (Dynamic, m)
+  | Static_error m -> Some (Static, m)
+  | Resource_error m -> Some (Resource, m)
+  | Internal_error m -> Some (Internal, m)
+  | _ -> None
+
+(* Render any of the four errors for user display; re-raises others. *)
+let to_string e =
+  match classify e with
+  | Some (Internal, m) -> "internal error (please report): " ^ m
+  | Some (k, m) -> kind_label k ^ " error: " ^ m
+  | None -> raise e
 
 let protect f = match f () with
   | v -> Ok v
-  | exception (Dynamic_error _ | Static_error _ | Internal_error _ as e) ->
+  | exception
+      (Dynamic_error _ | Static_error _ | Resource_error _
+      | Internal_error _ as e) ->
     Error (to_string e)
+
+let protect_kind f = match f () with
+  | v -> Ok v
+  | exception
+      (Dynamic_error _ | Static_error _ | Resource_error _
+      | Internal_error _ as e) ->
+    (match classify e with
+     | Some pair -> Error pair
+     | None -> assert false)

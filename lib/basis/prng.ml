@@ -17,7 +17,7 @@ let next_int64 t =
 
 (* Uniform int in [0, bound). *)
 let int t bound =
-  if bound <= 0 then invalid_arg "Prng.int";
+  if bound <= 0 then Err.internal "Prng.int: bound %d <= 0" bound;
   let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
   r mod bound
 
@@ -30,7 +30,7 @@ let bool t = Int64.logand (next_int64 t) 1L = 1L
 (* Zipf-like skewed choice over [0, n): rank 0 is most likely. XMark uses
    skewed reference distributions (people watching popular auctions). *)
 let zipf t n =
-  if n <= 0 then invalid_arg "Prng.zipf";
+  if n <= 0 then Err.internal "Prng.zipf: n %d <= 0" n;
   let u = float t in
   let r = int_of_float (float_of_int n ** u) - 1 in
   if r < 0 then 0 else if r >= n then n - 1 else r

@@ -8,7 +8,7 @@ val create : int -> t
 
 val next_int64 : t -> int64
 
-(** Uniform integer in [\[0, bound)]; raises [Invalid_argument] when
+(** Uniform integer in [\[0, bound)]; raises {!Err.Internal_error} when
     [bound <= 0]. *)
 val int : t -> int -> int
 

@@ -30,19 +30,19 @@ let push t x =
   t.len <- t.len + 1
 
 let get t i =
-  if i < 0 || i >= t.len then invalid_arg "Vec.get";
+  if i < 0 || i >= t.len then Err.internal "Vec.get: index %d out of bounds (length %d)" i t.len;
   t.data.(i)
 
 let set t i x =
-  if i < 0 || i >= t.len then invalid_arg "Vec.set";
+  if i < 0 || i >= t.len then Err.internal "Vec.set: index %d out of bounds (length %d)" i t.len;
   t.data.(i) <- x
 
 let last t =
-  if t.len = 0 then invalid_arg "Vec.last";
+  if t.len = 0 then Err.internal "Vec.last: empty vector";
   t.data.(t.len - 1)
 
 let pop t =
-  if t.len = 0 then invalid_arg "Vec.pop";
+  if t.len = 0 then Err.internal "Vec.pop: empty vector";
   t.len <- t.len - 1;
   let x = t.data.(t.len) in
   t.data.(t.len) <- t.dummy;

@@ -18,12 +18,12 @@ val ensure : 'a t -> int -> unit
 
 val push : 'a t -> 'a -> unit
 
-(** O(1) indexed access; raise [Invalid_argument] out of bounds. *)
+(** O(1) indexed access; raises {!Err.Internal_error} out of bounds. *)
 val get : 'a t -> int -> 'a
 
 val set : 'a t -> int -> 'a -> unit
 
-(** Last element; raises [Invalid_argument] when empty. *)
+(** Last element; raises {!Err.Internal_error} when empty. *)
 val last : 'a t -> 'a
 
 (** Remove and return the last element. *)

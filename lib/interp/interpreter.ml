@@ -12,6 +12,7 @@ module Value = Algebra.Value
 type env = {
   store : Xmldb.Doc_store.t;
   vars : (string * Xdm.seq) list;
+  guard : Budget.t option;  (* resource governor, checked per core node *)
 }
 
 let lookup env v =
@@ -183,7 +184,21 @@ let seq_instance store (ty : Xquery.Ast.seq_type) (s : Xdm.seq) =
 
 (* -- the evaluator ----------------------------------------------------------- *)
 
+(* Every core-expression node is an operator boundary: check the guard on
+   the way in, charge the materialized sequence on the way out. *)
 let rec eval env (e : core) : Xdm.seq =
+  match env.guard with
+  | None -> eval_expr env e
+  | Some g ->
+    Budget.check g;
+    let s = eval_expr env e in
+    Budget.add_rows g (List.length s);
+    if Budget.wants_bytes g then
+      Budget.add_bytes g
+        (List.fold_left (fun acc v -> acc + Value.estimated_bytes v) 0 s);
+    s
+
+and eval_expr env (e : core) : Xdm.seq =
   match e with
   | C_int n -> [ Value.Int n ]
   | C_dbl f -> [ Value.Dbl f ]
@@ -662,12 +677,12 @@ and ebv_str store s =
 
 (* -- entry points ------------------------------------------------------------ *)
 
-let eval_core store core = eval { store; vars = [] } core
+let eval_core ?guard store core = eval { store; vars = []; guard } core
 
 (* Parse, normalize and evaluate a full query text. *)
-let run store text : Xdm.seq =
+let run ?guard store text : Xdm.seq =
   let q = Xquery.Parser.parse_query text in
   let core = Xquery.Normalize.normalize_query q in
-  eval_core store core
+  eval_core ?guard store core
 
-let run_to_string store text = Xdm.serialize store (run store text)
+let run_to_string ?guard store text = Xdm.serialize store (run ?guard store text)
