@@ -367,6 +367,89 @@ let micro () =
   in
   List.iter test_tag [ "item"; "keyword"; "person"; "emph" ]
 
+(* --------------------------------------------------------------- sharing *)
+
+(* The DAG-evaluation dividend: how much work plan sharing saves at
+   runtime (tree vs DAG node counts, Tree vs Dag evaluation wall time),
+   and what the prepared-plan cache buys a repeated-query workload. *)
+let sharing () =
+  section "Sharing — DAG vs tree evaluation; the prepared-plan cache";
+  let fig10_q = {|let $t := doc("auction.xml") return unordered { $t//(c|d) }|} in
+  let paper_queries =
+    [ ("fig10", fig10_q); ("Q6", q6); ("Q11", Xmark.Xmark_queries.q11) ]
+  in
+  Printf.printf "\nsharing factor (optimized plans, default_opts):\n\n";
+  Printf.printf "%-6s %10s %12s %9s\n" "query" "DAG nodes" "tree nodes" "factor";
+  let max_factor = ref 0.0 in
+  List.iter
+    (fun (name, q) ->
+       let _, _, opt = Engine.plans_of ~opts:mode_unordered q in
+       let dag = A.count_ops opt and tree = A.count_tree_nodes opt in
+       let f = A.sharing_factor opt in
+       max_factor := Float.max !max_factor f;
+       Printf.printf "%-6s %10d %12d %8.2fx\n" name dag tree f)
+    (paper_queries @ Xmark.Xmark_queries.all);
+  Printf.printf
+    "\nany factor > 1 means the memoizing executor evaluates strictly\n\
+     fewer operators than a tree walk; largest here: %.2fx\n" !max_factor;
+  (* Tree vs Dag evaluation of the same optimized plan *)
+  with_store 0.01 (fun st _ ->
+      Printf.printf "\ntree vs DAG evaluation (same plan, same store, scale 0.01):\n\n";
+      Printf.printf "%-6s %12s %12s %12s %12s\n" "query" "DAG evals"
+        "tree evals" "DAG ms" "tree ms";
+      List.iter
+        (fun (name, q) ->
+           let _, _, opt = Engine.plans_of ~opts:mode_unordered q in
+           let measure mode =
+             let ctx = Algebra.Eval.create ~mode st in
+             let t0 = Unix.gettimeofday () in
+             ignore (Algebra.Eval.eval ctx opt);
+             (Algebra.Eval.evals ctx, Unix.gettimeofday () -. t0)
+           in
+           let ed, td = measure Algebra.Eval.Dag in
+           let et, tt = measure Algebra.Eval.Tree in
+           Printf.printf "%-6s %12d %12d %10.2fms %10.2fms\n" name ed et
+             (td *. 1000.) (tt *. 1000.))
+        paper_queries);
+  (* repeated-query throughput: full Engine.run, cold vs warm plan cache.
+     Tiny store: the point is the per-dispatch parse+compile tax, which is
+     store-independent — the cache's win on any workload where queries
+     repeat. *)
+  with_store 0.001 (fun st _ ->
+      let workload =
+        paper_queries
+        @ List.filter
+            (fun (n, _) ->
+               List.mem n [ "Q3"; "Q4"; "Q10"; "Q12"; "Q19"; "Q20" ])
+            Xmark.Xmark_queries.all
+      in
+      let rounds = 30 in
+      let run_all ?cache () =
+        List.iter
+          (fun (_, q) ->
+             ignore (Engine.run ?cache ~opts:mode_unordered st q))
+          workload
+      in
+      let _, t_nocache =
+        time (fun () -> for _ = 1 to rounds do run_all () done)
+      in
+      let cache = Engine.create_cache ~capacity:64 () in
+      run_all ~cache ();  (* warm it *)
+      let _, t_warm =
+        time (fun () -> for _ = 1 to rounds do run_all ~cache () done)
+      in
+      let n = rounds * List.length workload in
+      Printf.printf
+        "\nrepeated-query workload (%d queries/round, %d rounds, scale 0.001):\n\n"
+        (List.length workload) rounds;
+      Printf.printf "  no plan cache:   %8.1f ms  (%7.0f queries/s)\n"
+        (t_nocache *. 1000.) (float_of_int n /. t_nocache);
+      Printf.printf "  warm plan cache: %8.1f ms  (%7.0f queries/s)\n"
+        (t_warm *. 1000.) (float_of_int n /. t_warm);
+      Printf.printf "  speedup: %.2fx   cache: %s\n"
+        (t_nocache /. t_warm)
+        (Engine.Plan_cache.stats_to_string (Engine.cache_stats cache)))
+
 (* -------------------------------------------------------------- ablation *)
 
 (* Which mechanism contributes what: the Figure-7 rules alone, CDA alone,
@@ -424,7 +507,7 @@ Reading guide: rules without CDA barely help (the dead %% chains
 let experiments =
   [ ("fig6", fig6); ("fig9", fig9); ("fig10", fig10); ("table2", table2);
     ("plansizes", plansizes); ("fig12", fig12); ("micro", micro);
-    ("ablation", ablation) ]
+    ("sharing", sharing); ("ablation", ablation) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -22,6 +22,14 @@
      --no-fallback               fail instead of degrading to the
                                  interpreter on internal errors
 
+   Plan sharing and the prepared-plan cache (run/xmark):
+     --tree-eval                 sharing-oblivious tree evaluation
+     --plan-cache N              prepared-plan LRU capacity (default 64)
+     --no-plan-cache             disable the prepared-plan cache
+     --repeat K                  (xmark) run each query K times
+   Cache hit/miss/eviction counters are printed to stderr after the run;
+   `plan` prints each plan's DAG-vs-tree node counts (sharing factor).
+
    Every command exits 0 on success, or with the error taxonomy's code:
    1 dynamic, 2 static (incl. parse errors), 3 resource, 4 internal. *)
 
@@ -109,6 +117,33 @@ let no_fallback_arg =
          ~doc:"Disable graceful degradation: report internal errors of the \
                compiled backend instead of retrying on the interpreter.")
 
+let tree_eval_arg =
+  Arg.(value & flag & info [ "tree-eval" ]
+         ~doc:"Evaluate plans as trees, re-computing shared subplans at \
+               every reference (the sharing-oblivious cost model; results \
+               are identical to the default DAG evaluation).")
+
+let plan_cache_arg =
+  Arg.(value & opt int 64
+       & info [ "plan-cache" ] ~docv:"N"
+           ~doc:"Capacity of the prepared-plan LRU cache (default 64): \
+                 repeated queries skip parse, compile and optimize.")
+
+let no_plan_cache_arg =
+  Arg.(value & flag & info [ "no-plan-cache" ]
+         ~doc:"Disable the prepared-plan cache.")
+
+let mk_cache ~plan_cache ~no_plan_cache =
+  if no_plan_cache || plan_cache <= 0 then None
+  else Some (Engine.create_cache ~capacity:plan_cache ())
+
+let report_cache_stats cache =
+  Option.iter
+    (fun c ->
+       Printf.eprintf "plan cache: %s\n"
+         (Engine.Plan_cache.stats_to_string (Engine.cache_stats c)))
+    cache
+
 let budget_spec timeout_s max_rows max_bytes max_ops =
   match (timeout_s, max_rows, max_bytes, max_ops) with
   | None, None, None, None -> None
@@ -118,7 +153,7 @@ let budget_spec timeout_s max_rows max_bytes max_ops =
         Basis.Budget.timeout_s; max_rows; max_bytes; max_ops }
 
 let mk_opts ?(no_joinrec = false) ?budget ?(no_fallback = false)
-    mode no_rules no_cda no_hoist interpret tag_index =
+    ?(tree_eval = false) mode no_rules no_cda no_hoist interpret tag_index =
   { Engine.mode;
     unordered_rules = not no_rules;
     cda = not no_cda;
@@ -126,6 +161,7 @@ let mk_opts ?(no_joinrec = false) ?budget ?(no_fallback = false)
     backend = (if interpret then Engine.Interpreted else Engine.Compiled);
     step_impl =
       (if tag_index then Algebra.Eval.Tag_index else Algebra.Eval.Scan);
+    eval_mode = (if tree_eval then Algebra.Eval.Tree else Algebra.Eval.Dag);
     join_rec = not no_joinrec;
     budget;
     fallback = not no_fallback }
@@ -179,16 +215,21 @@ let report_degraded r =
 
 let run_cmd =
   let action docs qf expr mode no_rules no_cda no_hoist interpret profile
-      tag_index no_joinrec timeout max_rows max_bytes max_ops no_fallback =
+      tag_index no_joinrec timeout max_rows max_bytes max_ops no_fallback
+      tree_eval plan_cache no_plan_cache =
     handle (fun () ->
         let store = Xmldb.Doc_store.create () in
         load_documents store docs;
         let budget = budget_spec timeout max_rows max_bytes max_ops in
         let opts =
-          mk_opts ~no_joinrec ?budget ~no_fallback mode no_rules no_cda
-            no_hoist interpret tag_index
+          mk_opts ~no_joinrec ?budget ~no_fallback ~tree_eval mode no_rules
+            no_cda no_hoist interpret tag_index
         in
-        let r = Engine.run ~opts ~with_profile:profile store (query_text qf expr) in
+        let cache = mk_cache ~plan_cache ~no_plan_cache in
+        let r =
+          Engine.run ?cache ~opts ~with_profile:profile store
+            (query_text qf expr)
+        in
         print_endline r.Engine.serialized;
         report_degraded r;
         (match r.Engine.profile with
@@ -196,6 +237,7 @@ let run_cmd =
            prerr_newline ();
            prerr_string (Algebra.Profile.to_string p)
          | None -> ());
+        report_cache_stats cache;
         Printf.eprintf "-- %d items, %.1f ms\n" (List.length r.Engine.items)
           (r.Engine.wall_seconds *. 1000.0))
   in
@@ -203,7 +245,8 @@ let run_cmd =
     Term.(const action $ docs_arg $ query_file_arg $ expr_arg $ mode_arg
           $ no_rules_arg $ no_cda_arg $ no_hoist_arg $ interpret_arg
           $ profile_arg $ tag_index_arg $ no_joinrec_arg $ timeout_arg
-          $ max_rows_arg $ max_bytes_arg $ max_ops_arg $ no_fallback_arg)
+          $ max_rows_arg $ max_bytes_arg $ max_ops_arg $ no_fallback_arg
+          $ tree_eval_arg $ plan_cache_arg $ no_plan_cache_arg)
 
 (* ---------------------------------------------------------------- plan *)
 
@@ -216,11 +259,18 @@ let plan_cmd =
         let render p =
           if dot then Algebra.Plan_pp.to_dot p else Algebra.Plan_pp.to_tree p
         in
-        Printf.printf "-- emitted plan: %s\n%s\n" (Algebra.Plan_pp.summary raw)
+        let sharing p =
+          Printf.sprintf "%d DAG nodes, %d as a tree (sharing factor %.2f)"
+            (Algebra.Plan.count_ops p) (Algebra.Plan.count_tree_nodes p)
+            (Algebra.Plan.sharing_factor p)
+        in
+        Printf.printf "-- emitted plan: %s\n-- sharing: %s\n%s\n"
+          (Algebra.Plan_pp.summary raw) (sharing raw)
           (if opts.Engine.cda then "" else render raw);
         if opts.Engine.cda then begin
           Printf.printf "-- after column dependency analysis: %s\n"
             (Algebra.Plan_pp.summary optimized);
+          Printf.printf "-- sharing: %s\n" (sharing optimized);
           print_string (render optimized)
         end)
   in
@@ -238,9 +288,15 @@ let xmark_query_arg =
   Arg.(value & opt (some string) None
        & info [ "query" ] ~docv:"QN" ~doc:"Run a single XMark query (Q1..Q20).")
 
+let repeat_arg =
+  Arg.(value & opt int 1
+       & info [ "repeat" ] ~docv:"K"
+           ~doc:"Run each query $(docv) times (exercises the plan cache).")
+
 let xmark_cmd =
   let action scale qname mode no_rules no_cda no_hoist interpret profile
-      tag_index timeout max_rows max_bytes max_ops no_fallback =
+      tag_index timeout max_rows max_bytes max_ops no_fallback tree_eval
+      plan_cache no_plan_cache repeat =
     handle (fun () ->
         let store = Xmldb.Doc_store.create () in
         let _, bytes = Xmark.Xmark_gen.load ~scale store in
@@ -248,30 +304,35 @@ let xmark_cmd =
           (float_of_int bytes /. 1e6) (Xmldb.Doc_store.total_nodes store);
         let budget = budget_spec timeout max_rows max_bytes max_ops in
         let opts =
-          mk_opts ?budget ~no_fallback mode no_rules no_cda no_hoist
-            interpret tag_index
+          mk_opts ?budget ~no_fallback ~tree_eval mode no_rules no_cda
+            no_hoist interpret tag_index
         in
+        let cache = mk_cache ~plan_cache ~no_plan_cache in
         let queries =
           match qname with
           | Some n -> [ (n, Xmark.Xmark_queries.get n) ]
           | None -> Xmark.Xmark_queries.all
         in
-        List.iter
-          (fun (n, q) ->
-             let r = Engine.run ~opts ~with_profile:profile store q in
-             Printf.printf "%-4s %6d items %10.1f ms\n%!" n
-               (List.length r.Engine.items) (r.Engine.wall_seconds *. 1000.0);
-             report_degraded r;
-             match r.Engine.profile with
-             | Some p -> print_string (Algebra.Profile.to_string p)
-             | None -> ())
-          queries)
+        for _ = 1 to max 1 repeat do
+          List.iter
+            (fun (n, q) ->
+               let r = Engine.run ?cache ~opts ~with_profile:profile store q in
+               Printf.printf "%-4s %6d items %10.1f ms\n%!" n
+                 (List.length r.Engine.items) (r.Engine.wall_seconds *. 1000.0);
+               report_degraded r;
+               match r.Engine.profile with
+               | Some p -> print_string (Algebra.Profile.to_string p)
+               | None -> ())
+            queries
+        done;
+        report_cache_stats cache)
   in
   Cmd.v (Cmd.info "xmark" ~doc:"Run XMark benchmark queries on a generated instance")
     Term.(const action $ scale_arg $ xmark_query_arg $ mode_arg $ no_rules_arg
           $ no_cda_arg $ no_hoist_arg $ interpret_arg $ profile_arg
           $ tag_index_arg $ timeout_arg $ max_rows_arg $ max_bytes_arg
-          $ max_ops_arg $ no_fallback_arg)
+          $ max_ops_arg $ no_fallback_arg $ tree_eval_arg $ plan_cache_arg
+          $ no_plan_cache_arg $ repeat_arg)
 
 (* ----------------------------------------------------------------- gen *)
 

@@ -12,18 +12,29 @@ open Plan
 
 type step_impl = Scan | Tag_index
 
+(* [Dag] memoizes every node's result by hash-cons id, so shared subplans
+   are computed (and their cost charged) exactly once. [Tree] walks the
+   plan as if it were a tree, re-evaluating shared subtrees on every
+   reference — the differential-testing oracle for the sharing machinery
+   and the honest cost model of a sharing-oblivious executor. *)
+type mode = Dag | Tree
+
 type ctx = {
   store : Xmldb.Doc_store.t;
   cache : (int, Table.t) Hashtbl.t;
+  mode : mode;
+  mutable evals : int;  (* node evaluations performed (cache hits excluded) *)
   profile : Profile.t option;
   guard : Budget.t option;  (* resource governor, checked per operator *)
   tag_index : Xmldb.Tag_index.t option;  (* Some = use it where applicable *)
   mutable id_index : Xmldb.Id_index.t option;  (* built on first fn:id *)
 }
 
-let create ?profile ?guard ?(step_impl = Scan) store =
+let create ?profile ?guard ?(step_impl = Scan) ?(mode = Dag) store =
   { store;
     cache = Hashtbl.create 128;
+    mode;
+    evals = 0;
     profile;
     guard;
     tag_index =
@@ -31,6 +42,8 @@ let create ?profile ?guard ?(step_impl = Scan) store =
        | Scan -> None
        | Tag_index -> Some (Xmldb.Tag_index.create store));
     id_index = None }
+
+let evals ctx = ctx.evals
 
 let now () = Unix.gettimeofday ()
 
@@ -961,15 +974,26 @@ let eval_id_lookup idx store values context =
 (* ------------------------------------------------------------ dispatcher *)
 
 let rec eval ctx (n : node) : Table.t =
-  match Hashtbl.find_opt ctx.cache n.id with
+  match
+    (match ctx.mode with
+     | Dag -> Hashtbl.find_opt ctx.cache n.id
+     | Tree -> None)
+  with
   | Some t -> t
   | None ->
     (* the operator boundary: deadline / op-budget / cancellation / fault
-       injection all fire here, before any work for this node *)
+       injection all fire here, before any work for this node. In Dag mode
+       cache hits never reach it, so a node's cost is charged exactly once;
+       in Tree mode every reference to a shared subtree pays again. *)
     (match ctx.guard with Some g -> Budget.check g | None -> ());
-    (* evaluate children first so their time is attributed to them *)
-    List.iter (fun c -> ignore (eval ctx c)) (children n.op);
+    (* evaluate children first so their time is attributed to them (in
+       Tree mode the pre-pass would double-evaluate them: eval_local's own
+       child references re-run, so attribution there is inclusive) *)
+    (match ctx.mode with
+     | Dag -> List.iter (fun c -> ignore (eval ctx c)) (children n.op)
+     | Tree -> ());
     let t0 = match ctx.profile with Some _ -> now () | None -> 0.0 in
+    ctx.evals <- ctx.evals + 1;
     let t = eval_local ctx n.op in
     (match ctx.guard with
      | Some g ->
@@ -980,9 +1004,13 @@ let rec eval ctx (n : node) : Table.t =
     (match ctx.profile with
      | Some p ->
        let label = if n.label = "" then op_symbol n.op else n.label in
-       Profile.add p label (now () -. t0)
+       let dt = now () -. t0 in
+       Profile.add p label dt;
+       Profile.add_node p n.id label dt
      | None -> ());
-    Hashtbl.add ctx.cache n.id t;
+    (match ctx.mode with
+     | Dag -> Hashtbl.add ctx.cache n.id t
+     | Tree -> ());
     t
 
 and eval_local ctx op =
@@ -1031,6 +1059,6 @@ and eval_local ctx op =
     eval_id_lookup idx ctx.store (e values) (e context)
 
 (* Evaluate a whole plan against a fresh context. *)
-let run ?profile ?guard ?step_impl store root =
-  let ctx = create ?profile ?guard ?step_impl store in
+let run ?profile ?guard ?step_impl ?mode store root =
+  let ctx = create ?profile ?guard ?step_impl ?mode store in
   eval ctx root

@@ -13,6 +13,14 @@
     streams (used where applicable, scan elsewhere). *)
 type step_impl = Scan | Tag_index
 
+(** How sharing in the plan is exploited: [Dag] (the default) memoizes
+    every node's result by hash-cons id, so shared subplans are computed —
+    and their budget cost charged — exactly once per run; [Tree] walks the
+    plan as a tree, re-evaluating shared subtrees at every reference (the
+    differential-testing oracle for the sharing machinery). Results are
+    identical in both modes; only cost differs. *)
+type mode = Dag | Tree
+
 (** An evaluation context: result cache + store + optional profile +
     optional resource guard. *)
 type ctx
@@ -24,18 +32,24 @@ type ctx
     evaluation unwinds; no partial table escapes. *)
 val create :
   ?profile:Profile.t -> ?guard:Basis.Budget.t -> ?step_impl:step_impl ->
-  Xmldb.Doc_store.t -> ctx
+  ?mode:mode -> Xmldb.Doc_store.t -> ctx
+
+(** Node evaluations performed so far (cache hits excluded): equals
+    {!Plan.count_ops} of the evaluated plan in [Dag] mode and
+    {!Plan.count_tree_nodes} in [Tree] mode. *)
+val evals : ctx -> int
 
 (** Evaluate a node (and, transitively, its children) against the context;
     cached results are returned as-is. When profiling, each node's local
     evaluation time goes to its label's bucket (or its operator symbol
-    when unlabeled). *)
+    when unlabeled) and to its per-node attribution ({!Profile.add_node});
+    in [Tree] mode per-node times are inclusive of children. *)
 val eval : ctx -> Plan.node -> Table.t
 
 (** [run ?profile ?guard store root] — evaluate against a fresh context. *)
 val run :
   ?profile:Profile.t -> ?guard:Basis.Budget.t -> ?step_impl:step_impl ->
-  Xmldb.Doc_store.t -> Plan.node -> Table.t
+  ?mode:mode -> Xmldb.Doc_store.t -> Plan.node -> Table.t
 
 (** {2 Primitive semantics} (exposed for the interpreter and tests) *)
 

@@ -280,6 +280,32 @@ let topo_order root =
 
 let count_ops root = List.length (topo_order root)
 
+(* Size of the fully expanded operator tree: what a tree-walking executor
+   would evaluate. Computed bottom-up over distinct nodes (sharing makes
+   the naive recursion exponential); saturates at max_int. *)
+let count_tree_nodes root =
+  let memo = Hashtbl.create 64 in
+  let rec go n =
+    match Hashtbl.find_opt memo n.id with
+    | Some s -> s
+    | None ->
+      let s =
+        List.fold_left
+          (fun acc c ->
+             let sc = go c in
+             if acc >= max_int - sc then max_int else acc + sc)
+          1 (children n.op)
+      in
+      Hashtbl.add memo n.id s;
+      s
+  in
+  go root
+
+(* tree nodes / DAG nodes: 1.0 means no sharing; Pathfinder-style
+   loop-lifted plans typically land well above it. *)
+let sharing_factor root =
+  float_of_int (count_tree_nodes root) /. float_of_int (count_ops root)
+
 let op_symbol = function
   | Lit _ -> "table"
   | Project _ -> "π"

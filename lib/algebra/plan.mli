@@ -225,6 +225,13 @@ val topo_order : node -> node list
     in the paper's figures). *)
 val count_ops : node -> int
 
+(** Size of the fully expanded operator tree — what a tree-walking
+    executor would evaluate. Saturates at [max_int]. *)
+val count_tree_nodes : node -> int
+
+(** [count_tree_nodes] / [count_ops]: 1.0 means no sharing. *)
+val sharing_factor : node -> float
+
 (** Short symbol for an operator kind: "%", "#", "⊘", "π", ... *)
 val op_symbol : op -> string
 

@@ -3,16 +3,42 @@
    with the source sub-expression they implement; the executor adds the
    local evaluation time of every node to its label's bucket. *)
 
-type t = {
-  buckets : (string, float ref) Hashtbl.t;
+(* Per-unique-plan-node attribution, keyed by the node's hash-cons id: in
+   DAG evaluation each node appears once; a tree-walking evaluation of a
+   shared plan accumulates [evals > 1] on the shared nodes. *)
+type node_stat = {
+  nlabel : string;
+  mutable evals : int;
+  mutable seconds : float;
 }
 
-let create () = { buckets = Hashtbl.create 32 }
+type t = {
+  buckets : (string, float ref) Hashtbl.t;
+  nodes : (int, node_stat) Hashtbl.t;
+}
+
+let create () = { buckets = Hashtbl.create 32; nodes = Hashtbl.create 64 }
 
 let add t label seconds =
   match Hashtbl.find_opt t.buckets label with
   | Some r -> r := !r +. seconds
   | None -> Hashtbl.add t.buckets label (ref seconds)
+
+let add_node t id label seconds =
+  match Hashtbl.find_opt t.nodes id with
+  | Some s ->
+    s.evals <- s.evals + 1;
+    s.seconds <- s.seconds +. seconds
+  | None -> Hashtbl.add t.nodes id { nlabel = label; evals = 1; seconds }
+
+let unique_nodes t = Hashtbl.length t.nodes
+
+let node_evals t = Hashtbl.fold (fun _ s acc -> acc + s.evals) t.nodes 0
+
+let node_rows t =
+  Hashtbl.fold (fun id s acc -> (id, s.nlabel, s.evals, s.seconds) :: acc)
+    t.nodes []
+  |> List.sort (fun (_, _, _, a) (_, _, _, b) -> Float.compare b a)
 
 let total t = Hashtbl.fold (fun _ r acc -> acc +. !r) t.buckets 0.0
 
@@ -30,6 +56,9 @@ let pp fmt t =
        let pct = if tot > 0.0 then 100.0 *. secs /. tot else 0.0 in
        Format.fprintf fmt "%-42s %12.1f %5.1f%%@." label (secs *. 1000.0) pct)
     (rows t);
-  Format.fprintf fmt "%-42s %12.1f@." "total" (tot *. 1000.0)
+  Format.fprintf fmt "%-42s %12.1f@." "total" (tot *. 1000.0);
+  if Hashtbl.length t.nodes > 0 then
+    Format.fprintf fmt "%d unique plan nodes, %d evaluations@."
+      (unique_nodes t) (node_evals t)
 
 let to_string t = Format.asprintf "%a" pp t

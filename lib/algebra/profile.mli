@@ -10,6 +10,20 @@ val create : unit -> t
 (** [add t label seconds] accumulates into [label]'s bucket. *)
 val add : t -> string -> float -> unit
 
+(** [add_node t id label seconds] attributes one evaluation of the plan
+    node with hash-cons id [id]. Under DAG evaluation every node is added
+    once; tree evaluation accumulates repeat counts on shared nodes. *)
+val add_node : t -> int -> string -> float -> unit
+
+(** Distinct plan nodes that were evaluated at least once. *)
+val unique_nodes : t -> int
+
+(** Total node evaluations ([= unique_nodes] under DAG evaluation). *)
+val node_evals : t -> int
+
+(** Per-node attribution, most expensive first: (id, label, evals, seconds). *)
+val node_rows : t -> (int * string * int * float) list
+
 val total : t -> float
 
 (** Buckets with their accumulated seconds, largest first. *)

@@ -16,6 +16,9 @@
 module Value = Algebra.Value
 module Budget = Basis.Budget
 
+(* re-export: the library is wrapped, so this is the public path *)
+module Plan_cache = Plan_cache
+
 type backend = Compiled | Interpreted
 
 type opts = {
@@ -25,6 +28,7 @@ type opts = {
   hoist : bool;
   backend : backend;
   step_impl : Algebra.Eval.step_impl;
+  eval_mode : Algebra.Eval.mode;
   join_rec : bool;
   budget : Budget.spec option;
   fallback : bool;
@@ -37,6 +41,7 @@ let default_opts = {
   hoist = true;
   backend = Compiled;
   step_impl = Algebra.Eval.Scan;
+  eval_mode = Algebra.Eval.Dag;
   join_rec = true;
   budget = None;
   fallback = true;
@@ -54,6 +59,8 @@ type result = {
   profile : Algebra.Profile.t option;
   wall_seconds : float;
   degraded : string option;    (* Some reason: served by the fallback path *)
+  cache_stats : Plan_cache.stats option;
+      (* plan-cache counters as of this run's end, when a cache was used *)
 }
 
 let parse_and_normalize ?mode text =
@@ -72,6 +79,50 @@ let plans_of ?(opts = default_opts) text =
   let _, raw = Exrquy.Compile.compile_core ~cfg core in
   let optimized = if opts.cda then Exrquy.Icols.optimize cfg.b raw else raw in
   (cfg, raw, optimized)
+
+(* ------------------------------------------------- prepared-plan cache *)
+
+(* What a cache hit skips: parse -> normalize (-> compile -> optimize for
+   the compiled backend). Plans hold no store references (documents are
+   resolved by Doc at evaluation time), so a prepared entry is reusable
+   against any store. *)
+type prepared =
+  | Prepared_plans of Algebra.Plan.node * Algebra.Plan.node  (* raw, optimized *)
+  | Prepared_core of Xquery.Core_ast.core
+
+type cache = prepared Plan_cache.t
+
+let create_cache ?(capacity = 64) () : cache = Plan_cache.create ~capacity
+
+let cache_stats (c : cache) = Plan_cache.stats c
+
+(* Only the knobs that shape the prepared artifact participate: budget,
+   fallback, step_impl and eval_mode are pure execution concerns, and one
+   cached plan serves every setting of them. The backend is in because the
+   two backends cache different artifacts. *)
+let opts_fingerprint opts =
+  Printf.sprintf "m%sr%bc%bh%bj%bb%s"
+    (match opts.mode with
+     | None -> "-"
+     | Some Xquery.Ast.Ordered -> "o"
+     | Some Xquery.Ast.Unordered -> "u")
+    opts.unordered_rules opts.cda opts.hoist opts.join_rec
+    (match opts.backend with Compiled -> "c" | Interpreted -> "i")
+
+let cache_key opts text =
+  opts_fingerprint opts ^ "\x00" ^ Plan_cache.normalize_query text
+
+let prepared_of ?cache opts text =
+  let build () =
+    match opts.backend with
+    | Interpreted -> Prepared_core (parse_and_normalize ?mode:opts.mode text)
+    | Compiled ->
+      let _, raw, optimized = plans_of ~opts text in
+      Prepared_plans (raw, optimized)
+  in
+  match cache with
+  | None -> build ()
+  | Some c -> Plan_cache.find_or_add c (cache_key opts text) build
 
 (* Attribute plan nodes to the profile buckets of the paper's Table 2. *)
 let label_plan root =
@@ -118,10 +169,10 @@ let interp_guard opts =
     (fun spec -> Budget.start { spec with Budget.fault_at = None })
     opts.budget
 
-let run ?(opts = default_opts) ?(with_profile = false) store text : result =
+let run ?cache ?(opts = default_opts) ?(with_profile = false) store text : result =
   let t0 = Unix.gettimeofday () in
-  let run_interpreted ~degraded () =
-    let core = parse_and_normalize ?mode:opts.mode text in
+  let stats () = Option.map Plan_cache.stats cache in
+  let run_interpreted ~degraded core =
     let items =
       Interp.Interpreter.eval_core ?guard:(interp_guard opts) store core
     in
@@ -129,42 +180,57 @@ let run ?(opts = default_opts) ?(with_profile = false) store text : result =
       serialized = Interp.Xdm.serialize store items;
       plan = None; raw_plan = None; profile = None;
       wall_seconds = Unix.gettimeofday () -. t0;
-      degraded }
+      degraded;
+      cache_stats = stats () }
   in
   match opts.backend with
-  | Interpreted -> run_interpreted ~degraded:None ()
+  | Interpreted ->
+    let core =
+      match prepared_of ?cache opts text with
+      | Prepared_core c -> c
+      | Prepared_plans _ -> assert false  (* the key includes the backend *)
+    in
+    run_interpreted ~degraded:None core
   | Compiled ->
     let run_compiled () =
-      let _, raw, optimized = plans_of ~opts text in
+      let raw, optimized =
+        match prepared_of ?cache opts text with
+        | Prepared_plans (raw, optimized) -> (raw, optimized)
+        | Prepared_core _ -> assert false
+      in
       label_plan optimized;
       let profile = if with_profile then Some (Algebra.Profile.create ()) else None in
       let guard = Option.map Budget.start opts.budget in
       let table =
-        Algebra.Eval.run ?profile ?guard ~step_impl:opts.step_impl store
-          optimized
+        Algebra.Eval.run ?profile ?guard ~step_impl:opts.step_impl
+          ~mode:opts.eval_mode store optimized
       in
       let items = items_of_table table in
       { items;
         serialized = Interp.Xdm.serialize store items;
         plan = Some optimized; raw_plan = Some raw; profile;
         wall_seconds = Unix.gettimeofday () -. t0;
-        degraded = None }
+        degraded = None;
+        cache_stats = stats () }
     in
     (match run_compiled () with
      | r -> r
      | exception Basis.Err.Internal_error m when opts.fallback ->
        (* graceful degradation: a compiler/executor bug must not take the
           query down — retry on the reference interpreter (its guard is
-          re-armed: the fallback run gets a fresh budget) *)
+          re-armed: the fallback run gets a fresh budget; the plan cache is
+          bypassed — this path exists because something we built is wrong,
+          so nothing cached is trusted) *)
        run_interpreted
          ~degraded:
            (Some
               (Printf.sprintf
                  "compiled backend failed (internal error: %s); \
                   answered by the reference interpreter" m))
-         ())
+         (parse_and_normalize ?mode:opts.mode text))
 
-let run_to_string ?opts store text = (run ?opts store text).serialized
+let run_to_string ?cache ?opts store text =
+  (run ?cache ?opts store text).serialized
 
 (* ---------------------------------------------- classified error capture *)
 
@@ -186,8 +252,8 @@ let classify_error = function
       (fun (kind, message) -> { kind; message })
       (Basis.Err.classify e)
 
-let run_result ?opts ?with_profile store text =
-  match run ?opts ?with_profile store text with
+let run_result ?cache ?opts ?with_profile store text =
+  match run ?cache ?opts ?with_profile store text with
   | r -> Ok r
   | exception e ->
     (match classify_error e with
@@ -197,21 +263,20 @@ let run_result ?opts ?with_profile store text =
 (* Compile once, execute many times (benchmark harness): returns the
    optimized plan and a closure that runs it against a fresh evaluation
    context, returning the item count. *)
-let prepare ?(opts = default_opts) store text =
-  match opts.backend with
-  | Interpreted ->
-    let core = parse_and_normalize ?mode:opts.mode text in
+let prepare ?cache ?(opts = default_opts) store text =
+  match prepared_of ?cache opts text with
+  | Prepared_core core ->
     ( None,
       fun () ->
         List.length
           (Interp.Interpreter.eval_core ?guard:(interp_guard opts) store core)
     )
-  | Compiled ->
-    let _, _, optimized = plans_of ~opts text in
+  | Prepared_plans (_, optimized) ->
     ( Some optimized,
       fun () ->
         let guard = Option.map Budget.start opts.budget in
         let table =
-          Algebra.Eval.run ?guard ~step_impl:opts.step_impl store optimized
+          Algebra.Eval.run ?guard ~step_impl:opts.step_impl
+            ~mode:opts.eval_mode store optimized
         in
         Algebra.Table.nrows table )

@@ -8,6 +8,10 @@
     ordering mode ordered, no cleanup — the comparison system of the
     paper's Section 5). *)
 
+(** The LRU machinery behind the prepared-plan cache (re-exported: the
+    library is wrapped, so this is its public path). *)
+module Plan_cache : module type of Plan_cache
+
 type backend = Compiled | Interpreted
 
 type opts = {
@@ -20,6 +24,10 @@ type opts = {
   step_impl : Algebra.Eval.step_impl;
       (** how the step operator ⊘ is realized: staircase scan or
           TwigStack-style tag-indexed streams *)
+  eval_mode : Algebra.Eval.mode;
+      (** [Dag] (default): shared subplans are evaluated once per run;
+          [Tree]: sharing-oblivious re-evaluation, the differential
+          oracle — results identical, costs not *)
   join_rec : bool;  (** FLWOR where-clause value-join recognition *)
   budget : Basis.Budget.spec option;
       (** resource governance — a fresh guard is armed per run (and per
@@ -46,7 +54,30 @@ type result = {
   degraded : string option;
       (** [Some reason] when the compiled backend failed internally and
           the answer was served by the interpreter fallback *)
+  cache_stats : Plan_cache.stats option;
+      (** plan-cache hit/miss/eviction counters as of this run's end,
+          when the run was given a cache *)
 }
+
+(** {2 Prepared-plan cache}
+
+    An LRU cache over prepared queries, keyed by (normalized query text,
+    options fingerprint): a hit skips parse → normalize → compile →
+    optimize entirely. Prepared plans hold no store references, so one
+    cache may serve runs against different stores. Only plan-shaping
+    options participate in the fingerprint — budget, fallback, step and
+    evaluation mode do not; the backend does (the two backends cache
+    different artifacts). *)
+
+type cache
+
+(** [create_cache ~capacity ()] — default capacity 64 entries. *)
+val create_cache : ?capacity:int -> unit -> cache
+
+val cache_stats : cache -> Plan_cache.stats
+
+(** The cache key's option part (exposed for tests). *)
+val opts_fingerprint : opts -> string
 
 val parse_and_normalize :
   ?mode:Xquery.Ast.ordering_mode -> string -> Xquery.Core_ast.core
@@ -59,10 +90,15 @@ val plans_of :
   Exrquy.Compile.cfg * Algebra.Plan.node * Algebra.Plan.node
 
 (** Evaluate a query against the store. [with_profile] attaches a
-    per-bucket execution profile (the paper's Table 2 instrument). *)
-val run : ?opts:opts -> ?with_profile:bool -> Xmldb.Doc_store.t -> string -> result
+    per-bucket execution profile (the paper's Table 2 instrument).
+    [cache] consults/populates a prepared-plan cache; the interpreter
+    fallback path never uses it. *)
+val run :
+  ?cache:cache -> ?opts:opts -> ?with_profile:bool -> Xmldb.Doc_store.t ->
+  string -> result
 
-val run_to_string : ?opts:opts -> Xmldb.Doc_store.t -> string -> string
+val run_to_string :
+  ?cache:cache -> ?opts:opts -> Xmldb.Doc_store.t -> string -> string
 
 (** A classified failure: one of the four {!Basis.Err.kind} classes plus
     a rendered message. *)
@@ -76,12 +112,12 @@ val classify_error : exn -> error option
 (** {!run}, with every classified error captured as [Error]; unknown
     exceptions still propagate. *)
 val run_result :
-  ?opts:opts -> ?with_profile:bool -> Xmldb.Doc_store.t -> string ->
-  (result, error) Stdlib.result
+  ?cache:cache -> ?opts:opts -> ?with_profile:bool -> Xmldb.Doc_store.t ->
+  string -> (result, error) Stdlib.result
 
 (** Compile once, execute many times (benchmarking): returns the optimized
     plan (when compiled) and a closure that evaluates it against a fresh
     context, returning the result's row count. *)
 val prepare :
-  ?opts:opts -> Xmldb.Doc_store.t -> string ->
+  ?cache:cache -> ?opts:opts -> Xmldb.Doc_store.t -> string ->
   Algebra.Plan.node option * (unit -> int)

@@ -1,0 +1,45 @@
+(** An LRU cache for prepared plans.
+
+    String-keyed, counter-instrumented: every {!find} is a hit or a miss,
+    every insertion past capacity evicts the least recently used entry.
+    Used by {!Engine} keyed on (normalized query, options fingerprint),
+    but generic over the cached value. Capacity 0 disables insertion
+    (every lookup is a miss). Not thread-safe — one cache per serving
+    domain. *)
+
+type 'a t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;       (** live entries *)
+  capacity : int;
+}
+
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+
+(** Look up a key, refreshing its recency. Counts a hit or a miss. *)
+val find : 'a t -> string -> 'a option
+
+(** Insert (or refresh) a binding, evicting the LRU entry when full. *)
+val add : 'a t -> string -> 'a -> unit
+
+(** [find_or_add t key build] — {!find}, building and inserting on miss. *)
+val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+
+val stats : 'a t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val stats_to_string : stats -> string
+
+(** Canonicalize query text for cache keying: strips (nested) XQuery
+    comments and collapses whitespace runs outside string literals, so
+    reformatted copies of one query share a cache entry. Queries with a
+    ['<'] outside string literals are only trimmed: the scan cannot tell
+    a direct constructor (whose literal content is whitespace-significant)
+    from a comparison, and key precision is not worth a wrong plan. *)
+val normalize_query : string -> string

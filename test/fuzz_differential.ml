@@ -5,10 +5,11 @@
        {compiled, interpreted} x {default_opts, ordered_baseline}
                                x {without, with (generous) budgets}
 
-   asserting identical results — or identically *classified* errors —
-   across the whole matrix. (For the interpreter the plan options are
-   vacuous, so its two plan variants collapse into one run per budget
-   setting.)
+   plus the executor dimensions {DAG, tree evaluation} and the
+   prepared-plan cache {cold, warm}, asserting identical results — or
+   identically *classified* errors — across the whole matrix. (For the
+   interpreter the plan options are vacuous, so its two plan variants
+   collapse into one run per budget setting.)
 
    Divergence policy:
      - both sides Ok              -> serialized item lists must match
@@ -140,24 +141,49 @@ let ser st items =
        | v -> Value.to_string v)
     items
 
-let evaluate ~opts q =
+let evaluate ?cache ~opts q =
   (* a fresh store per evaluation: constructors mutate the store, and
      isolation keeps node serializations comparable *)
   let st = mk_store () in
-  match Engine.run_result ~opts st q with
+  match Engine.run_result ?cache ~opts st q with
   | Ok r -> Items (ser st r.Engine.items)
   | Error { Engine.kind; message } -> Failed (kind, message)
   | exception e -> Blew_up (Printexc.to_string e)
 
+(* Each config is (name, q -> outcome). Beyond the backend/options/budget
+   matrix, two executor dimensions ride along:
+     - tree evaluation: the sharing-oblivious Tree mode re-derives every
+       shared subplan — same answers, different cost — so it doubles as a
+       memoization oracle;
+     - the prepared-plan cache: cold (a fresh cache populated by this very
+       run) and warm (the plan compiled by a first run, replayed from the
+       cache against a fresh store) must be invisible to results. *)
 let configs ~budget_spec =
   let with_budget o = { o with Engine.budget = Some budget_spec } in
   let interp = { Engine.default_opts with Engine.backend = Engine.Interpreted } in
-  [ ("interp", interp);
-    ("interp+budget", with_budget interp);
-    ("compiled/default", Engine.default_opts);
-    ("compiled/default+budget", with_budget Engine.default_opts);
-    ("compiled/baseline", Engine.ordered_baseline);
-    ("compiled/baseline+budget", with_budget Engine.ordered_baseline) ]
+  let tree = { Engine.default_opts with Engine.eval_mode = Algebra.Eval.Tree } in
+  let plain opts q = evaluate ~opts q in
+  let cold_cache opts q = evaluate ~cache:(Engine.create_cache ()) ~opts q in
+  let warm_cache opts q =
+    let cache = Engine.create_cache () in
+    ignore (evaluate ~cache ~opts q);
+    evaluate ~cache ~opts q
+  in
+  [ ("interp", plain interp);
+    ("interp+budget", plain (with_budget interp));
+    ("compiled/default", plain Engine.default_opts);
+    ("compiled/default+budget", plain (with_budget Engine.default_opts));
+    ("compiled/baseline", plain Engine.ordered_baseline);
+    ("compiled/baseline+budget", plain (with_budget Engine.ordered_baseline));
+    (* tree mode is budgeted unconditionally: re-deriving shared subplans
+       can inflate work by orders of magnitude (that is what it is for),
+       and an unbudgeted tree walk of an adversarial seed could run
+       essentially forever. The flip side: tree mode may exhaust a budget
+       the DAG run sails under, so Resource errors from this config are
+       tolerated (see the main loop), not divergences. *)
+    ("compiled/tree", plain (with_budget tree));
+    ("compiled/cold-cache", cold_cache Engine.default_opts);
+    ("compiled/warm-cache", warm_cache Engine.default_opts) ]
 
 (* ------------------------------------------------------------ comparison *)
 
@@ -225,12 +251,17 @@ let () =
          seed q m
      | _ -> ());
     List.iter
-      (fun (cname, opts) ->
-         let got = evaluate ~opts q in
+      (fun (cname, run) ->
+         let got = run q in
          (match (reference, got) with
           | Items _, Failed (Err.Dynamic, _) | Failed (Err.Dynamic, _), Items _ ->
             incr tolerated
           | _ -> ());
+         match (cname, got) with
+         | "compiled/tree", Failed (Err.Resource, _) ->
+           (* cost inflation, not a semantic disagreement *)
+           incr tolerated
+         | _ ->
          match divergence ~lax:!lax reference got with
          | None -> ()
          | Some why ->
@@ -240,9 +271,10 @@ let () =
       (configs ~budget_spec)
   done;
   Printf.printf
-    "fuzz_differential: %d seeds (%d..%d), 6 configs each: %d divergences, \
+    "fuzz_differential: %d seeds (%d..%d), %d configs each: %d divergences, \
      %d tolerated error-latitude disagreements\n%!"
     !seeds !start
     (!start + !seeds - 1)
+    (List.length (configs ~budget_spec))
     !failures !tolerated;
   exit (if !failures > 0 then 1 else 0)

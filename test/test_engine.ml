@@ -506,6 +506,65 @@ let random_query_prop =
         | Error _, _ -> true
         | exception Basis.Err.Dynamic_error _ -> true))
 
+(* ----------------------------------------------------- prepared-plan cache *)
+
+module PC = Engine.Plan_cache
+
+let test_lru_eviction () =
+  let c : int PC.t = PC.create ~capacity:2 in
+  PC.add c "a" 1;
+  PC.add c "b" 2;
+  ignore (PC.find c "a");  (* touch a: b becomes the LRU entry *)
+  PC.add c "c" 3;
+  let s = PC.stats c in
+  Alcotest.(check int) "one eviction" 1 s.PC.evictions;
+  Alcotest.(check int) "size stays at capacity" 2 s.PC.size;
+  Alcotest.(check (option int)) "a survived (recently used)" (Some 1)
+    (PC.find c "a");
+  Alcotest.(check (option int)) "b evicted (least recently used)" None
+    (PC.find c "b");
+  Alcotest.(check (option int)) "c present" (Some 3) (PC.find c "c")
+
+let test_cache_capacity_zero () =
+  let c : int PC.t = PC.create ~capacity:0 in
+  PC.add c "a" 1;
+  Alcotest.(check (option int)) "capacity 0 stores nothing" None (PC.find c "a");
+  Alcotest.(check int) "no eviction churn" 0 (PC.stats c).PC.evictions
+
+let test_normalize_query () =
+  let n = PC.normalize_query in
+  (* reformatted copies of one query share a key *)
+  Alcotest.(check string) "whitespace runs collapse to one space"
+    (n "for $x in (1, 2) return $x")
+    (n "for   $x\n  in (1,\n     2)\nreturn\t$x");
+  Alcotest.(check string) "comments stripped"
+    (n "1 + 2")
+    (n "1 (: nested (: comment :) here :) + 2");
+  (* string literals are data: their spacing must survive *)
+  Alcotest.(check bool) "literal whitespace significant" false
+    (n "\"a  b\"" = n "\"a b\"");
+  (* direct constructors: conservative trim-only fallback, so literal
+     element content is never merged *)
+  Alcotest.(check bool) "constructor text significant" false
+    (n "<e>a  b</e>" = n "<e>a b</e>")
+
+let test_run_cache_identity () =
+  (* a warm cache hit returns byte-identical answers, and the counters
+     show the hit; a different option fingerprint misses *)
+  let cache = Engine.create_cache ~capacity:8 () in
+  let q = "for   $v in (1 to 5) (: c :) return $v * $v" in
+  let cold = Engine.run ~cache (mk_store ()) q in
+  let warm = Engine.run ~cache (mk_store ()) "for $v in (1 to 5) return $v * $v" in
+  Alcotest.(check string) "identical answers" cold.Engine.serialized
+    warm.Engine.serialized;
+  let s = Engine.cache_stats cache in
+  Alcotest.(check int) "one miss (the cold run)" 1 s.PC.misses;
+  Alcotest.(check int) "one hit (reformatted warm run)" 1 s.PC.hits;
+  let baseline = { Engine.ordered_baseline with Engine.budget = None } in
+  ignore (Engine.run ~cache ~opts:baseline (mk_store ()) q);
+  Alcotest.(check int) "other options fingerprint misses" 2
+    (Engine.cache_stats cache).PC.misses
+
 let () =
   Alcotest.run "engine"
     [ ( "differential",
@@ -532,5 +591,11 @@ let () =
         [ Alcotest.test_case "Q1-Q20 differential x opts" `Slow test_xmark_differential;
           Alcotest.test_case "join recognition equivalence" `Slow test_xmark_join_recognition;
           Alcotest.test_case "Q1-Q20 unordered multiset" `Slow test_xmark_unordered_multiset ] );
+      ( "plan cache",
+        [ Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "capacity zero" `Quick test_cache_capacity_zero;
+          Alcotest.test_case "query normalization" `Quick test_normalize_query;
+          Alcotest.test_case "run identity + counters" `Quick
+            test_run_cache_identity ] );
       ( "random", [ QCheck_alcotest.to_alcotest random_query_prop ] );
     ]

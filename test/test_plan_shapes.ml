@@ -1,0 +1,150 @@
+(* Plan-shape golden tests.
+
+   Every query under queries/ is compiled under the two canonical option
+   sets — default_opts (order indifference on) and ordered_baseline
+   (Figure-7 rules and CDA off) — and the shape of the optimized plan is
+   pinned exactly: total operator count, rownum (%) count, rowid (#)
+   count, join count, and the tree-node count (the plan unfolded without
+   sharing). Any compiler, optimizer, or hash-consing change that moves a
+   plan shape shows up here as a one-line diff.
+
+   Regenerating after an intentional change:
+
+     PLAN_SHAPES_DUMP=1 dune exec test/test_plan_shapes.exe
+
+   prints the golden table in source form; paste it over [golden] below
+   and eyeball the delta. *)
+
+module P = Algebra.Plan
+
+(* dune runtest runs in _build/default/test; dune exec runs at the root *)
+let queries_dir =
+  if Sys.file_exists "../queries" then "../queries" else "queries"
+
+let query_files =
+  [ "gold_items.xq"; "income_histogram.xq"; "paper_expression3.xq";
+    "paper_fig10.xq"; "paper_q11.xq"; "paper_q6.xq"; "top_sellers.xq" ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+type shape = {
+  ops : int;        (* unique operators (DAG nodes) *)
+  rownums : int;    (* % — the order bookkeeping the paper removes *)
+  rowids : int;     (* # *)
+  joins : int;      (* ⋈, ⋈θ, semi/anti, × *)
+  tree_nodes : int; (* the plan unfolded without sharing *)
+}
+
+let shape_of root =
+  let rownums = ref 0 and rowids = ref 0 and joins = ref 0 in
+  List.iter
+    (fun (n : P.node) ->
+       match n.P.op with
+       | P.Rownum _ -> incr rownums
+       | P.Rowid _ -> incr rowids
+       | P.Join _ | P.Thetajoin _ | P.Semijoin _ | P.Antijoin _
+       | P.Cross _ -> incr joins
+       | _ -> ())
+    (P.topo_order root);
+  { ops = P.count_ops root;
+    rownums = !rownums;
+    rowids = !rowids;
+    joins = !joins;
+    tree_nodes = P.count_tree_nodes root }
+
+let compile opts text =
+  let _, _, optimized = Engine.plans_of ~opts text in
+  shape_of optimized
+
+(* (file, shape under default_opts, shape under ordered_baseline);
+   regenerate with PLAN_SHAPES_DUMP=1 (see header). *)
+let golden : (string * shape * shape) list =
+  [ ("gold_items.xq",
+     { ops = 134; rownums = 1; rowids = 3; joins = 19; tree_nodes = 4113 },
+     { ops = 201; rownums = 12; rowids = 0; joins = 19; tree_nodes = 8830 });
+    ("income_histogram.xq",
+     { ops = 241; rownums = 1; rowids = 2; joins = 32; tree_nodes = 2732 },
+     { ops = 356; rownums = 20; rowids = 0; joins = 32; tree_nodes = 5647 });
+    ("paper_expression3.xq",
+     { ops = 86; rownums = 4; rowids = 0; joins = 10; tree_nodes = 329 },
+     { ops = 122; rownums = 7; rowids = 0; joins = 10; tree_nodes = 588 });
+    ("paper_fig10.xq",
+     { ops = 26; rownums = 0; rowids = 2; joins = 2; tree_nodes = 54 },
+     { ops = 49; rownums = 7; rowids = 0; joins = 2; tree_nodes = 104 });
+    ("paper_q11.xq",
+     { ops = 103; rownums = 8; rowids = 0; joins = 13; tree_nodes = 708 },
+     { ops = 163; rownums = 16; rowids = 0; joins = 13; tree_nodes = 1326 });
+    ("paper_q6.xq",
+     { ops = 28; rownums = 3; rowids = 0; joins = 3; tree_nodes = 81 },
+     { ops = 54; rownums = 7; rowids = 0; joins = 3; tree_nodes = 168 });
+    ("top_sellers.xq",
+     { ops = 140; rownums = 4; rowids = 2; joins = 20; tree_nodes = 6879 },
+     { ops = 210; rownums = 17; rowids = 1; joins = 20; tree_nodes = 13656 });
+  ]
+
+let measure file =
+  let text = read_file (Filename.concat queries_dir file) in
+  (compile Engine.default_opts text, compile Engine.ordered_baseline text)
+
+let dump () =
+  print_string "let golden : (string * shape * shape) list =\n  [ ";
+  List.iteri
+    (fun i file ->
+       let d, b = measure file in
+       let pp { ops; rownums; rowids; joins; tree_nodes } =
+         Printf.sprintf
+           "{ ops = %d; rownums = %d; rowids = %d; joins = %d; \
+            tree_nodes = %d }"
+           ops rownums rowids joins tree_nodes
+       in
+       Printf.printf "%s(%S,\n     %s,\n     %s);\n"
+         (if i = 0 then "" else "    ")
+         file (pp d) (pp b))
+    query_files;
+  print_string "  ]\n"
+
+let check_shape name expected actual =
+  let pp { ops; rownums; rowids; joins; tree_nodes } =
+    Printf.sprintf "ops=%d rownums=%d rowids=%d joins=%d tree=%d" ops
+      rownums rowids joins tree_nodes
+  in
+  Alcotest.(check string) name (pp expected) (pp actual)
+
+let test_golden (file, exp_default, exp_baseline) () =
+  let d, b = measure file in
+  check_shape (file ^ " (default_opts)") exp_default d;
+  check_shape (file ^ " (ordered_baseline)") exp_baseline b
+
+(* The paper's point, as an invariant over the whole corpus: order
+   indifference never adds order bookkeeping, and plans never grow. *)
+let test_invariants () =
+  List.iter
+    (fun file ->
+       let d, b = measure file in
+       if d.rownums > b.rownums then
+         Alcotest.failf "%s: default has MORE rownums than baseline (%d > %d)"
+           file d.rownums b.rownums;
+       if d.ops > b.ops then
+         Alcotest.failf "%s: default plan is LARGER than baseline (%d > %d)"
+           file d.ops b.ops)
+    query_files
+
+let () =
+  if Sys.getenv_opt "PLAN_SHAPES_DUMP" <> None then dump ()
+  else begin
+    (* every file on disk must be pinned, and vice versa *)
+    let pinned = List.map (fun (f, _, _) -> f) golden in
+    assert (List.sort compare pinned = List.sort compare query_files);
+    Alcotest.run "plan_shapes"
+      [ ("golden",
+         List.map
+           (fun ((file, _, _) as g) ->
+              Alcotest.test_case file `Quick (test_golden g))
+           golden);
+        ("invariants",
+         [ Alcotest.test_case "default ≤ baseline" `Quick test_invariants ]) ]
+  end

@@ -196,6 +196,103 @@ let test_fault_seeded_determinism () =
          Alcotest.failf "fault at %d not deterministic for %s" k q)
     queries
 
+(* ------------------------------------------- memoization and budgets *)
+
+module P = Algebra.Plan
+module Eval = Algebra.Eval
+
+(* a let-bound sequence consumed twice: loop-lifting shares the binding's
+   subplan between both consumers, so DAG and tree costs diverge *)
+let shared_q =
+  "let $v := (for $x in 1 to 50 return $x * $x) return (count($v), sum($v))"
+
+let eval_mode mode = { Engine.default_opts with Engine.eval_mode = mode }
+
+let ops_in mode q =
+  let st = mk_store () in
+  let _, _, optimized = Engine.plans_of ~opts:Engine.default_opts q in
+  let g = Budget.start Budget.unlimited in
+  ignore (Eval.run ~guard:g ~mode st optimized);
+  Budget.ops g
+
+let test_budget_memoization_aware () =
+  (* the budget charges a node's cost once per *unique* node: an op budget
+     of exactly the DAG cost admits the memoizing executor and refuses the
+     sharing-oblivious tree walk of the very same plan *)
+  let dag_ops = ops_in Eval.Dag shared_q in
+  let tree_ops = ops_in Eval.Tree shared_q in
+  if tree_ops <= dag_ops then
+    Alcotest.failf "no sharing to observe (dag %d ops, tree %d ops)" dag_ops
+      tree_ops;
+  let spec = Budget.limits ~max_ops:dag_ops () in
+  (match
+     Engine.run_result
+       ~opts:{ (eval_mode Eval.Dag) with Engine.budget = Some spec }
+       (mk_store ()) shared_q
+   with
+   | Ok _ -> ()
+   | Error { Engine.kind; message } ->
+     Alcotest.failf "DAG mode under its own op budget tripped: %s error: %s"
+       (Err.kind_label kind) message);
+  expect_resource "tree walk under the DAG budget"
+    (Engine.run_result
+       ~opts:{ (eval_mode Eval.Tree) with Engine.budget = Some spec }
+       (mk_store ()) shared_q)
+
+let test_tiny_budget_mode_identical () =
+  (* a budget even a single walk of the shared subtree exceeds fails
+     identically with memoization on and off *)
+  List.iter
+    (fun (name, mode) ->
+       expect_resource (name ^ "/tiny ops")
+         (Engine.run_result
+            ~opts:
+              { (eval_mode mode) with
+                Engine.budget = Some (Budget.limits ~max_ops:3 ()) }
+            (mk_store ()) shared_q))
+    [ ("dag", Eval.Dag); ("tree", Eval.Tree) ]
+
+let test_evals_counters () =
+  (* the executor's work counter is exact in both modes *)
+  let st = mk_store () in
+  let _, _, optimized = Engine.plans_of ~opts:Engine.default_opts shared_q in
+  let check_mode name mode expected =
+    let ctx = Eval.create ~mode st in
+    ignore (Eval.eval ctx optimized);
+    Alcotest.(check int) name expected (Eval.evals ctx)
+  in
+  check_mode "dag evals = unique ops" Eval.Dag (P.count_ops optimized);
+  check_mode "tree evals = tree nodes" Eval.Tree (P.count_tree_nodes optimized)
+
+let test_cancel_mid_dag_walk () =
+  (* cancellation lands mid-walk: warm the cache for a shared node, flip
+     the switch, then evaluate a root above it — the memoized child is
+     free (cache hits are never boundaries) but the remaining operators
+     are, and the walk must still die with a resource error *)
+  let st = mk_store () in
+  let b = P.builder () in
+  let base =
+    P.lit b
+      [| "iter"; "pos"; "item" |]
+      [ [| Value.Int 1; Value.Int 1; Value.Int 7 |];
+        [| Value.Int 1; Value.Int 2; Value.Int 9 |] ]
+  in
+  let shared = P.rownum b base "r" [ ("pos", P.Asc) ] None in
+  let left = P.project b shared [ ("x", "item") ] in
+  let right = P.project b shared [ ("x", "r") ] in
+  let root = P.union b left right in
+  let c = Budget.cancel_switch () in
+  let guard = Budget.start (Budget.limits ~cancel:c ()) in
+  let ctx = Eval.create ~guard st in
+  (match Eval.eval ctx shared with
+   | _ -> ()
+   | exception e ->
+     Alcotest.failf "warming the shared node failed: %s" (Printexc.to_string e));
+  Budget.cancel c;
+  match Eval.eval ctx root with
+  | _ -> Alcotest.fail "cancellation ignored above a memoized child"
+  | exception Err.Resource_error _ -> ()
+
 (* ------------------------------------------- front-end error classification *)
 
 let test_malformed_xml () =
@@ -271,6 +368,14 @@ let () =
             test_fault_without_fallback;
           Alcotest.test_case "seeded determinism" `Quick
             test_fault_seeded_determinism ] );
+      ( "memoization",
+        [ Alcotest.test_case "budgets charge unique nodes once" `Quick
+            test_budget_memoization_aware;
+          Alcotest.test_case "tiny budgets fail identically" `Quick
+            test_tiny_budget_mode_identical;
+          Alcotest.test_case "evals counters exact" `Quick test_evals_counters;
+          Alcotest.test_case "cancellation mid-DAG-walk" `Quick
+            test_cancel_mid_dag_walk ] );
       ( "front-end errors",
         [ Alcotest.test_case "malformed XML" `Quick test_malformed_xml;
           Alcotest.test_case "syntax error positions" `Quick
