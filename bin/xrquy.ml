@@ -88,6 +88,13 @@ let no_joinrec_arg =
   Arg.(value & flag & info [ "no-joinrec" ]
          ~doc:"Disable FLWOR where-clause value-join recognition.")
 
+let no_physical_arg =
+  Arg.(value & flag & info [ "no-physical" ]
+         ~doc:"Execute plans with the boxed logical executor instead of \
+               the physical layer (typed columns, selection vectors, \
+               fused kernels). Results are identical; this is the \
+               differential/debugging path.")
+
 let tag_index_arg =
   Arg.(value & flag & info [ "tag-index" ]
          ~doc:"Evaluate steps with TwigStack-style tag-indexed element                streams instead of the staircase scan.")
@@ -153,7 +160,8 @@ let budget_spec timeout_s max_rows max_bytes max_ops =
         Basis.Budget.timeout_s; max_rows; max_bytes; max_ops }
 
 let mk_opts ?(no_joinrec = false) ?budget ?(no_fallback = false)
-    ?(tree_eval = false) mode no_rules no_cda no_hoist interpret tag_index =
+    ?(tree_eval = false) ?(no_physical = false) mode no_rules no_cda no_hoist
+    interpret tag_index =
   { Engine.mode;
     unordered_rules = not no_rules;
     cda = not no_cda;
@@ -162,6 +170,7 @@ let mk_opts ?(no_joinrec = false) ?budget ?(no_fallback = false)
     step_impl =
       (if tag_index then Algebra.Eval.Tag_index else Algebra.Eval.Scan);
     eval_mode = (if tree_eval then Algebra.Eval.Tree else Algebra.Eval.Dag);
+    physical = (if no_physical then `Off else `On);
     join_rec = not no_joinrec;
     budget;
     fallback = not no_fallback }
@@ -216,14 +225,14 @@ let report_degraded r =
 let run_cmd =
   let action docs qf expr mode no_rules no_cda no_hoist interpret profile
       tag_index no_joinrec timeout max_rows max_bytes max_ops no_fallback
-      tree_eval plan_cache no_plan_cache =
+      tree_eval no_physical plan_cache no_plan_cache =
     handle (fun () ->
         let store = Xmldb.Doc_store.create () in
         load_documents store docs;
         let budget = budget_spec timeout max_rows max_bytes max_ops in
         let opts =
-          mk_opts ~no_joinrec ?budget ~no_fallback ~tree_eval mode no_rules
-            no_cda no_hoist interpret tag_index
+          mk_opts ~no_joinrec ?budget ~no_fallback ~tree_eval ~no_physical
+            mode no_rules no_cda no_hoist interpret tag_index
         in
         let cache = mk_cache ~plan_cache ~no_plan_cache in
         let r =
@@ -246,15 +255,18 @@ let run_cmd =
           $ no_rules_arg $ no_cda_arg $ no_hoist_arg $ interpret_arg
           $ profile_arg $ tag_index_arg $ no_joinrec_arg $ timeout_arg
           $ max_rows_arg $ max_bytes_arg $ max_ops_arg $ no_fallback_arg
-          $ tree_eval_arg $ plan_cache_arg $ no_plan_cache_arg)
+          $ tree_eval_arg $ no_physical_arg $ plan_cache_arg
+          $ no_plan_cache_arg)
 
 (* ---------------------------------------------------------------- plan *)
 
 let plan_cmd =
-  let action docs qf expr mode no_rules no_cda no_hoist dot =
+  let action docs qf expr mode no_rules no_cda no_hoist dot no_physical =
     handle (fun () ->
         ignore docs;
-        let opts = mk_opts mode no_rules no_cda no_hoist false false in
+        let opts =
+          mk_opts ~no_physical mode no_rules no_cda no_hoist false false
+        in
         let _, raw, optimized = Engine.plans_of ~opts (query_text qf expr) in
         let render p =
           if dot then Algebra.Plan_pp.to_dot p else Algebra.Plan_pp.to_tree p
@@ -272,11 +284,20 @@ let plan_cmd =
             (Algebra.Plan_pp.summary optimized);
           Printf.printf "-- sharing: %s\n" (sharing optimized);
           print_string (render optimized)
+        end;
+        if (not no_physical) && not dot then begin
+          let pp = Engine.lower_physical optimized in
+          Printf.printf
+            "-- physical plan: %d kernels covering %d logical ops\n"
+            (Algebra.Lower.count_kernels pp)
+            (Algebra.Lower.count_covered pp);
+          print_string (Algebra.Lower.to_string pp)
         end)
   in
   Cmd.v (Cmd.info "plan" ~doc:"Compile a query and print its algebra plan")
     Term.(const action $ docs_arg $ query_file_arg $ expr_arg $ mode_arg
-          $ no_rules_arg $ no_cda_arg $ no_hoist_arg $ dot_arg)
+          $ no_rules_arg $ no_cda_arg $ no_hoist_arg $ dot_arg
+          $ no_physical_arg)
 
 (* --------------------------------------------------------------- xmark *)
 
@@ -296,7 +317,7 @@ let repeat_arg =
 let xmark_cmd =
   let action scale qname mode no_rules no_cda no_hoist interpret profile
       tag_index timeout max_rows max_bytes max_ops no_fallback tree_eval
-      plan_cache no_plan_cache repeat =
+      no_physical plan_cache no_plan_cache repeat =
     handle (fun () ->
         let store = Xmldb.Doc_store.create () in
         let _, bytes = Xmark.Xmark_gen.load ~scale store in
@@ -304,8 +325,8 @@ let xmark_cmd =
           (float_of_int bytes /. 1e6) (Xmldb.Doc_store.total_nodes store);
         let budget = budget_spec timeout max_rows max_bytes max_ops in
         let opts =
-          mk_opts ?budget ~no_fallback ~tree_eval mode no_rules no_cda
-            no_hoist interpret tag_index
+          mk_opts ?budget ~no_fallback ~tree_eval ~no_physical mode no_rules
+            no_cda no_hoist interpret tag_index
         in
         let cache = mk_cache ~plan_cache ~no_plan_cache in
         let queries =
@@ -331,8 +352,8 @@ let xmark_cmd =
     Term.(const action $ scale_arg $ xmark_query_arg $ mode_arg $ no_rules_arg
           $ no_cda_arg $ no_hoist_arg $ interpret_arg $ profile_arg
           $ tag_index_arg $ timeout_arg $ max_rows_arg $ max_bytes_arg
-          $ max_ops_arg $ no_fallback_arg $ tree_eval_arg $ plan_cache_arg
-          $ no_plan_cache_arg $ repeat_arg)
+          $ max_ops_arg $ no_fallback_arg $ tree_eval_arg $ no_physical_arg
+          $ plan_cache_arg $ no_plan_cache_arg $ repeat_arg)
 
 (* ----------------------------------------------------------------- gen *)
 

@@ -1,0 +1,62 @@
+(** Typed columns for the physical plan layer.
+
+    The logical {!Table} stores every cell as a boxed {!Value.t}; a
+    [Column.t] stores a whole column as one flat array of its dynamic
+    type — machine ints, floats, byte-wide booleans, string-pool ids, or
+    (frag, pre) node-id pairs — with [Mixed] as the loss-free fallback
+    for heterogeneous columns. [Const] (one value, any length) and [Seq]
+    (i -> start + i, MonetDB's void) encode Attach and Rowid results
+    without materializing anything. *)
+
+type ty = T_int | T_dbl | T_bool | T_str | T_node | T_mixed
+
+val ty_name : ty -> string
+val ty_of_value : Value.t -> ty
+
+(** The join of two column types: equal, or [T_mixed]. *)
+val ty_union : ty -> ty -> ty
+
+type t =
+  | Ints of int array
+  | Dbls of float array
+  | Bools of Bytes.t  (** one byte per row, ['\000'] = false *)
+  | Strs of { pool : Basis.String_pool.t; ids : int array }
+  | Nodes of { frag : int array; pre : int array }
+  | Const of { v : Value.t; n : int }  (** [v], repeated [n] times *)
+  | Seq of { start : int; n : int }  (** [Int (start + i)] *)
+  | Mixed of Value.t array
+
+val length : t -> int
+val ty_of : t -> ty
+
+(** Box row [i]. *)
+val get : t -> int -> Value.t
+
+val const : Value.t -> int -> t
+val seq : start:int -> int -> t
+
+(** Infer the tightest typed representation of a boxed column; falls
+    back to sharing the array as [Mixed] (zero copy) on heterogeneity.
+    Strings are interned into [pool]. *)
+val of_values : pool:Basis.String_pool.t -> Value.t array -> t
+
+(** Box the whole column. A [Mixed] column returns its array shared —
+    callers must not mutate, same contract as {!Table.col}. *)
+val to_values : t -> Value.t array
+
+(** Try to tighten a [Mixed] column; others pass through unchanged. *)
+val retype : pool:Basis.String_pool.t -> t -> t
+
+(** Select rows by index, preserving the typed representation
+    ([Const] stays const; [Seq] degrades to [Ints]). *)
+val gather : t -> int array -> t
+
+(** Disjoint-union append; mismatched representations degrade to
+    [Mixed]. [Strs] stay typed only when both share one pool. *)
+val append : t -> t -> t
+
+(** Estimated footprint, the {!Basis.Budget} byte currency. *)
+val estimated_bytes : t -> int
+
+(** One-line summary, e.g. ["int[42] const"], for plan dumps. *)
+val describe : t -> string

@@ -1,0 +1,196 @@
+(* Lowering: compile the hash-consed logical Plan DAG into the physical
+   operator DAG that [Physical] executes.
+
+   The one non-trivial decision made here is kernel fusion: a maximal
+   chain of adjacent Attach / Fun1 / Fun2 / Fun3 / Select operators is
+   folded into a single [K_pipe] kernel that runs the whole chain in one
+   pass. A chain may only swallow a node whose result no one else needs,
+   i.e. whose parent count in the DAG is exactly 1 — shared subplans keep
+   their own kernel (and their own memo slot), so the sharing the
+   hash-consing found is preserved intact. The chain's head node CAN be
+   shared: the fused kernel is memoized under the head's id.
+
+   Everything else maps 1:1 onto a physical kernel — typed where
+   [Physical] has a typed implementation, [K_boxed] (the boxed kernel
+   called through table conversions) where it does not. Lowering is
+   strictly post-logical: it never changes plan shapes, so the logical
+   optimizer's output (and its golden tests) are untouched.
+
+   Static column-type hints come in through [types] — a function rather
+   than a direct [Properties] call because the property inference lives
+   in a layer above this one. Hints only annotate the physical plan for
+   dumps; execution re-detects types dynamically. *)
+
+type chain = Physical.chain_op list
+
+(* Parent (reference) counts over the DAG: how many operators consume
+   each node's result. Each node visited once thanks to hash-consing. *)
+let parent_counts root =
+  let counts = Hashtbl.create 256 in
+  List.iter
+    (fun (n : Plan.node) ->
+       List.iter
+         (fun (c : Plan.node) ->
+            Hashtbl.replace counts c.id
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts c.id)))
+         (Plan.children n.op))
+    (Plan.topo_order root);
+  counts
+
+let chain_op_of (op : Plan.op) : (Physical.chain_op * Plan.node) option =
+  match op with
+  | Plan.Select { input; col } -> Some (Physical.F_select col, input)
+  | Plan.Attach { input; res; value } ->
+    Some (Physical.F_attach (res, value), input)
+  | Plan.Fun1 { input; res; f; arg } ->
+    Some (Physical.F_fun1 (res, f, arg), input)
+  | Plan.Fun2 { input; res; f; arg1; arg2 } ->
+    Some (Physical.F_fun2 (res, f, arg1, arg2), input)
+  | Plan.Fun3 { input; res; f; arg1; arg2; arg3 } ->
+    Some (Physical.F_fun3 (res, f, arg1, arg2, arg3), input)
+  | _ -> None
+
+let label_of (n : Plan.node) =
+  if n.Plan.label = "" then Plan.op_symbol n.Plan.op else n.Plan.label
+
+let lower ?(types = fun (_ : Plan.node) -> ([] : (string * Column.ty) list))
+    (root : Plan.node) : Physical.pnode =
+  let parents = parent_counts root in
+  let parent_count (n : Plan.node) =
+    Option.value ~default:0 (Hashtbl.find_opt parents n.Plan.id)
+  in
+  let memo : (int, Physical.pnode) Hashtbl.t = Hashtbl.create 256 in
+  let rec go (n : Plan.node) : Physical.pnode =
+    match Hashtbl.find_opt memo n.Plan.id with
+    | Some p -> p
+    | None ->
+      let mk pop pinputs pfused =
+        { Physical.pid = n.Plan.id;
+          pop;
+          pinputs;
+          pfused;
+          plabel = label_of n;
+          ptypes = types n }
+      in
+      let p =
+        match chain_op_of n.Plan.op with
+        | Some (op, input) ->
+          (* grow the chain downward while the next node is chainable and
+             consumed by this chain alone *)
+          let rec grow acc fused (cur : Plan.node) =
+            match chain_op_of cur.Plan.op with
+            | Some (op', input') when parent_count cur = 1 ->
+              grow (op' :: acc) (fused + 1) input'
+            | _ -> (acc, fused, cur)
+          in
+          let ops, fused, src = grow [ op ] 1 input in
+          mk (Physical.K_pipe ops) [ go src ] fused
+        | None -> (
+          match n.Plan.op with
+          | Plan.Project { input; cols } ->
+            mk (Physical.K_project cols) [ go input ] 1
+          | Plan.Distinct { input } -> mk Physical.K_distinct [ go input ] 1
+          | Plan.Union { left; right } ->
+            mk Physical.K_union [ go left; go right ] 1
+          | Plan.Rowid { input; res } ->
+            mk (Physical.K_rowid res) [ go input ] 1
+          | Plan.Rownum { input; res; order; part } ->
+            mk (Physical.K_rownum { res; order; part }) [ go input ] 1
+          | Plan.Join { left; right; lcol; rcol } ->
+            mk (Physical.K_join { lcol; rcol }) [ go left; go right ] 1
+          | Plan.Thetajoin { left; right; lcol; cmp; rcol } ->
+            mk
+              (Physical.K_thetajoin { lcol; cmp; rcol })
+              [ go left; go right ] 1
+          | Plan.Semijoin { left; right; on } ->
+            mk (Physical.K_semijoin { anti = false; on }) [ go left; go right ] 1
+          | Plan.Antijoin { left; right; on } ->
+            mk (Physical.K_semijoin { anti = true; on }) [ go left; go right ] 1
+          | Plan.Aggr { input; res; agg; arg; part; order } ->
+            mk (Physical.K_aggr { res; agg; arg; part; order }) [ go input ] 1
+          | op ->
+            (* Lit, Cross, Step, node construction, Range, Textify,
+               Id_lookup, Doc: boxed kernels over converted inputs *)
+            mk (Physical.K_boxed op) (List.map go (Plan.children op)) 1)
+      in
+      Hashtbl.add memo n.Plan.id p;
+      p
+  in
+  go root
+
+(* Distinct kernels in the physical DAG (each shared kernel counted once). *)
+let count_kernels (root : Physical.pnode) =
+  let seen = Hashtbl.create 64 in
+  let rec go (p : Physical.pnode) =
+    if not (Hashtbl.mem seen p.Physical.pid) then begin
+      Hashtbl.add seen p.Physical.pid ();
+      List.iter go p.Physical.pinputs
+    end
+  in
+  go root;
+  Hashtbl.length seen
+
+(* Logical operators covered (the sum of fusion widths). *)
+let count_covered (root : Physical.pnode) =
+  let seen = Hashtbl.create 64 in
+  let total = ref 0 in
+  let rec go (p : Physical.pnode) =
+    if not (Hashtbl.mem seen p.Physical.pid) then begin
+      Hashtbl.add seen p.Physical.pid ();
+      total := !total + p.Physical.pfused;
+      List.iter go p.Physical.pinputs
+    end
+  in
+  go root;
+  !total
+
+let chain_op_name = function
+  | Physical.F_select c -> Printf.sprintf "σ(%s)" c
+  | Physical.F_attach (res, v) ->
+    Format.asprintf "@%s:=%a" res Value.pp v
+  | Physical.F_fun1 (res, _, a) -> Printf.sprintf "%s:=f1(%s)" res a
+  | Physical.F_fun2 (res, _, a1, a2) ->
+    Printf.sprintf "%s:=f2(%s,%s)" res a1 a2
+  | Physical.F_fun3 (res, _, a1, a2, a3) ->
+    Printf.sprintf "%s:=f3(%s,%s,%s)" res a1 a2 a3
+
+(* Physical-plan dump: one node per line, indentation for structure,
+   [^id] back-references for shared kernels, column-type annotations from
+   the static hints. *)
+let pp fmt (root : Physical.pnode) =
+  let seen = Hashtbl.create 64 in
+  let rec go indent (p : Physical.pnode) =
+    if Hashtbl.mem seen p.Physical.pid then
+      Format.fprintf fmt "%s^%d (shared)@\n" indent p.Physical.pid
+    else begin
+      Hashtbl.add seen p.Physical.pid ();
+      let detail =
+        match p.Physical.pop with
+        | Physical.K_pipe ops ->
+          " [" ^ String.concat "; " (List.map chain_op_name ops) ^ "]"
+        | _ -> ""
+      in
+      let tys =
+        match p.Physical.ptypes with
+        | [] -> ""
+        | l ->
+          " {"
+          ^ String.concat ", "
+              (List.map
+                 (fun (c, ty) -> c ^ ":" ^ Column.ty_name ty)
+                 (List.filter (fun (_, ty) -> ty <> Column.T_mixed) l))
+          ^ "}"
+      in
+      let tys = if tys = " {}" then "" else tys in
+      Format.fprintf fmt "%s[%d] %s%s%s%s@\n" indent p.Physical.pid
+        (Physical.pop_name p.Physical.pop)
+        (if p.Physical.pfused > 1 then
+           Printf.sprintf " (fuses %d ops)" p.Physical.pfused
+         else "")
+        detail tys;
+      List.iter (go (indent ^ "  ")) p.Physical.pinputs
+    end
+  in
+  go "" root
+
+let to_string root = Format.asprintf "%a" pp root

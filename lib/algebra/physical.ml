@@ -1,0 +1,1051 @@
+(* The physical executor: evaluates a lowered physical-operator DAG over
+   typed column batches instead of boxed value tables.
+
+   Three mechanisms carry the speedup:
+
+     - typed columns ([Column]): batches hold unboxed int/float/bool/
+       string-id/node-id arrays, converted from the boxed representation
+       on demand (per column, cached) and kept typed across operators —
+       in particular across the [Column.gather]s that build join outputs;
+
+     - selection vectors: Select, Distinct, Semijoin and Antijoin deliver
+       a selection over their input's rows instead of materializing a new
+       table; materialization is forced only at pipeline breakers (joins,
+       Rownum's sort, aggregation, Union, boxed-fallback kernels, and the
+       final serialization);
+
+     - kernel fusion: the lowering pass ([Lower]) folds single-parent
+       Attach/Fun/Select chains into one [K_pipe] kernel that runs the
+       whole chain in a single pass over the batch.
+
+   Everything without a typed implementation falls back to the boxed
+   kernels ([Kernels.eval_op]) through cached table conversions, so the
+   physical layer never has to be complete to be correct. Matching
+   semantics of joins are *shared* with the boxed executor
+   ([Kernels.join_indices] / [theta_indices] / [semi_keep]): the physical
+   layer only changes how inputs are fed and outputs are built, so both
+   executors agree bit-for-bit, including row order (Rownum's stability
+   tie-break makes row order observable) and NaN/negative-zero behavior
+   (float comparisons replicate the boxed [Value] semantics: unordered on
+   NaN, total [Float.compare] otherwise).
+
+   Resource governance: one [Budget.check] per kernel invocation (a fused
+   chain is one kernel, so physical runs make at most as many checks as
+   the logical executor for the same plan). Byte accounting deliberately
+   charges the *boxed-equivalent* footprint, so a byte budget governs the
+   same logical materialization on either executor rather than rewarding
+   the cheaper representation. *)
+
+open Basis
+
+(* ------------------------------------------------------ the physical plan *)
+
+(* One member of a fused Attach/Fun/Select chain, applied input-first. *)
+type chain_op =
+  | F_select of string
+  | F_attach of string * Value.t
+  | F_fun1 of string * Plan.prim1 * string
+  | F_fun2 of string * Plan.prim2 * string * string
+  | F_fun3 of string * Plan.prim3 * string * string * string
+
+type pop =
+  | K_pipe of chain_op list      (* >= 1 chain ops over one input *)
+  | K_project of (string * string) list
+  | K_distinct
+  | K_union
+  | K_rowid of string
+  | K_rownum of {
+      res : string;
+      order : (string * Plan.dir) list;
+      part : string option;
+    }
+  | K_join of { lcol : string; rcol : string }
+  | K_thetajoin of { lcol : string; cmp : Plan.prim2; rcol : string }
+  | K_semijoin of { anti : bool; on : (string * string) list }
+  | K_aggr of {
+      res : string;
+      agg : Plan.agg;
+      arg : string option;
+      part : string option;
+      order : string option;
+    }
+  | K_boxed of Plan.op           (* no typed implementation: boxed kernel *)
+
+type pnode = {
+  pid : int;           (* hash-cons id of the logical head node *)
+  pop : pop;
+  pinputs : pnode list;
+  pfused : int;        (* logical operators this kernel covers *)
+  plabel : string;     (* profile bucket (the logical head's label) *)
+  ptypes : (string * Column.ty) list;
+      (* statically inferred column types of the output (plan-dump aid) *)
+}
+
+let pop_name = function
+  | K_pipe ops -> Printf.sprintf "pipe[%d]" (List.length ops)
+  | K_project _ -> "project"
+  | K_distinct -> "distinct"
+  | K_union -> "union"
+  | K_rowid _ -> "rowid"
+  | K_rownum _ -> "rownum"
+  | K_join _ -> "join"
+  | K_thetajoin _ -> "thetajoin"
+  | K_semijoin { anti = false; _ } -> "semijoin"
+  | K_semijoin { anti = true; _ } -> "antijoin"
+  | K_aggr _ -> "aggr"
+  | K_boxed op -> "boxed:" ^ Plan.op_symbol op
+
+(* ---------------------------------------------------------------- batches *)
+
+(* A batch is a set of equal-length base columns plus an optional
+   selection vector: the visible rows are [sel] (in that order) when
+   present, all of [0 .. base-1] otherwise.
+
+   A column entering from the boxed world stays [Mixed] in [cols] — the
+   boxed view must remain zero-copy, because boxed kernels (steps,
+   construction) sit between most typed ones and a retype that *replaced*
+   the boxed array would force a full re-boxing pass at the next boxed
+   boundary. Typed kernels instead consult [typed], a lazily filled
+   per-column cache of the retyped view ([Some Mixed] records a scan that
+   found the column genuinely heterogeneous, so it is never rescanned).
+   [table] caches the whole-batch boxed view. *)
+type batch = {
+  schema : string array;
+  cols : Column.t array;
+  typed : Column.t option array; (* entries mutated by retype caching *)
+  sel : int array option;
+  nrows : int;                   (* visible rows ( = |sel| when present ) *)
+  base : int;                    (* rows in the base columns *)
+  mutable table : Table.t option;
+}
+
+type ctx = {
+  env : Kernels.env;
+  pool : String_pool.t;
+  cache : (int, batch) Hashtbl.t;
+  mode : Eval.mode;
+  profile : Profile.t option;
+  guard : Budget.t option;
+  mutable kernels : int;  (* kernel invocations (cache hits excluded) *)
+}
+
+let create ?profile ?guard ?(step_impl = Eval.Scan) ?(mode = Eval.Dag) store =
+  let tag_index =
+    match step_impl with
+    | Eval.Scan -> None
+    | Eval.Tag_index -> Some (Xmldb.Tag_index.create store)
+  in
+  { env = Kernels.env ?tag_index store;
+    pool = String_pool.create ();
+    cache = Hashtbl.create 64;
+    mode;
+    profile;
+    guard;
+    kernels = 0 }
+
+let kernels ctx = ctx.kernels
+
+let bump ctx f = match ctx.profile with Some p -> f p | None -> ()
+
+let of_table t =
+  let n = Table.nrows t in
+  let cols = Array.map (fun c -> Column.Mixed c) (Table.columns t) in
+  { schema = Table.schema t;
+    cols;
+    typed = Array.make (Array.length cols) None;
+    sel = None;
+    nrows = n;
+    base = n;
+    table = Some t }
+
+let iter_sel b f =
+  match b.sel with
+  | None -> for r = 0 to b.nrows - 1 do f r done
+  | Some s -> Array.iter f s
+
+let col_pos b name =
+  let n = Array.length b.schema in
+  let rec go i =
+    if i >= n then
+      Err.internal "Physical: no column %S in schema [%s]" name
+        (String.concat "," (Array.to_list b.schema))
+    else if String.equal b.schema.(i) name then i
+    else go (i + 1)
+  in
+  go 0
+
+(* The column, after a cached attempt to tighten Mixed to a typed
+   representation. Dynamic detection is authoritative; static hints from
+   the lowering only ever decorate the plan dump. *)
+let retyped ctx b i =
+  match b.cols.(i) with
+  | Column.Mixed vs when Array.length vs > 0 -> (
+    match b.typed.(i) with
+    | Some c -> c
+    | None ->
+      let c = Column.of_values ~pool:ctx.pool vs in
+      (match c with
+       | Column.Mixed _ -> ()
+       | _ -> bump ctx Profile.count_retype);
+      b.typed.(i) <- Some c;
+      c)
+  | c -> c
+
+let rcol ctx b name = retyped ctx b (col_pos b name)
+
+(* Force the selection into the base: one gather per column, in whatever
+   representation the column has (typed views are gathered alongside, so
+   the retype cache survives compaction). *)
+let compact b =
+  match b.sel with
+  | None -> b
+  | Some s ->
+    { schema = b.schema;
+      cols = Array.map (fun c -> Column.gather c s) b.cols;
+      typed =
+        Array.map
+          (function Some c -> Some (Column.gather c s) | None -> None)
+          b.typed;
+      sel = None;
+      nrows = b.nrows;
+      base = b.nrows;
+      table = b.table }
+
+(* The boxed view of a batch — the bridge into boxed-fallback kernels and
+   the final serialization. Cached; counted as a forced materialization
+   the first time. *)
+let to_table ctx b =
+  match b.table with
+  | Some t -> t
+  | None ->
+    bump ctx Profile.count_mat_forced;
+    let cb = compact b in
+    let t =
+      Table.create b.schema (Array.map Column.to_values cb.cols) b.nrows
+    in
+    b.table <- Some t;
+    t
+
+(* A single column's visible rows, boxed (for key columns of matching
+   kernels that have no typed path). Reads the base representation — for
+   Mixed columns this is the original boxed array, no retype scan, no
+   re-boxing. *)
+let boxed_vis (_ : ctx) b name =
+  let c = b.cols.(col_pos b name) in
+  match (c, b.sel) with
+  | Column.Mixed vs, None -> vs
+  | Column.Mixed vs, Some s -> Array.map (fun r -> vs.(r)) s
+  | c, None -> Column.to_values c
+  | c, Some s -> Array.map (fun r -> Column.get c r) s
+
+(* Boxed-equivalent byte estimate over the visible rows (see the module
+   comment for why this is not the typed footprint). *)
+let budget_bytes b =
+  let total = ref 64 in
+  Array.iter
+    (fun c ->
+       total := !total + 16;
+       let fixed k = total := !total + (k * b.nrows) in
+       match c with
+       | Column.Ints _ | Column.Seq _ | Column.Bools _ -> fixed 16
+       | Column.Dbls _ -> fixed 24
+       | Column.Nodes _ -> fixed 24
+       | Column.Const { v; _ } -> fixed (Value.estimated_bytes v)
+       | Column.Strs { pool; ids } ->
+         iter_sel b (fun r ->
+             total :=
+               !total + 32 + String.length (String_pool.get pool ids.(r)))
+       | Column.Mixed vs ->
+         iter_sel b (fun r -> total := !total + Value.estimated_bytes vs.(r)))
+    b.cols;
+  !total
+
+(* ------------------------------------------------------- typed accessors *)
+
+(* Read the column as machine ints, when every row is an Int. *)
+let int_reader c =
+  match c with
+  | Column.Ints a -> Some (fun i -> a.(i))
+  | Column.Seq { start; _ } -> Some (fun i -> start + i)
+  | Column.Const { v = Value.Int x; _ } -> Some (fun _ -> x)
+  | _ -> None
+
+(* Read the column as floats, when every row is numeric (Int or Dbl) —
+   the promotion the boxed comparison/arithmetic rules apply. *)
+let num_reader c =
+  match c with
+  | Column.Ints a -> Some (fun i -> float_of_int a.(i))
+  | Column.Dbls a -> Some (fun i -> a.(i))
+  | Column.Seq { start; _ } -> Some (fun i -> float_of_int (start + i))
+  | Column.Const { v = Value.Int x; _ } ->
+    let f = float_of_int x in
+    Some (fun _ -> f)
+  | Column.Const { v = Value.Dbl x; _ } -> Some (fun _ -> x)
+  | _ -> None
+
+let bool_reader c =
+  match c with
+  | Column.Bools b -> Some (fun i -> Bytes.unsafe_get b i <> '\000')
+  | Column.Const { v = Value.Bool x; _ } -> Some (fun _ -> x)
+  | _ -> None
+
+(* String-pool ids, when every row is a string interned in [pool] —
+   id equality is string equality within one pool. *)
+let str_reader pool c =
+  match c with
+  | Column.Strs { pool = p; ids } when p == pool -> Some (fun i -> ids.(i))
+  | _ -> None
+
+(* -------------------------------------------------------- fused pipeline *)
+
+(* State threaded through a fused chain: growing named base columns plus
+   the current selection. Compute ops fill only the selected rows of
+   their output; dead entries hold dummies and are never read, because a
+   chain's selection only ever shrinks. *)
+type pipe = {
+  mutable pcols : (string * Column.t) array;
+  mutable ptyped : Column.t option array;  (* typed views of Mixed entries *)
+  mutable psel : int array option;
+  mutable pn : int;  (* visible rows *)
+  pbase : int;
+}
+
+(* First occurrence wins, matching [Table.col] after duplicate appends. *)
+let pipe_col p name =
+  let n = Array.length p.pcols in
+  let rec go i =
+    if i >= n then
+      Err.internal "Physical: no column %S in fused pipeline" name
+    else
+      let cn, c = p.pcols.(i) in
+      if String.equal cn name then (i, c) else go (i + 1)
+  in
+  go 0
+
+let pipe_retyped ctx p name =
+  let i, c = pipe_col p name in
+  match c with
+  | Column.Mixed vs when Array.length vs > 0 -> (
+    match p.ptyped.(i) with
+    | Some c' -> c'
+    | None ->
+      let c' = Column.of_values ~pool:ctx.pool vs in
+      (match c' with
+       | Column.Mixed _ -> ()
+       | _ -> bump ctx Profile.count_retype);
+      p.ptyped.(i) <- Some c';
+      c')
+  | c -> c
+
+let pipe_iter p f =
+  match p.psel with
+  | None -> for r = 0 to p.pn - 1 do f r done
+  | Some s -> Array.iter f s
+
+(* Generic per-row fallback: boxed application over the visible rows. *)
+let generic1 env p f c =
+  let out = Array.make p.pbase (Value.Int 0) in
+  pipe_iter p (fun r ->
+      out.(r) <- Kernels.apply1 env.Kernels.store f (Column.get c r));
+  Column.Mixed out
+
+let generic2 env p f c1 c2 =
+  let out = Array.make p.pbase (Value.Int 0) in
+  pipe_iter p (fun r ->
+      out.(r) <-
+        Kernels.apply2 env.Kernels.store f (Column.get c1 r) (Column.get c2 r));
+  Column.Mixed out
+
+let generic3 env p f c1 c2 c3 =
+  let out = Array.make p.pbase (Value.Int 0) in
+  pipe_iter p (fun r ->
+      out.(r) <-
+        Kernels.apply3 env.Kernels.store f (Column.get c1 r) (Column.get c2 r)
+          (Column.get c3 r));
+  Column.Mixed out
+
+(* Unary kernels with a typed path; everything else runs generic. *)
+let fun1_col ctx p f c =
+  let typed =
+    match f with
+    | Plan.P_not ->
+      (* the ebv of a Bool is the Bool itself, so negation is direct *)
+      Option.map
+        (fun g ->
+           let out = Bytes.make p.pbase '\000' in
+           pipe_iter p (fun r -> if not (g r) then Bytes.set out r '\001');
+           Column.Bools out)
+        (bool_reader c)
+    | Plan.P_neg | Plan.P_abs -> (
+      match c with
+      | Column.Ints a ->
+        let out = Array.make p.pbase 0 in
+        let op = if f = Plan.P_neg then ( ~- ) else abs in
+        pipe_iter p (fun r -> out.(r) <- op a.(r));
+        Some (Column.Ints out)
+      | Column.Dbls a ->
+        let out = Array.make p.pbase 0.0 in
+        let op = if f = Plan.P_neg then ( ~-. ) else Float.abs in
+        pipe_iter p (fun r -> out.(r) <- op a.(r));
+        Some (Column.Dbls out)
+      | _ -> None)
+    | _ -> None
+  in
+  match typed with Some c -> c | None -> generic1 ctx.env p f c
+
+(* Binary kernels. Int×Int stays int (except P_div, whose result type is
+   data-dependent, so it runs generic); numeric×numeric runs as floats.
+   Both replicate the boxed promotion rules exactly — float comparisons
+   are unordered on NaN and [Float.compare] otherwise (so -0.0 < 0.0,
+   like the boxed path), NOT the native IEEE operators. *)
+let fun2_col ctx p f c1 c2 =
+  let bools g =
+    let out = Bytes.make p.pbase '\000' in
+    pipe_iter p (fun r -> if g r then Bytes.set out r '\001');
+    Column.Bools out
+  in
+  let ints g =
+    let out = Array.make p.pbase 0 in
+    pipe_iter p (fun r -> out.(r) <- g r);
+    Column.Ints out
+  in
+  let dbls g =
+    let out = Array.make p.pbase 0.0 in
+    pipe_iter p (fun r -> out.(r) <- g r);
+    Column.Dbls out
+  in
+  let fcmp_bools g1 g2 test =
+    bools (fun r ->
+        let x = g1 r and y = g2 r in
+        if Float.is_nan x || Float.is_nan y then false
+        else test (Float.compare x y))
+  in
+  let typed =
+    match f with
+    | Plan.P_add | Plan.P_sub | Plan.P_mul | Plan.P_idiv | Plan.P_mod
+    | Plan.P_eq | Plan.P_ne | Plan.P_lt | Plan.P_le | Plan.P_gt | Plan.P_ge
+      -> (
+        match (int_reader c1, int_reader c2) with
+        | Some g1, Some g2 -> (
+          match f with
+          | Plan.P_add -> Some (ints (fun r -> g1 r + g2 r))
+          | Plan.P_sub -> Some (ints (fun r -> g1 r - g2 r))
+          | Plan.P_mul -> Some (ints (fun r -> g1 r * g2 r))
+          | Plan.P_idiv ->
+            Some
+              (ints (fun r ->
+                   let y = g2 r in
+                   if y = 0 then Err.dynamic "integer division by zero";
+                   g1 r / y))
+          | Plan.P_mod ->
+            Some
+              (ints (fun r ->
+                   let y = g2 r in
+                   if y = 0 then Err.dynamic "modulus by zero";
+                   let x = g1 r in
+                   x - (x / y * y)))
+          | Plan.P_eq -> Some (bools (fun r -> g1 r = g2 r))
+          | Plan.P_ne -> Some (bools (fun r -> g1 r <> g2 r))
+          | Plan.P_lt -> Some (bools (fun r -> g1 r < g2 r))
+          | Plan.P_le -> Some (bools (fun r -> g1 r <= g2 r))
+          | Plan.P_gt -> Some (bools (fun r -> g1 r > g2 r))
+          | Plan.P_ge -> Some (bools (fun r -> g1 r >= g2 r))
+          | _ -> None)
+        | _ -> (
+          match (num_reader c1, num_reader c2) with
+          | Some g1, Some g2 -> (
+            match f with
+            | Plan.P_add -> Some (dbls (fun r -> g1 r +. g2 r))
+            | Plan.P_sub -> Some (dbls (fun r -> g1 r -. g2 r))
+            | Plan.P_mul -> Some (dbls (fun r -> g1 r *. g2 r))
+            | Plan.P_eq -> Some (fcmp_bools g1 g2 (fun c -> c = 0))
+            | Plan.P_ne ->
+              Some
+                (bools (fun r ->
+                     let x = g1 r and y = g2 r in
+                     Float.is_nan x || Float.is_nan y
+                     || Float.compare x y <> 0))
+            | Plan.P_lt -> Some (fcmp_bools g1 g2 (fun c -> c < 0))
+            | Plan.P_le -> Some (fcmp_bools g1 g2 (fun c -> c <= 0))
+            | Plan.P_gt -> Some (fcmp_bools g1 g2 (fun c -> c > 0))
+            | Plan.P_ge -> Some (fcmp_bools g1 g2 (fun c -> c >= 0))
+            | _ -> None (* idiv/mod on doubles: rare, stays boxed *))
+          | _ -> (
+            (* string equality via pool ids *)
+            match (f, str_reader ctx.pool c1, str_reader ctx.pool c2) with
+            | Plan.P_eq, Some g1, Some g2 ->
+              Some (bools (fun r -> g1 r = g2 r))
+            | Plan.P_ne, Some g1, Some g2 ->
+              Some (bools (fun r -> g1 r <> g2 r))
+            | _ -> None)))
+    | Plan.P_and | Plan.P_or -> (
+      match (bool_reader c1, bool_reader c2) with
+      | Some g1, Some g2 ->
+        if f = Plan.P_and then Some (bools (fun r -> g1 r && g2 r))
+        else Some (bools (fun r -> g1 r || g2 r))
+      | _ -> None)
+    | _ -> None
+  in
+  match typed with Some c -> c | None -> generic2 ctx.env p f c1 c2
+
+(* The filter: refine the selection without touching any column. Error
+   behavior matches the boxed select row-for-row over the visible rows
+   (rows dropped by an earlier select were never observable here). *)
+let select_sel p c =
+  let live = Vec.create 0 in
+  (match c with
+   | Column.Bools bb ->
+     pipe_iter p (fun r ->
+         if Bytes.unsafe_get bb r <> '\000' then Vec.push live r)
+   | Column.Const { v = Value.Bool true; _ } ->
+     pipe_iter p (fun r -> Vec.push live r)
+   | Column.Const { v = Value.Bool false; _ } -> ()
+   | Column.Const { v; _ } ->
+     if p.pn > 0 then
+       Err.dynamic "selection on non-boolean value %s" (Value.type_name v)
+   | _ ->
+     pipe_iter p (fun r ->
+         match Column.get c r with
+         | Value.Bool true -> Vec.push live r
+         | Value.Bool false -> ()
+         | v ->
+           Err.dynamic "selection on non-boolean value %s"
+             (Value.type_name v)));
+  Vec.to_array live
+
+let run_pipe ctx (b : batch) (ops : chain_op list) : batch =
+  let p =
+    { pcols = Array.mapi (fun i c -> (b.schema.(i), c)) b.cols;
+      ptyped = Array.copy b.typed;
+      psel = b.sel;
+      pn = b.nrows;
+      pbase = b.base }
+  in
+  let push name c =
+    p.pcols <- Array.append p.pcols [| (name, c) |];
+    p.ptyped <- Array.append p.ptyped [| None |]
+  in
+  List.iter
+    (fun op ->
+       match op with
+       | F_select name ->
+         let c = pipe_retyped ctx p name in
+         let s = select_sel p c in
+         p.psel <- Some s;
+         p.pn <- Array.length s;
+         bump ctx Profile.count_mat_avoided
+       | F_attach (res, v) -> push res (Column.const v p.pbase)
+       | F_fun1 (res, f, a) ->
+         let c = pipe_retyped ctx p a in
+         push res (fun1_col ctx p f c)
+       | F_fun2 (res, f, a1, a2) ->
+         let c1 = pipe_retyped ctx p a1 in
+         let c2 = pipe_retyped ctx p a2 in
+         push res (fun2_col ctx p f c1 c2)
+       | F_fun3 (res, f, a1, a2, a3) ->
+         let c1 = pipe_retyped ctx p a1 in
+         let c2 = pipe_retyped ctx p a2 in
+         let c3 = pipe_retyped ctx p a3 in
+         push res (generic3 ctx.env p f c1 c2 c3))
+    ops;
+  { schema = Array.map fst p.pcols;
+    cols = Array.map snd p.pcols;
+    typed = p.ptyped;
+    sel = p.psel;
+    nrows = p.pn;
+    base = p.pbase;
+    table = None }
+
+(* ------------------------------------------------------- breaker kernels *)
+
+let check_disjoint l r =
+  Array.iter
+    (fun cl ->
+       if Array.exists (String.equal cl) r then
+         Err.internal "join: column %S on both sides" cl)
+    l
+
+(* Build a join output: typed gathers of both (compacted) sides through
+   the match index pairs — no boxing, the payoff of the whole layer. *)
+let join_output (l : batch) (r : batch) li ri =
+  let n = Array.length li in
+  let side (b : batch) idx =
+    ( Array.map (fun c -> Column.gather c idx) b.cols,
+      Array.map
+        (function Some c -> Some (Column.gather c idx) | None -> None)
+        b.typed )
+  in
+  let lc, lt = side l li and rc, rt = side r ri in
+  { schema = Array.append l.schema r.schema;
+    cols = Array.append lc rc;
+    typed = Array.append lt rt;
+    sel = None;
+    nrows = n;
+    base = n;
+    table = None }
+
+(* Matching key pairs via an int hash join — the boxed fast path's exact
+   insertion/probe order, so the output row order agrees with it. *)
+let int_join_indices g1 n1 g2 n2 =
+  let module IT = Kernels.Int_tbl in
+  let index : int Vec.t IT.t = IT.create (max 16 n2) in
+  for j = 0 to n2 - 1 do
+    let k = g2 j in
+    match IT.find_opt index k with
+    | Some v -> Vec.push v j
+    | None ->
+      let v = Vec.create 0 in
+      Vec.push v j;
+      IT.add index k v
+  done;
+  let li = Vec.create 0 and ri = Vec.create 0 in
+  for i = 0 to n1 - 1 do
+    match IT.find_opt index (g1 i) with
+    | None -> ()
+    | Some v ->
+      Vec.iter
+        (fun j ->
+           Vec.push li i;
+           Vec.push ri j)
+        v
+  done;
+  (Vec.to_array li, Vec.to_array ri)
+
+let k_join ctx lb rb lcol rcname =
+  check_disjoint lb.schema rb.schema;
+  let lb = compact lb and rb = compact rb in
+  let lc = rcol ctx lb lcol and rc = rcol ctx rb rcname in
+  let li, ri =
+    match (int_reader lc, int_reader rc) with
+    | Some g1, Some g2 -> int_join_indices g1 lb.nrows g2 rb.nrows
+    | _ -> (
+      match (str_reader ctx.pool lc, str_reader ctx.pool rc) with
+      | Some g1, Some g2 -> int_join_indices g1 lb.nrows g2 rb.nrows
+      | _ ->
+        Kernels.join_indices (boxed_vis ctx lb lcol) (boxed_vis ctx rb rcname))
+  in
+  join_output lb rb li ri
+
+(* Inequality theta where untyped strings meet numerics: the boxed
+   kernel takes its nested loop and re-coerces (re-parses!) the untyped
+   side once per PAIR. Here each row is coerced to its xs:double key
+   exactly once, then pairs compare as unboxed floats — same pair
+   enumeration order (i-outer, j-inner), same NaN semantics
+   ([float_cmp]: unordered compares false), and the first uncoercible
+   value raises in the same position the nested loop would have reached
+   it (row (0,0) coerces left then right, then the inner loop finishes
+   the right side before the outer loop resumes the left).
+
+   Only fires when exactly one side is all-numeric and the other mixes
+   strings in — both-all-numeric stays on the boxed sort-based range
+   join, and Str×Str pairs (string comparison, not coercion) or
+   Bool/Node/QName operands (different rules per pair) stay on the
+   boxed nested loop. *)
+let theta_float_keys lvs rvs =
+  let numeric = function Value.Int _ | Value.Dbl _ -> true | _ -> false in
+  let coercible = function
+    | Value.Int _ | Value.Dbl _ | Value.Str _ -> true
+    | _ -> false
+  in
+  let all p a = Array.for_all p a in
+  if
+    Array.length lvs = 0
+    || Array.length rvs = 0
+    || not
+         ((all numeric lvs && all coercible rvs && not (all numeric rvs))
+          || (all numeric rvs && all coercible lvs && not (all numeric lvs)))
+  then None
+  else begin
+    let lk = Array.make (Array.length lvs) 0.0 in
+    let rk = Array.make (Array.length rvs) 0.0 in
+    lk.(0) <- Value.float_value lvs.(0);
+    Array.iteri (fun j v -> rk.(j) <- Value.float_value v) rvs;
+    for i = 1 to Array.length lvs - 1 do
+      lk.(i) <- Value.float_value lvs.(i)
+    done;
+    Some (lk, rk)
+  end
+
+let theta_float_indices cmp lk rk =
+  let test =
+    match cmp with
+    | Plan.P_lt -> fun c -> c < 0
+    | Plan.P_le -> fun c -> c <= 0
+    | Plan.P_gt -> fun c -> c > 0
+    | Plan.P_ge -> fun c -> c >= 0
+    | _ -> Err.internal "theta_float_indices: inequality expected"
+  in
+  let li = Vec.create 0 and ri = Vec.create 0 in
+  Array.iteri
+    (fun i x ->
+       if not (Float.is_nan x) then
+         Array.iteri
+           (fun j y ->
+              if (not (Float.is_nan y)) && test (Float.compare x y) then begin
+                Vec.push li i;
+                Vec.push ri j
+              end)
+           rk)
+    lk;
+  (Vec.to_array li, Vec.to_array ri)
+
+let k_thetajoin ctx lb rb lcol cmp rcname =
+  check_disjoint lb.schema rb.schema;
+  let lb = compact lb and rb = compact rb in
+  let li, ri =
+    match cmp with
+    | Plan.P_eq -> (
+      (* int×int equality is coercion-free: safe for the typed path *)
+      match
+        (int_reader (rcol ctx lb lcol), int_reader (rcol ctx rb rcname))
+      with
+      | Some g1, Some g2 -> int_join_indices g1 lb.nrows g2 rb.nrows
+      | _ ->
+        Kernels.theta_indices (boxed_vis ctx lb lcol) cmp
+          (boxed_vis ctx rb rcname))
+    | Plan.P_lt | Plan.P_le | Plan.P_gt | Plan.P_ge -> (
+      let lvs = boxed_vis ctx lb lcol and rvs = boxed_vis ctx rb rcname in
+      match theta_float_keys lvs rvs with
+      | Some (lk, rk) -> theta_float_indices cmp lk rk
+      | None -> Kernels.theta_indices lvs cmp rvs)
+    | _ ->
+      (* everything else: matching stays boxed (the homogeneity/NaN
+         analysis lives there), output stays typed *)
+      Kernels.theta_indices (boxed_vis ctx lb lcol) cmp
+        (boxed_vis ctx rb rcname)
+  in
+  join_output lb rb li ri
+
+(* Semi/anti join: the output is the left batch with a composed selection
+   — nothing materializes. *)
+let k_semijoin ctx ~anti lb rb on =
+  let lkeys =
+    Array.of_list (List.map (fun (lc, _) -> boxed_vis ctx lb lc) on)
+  in
+  let rkeys =
+    Array.of_list (List.map (fun (_, rc) -> boxed_vis ctx rb rc) on)
+  in
+  let keep = Kernels.semi_keep ~anti ~nl:lb.nrows ~nr:rb.nrows lkeys rkeys in
+  let sel' =
+    match lb.sel with
+    | None -> keep
+    | Some s -> Array.map (fun k -> s.(k)) keep
+  in
+  bump ctx Profile.count_mat_avoided;
+  { lb with sel = Some sel'; nrows = Array.length sel'; table = None }
+
+let k_distinct ctx b =
+  let n = Array.length b.schema in
+  let keep =
+    match (if n = 1 then int_reader (retyped ctx b 0) else None) with
+    | Some g ->
+      (* single int column: dedup without boxing *)
+      let module IT = Kernels.Int_tbl in
+      let seen : unit IT.t = IT.create (max 16 b.nrows) in
+      let keep = Vec.create 0 in
+      let k = ref 0 in
+      iter_sel b (fun r ->
+          let key = g r in
+          if not (IT.mem seen key) then begin
+            IT.add seen key ();
+            Vec.push keep !k
+          end;
+          incr k);
+      Vec.to_array keep
+    | None ->
+      let cols = Array.init n (fun i -> boxed_vis ctx b b.schema.(i)) in
+      let seen = Kernels.Row_tbl.create (max 16 b.nrows) in
+      let keep = Vec.create 0 in
+      for k = 0 to b.nrows - 1 do
+        let key = Array.map (fun c -> c.(k)) cols in
+        if not (Kernels.Row_tbl.mem seen key) then begin
+          Kernels.Row_tbl.add seen key ();
+          Vec.push keep k
+        end
+      done;
+      Vec.to_array keep
+  in
+  let sel' =
+    match b.sel with
+    | None -> keep
+    | Some s -> Array.map (fun k -> s.(k)) keep
+  in
+  bump ctx Profile.count_mat_avoided;
+  { b with sel = Some sel'; nrows = Array.length sel'; table = None }
+
+let k_project b cols =
+  let idx = Array.of_list (List.map (fun (_, src) -> col_pos b src) cols) in
+  { schema = Array.of_list (List.map fst cols);
+    cols = Array.map (fun i -> b.cols.(i)) idx;
+    typed = Array.map (fun i -> b.typed.(i)) idx;
+    sel = b.sel;
+    nrows = b.nrows;
+    base = b.base;
+    table = None }
+
+let k_union lb rb =
+  if Array.length lb.schema <> Array.length rb.schema then
+    Err.internal "Table.union: schema arity mismatch";
+  let lb = compact lb and rb = compact rb in
+  let cols =
+    Array.mapi
+      (fun i name -> Column.append lb.cols.(i) rb.cols.(col_pos rb name))
+      lb.schema
+  in
+  { schema = lb.schema;
+    cols;
+    typed = Array.make (Array.length cols) None;
+    sel = None;
+    nrows = lb.nrows + rb.nrows;
+    base = lb.nrows + rb.nrows;
+    table = None }
+
+let k_rowid ctx b res =
+  match b.sel with
+  | None ->
+    (* dense numbering is MonetDB's void column: O(1), nothing stored *)
+    bump ctx Profile.count_mat_avoided;
+    { b with
+      schema = Array.append b.schema [| res |];
+      cols = Array.append b.cols [| Column.seq ~start:1 b.nrows |];
+      typed = Array.append b.typed [| None |];
+      table = None }
+  | Some s ->
+    (* scattered: number the selected rows 1..n in selection order *)
+    let out = Array.make b.base 0 in
+    Array.iteri (fun k r -> out.(r) <- k + 1) s;
+    { b with
+      schema = Array.append b.schema [| res |];
+      cols = Array.append b.cols [| Column.Ints out |];
+      typed = Array.append b.typed [| None |];
+      table = None }
+
+(* Rownum: the pipeline breaker the paper's cost model revolves around.
+   Compact, sort a permutation — typed comparators where columns are
+   typed; [Value.compare_total] agrees with [Int.compare]/[Float.compare]
+   on homogeneous columns — then number within partitions. *)
+let k_rownum ctx b res order part =
+  let b = compact b in
+  let n = b.nrows in
+  let cmp_of name =
+    let i = col_pos b name in
+    match retyped ctx b i with
+    | Column.Ints a -> fun x y -> Int.compare a.(x) a.(y)
+    | Column.Seq _ -> Int.compare
+    | Column.Dbls a -> fun x y -> Float.compare a.(x) a.(y)
+    | Column.Const _ -> fun _ _ -> 0
+    | Column.Nodes { frag; pre } ->
+      (* (frag, pre) lexicographically = [Node_id.compare] = the total
+         order on homogeneous node columns *)
+      fun x y ->
+        let c = Int.compare frag.(x) frag.(y) in
+        if c <> 0 then c else Int.compare pre.(x) pre.(y)
+    | Column.Strs { pool; ids } ->
+      fun x y ->
+        String.compare (String_pool.get pool ids.(x))
+          (String_pool.get pool ids.(y))
+    | _ -> (
+      (* genuinely heterogeneous: compare the boxed values in place —
+         never [Column.get] on a typed rep, which would allocate a box
+         per comparison inside the sort *)
+      match b.cols.(i) with
+      | Column.Mixed vs -> fun x y -> Value.compare_total vs.(x) vs.(y)
+      | c -> fun x y -> Value.compare_total (Column.get c x) (Column.get c y))
+  in
+  let ocmps = List.map (fun (name, d) -> (cmp_of name, d)) order in
+  let pcmp = Option.map cmp_of part in
+  let perm = Array.init n (fun i -> i) in
+  let compare_rows a bi =
+    let pc = match pcmp with None -> 0 | Some c -> c a bi in
+    if pc <> 0 then pc
+    else
+      let rec go = function
+        | [] -> Int.compare a bi (* stability tie-break *)
+        | (c, d) :: rest ->
+          let cmp = c a bi in
+          let cmp = match d with Plan.Asc -> cmp | Plan.Desc -> -cmp in
+          if cmp <> 0 then cmp else go rest
+      in
+      go ocmps
+  in
+  Array.sort compare_rows perm;
+  let out = Array.make n 0 in
+  (match pcmp with
+   | None -> Array.iteri (fun k r -> out.(r) <- k + 1) perm
+   | Some pc ->
+     (* partition equality is comparator equality: [Value.equal] is
+        defined as [compare_total = 0], so this matches the boxed
+        counter's restart points exactly *)
+     let counter = ref 0 in
+     let last = ref (-1) in
+     Array.iter
+       (fun r ->
+          (match !last with
+           | -1 -> counter := 1
+           | lr -> if pc lr r = 0 then incr counter else counter := 1);
+          last := r;
+          out.(r) <- !counter)
+       perm);
+  { b with
+    schema = Array.append b.schema [| res |];
+    cols = Array.append b.cols [| Column.Ints out |];
+    typed = Array.append b.typed [| None |];
+    table = None }
+
+(* Aggregation: typed paths for the hot shapes — count, and integer sum,
+   grouped by an int column (iter grouping, the overwhelmingly common
+   case), first-seen group order exactly like [Kernels.group_rows] —
+   everything else boxed. *)
+let k_aggr ctx b res agg arg part order =
+  let boxed () =
+    let t = to_table ctx b in
+    of_table
+      (Kernels.eval_aggr ctx.env.Kernels.store t res agg arg part order)
+  in
+  match (agg, part) with
+  | Plan.A_count, None ->
+    of_table (Table.of_rows [| res |] [ [| Value.Int b.nrows |] ])
+  | Plan.A_count, Some p -> (
+    match int_reader (rcol ctx b p) with
+    | None -> boxed ()
+    | Some g ->
+      let module IT = Kernels.Int_tbl in
+      let order_v = Vec.create 0 in
+      let counts : int ref IT.t = IT.create 64 in
+      iter_sel b (fun r ->
+          let k = g r in
+          match IT.find_opt counts k with
+          | Some c -> incr c
+          | None ->
+            IT.add counts k (ref 1);
+            Vec.push order_v k);
+      let n = Vec.length order_v in
+      let keys = Array.make n 0 and vals = Array.make n 0 in
+      Vec.iteri
+        (fun i k ->
+           keys.(i) <- k;
+           vals.(i) <- !(IT.find counts k))
+        order_v;
+      { schema = [| p; res |];
+        cols = [| Column.Ints keys; Column.Ints vals |];
+        typed = [| None; None |];
+        sel = None;
+        nrows = n;
+        base = n;
+        table = None })
+  | Plan.A_sum, Some p -> (
+    match
+      (int_reader (rcol ctx b p), Option.map (fun a -> rcol ctx b a) arg)
+    with
+    | Some g, Some (Column.Ints aa) ->
+      (* atomize is the identity on Int, and an all-Int sum folds to an
+         Int on the boxed path too — parity holds *)
+      let module IT = Kernels.Int_tbl in
+      let order_v = Vec.create 0 in
+      let sums : int ref IT.t = IT.create 64 in
+      iter_sel b (fun r ->
+          let k = g r in
+          match IT.find_opt sums k with
+          | Some s -> s := !s + aa.(r)
+          | None ->
+            IT.add sums k (ref aa.(r));
+            Vec.push order_v k);
+      let n = Vec.length order_v in
+      let keys = Array.make n 0 and vals = Array.make n 0 in
+      Vec.iteri
+        (fun i k ->
+           keys.(i) <- k;
+           vals.(i) <- !(IT.find sums k))
+        order_v;
+      { schema = [| p; res |];
+        cols = [| Column.Ints keys; Column.Ints vals |];
+        typed = [| None; None |];
+        sel = None;
+        nrows = n;
+        base = n;
+        table = None }
+    | _ -> boxed ())
+  | _ -> boxed ()
+
+(* ------------------------------------------------------------- dispatcher *)
+
+let exec_kernel ctx (p : pnode) (inputs : batch list) : batch =
+  let one () =
+    match inputs with
+    | [ b ] -> b
+    | _ -> Err.internal "physical kernel arity: one input expected"
+  in
+  let two () =
+    match inputs with
+    | [ a; b ] -> (a, b)
+    | _ -> Err.internal "physical kernel arity: two inputs expected"
+  in
+  match p.pop with
+  | K_pipe ops -> run_pipe ctx (one ()) ops
+  | K_project cols -> k_project (one ()) cols
+  | K_distinct -> k_distinct ctx (one ())
+  | K_union ->
+    let l, r = two () in
+    k_union l r
+  | K_rowid res -> k_rowid ctx (one ()) res
+  | K_rownum { res; order; part } -> k_rownum ctx (one ()) res order part
+  | K_join { lcol; rcol } ->
+    let l, r = two () in
+    k_join ctx l r lcol rcol
+  | K_thetajoin { lcol; cmp; rcol } ->
+    let l, r = two () in
+    k_thetajoin ctx l r lcol cmp rcol
+  | K_semijoin { anti; on } ->
+    let l, r = two () in
+    k_semijoin ctx ~anti l r on
+  | K_aggr { res; agg; arg; part; order } ->
+    k_aggr ctx (one ()) res agg arg part order
+  | K_boxed op ->
+    let tables = List.map (to_table ctx) inputs in
+    of_table (Kernels.eval_op ctx.env op tables)
+
+let rec eval ctx (p : pnode) : batch =
+  match
+    (match ctx.mode with
+     | Eval.Dag -> Hashtbl.find_opt ctx.cache p.pid
+     | Eval.Tree -> None)
+  with
+  | Some b -> b
+  | None ->
+    (* the kernel boundary: deadline / op budget / cancellation / fault
+       injection fire here, once per kernel invocation. A fused chain is
+       one kernel, so a physical run makes at most as many checks as the
+       logical executor made for the same plan. *)
+    (match ctx.guard with Some g -> Budget.check g | None -> ());
+    (match ctx.mode with
+     | Eval.Dag -> List.iter (fun c -> ignore (eval ctx c)) p.pinputs
+     | Eval.Tree -> ());
+    let t0 = match ctx.profile with Some _ -> Clock.now () | None -> 0.0 in
+    ctx.kernels <- ctx.kernels + 1;
+    let inputs = List.map (eval ctx) p.pinputs in
+    let out = exec_kernel ctx p inputs in
+    (match ctx.guard with
+     | Some g ->
+       Budget.add_rows g out.nrows;
+       if Budget.wants_bytes g then Budget.add_bytes g (budget_bytes out)
+     | None -> ());
+    (match ctx.profile with
+     | Some prof ->
+       let dt = Clock.now () -. t0 in
+       Profile.add prof p.plabel dt;
+       Profile.add_node prof p.pid p.plabel dt;
+       Profile.add_kernel prof ~fused:p.pfused
+         ~rows_in:(List.fold_left (fun acc b -> acc + b.nrows) 0 inputs)
+         ~rows_out:out.nrows
+     | None -> ());
+    (match ctx.mode with
+     | Eval.Dag -> Hashtbl.add ctx.cache p.pid out
+     | Eval.Tree -> ());
+    out
+
+(* Evaluate a whole physical plan; the result is boxed for the
+   serialization boundary (the one materialization every query pays). *)
+let run ?profile ?guard ?step_impl ?mode store (root : pnode) : Table.t =
+  let ctx = create ?profile ?guard ?step_impl ?mode store in
+  let out = eval ctx root in
+  to_table ctx out

@@ -12,12 +12,45 @@ type node_stat = {
   mutable seconds : float;
 }
 
+(* Physical-executor counters: how much work the typed/selection-vector
+   machinery did and, more importantly, how much it avoided. *)
+type phys = {
+  mutable kernels : int;      (* physical kernel invocations *)
+  mutable fused_ops : int;    (* logical operators folded into fused kernels *)
+  mutable rows_in : int;      (* input rows across all kernel invocations *)
+  mutable rows_out : int;     (* output rows across all kernel invocations *)
+  mutable mat_avoided : int;  (* results delivered as a selection vector /
+                                 const / seq instead of materialized rows *)
+  mutable mat_forced : int;   (* batches boxed back to tables at pipeline
+                                 breakers or for a boxed-fallback kernel *)
+  mutable retypes : int;      (* Mixed -> typed column conversions *)
+}
+
 type t = {
   buckets : (string, float ref) Hashtbl.t;
   nodes : (int, node_stat) Hashtbl.t;
+  phys : phys;
 }
 
-let create () = { buckets = Hashtbl.create 32; nodes = Hashtbl.create 64 }
+let create () =
+  { buckets = Hashtbl.create 32;
+    nodes = Hashtbl.create 64;
+    phys =
+      { kernels = 0; fused_ops = 0; rows_in = 0; rows_out = 0;
+        mat_avoided = 0; mat_forced = 0; retypes = 0 } }
+
+let phys t = t.phys
+
+let add_kernel t ~fused ~rows_in ~rows_out =
+  let p = t.phys in
+  p.kernels <- p.kernels + 1;
+  p.fused_ops <- p.fused_ops + fused;
+  p.rows_in <- p.rows_in + rows_in;
+  p.rows_out <- p.rows_out + rows_out
+
+let count_mat_avoided t = t.phys.mat_avoided <- t.phys.mat_avoided + 1
+let count_mat_forced t = t.phys.mat_forced <- t.phys.mat_forced + 1
+let count_retype t = t.phys.retypes <- t.phys.retypes + 1
 
 let add t label seconds =
   match Hashtbl.find_opt t.buckets label with
@@ -59,6 +92,16 @@ let pp fmt t =
   Format.fprintf fmt "%-42s %12.1f@." "total" (tot *. 1000.0);
   if Hashtbl.length t.nodes > 0 then
     Format.fprintf fmt "%d unique plan nodes, %d evaluations@."
-      (unique_nodes t) (node_evals t)
+      (unique_nodes t) (node_evals t);
+  let p = t.phys in
+  if p.kernels > 0 then begin
+    Format.fprintf fmt
+      "physical: %d kernels (%d logical ops fused away), %d rows in, \
+       %d rows out@."
+      p.kernels p.fused_ops p.rows_in p.rows_out;
+    Format.fprintf fmt
+      "physical: %d materializations avoided, %d forced, %d columns retyped@."
+      p.mat_avoided p.mat_forced p.retypes
+  end
 
 let to_string t = Format.asprintf "%a" pp t

@@ -5,7 +5,32 @@
 
 type t
 
+(** Physical-executor counters: work the typed/selection-vector machinery
+    did — and, more importantly, avoided. All zero unless the physical
+    backend ran with this profile. *)
+type phys = {
+  mutable kernels : int;      (** physical kernel invocations *)
+  mutable fused_ops : int;    (** logical operators folded into fused kernels *)
+  mutable rows_in : int;      (** input rows summed over kernel invocations *)
+  mutable rows_out : int;     (** output rows summed over kernel invocations *)
+  mutable mat_avoided : int;  (** results delivered as selection vector /
+                                  const / seq instead of materialized rows *)
+  mutable mat_forced : int;   (** batches boxed back to tables at pipeline
+                                  breakers or for boxed-fallback kernels *)
+  mutable retypes : int;      (** Mixed → typed column conversions *)
+}
+
 val create : unit -> t
+
+val phys : t -> phys
+
+(** One physical kernel invocation: [fused] logical ops it covered,
+    input and output row counts. *)
+val add_kernel : t -> fused:int -> rows_in:int -> rows_out:int -> unit
+
+val count_mat_avoided : t -> unit
+val count_mat_forced : t -> unit
+val count_retype : t -> unit
 
 (** [add t label seconds] accumulates into [label]'s bucket. *)
 val add : t -> string -> float -> unit

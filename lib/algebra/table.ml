@@ -10,6 +10,9 @@ type t = {
   schema : string array;            (* column names, in display order *)
   cols : Value.t array array;       (* cols.(c).(row) *)
   nrows : int;
+  mutable index : (string, int) Hashtbl.t option;
+      (* name -> position, built lazily on the first by-name access and
+         reused for the table's lifetime (schemas are immutable) *)
 }
 
 let schema t = t.schema
@@ -24,23 +27,37 @@ let create schema cols nrows =
        if Array.length c <> nrows then
          Err.internal "Table.create: ragged columns")
     cols;
-  { schema; cols; nrows }
+  { schema; cols; nrows; index = None }
 
-let empty schema = { schema; cols = Array.map (fun _ -> [||]) schema; nrows = 0 }
+let empty schema =
+  { schema; cols = Array.map (fun _ -> [||]) schema; nrows = 0; index = None }
+
+let index t =
+  match t.index with
+  | Some h -> h
+  | None ->
+    let h = Hashtbl.create (2 * Array.length t.schema) in
+    (* first occurrence wins, like the linear scan this replaces *)
+    Array.iteri
+      (fun i name -> if not (Hashtbl.mem h name) then Hashtbl.add h name i)
+      t.schema;
+    t.index <- Some h;
+    h
 
 let col_index t name =
-  let rec find i =
-    if i >= Array.length t.schema then
-      Err.internal "Table: no column %S in schema [%s]" name
-        (String.concat "," (Array.to_list t.schema))
-    else if String.equal t.schema.(i) name then i
-    else find (i + 1)
-  in
-  find 0
+  match Hashtbl.find_opt (index t) name with
+  | Some i -> i
+  | None ->
+    Err.internal "Table: no column %S in schema [%s]" name
+      (String.concat "," (Array.to_list t.schema))
 
 let has_col t name = Array.exists (String.equal name) t.schema
 
 let col t name = t.cols.(col_index t name)
+
+(* The raw column storage, in schema order — the zero-copy bridge into the
+   physical layer's batches. Callers must not mutate. *)
+let columns t = t.cols
 
 let get t name row = (col t name).(row)
 
@@ -55,7 +72,7 @@ let of_rows schema rows =
          Err.internal "Table.of_rows: row arity mismatch";
        Array.iteri (fun c v -> cols.(c).(r) <- v) row)
     rows;
-  { schema; cols; nrows }
+  { schema; cols; nrows; index = None }
 
 let row t r = Array.map (fun c -> c.(r)) t.cols
 
@@ -66,19 +83,21 @@ let iter_rows f t =
 let gather t (idx : int array) =
   { schema = t.schema;
     cols = Array.map (fun c -> Array.map (fun r -> c.(r)) idx) t.cols;
-    nrows = Array.length idx }
+    nrows = Array.length idx;
+    index = t.index }
 
 (* Reorder columns / rename / duplicate: [(new_name, src_name)] list. *)
 let project t cols =
   let schema = Array.of_list (List.map fst cols) in
   let srcs = Array.of_list (List.map (fun (_, s) -> col t s) cols) in
-  { schema; cols = srcs; nrows = t.nrows }
+  { schema; cols = srcs; nrows = t.nrows; index = None }
 
 let append_col t name c =
   if Array.length c <> t.nrows then Err.internal "Table.append_col: length";
   { schema = Array.append t.schema [| name |];
     cols = Array.append t.cols [| c |];
-    nrows = t.nrows }
+    nrows = t.nrows;
+    index = None }
 
 (* Align [other]'s columns to [t]'s schema (by name) and append the rows. *)
 let union t other =
@@ -87,7 +106,8 @@ let union t other =
   let ocols = Array.map (fun name -> col other name) t.schema in
   { schema = t.schema;
     cols = Array.mapi (fun i c -> Array.append c ocols.(i)) t.cols;
-    nrows = t.nrows + other.nrows }
+    nrows = t.nrows + other.nrows;
+    index = t.index }
 
 let to_string ?(max_rows = 20) t =
   let buf = Buffer.create 256 in

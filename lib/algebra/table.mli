@@ -26,6 +26,9 @@ val has_col : t -> string -> bool
 (** The raw column array (shared, do not mutate). *)
 val col : t -> string -> Value.t array
 
+(** The raw column storage, in schema order (zero copy — do not mutate). *)
+val columns : t -> Value.t array array
+
 val get : t -> string -> int -> Value.t
 
 (** Build from a row list; each row ordered like the schema. *)

@@ -46,7 +46,9 @@ let limits ?timeout_s ?max_rows ?max_bytes ?max_ops ?cancel ?fault_at () =
 
 type t = {
   spec : spec;
-  deadline : float option;  (* absolute, Unix.gettimeofday scale *)
+  deadline : float option;  (* absolute, on the monotonic Clock scale:
+                               an NTP step of the wall clock can neither
+                               fire the timeout early nor suppress it *)
   mutable ops : int;
   mutable rows : int;
   mutable bytes : int;
@@ -54,8 +56,7 @@ type t = {
 
 let start spec =
   { spec;
-    deadline =
-      Option.map (fun s -> Unix.gettimeofday () +. s) spec.timeout_s;
+    deadline = Option.map (fun s -> Clock.now () +. s) spec.timeout_s;
     ops = 0;
     rows = 0;
     bytes = 0 }
@@ -82,7 +83,7 @@ let check t =
      Err.resource "operator budget exhausted (limit %d evaluations)" m
    | _ -> ());
   match t.deadline with
-  | Some d when Unix.gettimeofday () >= d ->
+  | Some d when Clock.now () >= d ->
     (match t.spec.timeout_s with
      | Some s -> Err.resource "deadline exceeded (limit %gs)" s
      | None -> assert false)

@@ -44,7 +44,8 @@ val limits :
   ?timeout_s:float -> ?max_rows:int -> ?max_bytes:int -> ?max_ops:int ->
   ?cancel:cancel -> ?fault_at:int -> unit -> spec
 
-(** A running guard: counters plus the absolute deadline. *)
+(** A running guard: counters plus the absolute deadline (kept on the
+    monotonic {!Clock} scale, immune to wall-clock steps). *)
 type t
 
 (** Arm a guard: the deadline clock starts now. *)

@@ -1,0 +1,11 @@
+(** Monotonic clock (CLOCK_MONOTONIC) for deadline and duration
+    arithmetic. Unlike [Unix.gettimeofday], it cannot jump when NTP steps
+    the wall clock, so {!Budget} timeouts can neither fire early nor be
+    suppressed. The origin is unspecified; only differences mean
+    anything. *)
+
+(** Nanoseconds on the monotonic scale. *)
+val now_ns : unit -> int64
+
+(** Seconds on the monotonic scale (the unit {!Budget} deadlines use). *)
+val now : unit -> float

@@ -1,0 +1,19 @@
+/* Monotonic time for deadline arithmetic. Unix.gettimeofday follows the
+   wall clock, so an NTP step (or a manual date change) can fire a query
+   deadline early or suppress it entirely; CLOCK_MONOTONIC cannot move
+   backwards and is unaffected by clock discipline. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value exrquy_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return caml_copy_int64((int64_t) ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

@@ -3,7 +3,9 @@
     {- the static schema (column set) of every operator;}
     {- {e constant} columns — every row carries the same, known value;}
     {- {e arbitrary} columns — born from the rowid operator [#], hence
-       carrying no semantic order information.}}
+       carrying no semantic order information;}
+    {- static {e column types} — hints for the physical layer's typed
+       (unboxed) columns.}}
 
     This is the property framework the paper's Section 7 uses to degrade
     the residual [%pos1:⟨bind,pos⟩‖iter1] of Figure 9: [iter1] and [pos]
@@ -17,6 +19,12 @@ type props = {
   schema : SSet.t;
   consts : Algebra.Value.t SMap.t;  (** column → its constant value *)
   arbitrary : SSet.t;               (** columns born from # *)
+  ctypes : Algebra.Column.ty SMap.t;
+      (** column → statically known value type; absent = unknown
+          ([T_mixed]). The physical layer uses these as hints gating
+          whether a runtime retype is attempted — the dynamic check stays
+          authoritative, so a wrong hint can cost time but never
+          correctness. *)
 }
 
 (** Inference result: properties per plan-node id. *)
@@ -29,3 +37,6 @@ val infer : Algebra.Plan.node -> t
 val props : t -> Algebra.Plan.node -> props
 
 val schema_list : t -> Algebra.Plan.node -> string list
+
+(** The statically known type of a node's column ([T_mixed] = unknown). *)
+val col_ty : t -> Algebra.Plan.node -> string -> Algebra.Column.ty

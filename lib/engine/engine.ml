@@ -29,6 +29,9 @@ type opts = {
   backend : backend;
   step_impl : Algebra.Eval.step_impl;
   eval_mode : Algebra.Eval.mode;
+  physical : [ `On | `Off ];
+      (* execute through the lowered physical plan (typed columns,
+         selection vectors, fused kernels) or the boxed logical executor *)
   join_rec : bool;
   budget : Budget.spec option;
   fallback : bool;
@@ -42,6 +45,7 @@ let default_opts = {
   backend = Compiled;
   step_impl = Algebra.Eval.Scan;
   eval_mode = Algebra.Eval.Dag;
+  physical = `On;
   join_rec = true;
   budget = None;
   fallback = true;
@@ -56,6 +60,7 @@ type result = {
   serialized : string;
   plan : Algebra.Plan.node option;          (* after optimization *)
   raw_plan : Algebra.Plan.node option;      (* before optimization *)
+  physical_plan : Algebra.Physical.pnode option;  (* what actually ran *)
   profile : Algebra.Profile.t option;
   wall_seconds : float;
   degraded : string option;    (* Some reason: served by the fallback path *)
@@ -87,7 +92,10 @@ let plans_of ?(opts = default_opts) text =
    resolved by Doc at evaluation time), so a prepared entry is reusable
    against any store. *)
 type prepared =
-  | Prepared_plans of Algebra.Plan.node * Algebra.Plan.node  (* raw, optimized *)
+  | Prepared_plans of
+      Algebra.Plan.node * Algebra.Plan.node * Algebra.Physical.pnode option
+      (* raw, optimized, and — when the physical backend is on — the
+         lowered physical plan (lowering is cached with the plans) *)
   | Prepared_core of Xquery.Core_ast.core
 
 type cache = prepared Plan_cache.t
@@ -101,28 +109,17 @@ let cache_stats (c : cache) = Plan_cache.stats c
    cached plan serves every setting of them. The backend is in because the
    two backends cache different artifacts. *)
 let opts_fingerprint opts =
-  Printf.sprintf "m%sr%bc%bh%bj%bb%s"
+  Printf.sprintf "m%sr%bc%bh%bj%bb%sp%s"
     (match opts.mode with
      | None -> "-"
      | Some Xquery.Ast.Ordered -> "o"
      | Some Xquery.Ast.Unordered -> "u")
     opts.unordered_rules opts.cda opts.hoist opts.join_rec
     (match opts.backend with Compiled -> "c" | Interpreted -> "i")
+    (match opts.physical with `On -> "1" | `Off -> "0")
 
 let cache_key opts text =
   opts_fingerprint opts ^ "\x00" ^ Plan_cache.normalize_query text
-
-let prepared_of ?cache opts text =
-  let build () =
-    match opts.backend with
-    | Interpreted -> Prepared_core (parse_and_normalize ?mode:opts.mode text)
-    | Compiled ->
-      let _, raw, optimized = plans_of ~opts text in
-      Prepared_plans (raw, optimized)
-  in
-  match cache with
-  | None -> build ()
-  | Some c -> Plan_cache.find_or_add c (cache_key opts text) build
 
 (* Attribute plan nodes to the profile buckets of the paper's Table 2. *)
 let label_plan root =
@@ -149,6 +146,37 @@ let label_plan root =
             | Algebra.Plan.Rowid _ | Algebra.Plan.Lit _
             | Algebra.Plan.Union _ | Algebra.Plan.Range _ -> "plumbing"))
     (Algebra.Plan.topo_order root)
+
+(* Lower an optimized logical plan to the physical-operator DAG, wiring
+   the statically inferred column types in as dump annotations. *)
+let lower_physical optimized =
+  let hints = Exrquy.Properties.infer optimized in
+  let types n =
+    List.map
+      (fun c -> (c, Exrquy.Properties.col_ty hints n c))
+      (Exrquy.Properties.schema_list hints n)
+  in
+  Algebra.Lower.lower ~types optimized
+
+let prepared_of ?cache opts text =
+  let build () =
+    match opts.backend with
+    | Interpreted -> Prepared_core (parse_and_normalize ?mode:opts.mode text)
+    | Compiled ->
+      let _, raw, optimized = plans_of ~opts text in
+      (* label before lowering so physical kernels inherit the profile
+         buckets of their logical head operators *)
+      label_plan optimized;
+      let physical =
+        match opts.physical with
+        | `Off -> None
+        | `On -> Some (lower_physical optimized)
+      in
+      Prepared_plans (raw, optimized, physical)
+  in
+  match cache with
+  | None -> build ()
+  | Some c -> Plan_cache.find_or_add c (cache_key opts text) build
 
 (* Extract the result sequence from the final iter|pos|item table. *)
 let items_of_table t =
@@ -178,7 +206,7 @@ let run ?cache ?(opts = default_opts) ?(with_profile = false) store text : resul
     in
     { items;
       serialized = Interp.Xdm.serialize store items;
-      plan = None; raw_plan = None; profile = None;
+      plan = None; raw_plan = None; physical_plan = None; profile = None;
       wall_seconds = Unix.gettimeofday () -. t0;
       degraded;
       cache_stats = stats () }
@@ -193,22 +221,27 @@ let run ?cache ?(opts = default_opts) ?(with_profile = false) store text : resul
     run_interpreted ~degraded:None core
   | Compiled ->
     let run_compiled () =
-      let raw, optimized =
+      let raw, optimized, physical =
         match prepared_of ?cache opts text with
-        | Prepared_plans (raw, optimized) -> (raw, optimized)
+        | Prepared_plans (raw, optimized, physical) -> (raw, optimized, physical)
         | Prepared_core _ -> assert false
       in
-      label_plan optimized;
       let profile = if with_profile then Some (Algebra.Profile.create ()) else None in
       let guard = Option.map Budget.start opts.budget in
       let table =
-        Algebra.Eval.run ?profile ?guard ~step_impl:opts.step_impl
-          ~mode:opts.eval_mode store optimized
+        match physical with
+        | Some pp ->
+          Algebra.Physical.run ?profile ?guard ~step_impl:opts.step_impl
+            ~mode:opts.eval_mode store pp
+        | None ->
+          Algebra.Eval.run ?profile ?guard ~step_impl:opts.step_impl
+            ~mode:opts.eval_mode store optimized
       in
       let items = items_of_table table in
       { items;
         serialized = Interp.Xdm.serialize store items;
-        plan = Some optimized; raw_plan = Some raw; profile;
+        plan = Some optimized; raw_plan = Some raw; physical_plan = physical;
+        profile;
         wall_seconds = Unix.gettimeofday () -. t0;
         degraded = None;
         cache_stats = stats () }
@@ -271,12 +304,17 @@ let prepare ?cache ?(opts = default_opts) store text =
         List.length
           (Interp.Interpreter.eval_core ?guard:(interp_guard opts) store core)
     )
-  | Prepared_plans (_, optimized) ->
+  | Prepared_plans (_, optimized, physical) ->
     ( Some optimized,
       fun () ->
         let guard = Option.map Budget.start opts.budget in
         let table =
-          Algebra.Eval.run ?guard ~step_impl:opts.step_impl
-            ~mode:opts.eval_mode store optimized
+          match physical with
+          | Some pp ->
+            Algebra.Physical.run ?guard ~step_impl:opts.step_impl
+              ~mode:opts.eval_mode store pp
+          | None ->
+            Algebra.Eval.run ?guard ~step_impl:opts.step_impl
+              ~mode:opts.eval_mode store optimized
         in
         Algebra.Table.nrows table )

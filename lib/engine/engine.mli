@@ -28,6 +28,12 @@ type opts = {
       (** [Dag] (default): shared subplans are evaluated once per run;
           [Tree]: sharing-oblivious re-evaluation, the differential
           oracle — results identical, costs not *)
+  physical : [ `On | `Off ];
+      (** [`On] (default): lower the optimized plan to the physical layer
+          (typed columns, selection vectors, fused kernels) and execute
+          that; [`Off]: the boxed logical executor. Results are
+          identical; the physical path is the fast one. Participates in
+          the plan-cache fingerprint (the lowered plan is cached). *)
   join_rec : bool;  (** FLWOR where-clause value-join recognition *)
   budget : Basis.Budget.spec option;
       (** resource governance — a fresh guard is armed per run (and per
@@ -49,6 +55,8 @@ type result = {
   serialized : string;
   plan : Algebra.Plan.node option;      (** after optimization *)
   raw_plan : Algebra.Plan.node option;  (** before optimization *)
+  physical_plan : Algebra.Physical.pnode option;
+      (** the lowered physical plan, when the physical backend ran *)
   profile : Algebra.Profile.t option;
   wall_seconds : float;
   degraded : string option;
@@ -88,6 +96,11 @@ val parse_and_normalize :
 val plans_of :
   ?opts:opts -> string ->
   Exrquy.Compile.cfg * Algebra.Plan.node * Algebra.Plan.node
+
+(** Lower an optimized logical plan to its physical-operator DAG, with
+    statically inferred column types attached as plan-dump annotations
+    (what the compiled backend executes when [physical = `On]). *)
+val lower_physical : Algebra.Plan.node -> Algebra.Physical.pnode
 
 (** Evaluate a query against the store. [with_profile] attaches a
     per-bucket execution profile (the paper's Table 2 instrument).

@@ -5,7 +5,8 @@
        {compiled, interpreted} x {default_opts, ordered_baseline}
                                x {without, with (generous) budgets}
 
-   plus the executor dimensions {DAG, tree evaluation} and the
+   plus the executor dimensions {DAG, tree evaluation}, the physical
+   layer {typed kernels, boxed logical executor} and the
    prepared-plan cache {cold, warm}, asserting identical results — or
    identically *classified* errors — across the whole matrix. (For the
    interpreter the plan options are vacuous, so its two plan variants
@@ -162,6 +163,7 @@ let configs ~budget_spec =
   let with_budget o = { o with Engine.budget = Some budget_spec } in
   let interp = { Engine.default_opts with Engine.backend = Engine.Interpreted } in
   let tree = { Engine.default_opts with Engine.eval_mode = Algebra.Eval.Tree } in
+  let boxed = { Engine.default_opts with Engine.physical = `Off } in
   let plain opts q = evaluate ~opts q in
   let cold_cache opts q = evaluate ~cache:(Engine.create_cache ()) ~opts q in
   let warm_cache opts q =
@@ -173,6 +175,10 @@ let configs ~budget_spec =
     ("interp+budget", plain (with_budget interp));
     ("compiled/default", plain Engine.default_opts);
     ("compiled/default+budget", plain (with_budget Engine.default_opts));
+    (* the boxed logical executor vs the typed physical kernels: the
+       central differential pair of the physical layer *)
+    ("compiled/boxed", plain boxed);
+    ("compiled/boxed+budget", plain (with_budget boxed));
     ("compiled/baseline", plain Engine.ordered_baseline);
     ("compiled/baseline+budget", plain (with_budget Engine.ordered_baseline));
     (* tree mode is budgeted unconditionally: re-deriving shared subplans

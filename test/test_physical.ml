@@ -1,0 +1,318 @@
+(* Tests for the physical-plan layer: lowering (kernel fusion, sharing
+   preservation) and the typed kernels, checked differentially against
+   the boxed logical executor.
+
+   The physical executor promises *exact* parity with the boxed one —
+   including row order (rownum's stability tie-break makes row order
+   observable) — so tables are compared row-for-row, not as multisets. *)
+
+open Algebra
+
+let v_int i = Value.Int i
+let v_str s = Value.Str s
+let v_dbl f = Value.Dbl f
+let v_bool b = Value.Bool b
+
+let store () = Xmldb.Doc_store.create ()
+
+let table_strings t =
+  List.init (Table.nrows t) (fun r ->
+      String.concat "|"
+        (Array.to_list
+           (Array.map (Format.asprintf "%a" Value.pp) (Table.row t r))))
+
+(* Run a plan through both executors against fresh stores and demand
+   identical schemas and identical rows in identical order. *)
+let check_parity msg plan =
+  let boxed = Eval.run (store ()) plan in
+  let physical = Physical.run (store ()) (Lower.lower plan) in
+  Alcotest.(check (list string))
+    (msg ^ ": schema")
+    (Array.to_list (Table.schema boxed))
+    (Array.to_list (Table.schema physical));
+  Alcotest.(check (list string))
+    (msg ^ ": rows")
+    (table_strings boxed) (table_strings physical)
+
+(* Both executors must fail identically: same exception constructor and
+   same message. *)
+let check_error_parity msg plan =
+  let outcome run =
+    match run () with
+    | (_ : Table.t) -> "ok"
+    | exception Basis.Err.Dynamic_error m -> "dynamic: " ^ m
+    | exception Basis.Err.Internal_error m -> "internal: " ^ m
+  in
+  Alcotest.(check string) msg
+    (outcome (fun () -> Eval.run (store ()) plan))
+    (outcome (fun () -> Physical.run (store ()) (Lower.lower plan)))
+
+(* ------------------------------------------------------------ lowering *)
+
+let test_fusion_chain () =
+  let b = Plan.builder () in
+  let base = Plan.lit b [| "iter"; "item" |]
+      [ [| v_int 1; v_int 4 |]; [| v_int 2; v_int 7 |]; [| v_int 3; v_int 1 |] ]
+  in
+  (* attach · fun2 · select: a maximal chain, one kernel *)
+  let p =
+    Plan.select b
+      (Plan.fun2 b
+         (Plan.attach b base "five" (v_int 5))
+         "keep" Plan.P_lt "item" "five")
+      "keep"
+  in
+  let pp = Lower.lower p in
+  Alcotest.(check int) "two kernels (pipe + source)" 2 (Lower.count_kernels pp);
+  (match pp.Physical.pop with
+   | Physical.K_pipe ops ->
+     Alcotest.(check int) "three fused ops" 3 (List.length ops)
+   | _ -> Alcotest.fail "expected a K_pipe at the root");
+  Alcotest.(check int) "covered = logical ops minus source" 4
+    (Lower.count_covered pp);
+  check_parity "fused chain" p
+
+let test_fusion_stops_at_sharing () =
+  let b = Plan.builder () in
+  let base = Plan.lit b [| "item" |] [ [| v_int 1 |]; [| v_int 2 |] ] in
+  (* [shared] feeds two parents: the chain above it must not swallow it *)
+  let shared = Plan.attach b base "k" (v_int 1) in
+  let left = Plan.fun2 b shared "s" Plan.P_add "item" "k" in
+  let p = Plan.union b (Plan.project b left [ ("item", "s") ])
+      (Plan.project b shared [ ("item", "item") ]) in
+  let pp = Lower.lower p in
+  let rec find_shared (n : Physical.pnode) seen =
+    if List.memq n.Physical.pid !seen then true
+    else begin
+      seen := n.Physical.pid :: !seen;
+      List.exists (fun c -> find_shared c seen) n.Physical.pinputs
+    end
+  in
+  Alcotest.(check bool) "shared node kept its own kernel" true
+    (find_shared pp (ref []));
+  check_parity "sharing preserved" p
+
+(* -------------------------------------------------------- empty tables *)
+
+let test_empty_tables () =
+  let b = Plan.builder () in
+  let empty = Plan.lit b [| "iter"; "item" |] [] in
+  check_parity "select over empty"
+    (Plan.select b (Plan.fun2 b empty "c" Plan.P_lt "item" "iter") "c");
+  check_parity "distinct over empty" (Plan.distinct b empty);
+  check_parity "rownum over empty"
+    (Plan.rownum b empty "pos" [ ("item", Plan.Asc) ] None);
+  check_parity "rowid over empty" (Plan.rowid b empty "id");
+  check_parity "join over empty"
+    (Plan.join b empty
+       (Plan.project b empty [ ("iter2", "iter"); ("item2", "item") ])
+       "item" "item2");
+  check_parity "union of empties"
+    (Plan.union b empty (Plan.project b empty [ ("iter", "iter"); ("item", "item") ]));
+  (* A_count with no grouping emits one row even on empty input *)
+  check_parity "count over empty" (Plan.aggr b empty "n" Plan.A_count None None None);
+  check_parity "grouped sum over empty"
+    (Plan.aggr b empty "s" Plan.A_sum (Some "item") (Some "iter") None)
+
+(* --------------------------------------------------- all-Mixed columns *)
+
+let test_all_mixed_columns () =
+  let b = Plan.builder () in
+  (* one column mixing every atomic kind: no typed representation fits,
+     every kernel must take its Mixed/boxed path *)
+  let mixed = Plan.lit b [| "iter"; "item" |]
+      [ [| v_int 1; v_int 3 |];
+        [| v_int 2; v_str "s" |];
+        [| v_int 3; v_dbl 2.5 |];
+        [| v_int 4; v_bool true |];
+        [| v_int 5; v_str "s" |];
+        [| v_int 6; v_int 3 |] ]
+  in
+  check_parity "distinct over mixed"
+    (Plan.distinct b (Plan.project b mixed [ ("item", "item") ]));
+  check_parity "rownum orders mixed by the total order"
+    (Plan.rownum b mixed "pos" [ ("item", Plan.Asc) ] None);
+  check_parity "join on mixed keys"
+    (Plan.join b mixed
+       (Plan.project b mixed [ ("iter2", "iter"); ("item2", "item") ])
+       "item" "item2");
+  check_parity "semijoin on mixed keys"
+    (Plan.semijoin b mixed
+       (Plan.project b mixed [ ("k", "item") ]) [ ("item", "k") ]);
+  check_parity "grouped count partitioned on mixed"
+    (Plan.aggr b mixed "n" Plan.A_count None (Some "item") None)
+
+(* ---------------------------------------------------- select-of-select *)
+
+let test_select_of_select () =
+  let b = Plan.builder () in
+  let base = Plan.lit b [| "iter"; "item" |]
+      (List.init 20 (fun i -> [| v_int (i mod 4); v_int i |]))
+  in
+  let sel1 =
+    Plan.select b (Plan.fun2 b base "a" Plan.P_gt "item" "iter") "a"
+  in
+  let sel2 =
+    Plan.select b
+      (Plan.attach b
+         (Plan.fun2 b sel1 "bnd" Plan.P_lt "item" "iter") "t" (v_bool true))
+      "bnd"
+  in
+  let pp = Lower.lower sel2 in
+  Alcotest.(check int) "both selections fuse into one pipe" 2
+    (Lower.count_kernels pp);
+  check_parity "select of select" sel2;
+  (* a selection stacked directly on a selection (no recompute between) *)
+  check_parity "directly stacked selects"
+    (Plan.select b (Plan.select b
+         (Plan.fun2 b
+            (Plan.fun2 b base "p" Plan.P_ge "item" "iter")
+            "q" Plan.P_lt "iter" "item")
+         "p") "q")
+
+(* ---------------------------------------- distinct over a selection *)
+
+let test_distinct_over_selection () =
+  let b = Plan.builder () in
+  let base = Plan.lit b [| "iter"; "item" |]
+      (List.init 30 (fun i -> [| v_int (i mod 3); v_int (i mod 5) |]))
+  in
+  let selected =
+    Plan.select b (Plan.fun2 b base "c" Plan.P_ge "item" "iter") "c"
+  in
+  check_parity "distinct over a selection"
+    (Plan.distinct b (Plan.project b selected [ ("item", "item") ]));
+  check_parity "rowid over a selection (scattered numbering)"
+    (Plan.rowid b selected "id");
+  check_parity "rownum over a selection"
+    (Plan.rownum b selected "pos" [ ("item", Plan.Desc) ] (Some "iter"));
+  check_parity "aggr over a selection"
+    (Plan.aggr b selected "s" Plan.A_sum (Some "item") (Some "iter") None)
+
+(* ------------------------------------------------- typed-path parity *)
+
+let test_float_comparison_parity () =
+  let b = Plan.builder () in
+  (* NaN and the two zeros: the boxed comparator is Float.compare behind
+     a NaN guard, which separates -0.0 from 0.0 — the typed kernels must
+     reproduce that, not IEEE equality *)
+  let base = Plan.lit b [| "x"; "y" |]
+      [ [| v_dbl 0.0; v_dbl (-0.0) |];
+        [| v_dbl (-0.0); v_dbl 0.0 |];
+        [| v_dbl Float.nan; v_dbl 1.0 |];
+        [| v_dbl 1.0; v_dbl Float.nan |];
+        [| v_dbl 2.5; v_dbl 2.5 |] ]
+  in
+  List.iter
+    (fun (name, f) ->
+       check_parity name (Plan.fun2 b base "r" f "x" "y"))
+    [ ("float eq", Plan.P_eq); ("float ne", Plan.P_ne);
+      ("float lt", Plan.P_lt); ("float le", Plan.P_le);
+      ("float gt", Plan.P_gt); ("float ge", Plan.P_ge) ];
+  check_parity "rownum sorts -0.0 before 0.0"
+    (Plan.rownum b base "pos" [ ("x", Plan.Asc) ] None)
+
+let test_int_arithmetic_parity () =
+  let b = Plan.builder () in
+  let base = Plan.lit b [| "x"; "y" |]
+      [ [| v_int 7; v_int 2 |]; [| v_int (-7); v_int 2 |];
+        [| v_int 7; v_int (-2) |]; [| v_int 0; v_int 5 |] ]
+  in
+  List.iter
+    (fun (name, f) -> check_parity name (Plan.fun2 b base "r" f "x" "y"))
+    [ ("int add", Plan.P_add); ("int sub", Plan.P_sub);
+      ("int mul", Plan.P_mul); ("int idiv", Plan.P_idiv);
+      ("int mod", Plan.P_mod); ("int div", Plan.P_div) ]
+
+let test_theta_coercion_parity () =
+  let b = Plan.builder () in
+  (* untyped strings vs numerics: the coercion shape Q11/Q12 hit, where
+     the typed path pre-coerces each row to its double key once *)
+  let strs =
+    Plan.lit b [| "i"; "inc" |]
+      [ [| v_int 1; v_str "4000.50" |]; [| v_int 2; v_str "120" |];
+        [| v_int 3; v_str "99000" |]; [| v_int 4; v_str "NaN" |] ]
+  in
+  let nums =
+    Plan.lit b [| "j"; "price" |]
+      [ [| v_int 10; v_dbl 150.0 |]; [| v_int 11; v_int 4000 |];
+        [| v_int 12; v_dbl Float.nan |]; [| v_int 13; v_dbl 120.0 |] ]
+  in
+  List.iter
+    (fun (name, f) ->
+       check_parity name (Plan.thetajoin b strs nums "inc" f "price");
+       check_parity (name ^ " flipped")
+         (Plan.thetajoin b nums strs "price" f "inc"))
+    [ ("theta gt", Plan.P_gt); ("theta lt", Plan.P_lt);
+      ("theta ge", Plan.P_ge); ("theta le", Plan.P_le) ];
+  (* an uncoercible string raises the same error from the same pair
+     position as the boxed nested loop *)
+  let bad =
+    Plan.lit b [| "i"; "k" |]
+      [ [| v_int 1; v_str "12" |]; [| v_int 2; v_str "pear" |] ]
+  in
+  check_error_parity "uncoercible string in theta"
+    (Plan.thetajoin b bad nums "k" Plan.P_lt "price");
+  (* empty sides never touch the other side's values *)
+  let empty_nums = Plan.lit b [| "j"; "price" |] [] in
+  check_parity "theta with empty right"
+    (Plan.thetajoin b bad empty_nums "k" Plan.P_lt "price")
+
+let test_error_parity () =
+  let b = Plan.builder () in
+  let bad = Plan.lit b [| "x"; "y" |] [ [| v_int 1; v_int 0 |] ] in
+  check_error_parity "idiv by zero" (Plan.fun2 b bad "r" Plan.P_idiv "x" "y");
+  check_error_parity "mod by zero" (Plan.fun2 b bad "r" Plan.P_mod "x" "y");
+  check_error_parity "selection on non-boolean"
+    (Plan.select b (Plan.lit b [| "c" |] [ [| v_int 3 |] ]) "c");
+  (* dead rows: a selection upstream removes the erroneous row before the
+     arithmetic sees it — both sides must succeed *)
+  let guarded =
+    let base = Plan.lit b [| "x"; "y" |]
+        [ [| v_int 10; v_int 2 |]; [| v_int 1; v_int 0 |] ]
+    in
+    let keep = Plan.fun2 b base "k" Plan.P_ne "y" "y" in
+    Plan.select b keep "k"
+  in
+  check_parity "selection removes all rows" guarded
+
+(* -------------------------------------------------- budget integration *)
+
+let test_budget_through_physical () =
+  let b = Plan.builder () in
+  let big = Plan.lit b [| "item" |] (List.init 100 (fun i -> [| v_int i |])) in
+  let p = Plan.distinct b (Plan.fun2 b big "r" Plan.P_mul "item" "item") in
+  let spec = Basis.Budget.limits ~max_rows:50 () in
+  let outcome () =
+    match Physical.run ~guard:(Basis.Budget.start spec) (store ())
+            (Lower.lower p)
+    with
+    | (_ : Table.t) -> "ok"
+    | exception Basis.Err.Resource_error _ -> "resource"
+  in
+  Alcotest.(check string) "row budget trips through physical kernels"
+    "resource" (outcome ())
+
+let () =
+  Alcotest.run "physical"
+    [ ("lowering",
+       [ Alcotest.test_case "fusion chain" `Quick test_fusion_chain;
+         Alcotest.test_case "fusion stops at sharing" `Quick
+           test_fusion_stops_at_sharing ]);
+      ("kernels",
+       [ Alcotest.test_case "empty tables" `Quick test_empty_tables;
+         Alcotest.test_case "all-Mixed columns" `Quick test_all_mixed_columns;
+         Alcotest.test_case "select of select" `Quick test_select_of_select;
+         Alcotest.test_case "distinct over selection" `Quick
+           test_distinct_over_selection ]);
+      ("typed parity",
+       [ Alcotest.test_case "float comparisons" `Quick
+           test_float_comparison_parity;
+         Alcotest.test_case "int arithmetic" `Quick
+           test_int_arithmetic_parity;
+         Alcotest.test_case "theta-join coercion" `Quick
+           test_theta_coercion_parity;
+         Alcotest.test_case "errors" `Quick test_error_parity ]);
+      ("budgets",
+       [ Alcotest.test_case "budget trips" `Quick
+           test_budget_through_physical ]) ]
