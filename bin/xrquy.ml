@@ -14,6 +14,11 @@
      --profile                   print the per-bucket execution profile
      --dot                       print plans as Graphviz dot
 
+   Parallelism (run/xmark):
+     --jobs N                    morsel-parallel physical execution on N
+                                 domains (default: XRQ_JOBS, else 1)
+     --no-parallel               force serial execution
+
    Resource governance (run/xmark):
      --timeout S                 wall-clock deadline per query, in seconds
      --max-rows N                cumulative materialized-row budget
@@ -124,6 +129,19 @@ let no_fallback_arg =
          ~doc:"Disable graceful degradation: report internal errors of the \
                compiled backend instead of retrying on the interpreter.")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Execute order-indifferent physical kernels on $(docv) \
+                 domains (morsel-driven parallelism). Results, errors and \
+                 profile counters are identical to serial execution. \
+                 Default: the XRQ_JOBS environment variable, else 1.")
+
+let no_parallel_arg =
+  Arg.(value & flag & info [ "no-parallel" ]
+         ~doc:"Force serial execution (equivalent to --jobs 1; overrides \
+               --jobs and XRQ_JOBS).")
+
 let tree_eval_arg =
   Arg.(value & flag & info [ "tree-eval" ]
          ~doc:"Evaluate plans as trees, re-computing shared subplans at \
@@ -160,8 +178,8 @@ let budget_spec timeout_s max_rows max_bytes max_ops =
         Basis.Budget.timeout_s; max_rows; max_bytes; max_ops }
 
 let mk_opts ?(no_joinrec = false) ?budget ?(no_fallback = false)
-    ?(tree_eval = false) ?(no_physical = false) mode no_rules no_cda no_hoist
-    interpret tag_index =
+    ?(tree_eval = false) ?(no_physical = false) ?jobs ?(no_parallel = false)
+    mode no_rules no_cda no_hoist interpret tag_index =
   { Engine.mode;
     unordered_rules = not no_rules;
     cda = not no_cda;
@@ -173,7 +191,13 @@ let mk_opts ?(no_joinrec = false) ?budget ?(no_fallback = false)
     physical = (if no_physical then `Off else `On);
     join_rec = not no_joinrec;
     budget;
-    fallback = not no_fallback }
+    fallback = not no_fallback;
+    jobs =
+      (if no_parallel then 1
+       else
+         match jobs with
+         | Some j -> max 1 j
+         | None -> Engine.default_opts.Engine.jobs) }
 
 let load_documents store specs =
   List.iter
@@ -225,14 +249,15 @@ let report_degraded r =
 let run_cmd =
   let action docs qf expr mode no_rules no_cda no_hoist interpret profile
       tag_index no_joinrec timeout max_rows max_bytes max_ops no_fallback
-      tree_eval no_physical plan_cache no_plan_cache =
+      tree_eval no_physical jobs no_parallel plan_cache no_plan_cache =
     handle (fun () ->
         let store = Xmldb.Doc_store.create () in
         load_documents store docs;
         let budget = budget_spec timeout max_rows max_bytes max_ops in
         let opts =
           mk_opts ~no_joinrec ?budget ~no_fallback ~tree_eval ~no_physical
-            mode no_rules no_cda no_hoist interpret tag_index
+            ?jobs ~no_parallel mode no_rules no_cda no_hoist interpret
+            tag_index
         in
         let cache = mk_cache ~plan_cache ~no_plan_cache in
         let r =
@@ -255,8 +280,8 @@ let run_cmd =
           $ no_rules_arg $ no_cda_arg $ no_hoist_arg $ interpret_arg
           $ profile_arg $ tag_index_arg $ no_joinrec_arg $ timeout_arg
           $ max_rows_arg $ max_bytes_arg $ max_ops_arg $ no_fallback_arg
-          $ tree_eval_arg $ no_physical_arg $ plan_cache_arg
-          $ no_plan_cache_arg)
+          $ tree_eval_arg $ no_physical_arg $ jobs_arg $ no_parallel_arg
+          $ plan_cache_arg $ no_plan_cache_arg)
 
 (* ---------------------------------------------------------------- plan *)
 
@@ -288,9 +313,11 @@ let plan_cmd =
         if (not no_physical) && not dot then begin
           let pp = Engine.lower_physical optimized in
           Printf.printf
-            "-- physical plan: %d kernels covering %d logical ops\n"
+            "-- physical plan: %d kernels covering %d logical ops, \
+             %d parallelizable (\xE2\x88\xA5)\n"
             (Algebra.Lower.count_kernels pp)
-            (Algebra.Lower.count_covered pp);
+            (Algebra.Lower.count_covered pp)
+            (Algebra.Lower.count_parallel pp);
           print_string (Algebra.Lower.to_string pp)
         end)
   in
@@ -317,7 +344,7 @@ let repeat_arg =
 let xmark_cmd =
   let action scale qname mode no_rules no_cda no_hoist interpret profile
       tag_index timeout max_rows max_bytes max_ops no_fallback tree_eval
-      no_physical plan_cache no_plan_cache repeat =
+      no_physical jobs no_parallel plan_cache no_plan_cache repeat =
     handle (fun () ->
         let store = Xmldb.Doc_store.create () in
         let _, bytes = Xmark.Xmark_gen.load ~scale store in
@@ -325,8 +352,8 @@ let xmark_cmd =
           (float_of_int bytes /. 1e6) (Xmldb.Doc_store.total_nodes store);
         let budget = budget_spec timeout max_rows max_bytes max_ops in
         let opts =
-          mk_opts ?budget ~no_fallback ~tree_eval ~no_physical mode no_rules
-            no_cda no_hoist interpret tag_index
+          mk_opts ?budget ~no_fallback ~tree_eval ~no_physical ?jobs
+            ~no_parallel mode no_rules no_cda no_hoist interpret tag_index
         in
         let cache = mk_cache ~plan_cache ~no_plan_cache in
         let queries =
@@ -353,7 +380,8 @@ let xmark_cmd =
           $ no_cda_arg $ no_hoist_arg $ interpret_arg $ profile_arg
           $ tag_index_arg $ timeout_arg $ max_rows_arg $ max_bytes_arg
           $ max_ops_arg $ no_fallback_arg $ tree_eval_arg $ no_physical_arg
-          $ plan_cache_arg $ no_plan_cache_arg $ repeat_arg)
+          $ jobs_arg $ no_parallel_arg $ plan_cache_arg $ no_plan_cache_arg
+          $ repeat_arg)
 
 (* ----------------------------------------------------------------- gen *)
 

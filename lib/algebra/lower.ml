@@ -19,7 +19,16 @@
    Static column-type hints come in through [types] — a function rather
    than a direct [Properties] call because the property inference lives
    in a layer above this one. Hints only annotate the physical plan for
-   dumps; execution re-detects types dynamically. *)
+   dumps; execution re-detects types dynamically.
+
+   Lowering also decides which kernels are licensed to fan out over
+   morsels ([ppar]) — the plan-shape story of the paper, mapped onto the
+   executor: Rowid is the [#] shape (order immaterial — dense renumbering
+   at the end), Rownum is the [%] shape (an order the query can observe),
+   so pipes, join probes and the order-indifferent aggregates
+   (count/sum/min/max) parallelize, while Rownum — and everything whose
+   matching logic is inherently sequential (Distinct's first-wins dedup,
+   Semijoin's hash build, Union's append) or boxed — stays serial. *)
 
 type chain = Physical.chain_op list
 
@@ -53,6 +62,18 @@ let chain_op_of (op : Plan.op) : (Physical.chain_op * Plan.node) option =
 let label_of (n : Plan.node) =
   if n.Plan.label = "" then Plan.op_symbol n.Plan.op else n.Plan.label
 
+(* Order-indifference licence per kernel (see the module comment). *)
+let parallelizable (pop : Physical.pop) =
+  match pop with
+  | Physical.K_pipe _ | Physical.K_join _ | Physical.K_thetajoin _ -> true
+  | Physical.K_aggr { agg; _ } -> (
+    match agg with
+    | Plan.A_count | Plan.A_sum | Plan.A_min | Plan.A_max -> true
+    | _ -> false)
+  | Physical.K_project _ | Physical.K_distinct | Physical.K_union
+  | Physical.K_rowid _ | Physical.K_rownum _ | Physical.K_semijoin _
+  | Physical.K_boxed _ -> false
+
 let lower ?(types = fun (_ : Plan.node) -> ([] : (string * Column.ty) list))
     (root : Plan.node) : Physical.pnode =
   let parents = parent_counts root in
@@ -70,7 +91,8 @@ let lower ?(types = fun (_ : Plan.node) -> ([] : (string * Column.ty) list))
           pinputs;
           pfused;
           plabel = label_of n;
-          ptypes = types n }
+          ptypes = types n;
+          ppar = parallelizable pop }
       in
       let p =
         match chain_op_of n.Plan.op with
@@ -144,6 +166,20 @@ let count_covered (root : Physical.pnode) =
   go root;
   !total
 
+(* Kernels licensed for morsel parallelism (each counted once). *)
+let count_parallel (root : Physical.pnode) =
+  let seen = Hashtbl.create 64 in
+  let total = ref 0 in
+  let rec go (p : Physical.pnode) =
+    if not (Hashtbl.mem seen p.Physical.pid) then begin
+      Hashtbl.add seen p.Physical.pid ();
+      if p.Physical.ppar then incr total;
+      List.iter go p.Physical.pinputs
+    end
+  in
+  go root;
+  !total
+
 let chain_op_name = function
   | Physical.F_select c -> Printf.sprintf "σ(%s)" c
   | Physical.F_attach (res, v) ->
@@ -182,8 +218,9 @@ let pp fmt (root : Physical.pnode) =
           ^ "}"
       in
       let tys = if tys = " {}" then "" else tys in
-      Format.fprintf fmt "%s[%d] %s%s%s%s@\n" indent p.Physical.pid
+      Format.fprintf fmt "%s[%d] %s%s%s%s%s@\n" indent p.Physical.pid
         (Physical.pop_name p.Physical.pop)
+        (if p.Physical.ppar then " \xE2\x88\xA5" else "")
         (if p.Physical.pfused > 1 then
            Printf.sprintf " (fuses %d ops)" p.Physical.pfused
          else "")

@@ -34,7 +34,38 @@
    the logical executor for the same plan). Byte accounting deliberately
    charges the *boxed-equivalent* footprint, so a byte budget governs the
    same logical materialization on either executor rather than rewarding
-   the cheaper representation. *)
+   the cheaper representation.
+
+   Morsel-driven parallelism ([jobs > 1]): kernels whose output order the
+   optimizer proved immaterial — exactly the rowid/[#] shapes and
+   order-indifferent aggregates of the paper, marked [ppar] by the
+   lowering — split their row loops into contiguous row-range morsels
+   executed on a fixed domain pool ([Basis.Pool]). Determinism is by
+   construction, not by luck:
+
+     - each morsel covers a contiguous range of the visible-row index
+       space and writes either disjoint base rows of a shared output
+       column or a private buffer; per-morsel buffers are concatenated in
+       morsel order, so output row order is bit-identical to serial;
+     - partial aggregates merge per-morsel tables in morsel order, which
+       reproduces the serial first-seen group order (morsels are
+       contiguous and in order);
+     - a failing morsel does not abort its siblings; after all morsels
+       finish, the exception of the lowest-indexed failing morsel is
+       re-raised — rows within a morsel are scanned in ascending order,
+       so that is the error the serial scan would have hit first;
+     - all budget/profile accounting stays on the coordinating domain
+       (one [Budget.check] per kernel, as serial), so op counts, fault
+       injection, and profile counters are bit-identical too. Worker
+       domains only *poll* [Budget.interrupted] between morsels and bail
+       out early; the coordinator then re-raises the same cancellation/
+       deadline error serial execution reports.
+
+   Worker domains never touch [String_pool] (not thread-safe): retyping
+   and typed-path dispatch happen on the coordinator before a row loop
+   fans out; workers only read frozen columns and the document store
+   (whose reads are pure). [%]-bearing kernels (Rownum), Distinct,
+   Semijoin and boxed fallbacks stay serial. *)
 
 open Basis
 
@@ -79,6 +110,11 @@ type pnode = {
   plabel : string;     (* profile bucket (the logical head's label) *)
   ptypes : (string * Column.ty) list;
       (* statically inferred column types of the output (plan-dump aid) *)
+  ppar : bool;
+      (* order-indifferent kernel, licensed to fan out over morsels:
+         rowid/[#] pipeline shapes, hash/theta join probes, and
+         count/sum/min/max aggregates — never [%]-bearing (Rownum) or
+         boxed kernels. Set by the lowering ([Lower]). *)
 }
 
 let pop_name = function
@@ -119,6 +155,14 @@ type batch = {
   mutable table : Table.t option;
 }
 
+(* Morsel-parallel execution state: the shared domain pool plus this
+   query's fan-out width and minimum morsel size. *)
+type par = {
+  ppool : Pool.t;
+  pjobs : int;
+  pmorsel : int;  (* row loops shorter than this never fan out *)
+}
+
 type ctx = {
   env : Kernels.env;
   pool : String_pool.t;
@@ -126,14 +170,35 @@ type ctx = {
   mode : Eval.mode;
   profile : Profile.t option;
   guard : Budget.t option;
+  par : par option;       (* None = serial execution *)
   mutable kernels : int;  (* kernel invocations (cache hits excluded) *)
 }
 
-let create ?profile ?guard ?(step_impl = Eval.Scan) ?(mode = Eval.Dag) store =
+(* Minimum rows per morsel before a loop fans out. Overridable via
+   XRQ_MORSEL so tests and the fuzzer can force tiny tables through the
+   parallel paths; read once (first query), like an ordinary config. *)
+let default_morsel =
+  lazy
+    (match Sys.getenv_opt "XRQ_MORSEL" with
+     | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 1024)
+     | None -> 1024)
+
+let create ?profile ?guard ?(step_impl = Eval.Scan) ?(mode = Eval.Dag)
+    ?(jobs = 1) ?morsel store =
   let tag_index =
     match step_impl with
     | Eval.Scan -> None
     | Eval.Tag_index -> Some (Xmldb.Tag_index.create store)
+  in
+  let par =
+    if jobs <= 1 then None
+    else
+      let pmorsel =
+        match morsel with
+        | Some m -> max 1 m
+        | None -> Lazy.force default_morsel
+      in
+      Some { ppool = Pool.get (); pjobs = jobs; pmorsel }
   in
   { env = Kernels.env ?tag_index store;
     pool = String_pool.create ();
@@ -141,11 +206,100 @@ let create ?profile ?guard ?(step_impl = Eval.Scan) ?(mode = Eval.Dag) store =
     mode;
     profile;
     guard;
+    par;
     kernels = 0 }
 
 let kernels ctx = ctx.kernels
 
 let bump ctx f = match ctx.profile with Some p -> f p | None -> ()
+
+(* ------------------------------------------------------ morsel scheduling *)
+
+(* Contiguous [lo, hi) ranges covering [0, n): at least [morsel] rows
+   each, at most jobs*4 chunks (a little oversubscription smooths uneven
+   morsel costs without fragmenting the merge). Depends only on
+   (n, morsel, jobs) — never on scheduling — so any run of the same plan
+   splits identically. *)
+let spans n ~morsel ~jobs =
+  if n <= 0 then [||]
+  else begin
+    let parts = jobs * 4 in
+    let chunk = max morsel ((n + parts - 1) / parts) in
+    let k = (n + chunk - 1) / chunk in
+    Array.init k (fun i ->
+        let lo = i * chunk in
+        (lo, min n (lo + chunk)))
+  end
+
+let par_stop ctx =
+  match ctx.guard with
+  | Some g -> fun () -> Budget.interrupted g
+  | None -> fun () -> false
+
+(* After a parallel loop joins: if workers bailed out because the guard
+   tripped, surface the same cancellation/deadline error serial execution
+   reports (and never use the partially filled output). *)
+let par_check ctx =
+  match ctx.guard with Some g -> Budget.check_interrupted g | None -> ()
+
+(* Run [fill lo hi] over index space [0, n): inline, or morsel-parallel
+   when this kernel is order-indifferent ([par]) and [n] is big enough.
+   [fill] must touch only state owned by its own range. *)
+let run_spans ctx ~par n fill =
+  match ctx.par with
+  | Some pr when par && n > pr.pmorsel -> (
+    let sp = spans n ~morsel:pr.pmorsel ~jobs:pr.pjobs in
+    match Array.length sp with
+    | 0 | 1 -> fill 0 n
+    | k ->
+      Pool.run pr.ppool ~jobs:pr.pjobs ~stop:(par_stop ctx) k (fun i ->
+          let lo, hi = sp.(i) in
+          fill lo hi);
+      par_check ctx)
+  | _ -> fill 0 n
+
+(* Same, but each morsel produces a value; results come back in morsel
+   order (serial = one morsel). *)
+let map_spans ctx ~par n (produce : int -> int -> 'a) : 'a array =
+  match ctx.par with
+  | Some pr when par && n > pr.pmorsel -> (
+    let sp = spans n ~morsel:pr.pmorsel ~jobs:pr.pjobs in
+    match Array.length sp with
+    | 0 | 1 -> [| produce 0 n |]
+    | k ->
+      let out = Array.make k None in
+      Pool.run pr.ppool ~jobs:pr.pjobs ~stop:(par_stop ctx) k (fun i ->
+          let lo, hi = sp.(i) in
+          out.(i) <- Some (produce lo hi));
+      par_check ctx;
+      Array.map
+        (function
+          | Some v -> v
+          | None ->
+            (* unreachable: a skipped morsel implies [par_check] raised *)
+            Err.internal "Physical: missing morsel result")
+        out)
+  | _ -> [| produce 0 n |]
+
+(* Stitch per-morsel (left, right) index pairs back together in morsel
+   order — the serial probe order. *)
+let concat_pairs (parts : (int array * int array) array) =
+  match parts with
+  | [| (li, ri) |] -> (li, ri)
+  | _ ->
+    let total =
+      Array.fold_left (fun acc (l, _) -> acc + Array.length l) 0 parts
+    in
+    let li = Array.make total 0 and ri = Array.make total 0 in
+    let off = ref 0 in
+    Array.iter
+      (fun (l, r) ->
+         let k = Array.length l in
+         Array.blit l 0 li !off k;
+         Array.blit r 0 ri !off k;
+         off := !off + k)
+      parts;
+    (li, ri)
 
 let of_table t =
   let n = Table.nrows t in
@@ -337,35 +491,48 @@ let pipe_retyped ctx p name =
       c')
   | c -> c
 
-let pipe_iter p f =
+(* Visible rows [lo, hi) of the current selection, in order. *)
+let pipe_iter_span p lo hi f =
   match p.psel with
-  | None -> for r = 0 to p.pn - 1 do f r done
-  | Some s -> Array.iter f s
+  | None -> for r = lo to hi - 1 do f r done
+  | Some s -> for k = lo to hi - 1 do f s.(k) done
 
-(* Generic per-row fallback: boxed application over the visible rows. *)
-let generic1 env p f c =
+(* The row loop of one compute op: [run f] applies [f] to every visible
+   row — inline, or sliced into morsels on the pool when the enclosing
+   kernel is order-indifferent. Distinct morsels see disjoint visible
+   rows (the selection is strictly increasing), so per-row writes to
+   distinct base slots of a shared output never overlap. Reads the
+   pipe's *current* selection at call time, after any earlier selects in
+   the chain. *)
+let row_runner ctx ~par p =
+  fun f -> run_spans ctx ~par p.pn (fun lo hi -> pipe_iter_span p lo hi f)
+
+(* Generic per-row fallback: boxed application over the visible rows.
+   [Kernels.apply*] only read the store (node string-values, names):
+   pure, so safe on worker domains. *)
+let generic1 env run p f c =
   let out = Array.make p.pbase (Value.Int 0) in
-  pipe_iter p (fun r ->
+  run (fun r ->
       out.(r) <- Kernels.apply1 env.Kernels.store f (Column.get c r));
   Column.Mixed out
 
-let generic2 env p f c1 c2 =
+let generic2 env run p f c1 c2 =
   let out = Array.make p.pbase (Value.Int 0) in
-  pipe_iter p (fun r ->
+  run (fun r ->
       out.(r) <-
         Kernels.apply2 env.Kernels.store f (Column.get c1 r) (Column.get c2 r));
   Column.Mixed out
 
-let generic3 env p f c1 c2 c3 =
+let generic3 env run p f c1 c2 c3 =
   let out = Array.make p.pbase (Value.Int 0) in
-  pipe_iter p (fun r ->
+  run (fun r ->
       out.(r) <-
         Kernels.apply3 env.Kernels.store f (Column.get c1 r) (Column.get c2 r)
           (Column.get c3 r));
   Column.Mixed out
 
 (* Unary kernels with a typed path; everything else runs generic. *)
-let fun1_col ctx p f c =
+let fun1_col ctx run p f c =
   let typed =
     match f with
     | Plan.P_not ->
@@ -373,7 +540,7 @@ let fun1_col ctx p f c =
       Option.map
         (fun g ->
            let out = Bytes.make p.pbase '\000' in
-           pipe_iter p (fun r -> if not (g r) then Bytes.set out r '\001');
+           run (fun r -> if not (g r) then Bytes.set out r '\001');
            Column.Bools out)
         (bool_reader c)
     | Plan.P_neg | Plan.P_abs -> (
@@ -381,37 +548,37 @@ let fun1_col ctx p f c =
       | Column.Ints a ->
         let out = Array.make p.pbase 0 in
         let op = if f = Plan.P_neg then ( ~- ) else abs in
-        pipe_iter p (fun r -> out.(r) <- op a.(r));
+        run (fun r -> out.(r) <- op a.(r));
         Some (Column.Ints out)
       | Column.Dbls a ->
         let out = Array.make p.pbase 0.0 in
         let op = if f = Plan.P_neg then ( ~-. ) else Float.abs in
-        pipe_iter p (fun r -> out.(r) <- op a.(r));
+        run (fun r -> out.(r) <- op a.(r));
         Some (Column.Dbls out)
       | _ -> None)
     | _ -> None
   in
-  match typed with Some c -> c | None -> generic1 ctx.env p f c
+  match typed with Some c -> c | None -> generic1 ctx.env run p f c
 
 (* Binary kernels. Int×Int stays int (except P_div, whose result type is
    data-dependent, so it runs generic); numeric×numeric runs as floats.
    Both replicate the boxed promotion rules exactly — float comparisons
    are unordered on NaN and [Float.compare] otherwise (so -0.0 < 0.0,
    like the boxed path), NOT the native IEEE operators. *)
-let fun2_col ctx p f c1 c2 =
+let fun2_col ctx run p f c1 c2 =
   let bools g =
     let out = Bytes.make p.pbase '\000' in
-    pipe_iter p (fun r -> if g r then Bytes.set out r '\001');
+    run (fun r -> if g r then Bytes.set out r '\001');
     Column.Bools out
   in
   let ints g =
     let out = Array.make p.pbase 0 in
-    pipe_iter p (fun r -> out.(r) <- g r);
+    run (fun r -> out.(r) <- g r);
     Column.Ints out
   in
   let dbls g =
     let out = Array.make p.pbase 0.0 in
-    pipe_iter p (fun r -> out.(r) <- g r);
+    run (fun r -> out.(r) <- g r);
     Column.Dbls out
   in
   let fcmp_bools g1 g2 test =
@@ -486,34 +653,57 @@ let fun2_col ctx p f c1 c2 =
       | _ -> None)
     | _ -> None
   in
-  match typed with Some c -> c | None -> generic2 ctx.env p f c1 c2
+  match typed with Some c -> c | None -> generic2 ctx.env run p f c1 c2
 
 (* The filter: refine the selection without touching any column. Error
    behavior matches the boxed select row-for-row over the visible rows
-   (rows dropped by an earlier select were never observable here). *)
-let select_sel p c =
-  let live = Vec.create 0 in
-  (match c with
-   | Column.Bools bb ->
-     pipe_iter p (fun r ->
-         if Bytes.unsafe_get bb r <> '\000' then Vec.push live r)
-   | Column.Const { v = Value.Bool true; _ } ->
-     pipe_iter p (fun r -> Vec.push live r)
-   | Column.Const { v = Value.Bool false; _ } -> ()
-   | Column.Const { v; _ } ->
-     if p.pn > 0 then
-       Err.dynamic "selection on non-boolean value %s" (Value.type_name v)
-   | _ ->
-     pipe_iter p (fun r ->
-         match Column.get c r with
-         | Value.Bool true -> Vec.push live r
-         | Value.Bool false -> ()
-         | v ->
-           Err.dynamic "selection on non-boolean value %s"
-             (Value.type_name v)));
-  Vec.to_array live
+   (rows dropped by an earlier select were never observable here; a
+   morsel scans its rows in ascending order and the lowest failing
+   morsel's error is the one re-raised, so the surfaced error is the
+   serial one). Parallel morsels collect survivors into private vectors
+   concatenated in morsel order — the serial selection exactly. *)
+let select_sel ctx ~par p c =
+  let test_of =
+    match c with
+    | Column.Bools bb -> Some (fun r -> Bytes.unsafe_get bb r <> '\000')
+    | Column.Const _ -> None
+    | _ ->
+      Some
+        (fun r ->
+           match Column.get c r with
+           | Value.Bool b -> b
+           | v ->
+             Err.dynamic "selection on non-boolean value %s"
+               (Value.type_name v))
+  in
+  match test_of with
+  | None -> (
+    match c with
+    | Column.Const { v = Value.Bool true; _ } ->
+      let live = Vec.create 0 in
+      pipe_iter_span p 0 p.pn (fun r -> Vec.push live r);
+      Vec.to_array live
+    | Column.Const { v = Value.Bool false; _ } -> [||]
+    | Column.Const { v; _ } ->
+      if p.pn > 0 then
+        Err.dynamic "selection on non-boolean value %s" (Value.type_name v)
+      else [||]
+    | _ -> assert false)
+  | Some test ->
+    let produce lo hi =
+      let live = Vec.create 0 in
+      pipe_iter_span p lo hi (fun r -> if test r then Vec.push live r);
+      Vec.to_array live
+    in
+    let parts = map_spans ctx ~par p.pn produce in
+    (match parts with
+     | [| s |] -> s
+     | _ -> Array.concat (Array.to_list parts))
 
-let run_pipe ctx (b : batch) (ops : chain_op list) : batch =
+(* Chain ops run strictly in order (an op-level barrier): the coordinator
+   does all retyping and typed-path dispatch (String_pool is not
+   thread-safe), then only the per-row fill loop of each op fans out. *)
+let run_pipe ctx ~par (b : batch) (ops : chain_op list) : batch =
   let p =
     { pcols = Array.mapi (fun i c -> (b.schema.(i), c)) b.cols;
       ptyped = Array.copy b.typed;
@@ -521,6 +711,7 @@ let run_pipe ctx (b : batch) (ops : chain_op list) : batch =
       pn = b.nrows;
       pbase = b.base }
   in
+  let run = row_runner ctx ~par p in
   let push name c =
     p.pcols <- Array.append p.pcols [| (name, c) |];
     p.ptyped <- Array.append p.ptyped [| None |]
@@ -530,23 +721,23 @@ let run_pipe ctx (b : batch) (ops : chain_op list) : batch =
        match op with
        | F_select name ->
          let c = pipe_retyped ctx p name in
-         let s = select_sel p c in
+         let s = select_sel ctx ~par p c in
          p.psel <- Some s;
          p.pn <- Array.length s;
          bump ctx Profile.count_mat_avoided
        | F_attach (res, v) -> push res (Column.const v p.pbase)
        | F_fun1 (res, f, a) ->
          let c = pipe_retyped ctx p a in
-         push res (fun1_col ctx p f c)
+         push res (fun1_col ctx run p f c)
        | F_fun2 (res, f, a1, a2) ->
          let c1 = pipe_retyped ctx p a1 in
          let c2 = pipe_retyped ctx p a2 in
-         push res (fun2_col ctx p f c1 c2)
+         push res (fun2_col ctx run p f c1 c2)
        | F_fun3 (res, f, a1, a2, a3) ->
          let c1 = pipe_retyped ctx p a1 in
          let c2 = pipe_retyped ctx p a2 in
          let c3 = pipe_retyped ctx p a3 in
-         push res (generic3 ctx.env p f c1 c2 c3))
+         push res (generic3 ctx.env run p f c1 c2 c3))
     ops;
   { schema = Array.map fst p.pcols;
     cols = Array.map snd p.pcols;
@@ -585,8 +776,13 @@ let join_output (l : batch) (r : batch) li ri =
     table = None }
 
 (* Matching key pairs via an int hash join — the boxed fast path's exact
-   insertion/probe order, so the output row order agrees with it. *)
-let int_join_indices g1 n1 g2 n2 =
+   insertion/probe order, so the output row order agrees with it. The
+   build side is sequential; the probe side (outer loop over [n1]) may
+   fan out over morsels: the index is frozen by then (concurrent
+   [Hashtbl] reads of an unmutated table are safe), and per-morsel match
+   pairs concatenated in morsel order reproduce the serial i-outer,
+   j-inner enumeration. *)
+let int_join_indices ctx ~par g1 n1 g2 n2 =
   let module IT = Kernels.Int_tbl in
   let index : int Vec.t IT.t = IT.create (max 16 n2) in
   for j = 0 to n2 - 1 do
@@ -598,29 +794,32 @@ let int_join_indices g1 n1 g2 n2 =
       Vec.push v j;
       IT.add index k v
   done;
-  let li = Vec.create 0 and ri = Vec.create 0 in
-  for i = 0 to n1 - 1 do
-    match IT.find_opt index (g1 i) with
-    | None -> ()
-    | Some v ->
-      Vec.iter
-        (fun j ->
-           Vec.push li i;
-           Vec.push ri j)
-        v
-  done;
-  (Vec.to_array li, Vec.to_array ri)
+  let probe lo hi =
+    let li = Vec.create 0 and ri = Vec.create 0 in
+    for i = lo to hi - 1 do
+      match IT.find_opt index (g1 i) with
+      | None -> ()
+      | Some v ->
+        Vec.iter
+          (fun j ->
+             Vec.push li i;
+             Vec.push ri j)
+          v
+    done;
+    (Vec.to_array li, Vec.to_array ri)
+  in
+  concat_pairs (map_spans ctx ~par n1 probe)
 
-let k_join ctx lb rb lcol rcname =
+let k_join ctx ~par lb rb lcol rcname =
   check_disjoint lb.schema rb.schema;
   let lb = compact lb and rb = compact rb in
   let lc = rcol ctx lb lcol and rc = rcol ctx rb rcname in
   let li, ri =
     match (int_reader lc, int_reader rc) with
-    | Some g1, Some g2 -> int_join_indices g1 lb.nrows g2 rb.nrows
+    | Some g1, Some g2 -> int_join_indices ctx ~par g1 lb.nrows g2 rb.nrows
     | _ -> (
       match (str_reader ctx.pool lc, str_reader ctx.pool rc) with
-      | Some g1, Some g2 -> int_join_indices g1 lb.nrows g2 rb.nrows
+      | Some g1, Some g2 -> int_join_indices ctx ~par g1 lb.nrows g2 rb.nrows
       | _ ->
         Kernels.join_indices (boxed_vis ctx lb lcol) (boxed_vis ctx rb rcname))
   in
@@ -666,7 +865,12 @@ let theta_float_keys lvs rvs =
     Some (lk, rk)
   end
 
-let theta_float_indices cmp lk rk =
+(* The O(|l|·|r|) nested loop — the hottest loop on XMark Q11/Q12 and the
+   main beneficiary of morsel parallelism: the outer (left) rows split
+   into morsels, each enumerating its pairs in the serial i-outer,
+   j-inner order; morsel-order concatenation restores the full serial
+   pair order. *)
+let theta_float_indices ctx ~par cmp lk rk =
   let test =
     match cmp with
     | Plan.P_lt -> fun c -> c < 0
@@ -675,21 +879,24 @@ let theta_float_indices cmp lk rk =
     | Plan.P_ge -> fun c -> c >= 0
     | _ -> Err.internal "theta_float_indices: inequality expected"
   in
-  let li = Vec.create 0 and ri = Vec.create 0 in
-  Array.iteri
-    (fun i x ->
-       if not (Float.is_nan x) then
-         Array.iteri
-           (fun j y ->
-              if (not (Float.is_nan y)) && test (Float.compare x y) then begin
-                Vec.push li i;
-                Vec.push ri j
-              end)
-           rk)
-    lk;
-  (Vec.to_array li, Vec.to_array ri)
+  let produce lo hi =
+    let li = Vec.create 0 and ri = Vec.create 0 in
+    for i = lo to hi - 1 do
+      let x = lk.(i) in
+      if not (Float.is_nan x) then
+        Array.iteri
+          (fun j y ->
+             if (not (Float.is_nan y)) && test (Float.compare x y) then begin
+               Vec.push li i;
+               Vec.push ri j
+             end)
+          rk
+    done;
+    (Vec.to_array li, Vec.to_array ri)
+  in
+  concat_pairs (map_spans ctx ~par (Array.length lk) produce)
 
-let k_thetajoin ctx lb rb lcol cmp rcname =
+let k_thetajoin ctx ~par lb rb lcol cmp rcname =
   check_disjoint lb.schema rb.schema;
   let lb = compact lb and rb = compact rb in
   let li, ri =
@@ -699,14 +906,14 @@ let k_thetajoin ctx lb rb lcol cmp rcname =
       match
         (int_reader (rcol ctx lb lcol), int_reader (rcol ctx rb rcname))
       with
-      | Some g1, Some g2 -> int_join_indices g1 lb.nrows g2 rb.nrows
+      | Some g1, Some g2 -> int_join_indices ctx ~par g1 lb.nrows g2 rb.nrows
       | _ ->
         Kernels.theta_indices (boxed_vis ctx lb lcol) cmp
           (boxed_vis ctx rb rcname))
     | Plan.P_lt | Plan.P_le | Plan.P_gt | Plan.P_ge -> (
       let lvs = boxed_vis ctx lb lcol and rvs = boxed_vis ctx rb rcname in
       match theta_float_keys lvs rvs with
-      | Some (lk, rk) -> theta_float_indices cmp lk rk
+      | Some (lk, rk) -> theta_float_indices ctx ~par cmp lk rk
       | None -> Kernels.theta_indices lvs cmp rvs)
     | _ ->
       (* everything else: matching stays boxed (the homogeneity/NaN
@@ -892,15 +1099,90 @@ let k_rownum ctx b res order part =
     typed = Array.append b.typed [| None |];
     table = None }
 
-(* Aggregation: typed paths for the hot shapes — count, and integer sum,
-   grouped by an int column (iter grouping, the overwhelmingly common
-   case), first-seen group order exactly like [Kernels.group_rows] —
-   everything else boxed. *)
-let k_aggr ctx b res agg arg part order =
+(* Int-keyed grouped fold with partial aggregation over morsels: every
+   morsel folds its contiguous range of visible rows into a private
+   (first-seen key order, accumulator table) pair; the coordinator merges
+   the partials *in morsel order*, combining accumulators for keys seen
+   by several morsels. Because morsels are contiguous, in-order slices of
+   the scan, walking their first-seen key sequences in morsel order while
+   skipping already-merged keys reproduces the global first-seen group
+   order of the serial scan exactly ([Kernels.group_rows] order). The
+   combiner must be associative over row-range splits — count, sum, min,
+   max are — and the fold of a single morsel is the serial fold, so the
+   serial path is just the one-morsel case. *)
+let int_grouped ctx ~par b ~(g : int -> int) ~(of_row : int -> int)
+    ~(combine : int -> int -> int) =
+  let module IT = Kernels.Int_tbl in
+  let fold lo hi =
+    let order_v = Vec.create 0 in
+    let accs : int ref IT.t = IT.create 64 in
+    let step r =
+      let k = g r in
+      match IT.find_opt accs k with
+      | Some a -> a := combine !a (of_row r)
+      | None ->
+        IT.add accs k (ref (of_row r));
+        Vec.push order_v k
+    in
+    (match b.sel with
+     | None -> for r = lo to hi - 1 do step r done
+     | Some s -> for i = lo to hi - 1 do step s.(i) done);
+    (order_v, accs)
+  in
+  let parts = map_spans ctx ~par b.nrows fold in
+  let order_v, accs =
+    match parts with
+    | [| one |] -> one
+    | _ ->
+      let order_v = Vec.create 0 in
+      let accs : int ref IT.t = IT.create 64 in
+      Array.iter
+        (fun (ov, av) ->
+           Vec.iter
+             (fun k ->
+                let v = !(IT.find av k) in
+                match IT.find_opt accs k with
+                | Some a -> a := combine !a v
+                | None ->
+                  IT.add accs k (ref v);
+                  Vec.push order_v k)
+             ov)
+        parts;
+      (order_v, accs)
+  in
+  let n = Vec.length order_v in
+  let keys = Array.make n 0 and vals = Array.make n 0 in
+  Vec.iteri
+    (fun i k ->
+       keys.(i) <- k;
+       vals.(i) <- !(IT.find accs k))
+    order_v;
+  (keys, vals)
+
+(* Aggregation: typed paths for the order-indifferent shapes — count, and
+   integer sum/min/max, grouped by an int column (iter grouping, the
+   overwhelmingly common case), first-seen group order exactly like
+   [Kernels.group_rows] — everything else boxed. On the boxed path
+   atomize is the identity on Int, [numeric_view] maps Int to itself, an
+   all-Int sum folds to an Int, and min/max pick an Int by integer
+   comparison with no NaN involved — so these typed results are
+   value-identical to the boxed ones. *)
+let k_aggr ctx ~par b res agg arg part order =
   let boxed () =
     let t = to_table ctx b in
     of_table
       (Kernels.eval_aggr ctx.env.Kernels.store t res agg arg part order)
+  in
+  let grouped p ~g ~of_row ~combine =
+    let keys, vals = int_grouped ctx ~par b ~g ~of_row ~combine in
+    let n = Array.length keys in
+    { schema = [| p; res |];
+      cols = [| Column.Ints keys; Column.Ints vals |];
+      typed = [| None; None |];
+      sel = None;
+      nrows = n;
+      base = n;
+      table = None }
   in
   match (agg, part) with
   | Plan.A_count, None ->
@@ -908,62 +1190,20 @@ let k_aggr ctx b res agg arg part order =
   | Plan.A_count, Some p -> (
     match int_reader (rcol ctx b p) with
     | None -> boxed ()
-    | Some g ->
-      let module IT = Kernels.Int_tbl in
-      let order_v = Vec.create 0 in
-      let counts : int ref IT.t = IT.create 64 in
-      iter_sel b (fun r ->
-          let k = g r in
-          match IT.find_opt counts k with
-          | Some c -> incr c
-          | None ->
-            IT.add counts k (ref 1);
-            Vec.push order_v k);
-      let n = Vec.length order_v in
-      let keys = Array.make n 0 and vals = Array.make n 0 in
-      Vec.iteri
-        (fun i k ->
-           keys.(i) <- k;
-           vals.(i) <- !(IT.find counts k))
-        order_v;
-      { schema = [| p; res |];
-        cols = [| Column.Ints keys; Column.Ints vals |];
-        typed = [| None; None |];
-        sel = None;
-        nrows = n;
-        base = n;
-        table = None })
-  | Plan.A_sum, Some p -> (
+    | Some g -> grouped p ~g ~of_row:(fun _ -> 1) ~combine:( + ))
+  | (Plan.A_sum | Plan.A_min | Plan.A_max), Some p -> (
     match
-      (int_reader (rcol ctx b p), Option.map (fun a -> rcol ctx b a) arg)
+      ( int_reader (rcol ctx b p),
+        Option.map (fun a -> int_reader (rcol ctx b a)) arg )
     with
-    | Some g, Some (Column.Ints aa) ->
-      (* atomize is the identity on Int, and an all-Int sum folds to an
-         Int on the boxed path too — parity holds *)
-      let module IT = Kernels.Int_tbl in
-      let order_v = Vec.create 0 in
-      let sums : int ref IT.t = IT.create 64 in
-      iter_sel b (fun r ->
-          let k = g r in
-          match IT.find_opt sums k with
-          | Some s -> s := !s + aa.(r)
-          | None ->
-            IT.add sums k (ref aa.(r));
-            Vec.push order_v k);
-      let n = Vec.length order_v in
-      let keys = Array.make n 0 and vals = Array.make n 0 in
-      Vec.iteri
-        (fun i k ->
-           keys.(i) <- k;
-           vals.(i) <- !(IT.find sums k))
-        order_v;
-      { schema = [| p; res |];
-        cols = [| Column.Ints keys; Column.Ints vals |];
-        typed = [| None; None |];
-        sel = None;
-        nrows = n;
-        base = n;
-        table = None }
+    | Some g, Some (Some ga) ->
+      let combine =
+        match agg with
+        | Plan.A_sum -> ( + )
+        | Plan.A_min -> min
+        | _ -> max
+      in
+      grouped p ~g ~of_row:ga ~combine
     | _ -> boxed ())
   | _ -> boxed ()
 
@@ -980,8 +1220,9 @@ let exec_kernel ctx (p : pnode) (inputs : batch list) : batch =
     | [ a; b ] -> (a, b)
     | _ -> Err.internal "physical kernel arity: two inputs expected"
   in
+  let par = p.ppar in
   match p.pop with
-  | K_pipe ops -> run_pipe ctx (one ()) ops
+  | K_pipe ops -> run_pipe ctx ~par (one ()) ops
   | K_project cols -> k_project (one ()) cols
   | K_distinct -> k_distinct ctx (one ())
   | K_union ->
@@ -991,15 +1232,15 @@ let exec_kernel ctx (p : pnode) (inputs : batch list) : batch =
   | K_rownum { res; order; part } -> k_rownum ctx (one ()) res order part
   | K_join { lcol; rcol } ->
     let l, r = two () in
-    k_join ctx l r lcol rcol
+    k_join ctx ~par l r lcol rcol
   | K_thetajoin { lcol; cmp; rcol } ->
     let l, r = two () in
-    k_thetajoin ctx l r lcol cmp rcol
+    k_thetajoin ctx ~par l r lcol cmp rcol
   | K_semijoin { anti; on } ->
     let l, r = two () in
     k_semijoin ctx ~anti l r on
   | K_aggr { res; agg; arg; part; order } ->
-    k_aggr ctx (one ()) res agg arg part order
+    k_aggr ctx ~par (one ()) res agg arg part order
   | K_boxed op ->
     let tables = List.map (to_table ctx) inputs in
     of_table (Kernels.eval_op ctx.env op tables)
@@ -1044,8 +1285,13 @@ let rec eval ctx (p : pnode) : batch =
     out
 
 (* Evaluate a whole physical plan; the result is boxed for the
-   serialization boundary (the one materialization every query pays). *)
-let run ?profile ?guard ?step_impl ?mode store (root : pnode) : Table.t =
-  let ctx = create ?profile ?guard ?step_impl ?mode store in
+   serialization boundary (the one materialization every query pays).
+   [jobs] > 1 enables morsel parallelism on the kernels the lowering
+   marked order-indifferent; results, errors and profile counters are
+   bit-identical to [jobs = 1]. [morsel] overrides the minimum rows per
+   morsel (default 1024, or XRQ_MORSEL). *)
+let run ?profile ?guard ?step_impl ?mode ?jobs ?morsel store (root : pnode) :
+  Table.t =
+  let ctx = create ?profile ?guard ?step_impl ?mode ?jobs ?morsel store in
   let out = eval ctx root in
   to_table ctx out

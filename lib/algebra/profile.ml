@@ -26,74 +26,108 @@ type phys = {
   mutable retypes : int;      (* Mixed -> typed column conversions *)
 }
 
+(* A profile may be observed while a morsel-parallel query is running
+   (e.g. a monitoring domain rendering [pp]), and nothing stops a caller
+   from sharing one profile across concurrent evaluations, so every
+   mutation and every aggregating read is serialized by [mu]. The
+   parallel executor itself keeps all counting on the coordinating
+   domain — that, not the mutex, is what makes the counter *values*
+   bit-identical to serial mode; the mutex makes any remaining
+   concurrent use race-free rather than silently lossy. *)
 type t = {
+  mu : Mutex.t;
   buckets : (string, float ref) Hashtbl.t;
   nodes : (int, node_stat) Hashtbl.t;
   phys : phys;
 }
 
 let create () =
-  { buckets = Hashtbl.create 32;
+  { mu = Mutex.create ();
+    buckets = Hashtbl.create 32;
     nodes = Hashtbl.create 64;
     phys =
       { kernels = 0; fused_ops = 0; rows_in = 0; rows_out = 0;
         mat_avoided = 0; mat_forced = 0; retypes = 0 } }
 
+let locked t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v -> Mutex.unlock t.mu; v
+  | exception e -> Mutex.unlock t.mu; raise e
+
 let phys t = t.phys
 
 let add_kernel t ~fused ~rows_in ~rows_out =
-  let p = t.phys in
-  p.kernels <- p.kernels + 1;
-  p.fused_ops <- p.fused_ops + fused;
-  p.rows_in <- p.rows_in + rows_in;
-  p.rows_out <- p.rows_out + rows_out
+  locked t (fun () ->
+      let p = t.phys in
+      p.kernels <- p.kernels + 1;
+      p.fused_ops <- p.fused_ops + fused;
+      p.rows_in <- p.rows_in + rows_in;
+      p.rows_out <- p.rows_out + rows_out)
 
-let count_mat_avoided t = t.phys.mat_avoided <- t.phys.mat_avoided + 1
-let count_mat_forced t = t.phys.mat_forced <- t.phys.mat_forced + 1
-let count_retype t = t.phys.retypes <- t.phys.retypes + 1
+let count_mat_avoided t =
+  locked t (fun () -> t.phys.mat_avoided <- t.phys.mat_avoided + 1)
+
+let count_mat_forced t =
+  locked t (fun () -> t.phys.mat_forced <- t.phys.mat_forced + 1)
+
+let count_retype t =
+  locked t (fun () -> t.phys.retypes <- t.phys.retypes + 1)
 
 let add t label seconds =
-  match Hashtbl.find_opt t.buckets label with
-  | Some r -> r := !r +. seconds
-  | None -> Hashtbl.add t.buckets label (ref seconds)
+  locked t (fun () ->
+      match Hashtbl.find_opt t.buckets label with
+      | Some r -> r := !r +. seconds
+      | None -> Hashtbl.add t.buckets label (ref seconds))
 
 let add_node t id label seconds =
-  match Hashtbl.find_opt t.nodes id with
-  | Some s ->
-    s.evals <- s.evals + 1;
-    s.seconds <- s.seconds +. seconds
-  | None -> Hashtbl.add t.nodes id { nlabel = label; evals = 1; seconds }
+  locked t (fun () ->
+      match Hashtbl.find_opt t.nodes id with
+      | Some s ->
+        s.evals <- s.evals + 1;
+        s.seconds <- s.seconds +. seconds
+      | None -> Hashtbl.add t.nodes id { nlabel = label; evals = 1; seconds })
 
-let unique_nodes t = Hashtbl.length t.nodes
+(* Unlocked internals, composed under a single lock by [pp]. *)
 
-let node_evals t = Hashtbl.fold (fun _ s acc -> acc + s.evals) t.nodes 0
+let unique_nodes_u t = Hashtbl.length t.nodes
 
-let node_rows t =
+let node_evals_u t = Hashtbl.fold (fun _ s acc -> acc + s.evals) t.nodes 0
+
+let node_rows_u t =
   Hashtbl.fold (fun id s acc -> (id, s.nlabel, s.evals, s.seconds) :: acc)
     t.nodes []
   |> List.sort (fun (_, _, _, a) (_, _, _, b) -> Float.compare b a)
 
-let total t = Hashtbl.fold (fun _ r acc -> acc +. !r) t.buckets 0.0
+let total_u t = Hashtbl.fold (fun _ r acc -> acc +. !r) t.buckets 0.0
 
 (* Buckets sorted by descending time. *)
-let rows t =
+let rows_u t =
   let l = Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.buckets [] in
   List.sort (fun (_, a) (_, b) -> Float.compare b a) l
 
+let unique_nodes t = locked t (fun () -> unique_nodes_u t)
+let node_evals t = locked t (fun () -> node_evals_u t)
+let node_rows t = locked t (fun () -> node_rows_u t)
+let total t = locked t (fun () -> total_u t)
+let rows t = locked t (fun () -> rows_u t)
+
 (* Render in the style of the paper's Table 2: time [ms] and % of total. *)
 let pp fmt t =
-  let tot = total t in
+  let tot, rws, nnodes, nevals, p =
+    locked t (fun () ->
+        ( total_u t, rows_u t, unique_nodes_u t, node_evals_u t,
+          { t.phys with kernels = t.phys.kernels } ))
+  in
   Format.fprintf fmt "%-42s %12s %6s@." "Bucket" "Time [ms]" "%";
   List.iter
     (fun (label, secs) ->
        let pct = if tot > 0.0 then 100.0 *. secs /. tot else 0.0 in
        Format.fprintf fmt "%-42s %12.1f %5.1f%%@." label (secs *. 1000.0) pct)
-    (rows t);
+    rws;
   Format.fprintf fmt "%-42s %12.1f@." "total" (tot *. 1000.0);
-  if Hashtbl.length t.nodes > 0 then
-    Format.fprintf fmt "%d unique plan nodes, %d evaluations@."
-      (unique_nodes t) (node_evals t);
-  let p = t.phys in
+  if nnodes > 0 then
+    Format.fprintf fmt "%d unique plan nodes, %d evaluations@." nnodes nevals;
   if p.kernels > 0 then begin
     Format.fprintf fmt
       "physical: %d kernels (%d logical ops fused away), %d rows in, \

@@ -5,6 +5,13 @@
 
 type t
 
+(** Accumulation is race-free: every mutator and aggregating read holds
+    an internal lock, so a profile shared across domains (or rendered
+    while a query runs) never loses increments. The morsel-parallel
+    executor still counts only on its coordinating domain, which is what
+    keeps counter values bit-identical between serial and parallel
+    runs. *)
+
 (** Physical-executor counters: work the typed/selection-vector machinery
     did — and, more importantly, avoided. All zero unless the physical
     backend ran with this profile. *)

@@ -11,18 +11,28 @@
 
    Cancellation is cooperative: flipping a [cancel] switch makes the
    *next* boundary check raise. Granularity is therefore one operator —
-   a single enormous operator is only interrupted at its end.
+   a single enormous operator is only interrupted at its end — except in
+   the parallel physical executor, which additionally polls
+   [interrupted] between morsels and converts a trip into the same error
+   via [check_interrupted].
+
+   All counters are atomics and the cancel switch is an [Atomic.t bool]:
+   a guard may be shared by the coordinator and the worker domains of a
+   morsel-parallel query (and cancelled from yet another domain) without
+   losing increments or racing. The boundary checks themselves stay on
+   the coordinating domain, so op counts — and therefore [fault_at]
+   determinism — are identical in serial and parallel mode.
 
    The fault-injection hook ([fault_at = Some n]) turns the n-th boundary
    check into [Err.Internal_error], deterministically. Tests seed
    [Basis.Prng] to pick boundaries and prove that every operator unwinds
    cleanly and that the engine's interpreter fallback engages. *)
 
-type cancel = bool ref
+type cancel = bool Atomic.t
 
-let cancel_switch () = ref false
-let cancel c = c := true
-let cancelled c = !c
+let cancel_switch () = Atomic.make false
+let cancel c = Atomic.set c true
+let cancelled c = Atomic.get c
 
 type spec = {
   timeout_s : float option;
@@ -49,37 +59,37 @@ type t = {
   deadline : float option;  (* absolute, on the monotonic Clock scale:
                                an NTP step of the wall clock can neither
                                fire the timeout early nor suppress it *)
-  mutable ops : int;
-  mutable rows : int;
-  mutable bytes : int;
+  ops : int Atomic.t;
+  rows : int Atomic.t;
+  bytes : int Atomic.t;
 }
 
 let start spec =
   { spec;
     deadline = Option.map (fun s -> Clock.now () +. s) spec.timeout_s;
-    ops = 0;
-    rows = 0;
-    bytes = 0 }
+    ops = Atomic.make 0;
+    rows = Atomic.make 0;
+    bytes = Atomic.make 0 }
 
-let ops t = t.ops
-let rows t = t.rows
-let bytes t = t.bytes
+let ops t = Atomic.get t.ops
+let rows t = Atomic.get t.rows
+let bytes t = Atomic.get t.bytes
 
 (* Byte accounting costs a walk over the materialized values, so callers
    skip the estimate entirely unless a byte budget is armed. *)
 let wants_bytes t = t.spec.max_bytes <> None
 
 let check t =
-  t.ops <- t.ops + 1;
+  let ops = Atomic.fetch_and_add t.ops 1 + 1 in
   (match t.spec.fault_at with
-   | Some n when t.ops = n ->
+   | Some n when ops = n ->
      Err.internal "injected fault at operator boundary %d" n
    | _ -> ());
   (match t.spec.cancel with
-   | Some c when !c -> Err.resource "query cancelled"
+   | Some c when Atomic.get c -> Err.resource "query cancelled"
    | _ -> ());
   (match t.spec.max_ops with
-   | Some m when t.ops > m ->
+   | Some m when ops > m ->
      Err.resource "operator budget exhausted (limit %d evaluations)" m
    | _ -> ());
   match t.deadline with
@@ -89,18 +99,43 @@ let check t =
      | None -> assert false)
   | _ -> ()
 
+(* Morsel-boundary poll: true when cancellation or the deadline would
+   make the next [check] raise. Deliberately does NOT count an operator
+   evaluation, so polling frequency cannot perturb [fault_at] or
+   [max_ops] accounting — serial and parallel runs see identical op
+   counts. *)
+let interrupted t =
+  (match t.spec.cancel with Some c -> Atomic.get c | None -> false)
+  || (match t.deadline with Some d -> Clock.now () >= d | None -> false)
+
+(* Raise the same error [check] would for a cancellation/deadline trip,
+   again without counting an operator evaluation. The parallel executor
+   calls this on the coordinating domain after workers bail out via
+   [interrupted], so the surfaced error message is identical to the one
+   serial execution produces. *)
+let check_interrupted t =
+  (match t.spec.cancel with
+   | Some c when Atomic.get c -> Err.resource "query cancelled"
+   | _ -> ());
+  match t.deadline with
+  | Some d when Clock.now () >= d ->
+    (match t.spec.timeout_s with
+     | Some s -> Err.resource "deadline exceeded (limit %gs)" s
+     | None -> assert false)
+  | _ -> ()
+
 let add_rows t n =
-  t.rows <- t.rows + n;
+  let rows = Atomic.fetch_and_add t.rows n + n in
   match t.spec.max_rows with
-  | Some m when t.rows > m ->
+  | Some m when rows > m ->
     Err.resource "row budget exhausted (%d rows materialized, limit %d)"
-      t.rows m
+      rows m
   | _ -> ()
 
 let add_bytes t n =
-  t.bytes <- t.bytes + n;
+  let bytes = Atomic.fetch_and_add t.bytes n + n in
   match t.spec.max_bytes with
-  | Some m when t.bytes > m ->
+  | Some m when bytes > m ->
     Err.resource
-      "byte budget exhausted (~%d bytes materialized, limit %d)" t.bytes m
+      "byte budget exhausted (~%d bytes materialized, limit %d)" bytes m
   | _ -> ()

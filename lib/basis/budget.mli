@@ -9,7 +9,11 @@
     path so no partial result escapes.
 
     Cancellation is cooperative with operator granularity: flipping a
-    {!cancel} switch makes the next boundary check raise. *)
+    {!cancel} switch makes the next boundary check raise.
+
+    Guards are domain-safe: counters are atomics and the cancel switch
+    is atomic, so one guard can be shared by the coordinator and worker
+    domains of a morsel-parallel query and flipped from any domain. *)
 
 (** A shared cancellation switch. Create one, stash it in a {!spec}, and
     flip it (e.g. from a signal handler or another domain's request
@@ -60,6 +64,18 @@ val bytes : t -> int
     budget, or a passed deadline — or {!Err.Internal_error} when this is
     the boundary selected by [fault_at]. *)
 val check : t -> unit
+
+(** Morsel-boundary poll: true when cancellation or the deadline would
+    make the next {!check} raise. Unlike {!check} this does not count an
+    operator evaluation, so polling frequency cannot perturb [fault_at]
+    or [max_ops] accounting. Safe to call from worker domains. *)
+val interrupted : t -> bool
+
+(** Raise exactly the error {!check} would for a cancellation or
+    deadline trip (same message text), without counting an operator
+    evaluation. No-op when neither has tripped. The parallel executor
+    calls this on the coordinator after workers observe {!interrupted}. *)
+val check_interrupted : t -> unit
 
 (** Account [n] materialized rows; raises {!Err.Resource_error} past
     [max_rows]. *)

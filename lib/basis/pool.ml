@@ -1,0 +1,185 @@
+(* A fixed pool of worker domains for morsel-driven execution.
+
+   The physical executor splits a batch into contiguous row-range morsels
+   and runs them as numbered tasks. Workers claim task indices from a
+   shared atomic counter (work stealing degenerates to striding, which is
+   all a morsel scheduler needs); the submitting domain participates too,
+   so [jobs = n] means at most [n] domains touch the query, n-1 of them
+   pool helpers.
+
+   Determinism contract, relied on by the executor's serial/parallel
+   parity guarantee:
+   - every task index in [0, ntasks) is executed exactly once (unless
+     [stop] trips, in which case a suffix of unclaimed tasks is skipped —
+     the caller is expected to turn that into a deterministic
+     budget/cancellation error);
+   - task bodies may raise; [run] completes the remaining tasks, then
+     re-raises the exception of the *lowest-indexed* failed task. Since
+     the executor assigns morsels to tasks in ascending row order and
+     scans rows within a morsel in ascending order, that is exactly the
+     exception serial execution would have raised first.
+
+   The pool is lazily created and grown; helper domains live until
+   process exit ([at_exit] signals shutdown and joins them, so test
+   runners exit cleanly). A single submitter is assumed — if a second
+   [run] finds the job board occupied it degrades to inline serial
+   execution rather than corrupting the board. *)
+
+type job = {
+  body : int -> unit;
+  ntasks : int;
+  next : int Atomic.t;          (* next unclaimed task index *)
+  stop : unit -> bool;          (* polled between tasks; true skips the rest *)
+  mutable seats : int;          (* helpers still allowed to join, under [mu] *)
+  mutable inflight : int;       (* participating workers, under [mu] *)
+  mutable failures : (int * exn) list;  (* under [mu] *)
+}
+
+type t = {
+  mu : Mutex.t;
+  work_cv : Condition.t;        (* helpers: a job was posted / shutdown *)
+  done_cv : Condition.t;        (* submitter: a participant retired *)
+  mutable job : job option;
+  mutable gen : int;            (* bumps per job, so a helper that just
+                                   finished a job does not rejoin it *)
+  mutable shutdown : bool;
+  mutable helpers : unit Domain.t list;
+  mutable nhelpers : int;
+}
+
+(* Beyond physical cores extra domains only add scheduling noise, but the
+   parity tests deliberately run jobs up to 8 on small machines, so allow
+   a generous fixed cap rather than tying it to the host. *)
+let max_helpers = 15
+
+let create () =
+  { mu = Mutex.create ();
+    work_cv = Condition.create ();
+    done_cv = Condition.create ();
+    job = None;
+    gen = 0;
+    shutdown = false;
+    helpers = [];
+    nhelpers = 0 }
+
+(* Run claimed tasks until the counter runs dry or [stop] trips. Failures
+   are recorded, never propagated mid-job: later tasks must still run so
+   the lowest-index failure (= serial order) can be chosen afterwards. *)
+let drain t j =
+  let rec claim () =
+    if not (j.stop ()) then begin
+      let i = Atomic.fetch_and_add j.next 1 in
+      if i < j.ntasks then begin
+        (try j.body i
+         with e ->
+           Mutex.lock t.mu;
+           j.failures <- (i, e) :: j.failures;
+           Mutex.unlock t.mu);
+        claim ()
+      end
+    end
+  in
+  claim ()
+
+let retire t j =
+  Mutex.lock t.mu;
+  j.inflight <- j.inflight - 1;
+  if j.inflight = 0 then Condition.broadcast t.done_cv;
+  Mutex.unlock t.mu
+
+let helper_loop t =
+  let last_gen = ref (-1) in
+  let rec loop () =
+    Mutex.lock t.mu;
+    let rec await () =
+      if t.shutdown then (Mutex.unlock t.mu; None)
+      else
+        match t.job with
+        | Some j when t.gen <> !last_gen && j.seats > 0 ->
+          j.seats <- j.seats - 1;
+          j.inflight <- j.inflight + 1;
+          last_gen := t.gen;
+          Mutex.unlock t.mu;
+          Some j
+        | _ -> Condition.wait t.work_cv t.mu; await ()
+    in
+    match await () with
+    | None -> ()
+    | Some j -> drain t j; retire t j; loop ()
+  in
+  loop ()
+
+let ensure_helpers t n =
+  let n = min n max_helpers in
+  while t.nhelpers < n do
+    let d = Domain.spawn (fun () -> helper_loop t) in
+    t.helpers <- d :: t.helpers;
+    t.nhelpers <- t.nhelpers + 1
+  done
+
+let shutdown t =
+  Mutex.lock t.mu;
+  t.shutdown <- true;
+  Condition.broadcast t.work_cv;
+  let ds = t.helpers in
+  t.helpers <- [];
+  t.nhelpers <- 0;
+  Mutex.unlock t.mu;
+  List.iter Domain.join ds
+
+let run_serial ?(stop = fun () -> false) ntasks body =
+  (* Inline path: raises at the first failure, which for in-order serial
+     execution is already the lowest-indexed one. *)
+  let i = ref 0 in
+  while !i < ntasks && not (stop ()) do
+    body !i;
+    incr i
+  done
+
+let run t ~jobs ?(stop = fun () -> false) ntasks body =
+  if ntasks <= 0 then ()
+  else if jobs <= 1 || ntasks = 1 then run_serial ~stop ntasks body
+  else begin
+    Mutex.lock t.mu;
+    if t.job <> None then begin
+      (* Nested/concurrent submission: not used by the executor, but do
+         something safe instead of clobbering the board. *)
+      Mutex.unlock t.mu;
+      run_serial ~stop ntasks body
+    end
+    else begin
+      ensure_helpers t (jobs - 1);
+      let j =
+        { body; ntasks; next = Atomic.make 0; stop;
+          seats = min (jobs - 1) t.nhelpers;
+          inflight = 1;  (* the submitter *)
+          failures = [] }
+      in
+      t.job <- Some j;
+      t.gen <- t.gen + 1;
+      Condition.broadcast t.work_cv;
+      Mutex.unlock t.mu;
+      drain t j;
+      Mutex.lock t.mu;
+      j.inflight <- j.inflight - 1;
+      j.seats <- 0;  (* no late joiners once the submitter is done claiming *)
+      while j.inflight > 0 do Condition.wait t.done_cv t.mu done;
+      t.job <- None;
+      let failures = j.failures in
+      Mutex.unlock t.mu;
+      match List.sort (fun (a, _) (b, _) -> compare a b) failures with
+      | (_, e) :: _ -> raise e
+      | [] -> ()
+    end
+  end
+
+(* One process-wide pool, shared by every query: worker domains are too
+   expensive to spawn per evaluation. *)
+let global = lazy (
+  let t = create () in
+  at_exit (fun () -> shutdown t);
+  t)
+
+let get () = Lazy.force global
+
+let recommended_jobs () = Domain.recommended_domain_count ()

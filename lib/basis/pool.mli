@@ -1,0 +1,42 @@
+(** A fixed pool of worker domains for morsel-driven parallel execution.
+
+    [run t ~jobs ntasks body] executes [body i] for every [i] in
+    [0, ntasks), spread over at most [jobs] domains (the caller plus up
+    to [jobs - 1] pool helpers). Tasks are claimed from a shared atomic
+    counter, so each index runs exactly once, on some domain, in some
+    order.
+
+    Determinism contract (the basis of the executor's serial/parallel
+    parity guarantee):
+    - if one or more task bodies raise, [run] still executes all
+      remaining tasks, then re-raises the exception of the
+      lowest-indexed failed task — for callers that number tasks in row
+      order this reproduces the error serial execution raises first;
+    - if [stop ()] becomes true, workers stop claiming new tasks (tasks
+      already started still finish); the caller is expected to convert
+      the interruption into its own deterministic error.
+
+    Helper domains are spawned lazily on first parallel [run], persist
+    for the life of the process, and are joined at exit. The pool
+    assumes a single submitting domain; a nested or concurrent [run]
+    degrades to inline serial execution. *)
+
+type t
+
+(** A fresh, empty pool. Helpers are spawned on demand by {!run}. *)
+val create : unit -> t
+
+(** The shared process-wide pool (lazily created; joined via [at_exit]). *)
+val get : unit -> t
+
+(** See the module description. [jobs <= 1] or [ntasks <= 1] runs inline
+    on the calling domain with no pool interaction at all. *)
+val run :
+  t -> jobs:int -> ?stop:(unit -> bool) -> int -> (int -> unit) -> unit
+
+(** Signal shutdown and join all helper domains. The pool must not be
+    used afterwards. Idempotent. *)
+val shutdown : t -> unit
+
+(** [Domain.recommended_domain_count ()] — how wide this host can go. *)
+val recommended_jobs : unit -> int

@@ -35,7 +35,19 @@ type opts = {
   join_rec : bool;
   budget : Budget.spec option;
   fallback : bool;
+  jobs : int;
+      (* domains for morsel-parallel physical execution; 1 = serial.
+         Results, errors and profile counters are identical either way.
+         Only the physical backend fans out; the boxed executor and the
+         interpreter ignore it. *)
 }
+
+(* Engine-wide default parallelism, from XRQ_JOBS (CI runs the whole
+   suite with XRQ_JOBS=4); absent or malformed means serial. *)
+let default_jobs =
+  match Sys.getenv_opt "XRQ_JOBS" with
+  | Some s -> (try max 1 (int_of_string (String.trim s)) with _ -> 1)
+  | None -> 1
 
 let default_opts = {
   mode = None;
@@ -49,6 +61,7 @@ let default_opts = {
   join_rec = true;
   budget = None;
   fallback = true;
+  jobs = default_jobs;
 }
 
 (* Pathfinder with order indifference disabled: every plan is emitted as if
@@ -107,9 +120,13 @@ let cache_stats (c : cache) = Plan_cache.stats c
 (* Only the knobs that shape the prepared artifact participate: budget,
    fallback, step_impl and eval_mode are pure execution concerns, and one
    cached plan serves every setting of them. The backend is in because the
-   two backends cache different artifacts. *)
+   two backends cache different artifacts. Parallelism is in even though
+   the lowered plan is identical either way: a prepared entry advertises
+   the execution configuration it was created under, and keeping jobs out
+   would make cache hits silently change a query's parallelism when a
+   caller mixes widths in one cache. *)
 let opts_fingerprint opts =
-  Printf.sprintf "m%sr%bc%bh%bj%bb%sp%s"
+  Printf.sprintf "m%sr%bc%bh%bj%bb%sp%sx%d"
     (match opts.mode with
      | None -> "-"
      | Some Xquery.Ast.Ordered -> "o"
@@ -117,6 +134,7 @@ let opts_fingerprint opts =
     opts.unordered_rules opts.cda opts.hoist opts.join_rec
     (match opts.backend with Compiled -> "c" | Interpreted -> "i")
     (match opts.physical with `On -> "1" | `Off -> "0")
+    opts.jobs
 
 let cache_key opts text =
   opts_fingerprint opts ^ "\x00" ^ Plan_cache.normalize_query text
@@ -232,7 +250,7 @@ let run ?cache ?(opts = default_opts) ?(with_profile = false) store text : resul
         match physical with
         | Some pp ->
           Algebra.Physical.run ?profile ?guard ~step_impl:opts.step_impl
-            ~mode:opts.eval_mode store pp
+            ~mode:opts.eval_mode ~jobs:opts.jobs store pp
         | None ->
           Algebra.Eval.run ?profile ?guard ~step_impl:opts.step_impl
             ~mode:opts.eval_mode store optimized
@@ -312,7 +330,7 @@ let prepare ?cache ?(opts = default_opts) store text =
           match physical with
           | Some pp ->
             Algebra.Physical.run ?guard ~step_impl:opts.step_impl
-              ~mode:opts.eval_mode store pp
+              ~mode:opts.eval_mode ~jobs:opts.jobs store pp
           | None ->
             Algebra.Eval.run ?guard ~step_impl:opts.step_impl
               ~mode:opts.eval_mode store optimized

@@ -43,6 +43,13 @@ type opts = {
       (** graceful degradation: when the compiled backend raises
           {!Basis.Err.Internal_error}, retry on the reference interpreter
           and report via {!result.degraded} (default [true]) *)
+  jobs : int;
+      (** domains for morsel-parallel physical execution; [1] = serial.
+          The default comes from the XRQ_JOBS environment variable
+          (absent/malformed = 1). Results, error choice and profile
+          counters are bit-identical to serial — only wall-clock time
+          changes. The boxed executor and the interpreter ignore it.
+          Participates in the plan-cache fingerprint. *)
 }
 
 val default_opts : opts

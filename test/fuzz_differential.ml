@@ -6,11 +6,12 @@
                                x {without, with (generous) budgets}
 
    plus the executor dimensions {DAG, tree evaluation}, the physical
-   layer {typed kernels, boxed logical executor} and the
-   prepared-plan cache {cold, warm}, asserting identical results — or
-   identically *classified* errors — across the whole matrix. (For the
-   interpreter the plan options are vacuous, so its two plan variants
-   collapse into one run per budget setting.)
+   layer {typed kernels, boxed logical executor}, morsel-parallel
+   execution {jobs 4 over tiny forced morsels, with the serial runs as
+   oracle} and the prepared-plan cache {cold, warm}, asserting
+   identical results — or identically *classified* errors — across the
+   whole matrix. (For the interpreter the plan options are vacuous, so
+   its two plan variants collapse into one run per budget setting.)
 
    Divergence policy:
      - both sides Ok              -> serialized item lists must match
@@ -33,6 +34,11 @@
 
 open Basis
 module Value = Algebra.Value
+
+(* Force tiny morsels before the engine's first physical execution (the
+   engine reads XRQ_MORSEL lazily): fuzz queries produce small tables,
+   and without this the parallel configs would never actually fan out. *)
+let () = Unix.putenv "XRQ_MORSEL" "4"
 
 let doc_xml = "<a><b><c/><d/></b><c/><e k=\"1\">x<f/>y</e></a>"
 
@@ -164,6 +170,7 @@ let configs ~budget_spec =
   let interp = { Engine.default_opts with Engine.backend = Engine.Interpreted } in
   let tree = { Engine.default_opts with Engine.eval_mode = Algebra.Eval.Tree } in
   let boxed = { Engine.default_opts with Engine.physical = `Off } in
+  let parallel = { Engine.default_opts with Engine.jobs = 4 } in
   let plain opts q = evaluate ~opts q in
   let cold_cache opts q = evaluate ~cache:(Engine.create_cache ()) ~opts q in
   let warm_cache opts q =
@@ -179,6 +186,11 @@ let configs ~budget_spec =
        central differential pair of the physical layer *)
     ("compiled/boxed", plain boxed);
     ("compiled/boxed+budget", plain (with_budget boxed));
+    (* morsel-parallel execution at width 4 over forced-tiny morsels:
+       the serial runs above are the oracle — the parity contract says
+       identical rows, identical error choice, identical accounting *)
+    ("compiled/parallel", plain parallel);
+    ("compiled/parallel+budget", plain (with_budget parallel));
     ("compiled/baseline", plain Engine.ordered_baseline);
     ("compiled/baseline+budget", plain (with_budget Engine.ordered_baseline));
     (* tree mode is budgeted unconditionally: re-deriving shared subplans

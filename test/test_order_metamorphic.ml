@@ -1,0 +1,193 @@
+(* Order-indifference metamorphic tests over the paper-query corpus.
+
+   The paper's central claim is that order indifference is a *semantic*
+   property the compiler may exploit without changing answers. That
+   yields two metamorphic relations every query under queries/ must
+   satisfy, under every executor configuration:
+
+     1. wrapping the query body in [unordered { ... }] (maximum
+        latitude granted) may at most permute the result sequence —
+        plain and wrapped runs agree as multisets;
+
+     2. the configuration itself is invisible: the boxed logical
+        executor, the typed physical executor, and morsel-parallel
+        execution at any width all produce the *identical* sequence
+        for the same query text — including under a forced
+        [ordering mode ordered] prolog (the paper's baseline).
+
+   Relation 2 is deliberately exact (not multiset): the engine promises
+   serial/parallel and boxed/physical bit-parity, and the ordered-mode
+   baseline anchors the comparison the paper's Section 5 makes. *)
+
+(* Read lazily by the engine at its first physical execution: force tiny
+   morsels so these small corpora really split across tasks. *)
+let () = Unix.putenv "XRQ_MORSEL" "4"
+
+module Value = Algebra.Value
+
+let doc_xml = "<a><b><c/><d/></b><c/><e k=\"1\">x<f/>y</e></a>"
+let auction_xml = lazy (Xmark.Xmark_gen.generate ~scale:0.002 ())
+
+let mk_store () =
+  let st = Xmldb.Doc_store.create () in
+  let _ =
+    Xmldb.Xml_parser.load_document st ~uri:"auction.xml"
+      (Lazy.force auction_xml)
+  in
+  let _ = Xmldb.Xml_parser.load_document st ~uri:"t.xml" doc_xml in
+  st
+
+(* The four executor configurations of relation 2. The boxed executor
+   ignores [jobs]; running it at jobs=4 anyway pins down exactly that. *)
+let configs =
+  [ ("physical/serial", `On, 1);
+    ("physical/jobs4", `On, 4);
+    ("boxed/serial", `Off, 1);
+    ("boxed/jobs4", `Off, 4) ]
+
+type outcome = Items of string list | Failed of string
+
+let run ?mode (name, physical, jobs) q =
+  let opts = { Engine.default_opts with Engine.physical; jobs; mode } in
+  let st = mk_store () in
+  ignore name;
+  match Engine.run_result ~opts st q with
+  | Ok r ->
+    Items
+      (List.map
+         (fun it ->
+            match it with
+            | Value.Node n -> Xmldb.Serialize.node_to_string st n
+            | v -> Value.to_string v)
+         r.Engine.items)
+  | Error { Engine.kind; message } ->
+    Failed (Basis.Err.kind_label kind ^ ": " ^ message)
+
+let exact = function
+  | Items l -> "ok: " ^ String.concat " | " l
+  | Failed m -> m
+
+let multiset = function
+  | Items l -> "ok: " ^ String.concat " | " (List.sort compare l)
+  | Failed m -> m
+
+(* ------------------------------------------------------------- corpus *)
+
+let queries_dir =
+  if Sys.file_exists "../queries" then "../queries" else "queries"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let corpus () =
+  Sys.readdir queries_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".xq")
+  |> List.sort compare
+  |> List.map (fun f -> (f, read_file (Filename.concat queries_dir f)))
+
+(* Wrap the query *body* in [unordered { ... }]. A prolog declaration
+   (gold_items.xq, income_histogram.xq carry [declare ordering
+   unordered;]) must stay outside the wrap — splice after it. Leading
+   comments are legal inside an expression, so they need no special
+   handling. *)
+let wrap_unordered text =
+  let marker = "declare ordering unordered;" in
+  let ml = String.length marker in
+  let rec find i =
+    if i + ml > String.length text then None
+    else if String.sub text i ml = marker then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+    String.sub text 0 (i + ml)
+    ^ " unordered { "
+    ^ String.sub text (i + ml) (String.length text - i - ml)
+    ^ " }"
+  | None -> "unordered { " ^ text ^ " }"
+
+(* ----------------------------------------------------------- relations *)
+
+(* Relation 1: per configuration, the wrap may at most permute. *)
+let test_unordered_wrap_is_permutation () =
+  List.iter
+    (fun (file, text) ->
+       let wrapped = wrap_unordered text in
+       List.iter
+         (fun ((name, _, _) as cfg) ->
+            Alcotest.(check string)
+              (Printf.sprintf "%s [%s]: unordered{} at most permutes" file name)
+              (multiset (run cfg text))
+              (multiset (run cfg wrapped)))
+         configs)
+    (corpus ())
+
+(* Relation 2: the configuration is invisible — exact agreement across
+   all four, for the plain text, the wrapped text, and the text under a
+   forced ordered mode. *)
+let check_configs_exact ?mode label text =
+  match configs with
+  | [] -> assert false
+  | reference_cfg :: rest ->
+    let reference = exact (run ?mode reference_cfg text) in
+    List.iter
+      (fun ((name, _, _) as cfg) ->
+         Alcotest.(check string)
+           (Printf.sprintf "%s [%s]" label name)
+           reference
+           (exact (run ?mode cfg text)))
+      rest
+
+let test_configs_agree_plain () =
+  List.iter
+    (fun (file, text) -> check_configs_exact (file ^ " plain") text)
+    (corpus ())
+
+let test_configs_agree_wrapped () =
+  List.iter
+    (fun (file, text) ->
+       check_configs_exact (file ^ " wrapped") (wrap_unordered text))
+    (corpus ())
+
+let test_configs_agree_forced_ordered () =
+  List.iter
+    (fun (file, text) ->
+       check_configs_exact ~mode:Xquery.Ast.Ordered (file ^ " ordered-mode")
+         text)
+    (corpus ())
+
+(* An ordered-context sanity anchor: a query whose result order *is*
+   observable (positional access after sorting) must agree exactly —
+   not merely as a multiset — between plain and wrapped runs too,
+   because [unordered {}] scopes only over the wrapped expression's
+   internal binding order, never over an [order by]. *)
+let test_ordered_context_exact () =
+  let q =
+    {|let $a := doc("auction.xml")
+      for $p in $a/site/people/person
+      order by string(exactly-one($p/name/text())) descending
+      return $p/name/text()|}
+  in
+  List.iter
+    (fun ((name, _, _) as cfg) ->
+       Alcotest.(check string)
+         (Printf.sprintf "order-by survives unordered{} [%s]" name)
+         (exact (run cfg q))
+         (exact (run cfg (wrap_unordered q))))
+    configs
+
+let () =
+  Alcotest.run "order-metamorphic"
+    [ ("relation 1: unordered{} permutes at most",
+       [ Alcotest.test_case "corpus" `Slow test_unordered_wrap_is_permutation;
+         Alcotest.test_case "ordered context stays exact" `Quick
+           test_ordered_context_exact ]);
+      ("relation 2: configurations are invisible",
+       [ Alcotest.test_case "plain" `Slow test_configs_agree_plain;
+         Alcotest.test_case "wrapped" `Slow test_configs_agree_wrapped;
+         Alcotest.test_case "forced ordered mode" `Slow
+           test_configs_agree_forced_ordered ]) ]
