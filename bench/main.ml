@@ -13,6 +13,8 @@
                 writes BENCH_physical.json
      parallel   morsel-driven scaling at jobs = 1/2/4/8;
                 writes BENCH_parallel.json
+     rewrite    the logical rewriter on vs off over join-bearing queries;
+                writes BENCH_rewrite.json
 
    Run with no arguments to execute everything; pass experiment names to
    select. Environment knobs:
@@ -22,7 +24,9 @@
      XRQ_PHYS_SCALE    XMark scale for the physical experiment (default 0.05)
      XRQ_BENCH_OUT     output path for BENCH_physical.json
      XRQ_PAR_SCALE     XMark scale for the parallel experiment (default 0.05)
-     XRQ_PAR_OUT       output path for BENCH_parallel.json *)
+     XRQ_PAR_OUT       output path for BENCH_parallel.json
+     XRQ_RW_SCALE      XMark scale for the rewrite experiment (default 0.05)
+     XRQ_RW_OUT        output path for BENCH_rewrite.json *)
 
 module A = Algebra.Plan
 
@@ -640,12 +644,19 @@ let parallel_bench () =
          (Morsel scaling needs real cores: on a single-core host the\n\
          deterministic merge discipline caps the best case at ~1.0x.)\n"
         scaled host_cores;
+      let degraded = host_cores <= 1 in
+      if degraded then
+        Printf.printf
+          "WARNING: single-core host — these numbers measure overhead, not\n\
+           scaling; the baseline is marked \"degraded\": true. Regenerate on\n\
+           a multi-core machine (see EXPERIMENTS.md).\n";
       let oc = open_out out_path in
       Printf.fprintf oc
         "{\n  \"experiment\": \"parallel\",\n  \"scale\": %g,\n\
         \  \"document_bytes\": %d,\n  \"host_cores\": %d,\n\
+        \  \"degraded\": %b,\n\
         \  \"jobs\": [%s],\n  \"queries\": [\n"
-        scale bytes host_cores
+        scale bytes host_cores degraded
         (String.concat ", " (List.map string_of_int widths));
       List.iteri
         (fun i (name, per_width, speedup4, parity) ->
@@ -667,13 +678,93 @@ let parallel_bench () =
       close_out oc;
       Printf.printf "wrote %s\n" out_path)
 
+(* --------------------------------------------------------------- rewrite *)
+
+(* The logical rewriter's dividend: join-bearing queries prepared with the
+   rewriter on (default) vs off, same store, same physical backend. The
+   headline query is the existential value join — loop-lifting compiles
+   the predicate's general comparison into a sigma-filtered cross product,
+   and the select-pushdown -> join-reassociation -> join-synthesis chain
+   turns that into a hash theta join, converting quadratic work to linear.
+   Writes BENCH_rewrite.json (override XRQ_RW_OUT; scale XRQ_RW_SCALE,
+   default 0.05). *)
+let rewrite_bench () =
+  section "Rewrite — logical rewriter on vs off";
+  let scale =
+    try float_of_string (Sys.getenv "XRQ_RW_SCALE")
+    with Not_found | Failure _ -> 0.05
+  in
+  let out_path =
+    Option.value (Sys.getenv_opt "XRQ_RW_OUT") ~default:"BENCH_rewrite.json"
+  in
+  let norewrite_opts = { Engine.default_opts with Engine.rewrite = false } in
+  let exjoin =
+    {|let $auction := doc("auction.xml")
+return count($auction/site/people/person[@id =
+    $auction/site/closed_auctions/closed_auction/buyer/@person])|}
+  in
+  let queries =
+    [ ("exjoin", exjoin);
+      ("q8", Xmark.Xmark_queries.q8);
+      ("q10", Xmark.Xmark_queries.q10);
+      ("q11", Xmark.Xmark_queries.q11);
+      ("q6", q6) ]
+  in
+  with_store scale (fun st bytes ->
+      Printf.printf "auction.xml: %.2f MB serialized, %d nodes\n\n"
+        (float_of_int bytes /. 1e6) (Xmldb.Doc_store.total_nodes st);
+      Printf.printf "%-8s %12s %12s %9s %8s\n" "query" "off" "on" "speedup"
+        "items";
+      let rows =
+        List.map
+          (fun (name, q) ->
+             let _, run_off = Engine.prepare ~opts:norewrite_opts st q in
+             let _, run_on = Engine.prepare ~opts:Engine.default_opts st q in
+             let n_off, t_off = measure_exec run_off in
+             let n_on, t_on = measure_exec run_on in
+             Printf.printf "%-8s %10.2fms %10.2fms %8.2fx %8d%s\n%!" name
+               (t_off *. 1000.) (t_on *. 1000.) (t_off /. t_on) n_on
+               (if n_off <> n_on then "  !! result count mismatch" else "");
+             (name, t_off, t_on, n_on, n_off = n_on))
+          queries
+      in
+      let best_name, best =
+        List.fold_left
+          (fun (bn, bs) (name, t_off, t_on, _, _) ->
+             let s = t_off /. t_on in
+             if s > bs then (name, s) else (bn, bs))
+          ("-", 0.0) rows
+      in
+      Printf.printf
+        "\nbest speedup: %.2fx on %s (join synthesis over the compiled\n\
+         cross product; the remaining queries bound the rewriter's\n\
+         overhead where no join is synthesized).\n"
+        best best_name;
+      let oc = open_out out_path in
+      Printf.fprintf oc
+        "{\n  \"experiment\": \"rewrite\",\n  \"scale\": %g,\n\
+        \  \"document_bytes\": %d,\n  \"queries\": [\n" scale bytes;
+      List.iteri
+        (fun i (name, t_off, t_on, n_on, parity) ->
+           Printf.fprintf oc
+             "    { \"query\": %S, \"no_rewrite_ms\": %.3f, \
+              \"rewrite_ms\": %.3f, \"speedup\": %.3f, \"items\": %d, \
+              \"count_parity\": %b }%s\n"
+             name (t_off *. 1000.) (t_on *. 1000.) (t_off /. t_on) n_on
+             parity
+             (if i < List.length rows - 1 then "," else ""))
+        rows;
+      Printf.fprintf oc "  ]\n}\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" out_path)
+
 (* ---------------------------------------------------------------- driver *)
 
 let experiments =
   [ ("fig6", fig6); ("fig9", fig9); ("fig10", fig10); ("table2", table2);
     ("plansizes", plansizes); ("fig12", fig12); ("micro", micro);
     ("sharing", sharing); ("ablation", ablation); ("physical", physical);
-    ("parallel", parallel_bench) ]
+    ("parallel", parallel_bench); ("rewrite", rewrite_bench) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

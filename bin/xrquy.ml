@@ -9,6 +9,7 @@
      --mode ordered|unordered    force the ordering mode
      --no-rules                  disable the Figure-7 rules (baseline)
      --no-cda                    disable column dependency analysis
+     --no-rewrite                disable the logical rewriter
      --no-hoist                  disable loop-invariant hoisting
      --interpret                 use the reference interpreter
      --profile                   print the per-bucket execution profile
@@ -88,6 +89,10 @@ let profile_arg =
 
 let dot_arg =
   Arg.(value & flag & info [ "dot" ] ~doc:"Print plans in Graphviz dot syntax.")
+
+let no_rewrite_arg =
+  Arg.(value & flag & info [ "no-rewrite" ]
+         ~doc:"Disable the logical rewriter (selection/function pushdown,                join synthesis over cross products, order-insensitive join                reassociation, cardinality-driven join input ordering).")
 
 let no_joinrec_arg =
   Arg.(value & flag & info [ "no-joinrec" ]
@@ -179,7 +184,7 @@ let budget_spec timeout_s max_rows max_bytes max_ops =
 
 let mk_opts ?(no_joinrec = false) ?budget ?(no_fallback = false)
     ?(tree_eval = false) ?(no_physical = false) ?jobs ?(no_parallel = false)
-    mode no_rules no_cda no_hoist interpret tag_index =
+    ?(no_rewrite = false) mode no_rules no_cda no_hoist interpret tag_index =
   { Engine.mode;
     unordered_rules = not no_rules;
     cda = not no_cda;
@@ -197,7 +202,8 @@ let mk_opts ?(no_joinrec = false) ?budget ?(no_fallback = false)
        else
          match jobs with
          | Some j -> max 1 j
-         | None -> Engine.default_opts.Engine.jobs) }
+         | None -> Engine.default_opts.Engine.jobs);
+    rewrite = not no_rewrite }
 
 let load_documents store specs =
   List.iter
@@ -249,15 +255,16 @@ let report_degraded r =
 let run_cmd =
   let action docs qf expr mode no_rules no_cda no_hoist interpret profile
       tag_index no_joinrec timeout max_rows max_bytes max_ops no_fallback
-      tree_eval no_physical jobs no_parallel plan_cache no_plan_cache =
+      tree_eval no_physical jobs no_parallel plan_cache no_plan_cache
+      no_rewrite =
     handle (fun () ->
         let store = Xmldb.Doc_store.create () in
         load_documents store docs;
         let budget = budget_spec timeout max_rows max_bytes max_ops in
         let opts =
           mk_opts ~no_joinrec ?budget ~no_fallback ~tree_eval ~no_physical
-            ?jobs ~no_parallel mode no_rules no_cda no_hoist interpret
-            tag_index
+            ?jobs ~no_parallel ~no_rewrite mode no_rules no_cda no_hoist
+            interpret tag_index
         in
         let cache = mk_cache ~plan_cache ~no_plan_cache in
         let r =
@@ -281,20 +288,55 @@ let run_cmd =
           $ profile_arg $ tag_index_arg $ no_joinrec_arg $ timeout_arg
           $ max_rows_arg $ max_bytes_arg $ max_ops_arg $ no_fallback_arg
           $ tree_eval_arg $ no_physical_arg $ jobs_arg $ no_parallel_arg
-          $ plan_cache_arg $ no_plan_cache_arg)
+          $ plan_cache_arg $ no_plan_cache_arg $ no_rewrite_arg)
 
 (* ---------------------------------------------------------------- plan *)
 
+(* Per-node property note for the plan dump: constant, dense and key
+   columns as inferred by Exrquy.Properties. Dense implies key, so a
+   dense column is reported once, under "dense". *)
+let props_annot hints n =
+  let module P = Exrquy.Properties in
+  let p = P.props hints n in
+  let set name s skip =
+    let s = P.SSet.diff s skip in
+    if P.SSet.is_empty s then []
+    else [ Printf.sprintf "%s:%s" name (String.concat "," (P.SSet.elements s)) ]
+  in
+  let consts = P.SSet.of_list (List.map fst (P.SMap.bindings p.P.consts)) in
+  let parts =
+    set "const" consts P.SSet.empty
+    @ set "dense" p.P.dense P.SSet.empty
+    @ set "key" p.P.keys p.P.dense
+  in
+  if parts = [] then None
+  else Some ("(" ^ String.concat " " parts ^ ")")
+
 let plan_cmd =
-  let action docs qf expr mode no_rules no_cda no_hoist dot no_physical =
+  let action docs qf expr mode no_rules no_cda no_hoist dot no_physical
+      no_rewrite =
     handle (fun () ->
-        ignore docs;
-        let opts =
-          mk_opts ~no_physical mode no_rules no_cda no_hoist false false
+        (* documents are loaded only for their statistics: the rewriter's
+           and the lowerer's cost decisions (join sides) *)
+        let stats =
+          if docs = [] then None
+          else begin
+            let store = Xmldb.Doc_store.create () in
+            load_documents store docs;
+            Some (Engine.stats_of_store store)
+          end
         in
-        let _, raw, optimized = Engine.plans_of ~opts (query_text qf expr) in
+        let opts =
+          mk_opts ~no_physical ~no_rewrite mode no_rules no_cda no_hoist
+            false false
+        in
+        let a = Engine.analyze ~opts ?stats (query_text qf expr) in
+        let raw = a.Engine.araw and optimized = a.Engine.aoptimized in
         let render p =
-          if dot then Algebra.Plan_pp.to_dot p else Algebra.Plan_pp.to_tree p
+          if dot then Algebra.Plan_pp.to_dot p
+          else
+            let hints = Exrquy.Properties.infer p in
+            Algebra.Plan_pp.to_tree ~annot:(props_annot hints) p
         in
         let sharing p =
           Printf.sprintf "%d DAG nodes, %d as a tree (sharing factor %.2f)"
@@ -307,11 +349,20 @@ let plan_cmd =
         if opts.Engine.cda then begin
           Printf.printf "-- after column dependency analysis: %s\n"
             (Algebra.Plan_pp.summary optimized);
-          Printf.printf "-- sharing: %s\n" (sharing optimized);
-          print_string (render optimized)
+          Printf.printf "-- sharing: %s\n" (sharing optimized)
         end;
+        if opts.Engine.rewrite then begin
+          let rs = a.Engine.arewrite in
+          Printf.printf "-- rewriter: %d fires in %d rounds, %d -> %d operators\n"
+            (Algebra.Rewrite.total_fires rs) rs.Algebra.Rewrite.rounds
+            rs.Algebra.Rewrite.ops_before rs.Algebra.Rewrite.ops_after;
+          List.iter
+            (fun (rule, k) -> Printf.printf "--   %-18s %d\n" rule k)
+            rs.Algebra.Rewrite.fires
+        end;
+        if opts.Engine.cda then print_string (render optimized);
         if (not no_physical) && not dot then begin
-          let pp = Engine.lower_physical optimized in
+          let pp = Engine.lower_physical ?stats optimized in
           Printf.printf
             "-- physical plan: %d kernels covering %d logical ops, \
              %d parallelizable (\xE2\x88\xA5)\n"
@@ -324,7 +375,7 @@ let plan_cmd =
   Cmd.v (Cmd.info "plan" ~doc:"Compile a query and print its algebra plan")
     Term.(const action $ docs_arg $ query_file_arg $ expr_arg $ mode_arg
           $ no_rules_arg $ no_cda_arg $ no_hoist_arg $ dot_arg
-          $ no_physical_arg)
+          $ no_physical_arg $ no_rewrite_arg)
 
 (* --------------------------------------------------------------- xmark *)
 
@@ -344,7 +395,8 @@ let repeat_arg =
 let xmark_cmd =
   let action scale qname mode no_rules no_cda no_hoist interpret profile
       tag_index timeout max_rows max_bytes max_ops no_fallback tree_eval
-      no_physical jobs no_parallel plan_cache no_plan_cache repeat =
+      no_physical jobs no_parallel plan_cache no_plan_cache repeat
+      no_rewrite =
     handle (fun () ->
         let store = Xmldb.Doc_store.create () in
         let _, bytes = Xmark.Xmark_gen.load ~scale store in
@@ -353,7 +405,8 @@ let xmark_cmd =
         let budget = budget_spec timeout max_rows max_bytes max_ops in
         let opts =
           mk_opts ?budget ~no_fallback ~tree_eval ~no_physical ?jobs
-            ~no_parallel mode no_rules no_cda no_hoist interpret tag_index
+            ~no_parallel ~no_rewrite mode no_rules no_cda no_hoist interpret
+            tag_index
         in
         let cache = mk_cache ~plan_cache ~no_plan_cache in
         let queries =
@@ -381,7 +434,7 @@ let xmark_cmd =
           $ tag_index_arg $ timeout_arg $ max_rows_arg $ max_bytes_arg
           $ max_ops_arg $ no_fallback_arg $ tree_eval_arg $ no_physical_arg
           $ jobs_arg $ no_parallel_arg $ plan_cache_arg $ no_plan_cache_arg
-          $ repeat_arg)
+          $ repeat_arg $ no_rewrite_arg)
 
 (* ----------------------------------------------------------------- gen *)
 

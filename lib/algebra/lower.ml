@@ -62,9 +62,12 @@ let chain_op_of (op : Plan.op) : (Physical.chain_op * Plan.node) option =
 let label_of (n : Plan.node) =
   if n.Plan.label = "" then Plan.op_symbol n.Plan.op else n.Plan.label
 
-(* Order-indifference licence per kernel (see the module comment). *)
+(* Order-indifference licence per kernel (see the module comment). A
+   build-left join runs serial: its accumulation order is the build of
+   the output itself, not a probe that can be sliced into morsels. *)
 let parallelizable (pop : Physical.pop) =
   match pop with
+  | Physical.K_join { build_left = true; _ } -> false
   | Physical.K_pipe _ | Physical.K_join _ | Physical.K_thetajoin _ -> true
   | Physical.K_aggr { agg; _ } -> (
     match agg with
@@ -75,7 +78,16 @@ let parallelizable (pop : Physical.pop) =
   | Physical.K_boxed _ -> false
 
 let lower ?(types = fun (_ : Plan.node) -> ([] : (string * Column.ty) list))
-    (root : Plan.node) : Physical.pnode =
+    ?card (root : Plan.node) : Physical.pnode =
+  (* Cardinality estimates pick the hash-join build side: build on the
+     left when it is estimated (with margin) smaller than the right. A
+     wrong estimate costs time, never correctness — both builds emit the
+     same pair order. *)
+  let build_left_of left right =
+    match card with
+    | None -> false
+    | Some est -> 2 * est left < est right
+  in
   let parents = parent_counts root in
   let parent_count (n : Plan.node) =
     Option.value ~default:0 (Hashtbl.find_opt parents n.Plan.id)
@@ -119,7 +131,10 @@ let lower ?(types = fun (_ : Plan.node) -> ([] : (string * Column.ty) list))
           | Plan.Rownum { input; res; order; part } ->
             mk (Physical.K_rownum { res; order; part }) [ go input ] 1
           | Plan.Join { left; right; lcol; rcol } ->
-            mk (Physical.K_join { lcol; rcol }) [ go left; go right ] 1
+            mk
+              (Physical.K_join
+                 { lcol; rcol; build_left = build_left_of left right })
+              [ go left; go right ] 1
           | Plan.Thetajoin { left; right; lcol; cmp; rcol } ->
             mk
               (Physical.K_thetajoin { lcol; cmp; rcol })

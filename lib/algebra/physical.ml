@@ -90,7 +90,10 @@ type pop =
       order : (string * Plan.dir) list;
       part : string option;
     }
-  | K_join of { lcol : string; rcol : string }
+  | K_join of { lcol : string; rcol : string; build_left : bool }
+      (* [build_left]: hash the left column instead of the right (chosen
+         by the lowering when estimates say the left side is smaller);
+         output pair order is identical either way *)
   | K_thetajoin of { lcol : string; cmp : Plan.prim2; rcol : string }
   | K_semijoin of { anti : bool; on : (string * string) list }
   | K_aggr of {
@@ -124,6 +127,7 @@ let pop_name = function
   | K_union -> "union"
   | K_rowid _ -> "rowid"
   | K_rownum _ -> "rownum"
+  | K_join { build_left = true; _ } -> "join(build:left)"
   | K_join _ -> "join"
   | K_thetajoin _ -> "thetajoin"
   | K_semijoin { anti = false; _ } -> "semijoin"
@@ -810,20 +814,33 @@ let int_join_indices ctx ~par g1 n1 g2 n2 =
   in
   concat_pairs (map_spans ctx ~par n1 probe)
 
-let k_join ctx ~par lb rb lcol rcname =
+let k_join ctx ~par ~build_left lb rb lcol rcname =
   check_disjoint lb.schema rb.schema;
   let lb = compact lb and rb = compact rb in
-  let lc = rcol ctx lb lcol and rc = rcol ctx rb rcname in
-  let li, ri =
-    match (int_reader lc, int_reader rc) with
-    | Some g1, Some g2 -> int_join_indices ctx ~par g1 lb.nrows g2 rb.nrows
-    | _ -> (
-      match (str_reader ctx.pool lc, str_reader ctx.pool rc) with
+  if build_left then begin
+    (* estimated-smaller left side carries the hash; the kernel emits the
+       exact (i asc, j asc) pair order of the build-right paths, so this
+       is purely a cost choice. Serial by construction (ppar is off for
+       flipped joins). *)
+    bump ctx Profile.count_build_flip;
+    let li, ri =
+      Kernels.join_indices_build_left (boxed_vis ctx lb lcol)
+        (boxed_vis ctx rb rcname)
+    in
+    join_output lb rb li ri
+  end
+  else
+    let lc = rcol ctx lb lcol and rc = rcol ctx rb rcname in
+    let li, ri =
+      match (int_reader lc, int_reader rc) with
       | Some g1, Some g2 -> int_join_indices ctx ~par g1 lb.nrows g2 rb.nrows
-      | _ ->
-        Kernels.join_indices (boxed_vis ctx lb lcol) (boxed_vis ctx rb rcname))
-  in
-  join_output lb rb li ri
+      | _ -> (
+        match (str_reader ctx.pool lc, str_reader ctx.pool rc) with
+        | Some g1, Some g2 -> int_join_indices ctx ~par g1 lb.nrows g2 rb.nrows
+        | _ ->
+          Kernels.join_indices (boxed_vis ctx lb lcol) (boxed_vis ctx rb rcname))
+    in
+    join_output lb rb li ri
 
 (* Inequality theta where untyped strings meet numerics: the boxed
    kernel takes its nested loop and re-coerces (re-parses!) the untyped
@@ -1230,9 +1247,9 @@ let exec_kernel ctx (p : pnode) (inputs : batch list) : batch =
     k_union l r
   | K_rowid res -> k_rowid ctx (one ()) res
   | K_rownum { res; order; part } -> k_rownum ctx (one ()) res order part
-  | K_join { lcol; rcol } ->
+  | K_join { lcol; rcol; build_left } ->
     let l, r = two () in
-    k_join ctx ~par l r lcol rcol
+    k_join ctx ~par ~build_left l r lcol rcol
   | K_thetajoin { lcol; cmp; rcol } ->
     let l, r = two () in
     k_thetajoin ctx ~par l r lcol cmp rcol

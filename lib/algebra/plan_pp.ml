@@ -101,8 +101,9 @@ let describe n =
   | Id_lookup _ -> "fn:id"
 
 (* ASCII tree with sharing references: a node already printed appears as
-   "^id" instead of being expanded again. *)
-let to_tree root =
+   "^id" instead of being expanded again. [annot] can append a per-node
+   note (e.g. inferred properties) after the operator description. *)
+let to_tree ?(annot = fun (_ : node) -> (None : string option)) root =
   let buf = Buffer.create 512 in
   let printed = Hashtbl.create 64 in
   let rec go indent n =
@@ -110,8 +111,9 @@ let to_tree root =
       Buffer.add_string buf (Printf.sprintf "%s^%d\n" indent n.id)
     else begin
       Hashtbl.add printed n.id ();
+      let note = match annot n with None -> "" | Some s -> "  " ^ s in
       Buffer.add_string buf
-        (Printf.sprintf "%s[%d] %s%s\n" indent n.id (describe n)
+        (Printf.sprintf "%s[%d] %s%s%s\n" indent n.id (describe n) note
            (if n.label = "" then "" else "  {" ^ n.label ^ "}"));
       List.iter (go (indent ^ "  ")) (children n.op)
     end

@@ -6,7 +6,9 @@
     ["%_{pos:⟨item⟩‖iter}"], ["⊘_{descendant::item}"], ... *)
 val describe : Plan.node -> string
 
-val to_tree : Plan.node -> string
+(** [annot] appends a per-node note (e.g. inferred properties) after the
+    operator description. *)
+val to_tree : ?annot:(Plan.node -> string option) -> Plan.node -> string
 
 val to_dot : Plan.node -> string
 

@@ -24,6 +24,8 @@ type phys = {
   mutable mat_forced : int;   (* batches boxed back to tables at pipeline
                                  breakers or for a boxed-fallback kernel *)
   mutable retypes : int;      (* Mixed -> typed column conversions *)
+  mutable build_flips : int;  (* joins executed with the hash built on the
+                                 (estimated-smaller) left side *)
 }
 
 (* A profile may be observed while a morsel-parallel query is running
@@ -47,7 +49,7 @@ let create () =
     nodes = Hashtbl.create 64;
     phys =
       { kernels = 0; fused_ops = 0; rows_in = 0; rows_out = 0;
-        mat_avoided = 0; mat_forced = 0; retypes = 0 } }
+        mat_avoided = 0; mat_forced = 0; retypes = 0; build_flips = 0 } }
 
 let locked t f =
   Mutex.lock t.mu;
@@ -73,6 +75,9 @@ let count_mat_forced t =
 
 let count_retype t =
   locked t (fun () -> t.phys.retypes <- t.phys.retypes + 1)
+
+let count_build_flip t =
+  locked t (fun () -> t.phys.build_flips <- t.phys.build_flips + 1)
 
 let add t label seconds =
   locked t (fun () ->
@@ -135,7 +140,10 @@ let pp fmt t =
       p.kernels p.fused_ops p.rows_in p.rows_out;
     Format.fprintf fmt
       "physical: %d materializations avoided, %d forced, %d columns retyped@."
-      p.mat_avoided p.mat_forced p.retypes
+      p.mat_avoided p.mat_forced p.retypes;
+    if p.build_flips > 0 then
+      Format.fprintf fmt "physical: %d joins built their hash on the left@."
+        p.build_flips
   end
 
 let to_string t = Format.asprintf "%a" pp t

@@ -25,6 +25,9 @@ type phys = {
   mutable mat_forced : int;   (** batches boxed back to tables at pipeline
                                   breakers or for boxed-fallback kernels *)
   mutable retypes : int;      (** Mixed → typed column conversions *)
+  mutable build_flips : int;
+      (** joins executed with the hash built on the (estimated-smaller)
+          left side *)
 }
 
 val create : unit -> t
@@ -38,6 +41,7 @@ val add_kernel : t -> fused:int -> rows_in:int -> rows_out:int -> unit
 val count_mat_avoided : t -> unit
 val count_mat_forced : t -> unit
 val count_retype : t -> unit
+val count_build_flip : t -> unit
 
 (** [add t label seconds] accumulates into [label]'s bucket. *)
 val add : t -> string -> float -> unit

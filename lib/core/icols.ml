@@ -194,8 +194,18 @@ let rewrite b (props : P.t) req (root : A.node) : A.node =
            let all_arbitrary =
              List.for_all (fun (c, _) -> SSet.mem c iprops.P.arbitrary) order'
            in
-           if order' = [] || (all_arbitrary && part' = None) then
-             keep (A.Rowid { input; res })
+           (* a leading strictly-increasing (dense) ascending criterion has
+              no ties, so the remaining criteria are never consulted and
+              the sort permutation is the identity: % degrades to # *)
+           let dense_prefix =
+             match order' with
+             | (c, A.Asc) :: _ -> SSet.mem c iprops.P.dense
+             | _ -> false
+           in
+           if order' = []
+              || (all_arbitrary && part' = None)
+              || (dense_prefix && part' = None)
+           then keep (A.Rowid { input; res })
            else keep (A.Rownum { input; res; order = order'; part = part' })
          (* projection: narrow, fuse, and drop identities *)
          | A.Project { input; cols } ->
@@ -230,10 +240,28 @@ let rewrite b (props : P.t) req (root : A.node) : A.node =
                  input
                | _ -> keep op')
             | _ -> keep op')
-         (* duplicate duplicate elimination *)
+         (* duplicate duplicate elimination; and delta over rows carrying
+            a provably duplicate-free column passes every row through in
+            order — exact, delta keeps first occurrences in row order *)
          | A.Distinct { input } ->
+           (* the key must lie inside the columns the CONSUMERS require
+              of this delta (rs), not merely inside the input's current
+              schema: the delta's input keeps its full schema only
+              because the delta itself demands it, so once the delta is
+              elided the key column is pruned on the next round — and a
+              key outside rs then guarantees nothing about duplicates
+              among the rows restricted to rs *)
+           let keyed =
+             match orig.A.op with
+             | A.Distinct { input = oi } ->
+               SSet.exists
+                 (fun c -> SSet.mem c rs)
+                 (P.props props oi).P.keys
+             | _ -> false
+           in
            (match input.A.op with
             | A.Distinct _ -> input
+            | _ when keyed -> input
             | _ -> keep op')
          (* union with a statically empty side; re-align schemas that the
             narrowing of one side may have made asymmetric *)

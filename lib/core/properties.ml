@@ -26,6 +26,9 @@ type props = {
                                 the physical layer: they gate whether a
                                 runtime retype is attempted, never replace
                                 the dynamic check. *)
+  keys : SSet.t;             (* columns provably duplicate-free *)
+  dense : SSet.t;            (* columns strictly increasing in physical
+                                row order (implies keys) *)
 }
 
 type t = (int, props) Hashtbl.t
@@ -121,6 +124,46 @@ let add_ty res ty m =
   | Some t when t <> Column.T_mixed -> SMap.add res t m
   | _ -> SMap.remove res m
 
+(* Exact key/denseness facts for literal tables, bounded so inference
+   stays linear on big literals (where the facts would not pay anyway). *)
+let lit_keys_dense schema rows =
+  let n = List.length rows in
+  if n = 0 || n > 32 then
+    if n = 0 then
+      (* no rows: every column is vacuously unique and increasing *)
+      let all = SSet.of_list (Array.to_list schema) in
+      (all, all)
+    else (SSet.empty, SSet.empty)
+  else
+    Array.to_list schema
+    |> List.mapi (fun i c ->
+        let vals = List.map (fun (row : Value.t array) -> row.(i)) rows in
+        let distinct =
+          let rec ok = function
+            | [] -> true
+            | v :: rest -> (not (List.exists (Value.equal v) rest)) && ok rest
+          in
+          ok vals
+        in
+        let increasing =
+          let rec ok = function
+            | Value.Int a :: (Value.Int b :: _ as rest) -> a < b && ok rest
+            | [ Value.Int _ ] -> true
+            | [] -> true
+            | _ -> false
+          in
+          ok vals
+        in
+        (c, distinct, increasing))
+    |> List.fold_left
+      (fun (ks, ds) (c, k, d) ->
+         ((if k then SSet.add c ks else ks),
+          (if d then SSet.add c ds else ds)))
+      (SSet.empty, SSet.empty)
+
+let single_row (n : A.node) =
+  match n.A.op with A.Lit { rows = [ _ ]; _ } -> true | _ -> false
+
 let infer (root : A.node) : t =
   let tbl : t = Hashtbl.create 64 in
   let get n = props tbl n in
@@ -164,7 +207,9 @@ let infer (root : A.node) : t =
                    else Some (c, tys.(i)))
                |> SMap.of_seq
            in
-           { schema = schema_set; consts; arbitrary = SSet.empty; ctypes }
+           let keys, dense = lit_keys_dense schema rows in
+           { schema = schema_set; consts; arbitrary = SSet.empty; ctypes;
+             keys; dense }
          | A.Project { input; cols } ->
            let pi = get input in
            let schema = SSet.of_list (List.map fst cols) in
@@ -190,17 +235,59 @@ let infer (root : A.node) : t =
                   | None -> acc)
                SMap.empty cols
            in
-           { schema; consts; arbitrary; ctypes }
+           (* row count unchanged, so per-column facts just rename *)
+           let rename_set s =
+             List.fold_left
+               (fun acc (nw, src) ->
+                  if SSet.mem src s then SSet.add nw acc else acc)
+               SSet.empty cols
+           in
+           { schema; consts; arbitrary; ctypes;
+             keys = rename_set pi.keys; dense = rename_set pi.dense }
          | A.Select { input; _ } | A.Distinct { input } -> get input
          | A.Semijoin { left; _ } | A.Antijoin { left; _ } -> get left
-         | A.Join { left; right; _ } | A.Thetajoin { left; right; _ }
-         | A.Cross { left; right } ->
+         | A.Join { left; right; lcol; rcol } ->
+           let pl = get left and pr = get right in
+           (* a side's uniqueness survives iff the other side's join
+              column is a key (each row then matches at most once); the
+              output enumerates surviving left rows in order, so left
+              denseness survives under the same condition *)
+           let keys =
+             SSet.union
+               (if SSet.mem rcol pr.keys then pl.keys else SSet.empty)
+               (if SSet.mem lcol pl.keys then pr.keys else SSet.empty)
+           in
+           let dense =
+             if SSet.mem rcol pr.keys then pl.dense else SSet.empty
+           in
+           { schema = SSet.union pl.schema pr.schema;
+             consts =
+               SMap.union (fun _ v _ -> Some v) pl.consts pr.consts;
+             arbitrary = SSet.union pl.arbitrary pr.arbitrary;
+             ctypes = SMap.union (fun _ ty _ -> Some ty) pl.ctypes pr.ctypes;
+             keys; dense }
+         | A.Thetajoin { left; right; _ } ->
            let pl = get left and pr = get right in
            { schema = SSet.union pl.schema pr.schema;
              consts =
                SMap.union (fun _ v _ -> Some v) pl.consts pr.consts;
              arbitrary = SSet.union pl.arbitrary pr.arbitrary;
-             ctypes = SMap.union (fun _ ty _ -> Some ty) pl.ctypes pr.ctypes }
+             ctypes = SMap.union (fun _ ty _ -> Some ty) pl.ctypes pr.ctypes;
+             keys = SSet.empty; dense = SSet.empty }
+         | A.Cross { left; right } ->
+           let pl = get left and pr = get right in
+           (* products repeat rows, except against a one-row side *)
+           let keys, dense =
+             if single_row right then (pl.keys, pl.dense)
+             else if single_row left then (pr.keys, pr.dense)
+             else (SSet.empty, SSet.empty)
+           in
+           { schema = SSet.union pl.schema pr.schema;
+             consts =
+               SMap.union (fun _ v _ -> Some v) pl.consts pr.consts;
+             arbitrary = SSet.union pl.arbitrary pr.arbitrary;
+             ctypes = SMap.union (fun _ ty _ -> Some ty) pl.ctypes pr.ctypes;
+             keys; dense }
          | A.Union { left; right } ->
            let pl = get left and pr = get right in
            (* a column is constant after union iff constant with the same
@@ -224,24 +311,38 @@ let infer (root : A.node) : t =
            { schema = pl.schema;
              consts;
              arbitrary = SSet.inter pl.arbitrary pr.arbitrary;
-             ctypes }
-         | A.Rownum { input; res; _ } ->
+             ctypes;
+             (* rows from both sides interleave: uniqueness is lost *)
+             keys = SSet.empty; dense = SSet.empty }
+         | A.Rownum { input; res; part; _ } ->
            let pi = get input in
+           (* unpartitioned row numbers are unique; they follow the sort
+              order, not the physical row order, so they are not dense *)
+           let keys =
+             match part with
+             | None -> SSet.add res pi.keys
+             | Some _ -> pi.keys
+           in
            { pi with
              schema = SSet.add res pi.schema;
-             ctypes = SMap.add res Column.T_int pi.ctypes }
+             ctypes = SMap.add res Column.T_int pi.ctypes;
+             keys }
          | A.Rowid { input; res } ->
            let pi = get input in
            { schema = SSet.add res pi.schema;
              consts = pi.consts;
              arbitrary = SSet.add res pi.arbitrary;
-             ctypes = SMap.add res Column.T_int pi.ctypes }
+             ctypes = SMap.add res Column.T_int pi.ctypes;
+             (* # numbers rows consecutively in physical order *)
+             keys = SSet.add res pi.keys;
+             dense = SSet.add res pi.dense }
          | A.Attach { input; res; value } ->
            let pi = get input in
            { schema = SSet.add res pi.schema;
              consts = SMap.add res value pi.consts;
              arbitrary = pi.arbitrary;
-             ctypes = add_ty res (Some (Column.ty_of_value value)) pi.ctypes }
+             ctypes = add_ty res (Some (Column.ty_of_value value)) pi.ctypes;
+             keys = pi.keys; dense = pi.dense }
          | A.Fun1 { input; res; f; arg } ->
            let pi = get input in
            { pi with
@@ -275,11 +376,19 @@ let infer (root : A.node) : t =
              Option.bind arg (fun a -> SMap.find_opt a pi.ctypes)
            in
            (* group-key values are a subset of the input's *)
+           let keys, dense =
+             match part with
+             | Some p -> (SSet.singleton p, SSet.empty)  (* one row per group *)
+             | None ->
+               (* a single output row: trivially unique and increasing *)
+               (SSet.singleton res, SSet.singleton res)
+           in
            { schema;
              consts = restrict_map pi.consts keep;
              arbitrary = restrict_set pi.arbitrary keep;
              ctypes =
-               add_ty res (agg_ty agg arg_ty) (restrict_map pi.ctypes keep) }
+               add_ty res (agg_ty agg arg_ty) (restrict_map pi.ctypes keep);
+             keys; dense }
          | A.Step { input; _ } | A.Doc { input } | A.Textnode { input }
          | A.Commentnode { input } | A.Pinode { input } ->
            let pi = get input in
@@ -287,21 +396,24 @@ let infer (root : A.node) : t =
            { schema = SSet.of_list [ "iter"; "item" ];
              consts = restrict_map pi.consts keep;
              arbitrary = restrict_set pi.arbitrary keep;
-             ctypes = node_output pi }
+             ctypes = node_output pi;
+             keys = SSet.empty; dense = SSet.empty }
          | A.Id_lookup { context; _ } ->
            let pc = get context in
            let keep = SSet.singleton "iter" in
            { schema = SSet.of_list [ "iter"; "item" ];
              consts = restrict_map pc.consts keep;
              arbitrary = restrict_set pc.arbitrary keep;
-             ctypes = node_output pc }
+             ctypes = node_output pc;
+             keys = SSet.empty; dense = SSet.empty }
          | A.Elem { qnames; _ } | A.Attr { qnames; _ } ->
            let pq = get qnames in
            let keep = SSet.singleton "iter" in
            { schema = SSet.of_list [ "iter"; "item" ];
              consts = restrict_map pq.consts keep;
              arbitrary = restrict_set pq.arbitrary keep;
-             ctypes = node_output pq }
+             ctypes = node_output pq;
+             keys = SSet.empty; dense = SSet.empty }
          | A.Range { input; lo = _; hi = _ } ->
            let pi = get input in
            let keep = SSet.singleton "iter" in
@@ -311,7 +423,8 @@ let infer (root : A.node) : t =
              ctypes =
                SMap.add "pos" Column.T_int
                  (SMap.add "item" Column.T_int
-                    (restrict_map pi.ctypes keep)) }
+                    (restrict_map pi.ctypes keep));
+             keys = SSet.empty; dense = SSet.empty }
          | A.Textify { input } ->
            let pi = get input in
            let keep = SSet.singleton "iter" in
@@ -323,7 +436,8 @@ let infer (root : A.node) : t =
              arbitrary = restrict_set pi.arbitrary keep;
              ctypes =
                SMap.add "item" Column.T_node
-                 (restrict_map pi.ctypes (SSet.of_list [ "iter"; "pos" ])) }
+                 (restrict_map pi.ctypes (SSet.of_list [ "iter"; "pos" ]));
+             keys = SSet.empty; dense = SSet.empty }
        in
        Hashtbl.replace tbl n.A.id p)
     (A.topo_order root);

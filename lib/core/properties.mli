@@ -25,6 +25,14 @@ type props = {
           whether a runtime retype is attempted — the dynamic check stays
           authoritative, so a wrong hint can cost time but never
           correctness. *)
+  keys : SSet.t;
+      (** columns provably duplicate-free across the node's rows. Unlike
+          [ctypes], these license {e rewrites} (keyed Distinct elision),
+          so the inference rules must be exact, never heuristic. *)
+  dense : SSet.t;
+      (** columns provably strictly increasing in physical row order
+          (implies membership in [keys]); sorting by such a column is the
+          identity, which degrades % over it to #. *)
 }
 
 (** Inference result: properties per plan-node id. *)

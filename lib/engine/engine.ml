@@ -40,6 +40,11 @@ type opts = {
          Results, errors and profile counters are identical either way.
          Only the physical backend fans out; the boxed executor and the
          interpreter ignore it. *)
+  rewrite : bool;
+      (* the logical rewriter (Algebra.Rewrite): selection/fun pushdown,
+         join synthesis over cross products, order-insensitive join
+         reassociation and cardinality-driven input ordering, run between
+         CDA and lowering *)
 }
 
 (* Engine-wide default parallelism, from XRQ_JOBS (CI runs the whole
@@ -62,11 +67,13 @@ let default_opts = {
   budget = None;
   fallback = true;
   jobs = default_jobs;
+  rewrite = true;
 }
 
 (* Pathfinder with order indifference disabled: every plan is emitted as if
    ordering mode ordered were in effect, and no cleanup runs. *)
-let ordered_baseline = { default_opts with unordered_rules = false; cda = false }
+let ordered_baseline =
+  { default_opts with unordered_rules = false; cda = false; rewrite = false }
 
 type result = {
   items : Value.t list;        (* the result sequence *)
@@ -85,8 +92,27 @@ let parse_and_normalize ?mode text =
   let q = Xquery.Parser.parse_query text in
   Xquery.Normalize.normalize_query ?mode_override:mode q
 
-(* Compile a query text to an (unoptimized, optimized) plan pair. *)
-let plans_of ?(opts = default_opts) text =
+(* Cardinality statistics for the rewriter / lowering, read off a store.
+   Estimates steer only performance decisions (join input order, hash
+   build sides), never correctness — so feeding a prepared plan compiled
+   against one store's statistics to another store stays sound, merely
+   possibly slower. *)
+let stats_of_store store : Algebra.Plan.Card.stats =
+  { Algebra.Plan.Card.total_nodes = Xmldb.Doc_store.total_nodes store;
+    name_count = (fun q -> Xmldb.Doc_store.name_occurrences store q) }
+
+type analysis = {
+  acfg : Exrquy.Compile.cfg;
+  araw : Algebra.Plan.node;
+  aoptimized : Algebra.Plan.node;
+  arewrite : Algebra.Rewrite.stats;  (* what the rewriter did (plan dumps) *)
+}
+
+(* compile -> CDA -> rewrite -> CDA -> rewrite: the rewriter exposes new
+   dead columns and projections (CDA's food), and CDA's narrowing exposes
+   new rewrite sites; each pass is itself a fixpoint, and in practice one
+   interleaving round suffices, so two bounds the loop. *)
+let analyze ?(opts = default_opts) ?stats text =
   let core = parse_and_normalize ?mode:opts.mode text in
   let cfg =
     { (Exrquy.Compile.default_cfg ()) with
@@ -95,8 +121,36 @@ let plans_of ?(opts = default_opts) text =
       join_rec = opts.join_rec }
   in
   let _, raw = Exrquy.Compile.compile_core ~cfg core in
-  let optimized = if opts.cda then Exrquy.Icols.optimize cfg.b raw else raw in
-  (cfg, raw, optimized)
+  let cda p = if opts.cda then Exrquy.Icols.optimize cfg.b p else p in
+  let optimized = cda raw in
+  let optimized, rstats =
+    if not opts.rewrite then (optimized, Algebra.Rewrite.empty_stats)
+    else begin
+      let o1, s1 = Algebra.Rewrite.optimize ?stats cfg.b optimized in
+      let o1 = if o1.Algebra.Plan.id <> optimized.Algebra.Plan.id then cda o1 else o1 in
+      let o2, s2 = Algebra.Rewrite.optimize ?stats cfg.b o1 in
+      let o2 = if o2.Algebra.Plan.id <> o1.Algebra.Plan.id then cda o2 else o2 in
+      let fires =
+        List.fold_left
+          (fun acc (r, k) ->
+             let prev = Option.value ~default:0 (List.assoc_opt r acc) in
+             (r, prev + k) :: List.remove_assoc r acc)
+          s1.Algebra.Rewrite.fires s2.Algebra.Rewrite.fires
+        |> List.sort compare
+      in
+      ( o2,
+        { Algebra.Rewrite.rounds = s1.rounds + s2.rounds;
+          ops_before = s1.ops_before;
+          ops_after = Algebra.Plan.count_ops o2;
+          fires } )
+    end
+  in
+  { acfg = cfg; araw = raw; aoptimized = optimized; arewrite = rstats }
+
+(* Compile a query text to an (unoptimized, optimized) plan pair. *)
+let plans_of ?opts ?stats text =
+  let a = analyze ?opts ?stats text in
+  (a.acfg, a.araw, a.aoptimized)
 
 (* ------------------------------------------------- prepared-plan cache *)
 
@@ -126,7 +180,7 @@ let cache_stats (c : cache) = Plan_cache.stats c
    would make cache hits silently change a query's parallelism when a
    caller mixes widths in one cache. *)
 let opts_fingerprint opts =
-  Printf.sprintf "m%sr%bc%bh%bj%bb%sp%sx%d"
+  Printf.sprintf "m%sr%bc%bh%bj%bb%sp%sx%dw%b"
     (match opts.mode with
      | None -> "-"
      | Some Xquery.Ast.Ordered -> "o"
@@ -134,7 +188,7 @@ let opts_fingerprint opts =
     opts.unordered_rules opts.cda opts.hoist opts.join_rec
     (match opts.backend with Compiled -> "c" | Interpreted -> "i")
     (match opts.physical with `On -> "1" | `Off -> "0")
-    opts.jobs
+    opts.jobs opts.rewrite
 
 let cache_key opts text =
   opts_fingerprint opts ^ "\x00" ^ Plan_cache.normalize_query text
@@ -166,29 +220,31 @@ let label_plan root =
     (Algebra.Plan.topo_order root)
 
 (* Lower an optimized logical plan to the physical-operator DAG, wiring
-   the statically inferred column types in as dump annotations. *)
-let lower_physical optimized =
+   the statically inferred column types in as dump annotations and the
+   cardinality estimates in as the hash-build-side chooser. *)
+let lower_physical ?stats optimized =
   let hints = Exrquy.Properties.infer optimized in
   let types n =
     List.map
       (fun c -> (c, Exrquy.Properties.col_ty hints n c))
       (Exrquy.Properties.schema_list hints n)
   in
-  Algebra.Lower.lower ~types optimized
+  let card = Algebra.Plan.Card.estimator ?stats () in
+  Algebra.Lower.lower ~types ~card optimized
 
-let prepared_of ?cache opts text =
+let prepared_of ?cache ?stats opts text =
   let build () =
     match opts.backend with
     | Interpreted -> Prepared_core (parse_and_normalize ?mode:opts.mode text)
     | Compiled ->
-      let _, raw, optimized = plans_of ~opts text in
+      let _, raw, optimized = plans_of ~opts ?stats text in
       (* label before lowering so physical kernels inherit the profile
          buckets of their logical head operators *)
       label_plan optimized;
       let physical =
         match opts.physical with
         | `Off -> None
-        | `On -> Some (lower_physical optimized)
+        | `On -> Some (lower_physical ?stats optimized)
       in
       Prepared_plans (raw, optimized, physical)
   in
@@ -229,10 +285,11 @@ let run ?cache ?(opts = default_opts) ?(with_profile = false) store text : resul
       degraded;
       cache_stats = stats () }
   in
+  let card_stats = stats_of_store store in
   match opts.backend with
   | Interpreted ->
     let core =
-      match prepared_of ?cache opts text with
+      match prepared_of ?cache ~stats:card_stats opts text with
       | Prepared_core c -> c
       | Prepared_plans _ -> assert false  (* the key includes the backend *)
     in
@@ -240,7 +297,7 @@ let run ?cache ?(opts = default_opts) ?(with_profile = false) store text : resul
   | Compiled ->
     let run_compiled () =
       let raw, optimized, physical =
-        match prepared_of ?cache opts text with
+        match prepared_of ?cache ~stats:card_stats opts text with
         | Prepared_plans (raw, optimized, physical) -> (raw, optimized, physical)
         | Prepared_core _ -> assert false
       in
@@ -315,7 +372,7 @@ let run_result ?cache ?opts ?with_profile store text =
    optimized plan and a closure that runs it against a fresh evaluation
    context, returning the item count. *)
 let prepare ?cache ?(opts = default_opts) store text =
-  match prepared_of ?cache opts text with
+  match prepared_of ?cache ~stats:(stats_of_store store) opts text with
   | Prepared_core core ->
     ( None,
       fun () ->

@@ -50,6 +50,13 @@ type opts = {
           counters are bit-identical to serial — only wall-clock time
           changes. The boxed executor and the interpreter ignore it.
           Participates in the plan-cache fingerprint. *)
+  rewrite : bool;
+      (** run the logical rewriter ({!Algebra.Rewrite}) between CDA and
+          lowering: selection/function pushdown, join synthesis over
+          cross products, order-insensitive join reassociation, and
+          cardinality-driven join input ordering. Pure optimization —
+          results and error behaviour are unchanged (default [true]).
+          Participates in the plan-cache fingerprint. *)
 }
 
 val default_opts : opts
@@ -97,17 +104,38 @@ val opts_fingerprint : opts -> string
 val parse_and_normalize :
   ?mode:Xquery.Ast.ordering_mode -> string -> Xquery.Core_ast.core
 
+(** Cardinality statistics read off a store, for the rewriter's and the
+    lowerer's cost decisions (join input order, hash build sides).
+    Advisory only: estimates never affect results. *)
+val stats_of_store : Xmldb.Doc_store.t -> Algebra.Plan.Card.stats
+
+(** Everything the compiler front half produces for one query: the
+    compile configuration, the raw plan, the optimized plan (CDA
+    interleaved with the logical rewriter when enabled), and the
+    rewriter's per-rule fire counts for plan dumps. *)
+type analysis = {
+  acfg : Exrquy.Compile.cfg;
+  araw : Algebra.Plan.node;
+  aoptimized : Algebra.Plan.node;
+  arewrite : Algebra.Rewrite.stats;
+}
+
+val analyze :
+  ?opts:opts -> ?stats:Algebra.Plan.Card.stats -> string -> analysis
+
 (** Compile a query text; returns (compiler cfg, raw plan, optimized
-    plan). With [opts.cda = false] the optimized plan equals the raw
-    plan. *)
+    plan). With [opts.cda = false] and [opts.rewrite = false] the
+    optimized plan equals the raw plan. *)
 val plans_of :
-  ?opts:opts -> string ->
+  ?opts:opts -> ?stats:Algebra.Plan.Card.stats -> string ->
   Exrquy.Compile.cfg * Algebra.Plan.node * Algebra.Plan.node
 
 (** Lower an optimized logical plan to its physical-operator DAG, with
     statically inferred column types attached as plan-dump annotations
-    (what the compiled backend executes when [physical = `On]). *)
-val lower_physical : Algebra.Plan.node -> Algebra.Physical.pnode
+    (what the compiled backend executes when [physical = `On]). [stats]
+    steers the hash-join build-side choice; omitted = defaults. *)
+val lower_physical :
+  ?stats:Algebra.Plan.Card.stats -> Algebra.Plan.node -> Algebra.Physical.pnode
 
 (** Evaluate a query against the store. [with_profile] attaches a
     per-bucket execution profile (the paper's Table 2 instrument).

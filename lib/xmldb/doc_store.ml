@@ -36,6 +36,8 @@ type t = {
   text_pool : String_pool.t;
   frags : frag Vec.t;
   mutable documents : (string * Node_id.t) list; (* uri -> document node *)
+  name_counts : (int, int) Hashtbl.t;  (* name id -> total occurrences *)
+  mutable counted_frags : int;         (* frags folded into name_counts *)
 }
 
 let empty_frag = {
@@ -48,6 +50,8 @@ let create () = {
   text_pool = String_pool.create ();
   frags = Vec.create empty_frag;
   documents = [];
+  name_counts = Hashtbl.create 64;
+  counted_frags = 0;
 }
 
 let n_frags t = Vec.length t.frags
@@ -296,3 +300,22 @@ end
 
 let total_nodes t =
   Vec.fold_left (fun acc f -> acc + frag_length f) 0 t.frags
+
+(* How many nodes (elements and attributes) carry the given name, across
+   all fragments. Counts are folded incrementally: fragments are immutable
+   once finished, so only the frags appended since the last query need a
+   scan. Used to seed the optimizer's cardinality estimates. *)
+let name_occurrences t q =
+  for fid = t.counted_frags to n_frags t - 1 do
+    let f = frag t fid in
+    Array.iter
+      (fun id ->
+         if id >= 0 then
+           Hashtbl.replace t.name_counts id
+             (1 + Option.value ~default:0 (Hashtbl.find_opt t.name_counts id)))
+      f.names
+  done;
+  t.counted_frags <- n_frags t;
+  match Qname_pool.find_opt t.name_pool q with
+  | None -> 0
+  | Some id -> Option.value ~default:0 (Hashtbl.find_opt t.name_counts id)

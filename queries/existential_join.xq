@@ -1,0 +1,7 @@
+(: Existential value join (XMark Q8's shape, folded into a predicate):
+   persons who bought at least one closed auction. Loop-lifting compiles
+   the general comparison into a sigma-filtered cross product; the
+   logical rewriter turns it into a theta join. :)
+let $auction := doc("auction.xml")
+return count($auction/site/people/person[@id =
+    $auction/site/closed_auctions/closed_auction/buyer/@person])

@@ -6,12 +6,20 @@
                                x {without, with (generous) budgets}
 
    plus the executor dimensions {DAG, tree evaluation}, the physical
-   layer {typed kernels, boxed logical executor}, morsel-parallel
-   execution {jobs 4 over tiny forced morsels, with the serial runs as
-   oracle} and the prepared-plan cache {cold, warm}, asserting
-   identical results — or identically *classified* errors — across the
-   whole matrix. (For the interpreter the plan options are vacuous, so
-   its two plan variants collapse into one run per budget setting.)
+   layer {typed kernels, boxed logical executor}, the logical rewriter
+   {on, off — both against each other and against the interpreter},
+   morsel-parallel execution {jobs 4 over tiny forced morsels, with the
+   serial runs as oracle} and the prepared-plan cache {cold, warm},
+   asserting identical results — or identically *classified* errors —
+   across the whole matrix. (For the interpreter the plan options are
+   vacuous, so its plan variants collapse into one run per budget
+   setting.)
+
+   To keep the 300-seed nightly sweep bounded as dimensions accrue, the
+   budget overlay rides on only one config per backend (default and
+   baseline): budget transparency is already pinned point-wise by
+   test_robustness, so budget x every-executor-dimension bought no new
+   coverage for 3 extra runs per seed.
 
    Divergence policy:
      - both sides Ok              -> serialized item lists must match
@@ -171,6 +179,7 @@ let configs ~budget_spec =
   let tree = { Engine.default_opts with Engine.eval_mode = Algebra.Eval.Tree } in
   let boxed = { Engine.default_opts with Engine.physical = `Off } in
   let parallel = { Engine.default_opts with Engine.jobs = 4 } in
+  let norewrite = { Engine.default_opts with Engine.rewrite = false } in
   let plain opts q = evaluate ~opts q in
   let cold_cache opts q = evaluate ~cache:(Engine.create_cache ()) ~opts q in
   let warm_cache opts q =
@@ -179,18 +188,21 @@ let configs ~budget_spec =
     evaluate ~cache ~opts q
   in
   [ ("interp", plain interp);
-    ("interp+budget", plain (with_budget interp));
     ("compiled/default", plain Engine.default_opts);
     ("compiled/default+budget", plain (with_budget Engine.default_opts));
     (* the boxed logical executor vs the typed physical kernels: the
        central differential pair of the physical layer *)
     ("compiled/boxed", plain boxed);
-    ("compiled/boxed+budget", plain (with_budget boxed));
+    (* the logical rewriter off, on both executors: default (rewrite on)
+       vs these and vs the interpreter reference triangulates every
+       rewrite rule against an unrewritten plan *)
+    ("compiled/no-rewrite", plain norewrite);
+    ("compiled/no-rewrite/boxed",
+     plain { norewrite with Engine.physical = `Off });
     (* morsel-parallel execution at width 4 over forced-tiny morsels:
        the serial runs above are the oracle — the parity contract says
        identical rows, identical error choice, identical accounting *)
     ("compiled/parallel", plain parallel);
-    ("compiled/parallel+budget", plain (with_budget parallel));
     ("compiled/baseline", plain Engine.ordered_baseline);
     ("compiled/baseline+budget", plain (with_budget Engine.ordered_baseline));
     (* tree mode is budgeted unconditionally: re-deriving shared subplans

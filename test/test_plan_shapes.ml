@@ -22,8 +22,9 @@ let queries_dir =
   if Sys.file_exists "../queries" then "../queries" else "queries"
 
 let query_files =
-  [ "gold_items.xq"; "income_histogram.xq"; "paper_expression3.xq";
-    "paper_fig10.xq"; "paper_q11.xq"; "paper_q6.xq"; "top_sellers.xq" ]
+  [ "existential_join.xq"; "gold_items.xq"; "income_histogram.xq";
+    "paper_expression3.xq"; "paper_fig10.xq"; "paper_q11.xq"; "paper_q6.xq";
+    "top_sellers.xq" ]
 
 let read_file path =
   let ic = open_in_bin path in
@@ -60,14 +61,25 @@ let compile opts text =
   let _, _, optimized = Engine.plans_of ~opts text in
   shape_of optimized
 
+(* The rewriter's per-rule fire counts under default_opts (no store
+   statistics, so cardinality-driven rules see uniform defaults). A rule
+   missing from a query's list must NOT fire on it: each rule has at
+   least one query where it fires and several where it must not. *)
+let rule_fires text =
+  (Engine.analyze ~opts:Engine.default_opts text).Engine.arewrite
+    .Algebra.Rewrite.fires
+
 (* (file, shape under default_opts, shape under ordered_baseline);
    regenerate with PLAN_SHAPES_DUMP=1 (see header). *)
 let golden : (string * shape * shape) list =
-  [ ("gold_items.xq",
-     { ops = 134; rownums = 1; rowids = 3; joins = 19; tree_nodes = 4113 },
+  [ ("existential_join.xq",
+     { ops = 68; rownums = 2; rowids = 1; joins = 9; tree_nodes = 694 },
+     { ops = 115; rownums = 14; rowids = 0; joins = 9; tree_nodes = 1384 });
+    ("gold_items.xq",
+     { ops = 129; rownums = 1; rowids = 3; joins = 19; tree_nodes = 4086 },
      { ops = 201; rownums = 12; rowids = 0; joins = 19; tree_nodes = 8830 });
     ("income_histogram.xq",
-     { ops = 241; rownums = 1; rowids = 2; joins = 32; tree_nodes = 2732 },
+     { ops = 239; rownums = 1; rowids = 2; joins = 32; tree_nodes = 2696 },
      { ops = 356; rownums = 20; rowids = 0; joins = 32; tree_nodes = 5647 });
     ("paper_expression3.xq",
      { ops = 86; rownums = 4; rowids = 0; joins = 10; tree_nodes = 329 },
@@ -76,19 +88,56 @@ let golden : (string * shape * shape) list =
      { ops = 26; rownums = 0; rowids = 2; joins = 2; tree_nodes = 54 },
      { ops = 49; rownums = 7; rowids = 0; joins = 2; tree_nodes = 104 });
     ("paper_q11.xq",
-     { ops = 103; rownums = 8; rowids = 0; joins = 13; tree_nodes = 708 },
+     { ops = 100; rownums = 8; rowids = 0; joins = 13; tree_nodes = 700 },
      { ops = 163; rownums = 16; rowids = 0; joins = 13; tree_nodes = 1326 });
     ("paper_q6.xq",
      { ops = 28; rownums = 3; rowids = 0; joins = 3; tree_nodes = 81 },
      { ops = 54; rownums = 7; rowids = 0; joins = 3; tree_nodes = 168 });
     ("top_sellers.xq",
-     { ops = 140; rownums = 4; rowids = 2; joins = 20; tree_nodes = 6879 },
+     { ops = 136; rownums = 4; rowids = 2; joins = 20; tree_nodes = 6732 },
      { ops = 210; rownums = 17; rowids = 1; joins = 20; tree_nodes = 13656 });
+  ]
+
+let golden_fires : (string * (string * int) list) list =
+  [ ("existential_join.xq",
+     [ ("fun-pushdown", 1);
+       ("join-cross-elim", 1);
+       ("join-swap", 2);
+       ("join-synthesis", 1);
+       ("project-fuse", 4);
+       ("project-split", 2);
+       ("select-pushdown", 4) ]);
+    ("gold_items.xq",
+     [ ("project-fuse", 7);
+       ("project-split", 4);
+       ("select-pushdown", 1) ]);
+    ("income_histogram.xq",
+     [ ("fun-pushdown", 2);
+       ("project-fuse", 8);
+       ("project-split", 4);
+       ("select-pushdown", 13) ]);
+    ("paper_expression3.xq",
+     [  ]);
+    ("paper_fig10.xq",
+     [  ]);
+    ("paper_q11.xq",
+     [ ("fun-pushdown", 1);
+       ("project-fuse", 6);
+       ("project-split", 4) ]);
+    ("paper_q6.xq",
+     [  ]);
+    ("top_sellers.xq",
+     [ ("project-fuse", 6);
+       ("project-split", 4);
+       ("select-pushdown", 4) ]);
   ]
 
 let measure file =
   let text = read_file (Filename.concat queries_dir file) in
   (compile Engine.default_opts text, compile Engine.ordered_baseline text)
+
+let measure_fires file =
+  rule_fires (read_file (Filename.concat queries_dir file))
 
 let dump () =
   print_string "let golden : (string * shape * shape) list =\n  [ ";
@@ -105,6 +154,17 @@ let dump () =
          (if i = 0 then "" else "    ")
          file (pp d) (pp b))
     query_files;
+  print_string "  ]\n";
+  print_string "\nlet golden_fires : (string * (string * int) list) list =\n  [ ";
+  List.iteri
+    (fun i file ->
+       let fires = measure_fires file in
+       Printf.printf "%s(%S,\n     [ %s ]);\n"
+         (if i = 0 then "" else "    ")
+         file
+         (String.concat ";\n       "
+            (List.map (fun (r, k) -> Printf.sprintf "(%S, %d)" r k) fires)))
+    query_files;
   print_string "  ]\n"
 
 let check_shape name expected actual =
@@ -118,6 +178,14 @@ let test_golden (file, exp_default, exp_baseline) () =
   let d, b = measure file in
   check_shape (file ^ " (default_opts)") exp_default d;
   check_shape (file ^ " (ordered_baseline)") exp_baseline b
+
+let pp_fires fires =
+  String.concat " "
+    (List.map (fun (r, k) -> Printf.sprintf "%s=%d" r k) fires)
+
+let test_fires (file, expected) () =
+  Alcotest.(check string)
+    (file ^ " (rule fires)") (pp_fires expected) (pp_fires (measure_fires file))
 
 (* The paper's point, as an invariant over the whole corpus: order
    indifference never adds order bookkeeping, and plans never grow. *)
@@ -145,6 +213,11 @@ let () =
            (fun ((file, _, _) as g) ->
               Alcotest.test_case file `Quick (test_golden g))
            golden);
+        ("rewrite rule fires",
+         List.map
+           (fun ((file, _) as g) ->
+              Alcotest.test_case file `Quick (test_fires g))
+           golden_fires);
         ("invariants",
          [ Alcotest.test_case "default ≤ baseline" `Quick test_invariants ]) ]
   end
