@@ -15,6 +15,9 @@
                 writes BENCH_parallel.json
      rewrite    the logical rewriter on vs off over join-bearing queries;
                 writes BENCH_rewrite.json
+     serve      the query server under concurrent clients: capacity and
+                2x-overload phases, throughput + p50/p99 + shed counts;
+                writes BENCH_serve.json
 
    Run with no arguments to execute everything; pass experiment names to
    select. Environment knobs:
@@ -26,7 +29,10 @@
      XRQ_PAR_SCALE     XMark scale for the parallel experiment (default 0.05)
      XRQ_PAR_OUT       output path for BENCH_parallel.json
      XRQ_RW_SCALE      XMark scale for the rewrite experiment (default 0.05)
-     XRQ_RW_OUT        output path for BENCH_rewrite.json *)
+     XRQ_RW_OUT        output path for BENCH_rewrite.json
+     XRQ_SERVE_SCALE   XMark scale for the serve experiment (default 0.02)
+     XRQ_SERVE_REQS    requests per client in each serve phase (default 40)
+     XRQ_SERVE_OUT     output path for BENCH_serve.json *)
 
 module A = Algebra.Plan
 
@@ -758,13 +764,222 @@ return count($auction/site/people/person[@id =
       close_out oc;
       Printf.printf "wrote %s\n" out_path)
 
+(* ----------------------------------------------------------------- serve *)
+
+(* The query server under concurrent load, measured from the client side
+   of real loopback TCP connections. Two phases against one in-process
+   server (workers=4, queue=4, per-client cap 2, 5s ceiling):
+
+   - capacity: clients = workers, each issuing sequential request/response
+     XMark Q1 queries — nothing should shed, and the p50/p99 are the
+     baseline service latency;
+   - overload: 3x the capacity clients (>= the issue's 2x bar): 4 "hog"
+     clients pin every worker with 40 ms SLEEP holds while 8 query clients
+     offer the same Q1 load. Demand exceeds workers + queue, so the
+     admission queue must shed (counted both client- and server-side);
+     what IS admitted must still finish inside the budget ceiling —
+     that is the graceful-degradation claim, checked as
+     p99_within_ceiling.
+
+   Knobs: XRQ_SERVE_SCALE (default 0.02), XRQ_SERVE_REQS (requests per
+   client, default 40), XRQ_SERVE_OUT (default BENCH_serve.json). *)
+let serve_bench () =
+  section "Serve — concurrent clients, load shedding, tail latency";
+  let scale =
+    try float_of_string (Sys.getenv "XRQ_SERVE_SCALE")
+    with Not_found | Failure _ -> 0.02
+  in
+  let reqs =
+    try int_of_string (Sys.getenv "XRQ_SERVE_REQS")
+    with Not_found | Failure _ -> 40
+  in
+  let out_path =
+    Option.value (Sys.getenv_opt "XRQ_SERVE_OUT") ~default:"BENCH_serve.json"
+  in
+  let workers = 4 and queue_capacity = 4 and client_cap = 2 in
+  let ceiling_s = 5.0 in
+  with_store scale (fun st bytes ->
+      Printf.printf
+        "auction.xml: %.2f MB serialized, %d nodes; workers=%d queue=%d \
+         client_cap=%d ceiling=%.0fs\n\n"
+        (float_of_int bytes /. 1e6) (Xmldb.Doc_store.total_nodes st)
+        workers queue_capacity client_cap ceiling_s;
+      let ceiling =
+        { Basis.Budget.unlimited with
+          Basis.Budget.timeout_s = Some ceiling_s }
+      in
+      let cfg =
+        Server.config ~port:0 ~ceiling ~workers
+          ~queue_capacity ~client_cap ~debug:true
+          ~stores:[ ("xmark", st) ] ()
+      in
+      let srv = Server.start cfg in
+      let port = Server.port srv in
+      let connect () =
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd Unix.(ADDR_INET (inet_addr_loopback, port));
+        fd
+      in
+      let rpc ic oc line =
+        output_string oc line;
+        output_char oc '\n';
+        flush oc;
+        input_line ic
+      in
+      (* One client: [n] sequential request/response rounds of [line];
+         returns (ok latencies in ms, shed count, other-error count). *)
+      let client line n () =
+        let fd = connect () in
+        let ic = Unix.in_channel_of_descr fd
+        and oc = Unix.out_channel_of_descr fd in
+        let lats = ref [] and shed = ref 0 and errs = ref 0 in
+        (try
+           for _ = 1 to n do
+             let t0 = Unix.gettimeofday () in
+             let resp = rpc ic oc line in
+             let dt = (Unix.gettimeofday () -. t0) *. 1000. in
+             if String.length resp >= 2 && String.sub resp 0 2 = "OK" then
+               lats := dt :: !lats
+             else if String.starts_with ~prefix:"ERR resource" resp then
+               incr shed
+             else incr errs
+           done
+         with End_of_file | Sys_error _ -> incr errs);
+        (try ignore (rpc ic oc "QUIT") with _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        (!lats, !shed, !errs)
+      in
+      let percentile sorted p =
+        match Array.length sorted with
+        | 0 -> 0.0
+        | len -> sorted.(int_of_float (p /. 100. *. float_of_int (len - 1)))
+      in
+      (* the wire is line-delimited: fold the query onto one line *)
+      let q1 =
+        "Q "
+        ^ String.concat " "
+            (String.split_on_char '\n' Xmark.Xmark_queries.q1)
+      in
+      (* A phase: run the thunks concurrently, merge client-side tallies. *)
+      let run_phase name thunks =
+        let t0 = Unix.gettimeofday () in
+        let results = ref [] and mu = Mutex.create () in
+        let ths =
+          List.map
+            (fun f ->
+               Thread.create
+                 (fun () ->
+                    let r = f () in
+                    Mutex.lock mu;
+                    results := r :: !results;
+                    Mutex.unlock mu)
+                 ())
+            thunks
+        in
+        List.iter Thread.join ths;
+        let wall = Unix.gettimeofday () -. t0 in
+        let lats =
+          List.concat_map (fun (l, _, _) -> l) !results
+          |> Array.of_list
+        in
+        Array.sort compare lats;
+        let ok = Array.length lats in
+        let shed = List.fold_left (fun a (_, s, _) -> a + s) 0 !results in
+        let errs = List.fold_left (fun a (_, _, e) -> a + e) 0 !results in
+        let p50 = percentile lats 50. and p99 = percentile lats 99. in
+        let within = p99 <= ceiling_s *. 1000. in
+        Printf.printf
+          "%-9s clients=%-2d ok=%-4d shed=%-4d errs=%-2d wall=%5.2fs \
+           %7.1f req/s  p50=%6.2fms  p99=%6.2fms%s\n%!"
+          name (List.length thunks) ok shed errs wall
+          (float_of_int ok /. wall) p50 p99
+          (if within then "" else "  !! p99 exceeds ceiling");
+        (name, List.length thunks, ok, shed, errs, wall, p50, p99, within)
+      in
+      let capacity =
+        run_phase "capacity"
+          (List.init workers (fun _ -> client q1 reqs))
+      in
+      (* Hogs pin the workers with SLEEP holds so the query clients
+         genuinely contend for the admission queue; a stopped flag ends
+         them once the measured clients finish. *)
+      let stop_hogs = Atomic.make false in
+      let hog () =
+        let fd = connect () in
+        let ic = Unix.in_channel_of_descr fd
+        and oc = Unix.out_channel_of_descr fd in
+        let shed = ref 0 in
+        (try
+           while not (Atomic.get stop_hogs) do
+             let resp = rpc ic oc "SLEEP 40" in
+             if String.starts_with ~prefix:"ERR resource" resp then
+               incr shed
+           done
+         with End_of_file | Sys_error _ -> ());
+        (try ignore (rpc ic oc "QUIT") with _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        ([], !shed, 0)
+      in
+      let overload_queriers = 2 * workers in
+      let overload =
+        let hog_threads =
+          List.init workers (fun _ -> Thread.create hog ())
+        in
+        let r =
+          run_phase "overload"
+            (List.init overload_queriers (fun _ -> client q1 reqs))
+        in
+        Atomic.set stop_hogs true;
+        List.iter Thread.join hog_threads;
+        (* hogs are load generators, not measured clients; report the
+           total offered concurrency instead *)
+        let (n, c, ok, shed, errs, wall, p50, p99, within) = r in
+        (n, c + workers, ok, shed, errs, wall, p50, p99, within)
+      in
+      let stats = Server.stats srv in
+      Server.stop ~grace_s:5. srv;
+      let stat k = try List.assoc k stats with Not_found -> "0" in
+      Printf.printf
+        "\nserver: admitted=%s completed=%s shed_full=%s shed_cap=%s \
+         degradations=%s\n"
+        (stat "admitted") (stat "completed") (stat "shed_full")
+        (stat "shed_cap") (stat "degradations");
+      let oc = open_out out_path in
+      Printf.fprintf oc
+        "{\n  \"experiment\": \"serve\",\n  \"scale\": %g,\n\
+        \  \"document_bytes\": %d,\n  \"workers\": %d,\n\
+        \  \"queue_capacity\": %d,\n  \"client_cap\": %d,\n\
+        \  \"ceiling_s\": %g,\n  \"requests_per_client\": %d,\n\
+        \  \"phases\": [\n"
+        scale bytes workers queue_capacity client_cap ceiling_s reqs;
+      List.iteri
+        (fun i (name, clients, ok, shed, errs, wall, p50, p99, within) ->
+           Printf.fprintf oc
+             "    { \"phase\": %S, \"clients\": %d, \"ok\": %d, \
+              \"shed\": %d, \"errors\": %d, \"wall_s\": %.3f, \
+              \"throughput_rps\": %.1f, \"p50_ms\": %.3f, \
+              \"p99_ms\": %.3f, \"p99_within_ceiling\": %b }%s\n"
+             name clients ok shed errs wall
+             (float_of_int ok /. wall) p50 p99 within
+             (if i = 0 then "," else ""))
+        [ capacity; overload ];
+      Printf.fprintf oc
+        "  ],\n  \"server\": { \"admitted\": %s, \"completed\": %s, \
+         \"shed_full\": %s, \"shed_cap\": %s, \"shed_draining\": %s, \
+         \"degradations\": %s }\n}\n"
+        (stat "admitted") (stat "completed") (stat "shed_full")
+        (stat "shed_cap") (stat "shed_draining") (stat "degradations");
+      close_out oc;
+      Printf.printf "wrote %s\n" out_path)
+
 (* ---------------------------------------------------------------- driver *)
 
 let experiments =
   [ ("fig6", fig6); ("fig9", fig9); ("fig10", fig10); ("table2", table2);
     ("plansizes", plansizes); ("fig12", fig12); ("micro", micro);
     ("sharing", sharing); ("ablation", ablation); ("physical", physical);
-    ("parallel", parallel_bench); ("rewrite", rewrite_bench) ]
+    ("parallel", parallel_bench); ("rewrite", rewrite_bench);
+    ("serve", serve_bench) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

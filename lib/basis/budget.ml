@@ -54,6 +54,26 @@ let unlimited =
 let limits ?timeout_s ?max_rows ?max_bytes ?max_ops ?cancel ?fault_at () =
   { timeout_s; max_rows; max_bytes; max_ops; cancel; fault_at }
 
+(* Session scoping: clamp a (possibly client-supplied) spec under a
+   server-side ceiling. Every numeric limit takes the tighter of the two
+   sides; a limit armed on only one side is kept. The cancel switch and
+   the fault hook stay the request's own — the ceiling is pure policy and
+   must not alias one client's cancellation into another's, nor let a
+   remote caller arm fault injection. *)
+let clamp ~ceiling spec =
+  let tighter merge a b =
+    match (a, b) with
+    | Some a, Some b -> Some (merge a b)
+    | (Some _ as s), None | None, (Some _ as s) -> s
+    | None, None -> None
+  in
+  { timeout_s = tighter Float.min spec.timeout_s ceiling.timeout_s;
+    max_rows = tighter Int.min spec.max_rows ceiling.max_rows;
+    max_bytes = tighter Int.min spec.max_bytes ceiling.max_bytes;
+    max_ops = tighter Int.min spec.max_ops ceiling.max_ops;
+    cancel = spec.cancel;
+    fault_at = spec.fault_at }
+
 type t = {
   spec : spec;
   deadline : float option;  (* absolute, on the monotonic Clock scale:
@@ -74,6 +94,10 @@ let start spec =
 let ops t = Atomic.get t.ops
 let rows t = Atomic.get t.rows
 let bytes t = Atomic.get t.bytes
+
+(* Seconds until the deadline (negative once passed), on the monotonic
+   scale; None when no deadline is armed. *)
+let remaining_s t = Option.map (fun d -> d -. Clock.now ()) t.deadline
 
 (* Byte accounting costs a walk over the materialized values, so callers
    skip the estimate entirely unless a byte budget is armed. *)

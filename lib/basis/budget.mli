@@ -48,6 +48,14 @@ val limits :
   ?timeout_s:float -> ?max_rows:int -> ?max_bytes:int -> ?max_ops:int ->
   ?cancel:cancel -> ?fault_at:int -> unit -> spec
 
+(** Session scoping: [clamp ~ceiling spec] tightens [spec] under a
+    server-side ceiling — each numeric limit becomes the minimum of the
+    two sides (a limit armed on only one side is kept). The [cancel]
+    switch and [fault_at] hook are taken from [spec] alone: the ceiling
+    is policy, and must neither alias one client's cancellation into
+    another's nor let a remote caller arm fault injection. *)
+val clamp : ceiling:spec -> spec -> spec
+
 (** A running guard: counters plus the absolute deadline (kept on the
     monotonic {!Clock} scale, immune to wall-clock steps). *)
 type t
@@ -58,6 +66,10 @@ val start : spec -> t
 val ops : t -> int
 val rows : t -> int
 val bytes : t -> int
+
+(** Seconds left until the armed deadline (negative once passed) on the
+    monotonic {!Clock} scale; [None] when no deadline is armed. *)
+val remaining_s : t -> float option
 
 (** The operator-boundary check: counts one operator evaluation, then
     raises {!Err.Resource_error} on cancellation, an exhausted operator

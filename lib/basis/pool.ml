@@ -45,6 +45,12 @@ type t = {
   mutable shutdown : bool;
   mutable helpers : unit Domain.t list;
   mutable nhelpers : int;
+  contended : int Atomic.t;     (* parallel submissions that found the job
+                                   board occupied and degraded to serial —
+                                   the cross-query contention signal a
+                                   serving layer watches to decide when
+                                   concurrent queries should stop asking
+                                   for morsel parallelism *)
 }
 
 (* Beyond physical cores extra domains only add scheduling noise, but the
@@ -60,21 +66,38 @@ let create () =
     gen = 0;
     shutdown = false;
     helpers = [];
-    nhelpers = 0 }
+    nhelpers = 0;
+    contended = Atomic.make 0 }
 
 (* Run claimed tasks until the counter runs dry or [stop] trips. Failures
    are recorded, never propagated mid-job: later tasks must still run so
-   the lowest-index failure (= serial order) can be chosen afterwards. *)
+   the lowest-index failure (= serial order) can be chosen afterwards.
+
+   Nothing may escape [drain]: an exception slipping out of a helper's
+   drain would skip [retire], leaving [inflight] forever positive and the
+   submitter blocked on [done_cv] — and out of the submitter's drain it
+   would leave the job board occupied, silently degrading every later
+   [run] to serial. So both the task body and the [stop] hook are fenced.
+   [Stack_overflow] (and any other catchable runtime exception) raised
+   mid-task is an ordinary recorded failure. A raising [stop] hook counts
+   as a trip *and* records its exception under an index past every real
+   task, so task-body failures (lower indices = serial order) still win
+   the re-raise. *)
+let record_failure t j i e =
+  Mutex.lock t.mu;
+  j.failures <- (i, e) :: j.failures;
+  Mutex.unlock t.mu
+
 let drain t j =
+  let stopped () =
+    try j.stop ()
+    with e -> record_failure t j j.ntasks e; true
+  in
   let rec claim () =
-    if not (j.stop ()) then begin
+    if not (stopped ()) then begin
       let i = Atomic.fetch_and_add j.next 1 in
       if i < j.ntasks then begin
-        (try j.body i
-         with e ->
-           Mutex.lock t.mu;
-           j.failures <- (i, e) :: j.failures;
-           Mutex.unlock t.mu);
+        (try j.body i with e -> record_failure t j i e);
         claim ()
       end
     end
@@ -142,9 +165,12 @@ let run t ~jobs ?(stop = fun () -> false) ntasks body =
   else begin
     Mutex.lock t.mu;
     if t.job <> None then begin
-      (* Nested/concurrent submission: not used by the executor, but do
-         something safe instead of clobbering the board. *)
+      (* Nested/concurrent submission: do something safe instead of
+         clobbering the board. Each degradation is counted — under a
+         multi-query server this is the morsel-claim contention signal
+         the overload watchdog samples. *)
       Mutex.unlock t.mu;
+      Atomic.incr t.contended;
       run_serial ~stop ntasks body
     end
     else begin
@@ -181,5 +207,7 @@ let global = lazy (
   t)
 
 let get () = Lazy.force global
+
+let contended t = Atomic.get t.contended
 
 let recommended_jobs () = Domain.recommended_domain_count ()

@@ -19,7 +19,14 @@
     Helper domains are spawned lazily on first parallel [run], persist
     for the life of the process, and are joined at exit. The pool
     assumes a single submitting domain; a nested or concurrent [run]
-    degrades to inline serial execution. *)
+    degrades to inline serial execution (counted by {!contended}).
+
+    Exceptions cannot wedge the pool: a task body or [stop] hook raising
+    anything — including [Stack_overflow] — is recorded and re-raised by
+    [run] after the job completes; helper domains survive and the pool
+    stays usable for the next [run]. A raising [stop] hook acts as a
+    trip, and its exception only surfaces when no task body failed
+    (task-body failures carry lower indices, i.e. serial order). *)
 
 type t
 
@@ -37,6 +44,13 @@ val run :
 (** Signal shutdown and join all helper domains. The pool must not be
     used afterwards. Idempotent. *)
 val shutdown : t -> unit
+
+(** How many parallel submissions found the job board occupied and
+    degraded to inline serial execution, since pool creation. A rising
+    rate under concurrent queries means the pool is oversubscribed; the
+    server's overload watchdog samples this to decide when to degrade
+    query execution to [jobs = 1]. *)
+val contended : t -> int
 
 (** [Domain.recommended_domain_count ()] — how wide this host can go. *)
 val recommended_jobs : unit -> int

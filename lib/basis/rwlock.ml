@@ -1,0 +1,68 @@
+(* A writer-preferring reader-writer lock.
+
+   The query server uses one per document store to isolate store-mutating
+   work (node construction, document ingest) from concurrent readers:
+   fragments and pools are append-only, so any number of read-only
+   queries may scan a store concurrently, but a query that appends
+   fragments needs exclusivity — readers racing a fragment append from
+   another domain could observe a half-published vector.
+
+   Writer preference: once a writer is waiting, new readers queue behind
+   it. Under a server workload dominated by reads this keeps the
+   occasional constructor query from starving. *)
+
+type t = {
+  mu : Mutex.t;
+  readable : Condition.t;      (* no writer active or waiting *)
+  writable : Condition.t;      (* no reader or writer active *)
+  mutable readers : int;       (* active readers *)
+  mutable writer : bool;       (* a writer is active *)
+  mutable writers_waiting : int;
+}
+
+let create () =
+  { mu = Mutex.create ();
+    readable = Condition.create ();
+    writable = Condition.create ();
+    readers = 0;
+    writer = false;
+    writers_waiting = 0 }
+
+let lock_read t =
+  Mutex.lock t.mu;
+  while t.writer || t.writers_waiting > 0 do
+    Condition.wait t.readable t.mu
+  done;
+  t.readers <- t.readers + 1;
+  Mutex.unlock t.mu
+
+let unlock_read t =
+  Mutex.lock t.mu;
+  t.readers <- t.readers - 1;
+  if t.readers = 0 then Condition.broadcast t.writable;
+  Mutex.unlock t.mu
+
+let lock_write t =
+  Mutex.lock t.mu;
+  t.writers_waiting <- t.writers_waiting + 1;
+  while t.writer || t.readers > 0 do
+    Condition.wait t.writable t.mu
+  done;
+  t.writers_waiting <- t.writers_waiting - 1;
+  t.writer <- true;
+  Mutex.unlock t.mu
+
+let unlock_write t =
+  Mutex.lock t.mu;
+  t.writer <- false;
+  Condition.broadcast t.writable;
+  Condition.broadcast t.readable;
+  Mutex.unlock t.mu
+
+let with_read t f =
+  lock_read t;
+  Fun.protect ~finally:(fun () -> unlock_read t) f
+
+let with_write t f =
+  lock_write t;
+  Fun.protect ~finally:(fun () -> unlock_write t) f

@@ -1,0 +1,24 @@
+(** A writer-preferring reader-writer lock.
+
+    The query server holds one per document store: read-only queries
+    share the store concurrently; store-mutating work (node construction,
+    document ingest) takes the write side for exclusivity. Once a writer
+    is waiting, new readers queue behind it, so writers cannot starve
+    under a read-heavy workload.
+
+    Not reentrant: a thread must not re-acquire a side it already
+    holds. *)
+
+type t
+
+val create : unit -> t
+
+val lock_read : t -> unit
+val unlock_read : t -> unit
+val lock_write : t -> unit
+val unlock_write : t -> unit
+
+(** [with_read t f] / [with_write t f] run [f ()] under the lock,
+    releasing it on any exit (including exceptions). *)
+val with_read : t -> (unit -> 'a) -> 'a
+val with_write : t -> (unit -> 'a) -> 'a

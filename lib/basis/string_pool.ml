@@ -1,26 +1,44 @@
 (* String interning. The document store keeps tag names and text values as
    integer ids into a pool, which makes node tables compact and makes
    name-test comparison an integer comparison (the property staircase join
-   and TwigStack-style evaluation rely on). *)
+   and TwigStack-style evaluation rely on).
+
+   All operations take an internal mutex: the query server shares one
+   store across concurrent sessions, and even "read-only" evaluation
+   interns strings (casts, comparisons against literals), so the pool is
+   a genuine cross-thread mutation point. The critical sections are a
+   hash probe plus at most one push, so the lock is uncontended in
+   practice and serial-path overhead is noise. *)
 
 type t = {
+  mu : Mutex.t;
   table : (string, int) Hashtbl.t;
   strings : string Vec.t;
 }
 
-let create () = { table = Hashtbl.create 64; strings = Vec.create "" }
+let create () =
+  { mu = Mutex.create ();
+    table = Hashtbl.create 64;
+    strings = Vec.create "" }
+
+let[@inline] locked t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v -> Mutex.unlock t.mu; v
+  | exception e -> Mutex.unlock t.mu; raise e
 
 let intern t s =
-  match Hashtbl.find_opt t.table s with
-  | Some id -> id
-  | None ->
-    let id = Vec.length t.strings in
-    Vec.push t.strings s;
-    Hashtbl.add t.table s id;
-    id
+  locked t (fun () ->
+    match Hashtbl.find_opt t.table s with
+    | Some id -> id
+    | None ->
+      let id = Vec.length t.strings in
+      Vec.push t.strings s;
+      Hashtbl.add t.table s id;
+      id)
 
-let find_opt t s = Hashtbl.find_opt t.table s
+let find_opt t s = locked t (fun () -> Hashtbl.find_opt t.table s)
 
-let get t id = Vec.get t.strings id
+let get t id = locked t (fun () -> Vec.get t.strings id)
 
-let size t = Vec.length t.strings
+let size t = locked t (fun () -> Vec.length t.strings)

@@ -252,6 +252,28 @@ let prepared_of ?cache ?stats opts text =
   | None -> build ()
   | Some c -> Plan_cache.find_or_add c (cache_key opts text) build
 
+(* Whether evaluating [text] may append fragments to the store. True when
+   the prepared plan contains construction operators, and conservatively
+   for the interpreter backend (core expressions are not inspected). The
+   query server uses this to pick the read or write side of a shared
+   store's lock; sharing [cache] with the later [run] means the
+   classification compile is the run's compile. *)
+let constructs_nodes ?cache ?(opts = default_opts) store text =
+  match opts.backend with
+  | Interpreted -> true
+  | Compiled ->
+    (match prepared_of ?cache ~stats:(stats_of_store store) opts text with
+     | Prepared_core _ -> true
+     | Prepared_plans (_, optimized, _) ->
+       List.exists
+         (fun (n : Algebra.Plan.node) ->
+            match n.Algebra.Plan.op with
+            | Algebra.Plan.Elem _ | Algebra.Plan.Attr _
+            | Algebra.Plan.Textnode _ | Algebra.Plan.Commentnode _
+            | Algebra.Plan.Pinode _ | Algebra.Plan.Textify _ -> true
+            | _ -> false)
+         (Algebra.Plan.topo_order optimized))
+
 (* Extract the result sequence from the final iter|pos|item table. *)
 let items_of_table t =
   let n = Algebra.Table.nrows t in
@@ -272,7 +294,9 @@ let interp_guard opts =
     opts.budget
 
 let run ?cache ?(opts = default_opts) ?(with_profile = false) store text : result =
-  let t0 = Unix.gettimeofday () in
+  (* Monotonic, like Budget deadlines: a wall-clock step (NTP) must not
+     distort reported latency any more than it may fire a timeout. *)
+  let t0 = Basis.Clock.now () in
   let stats () = Option.map Plan_cache.stats cache in
   let run_interpreted ~degraded core =
     let items =
@@ -281,7 +305,7 @@ let run ?cache ?(opts = default_opts) ?(with_profile = false) store text : resul
     { items;
       serialized = Interp.Xdm.serialize store items;
       plan = None; raw_plan = None; physical_plan = None; profile = None;
-      wall_seconds = Unix.gettimeofday () -. t0;
+      wall_seconds = Basis.Clock.now () -. t0;
       degraded;
       cache_stats = stats () }
   in
@@ -317,7 +341,7 @@ let run ?cache ?(opts = default_opts) ?(with_profile = false) store text : resul
         serialized = Interp.Xdm.serialize store items;
         plan = Some optimized; raw_plan = Some raw; physical_plan = physical;
         profile;
-        wall_seconds = Unix.gettimeofday () -. t0;
+        wall_seconds = Basis.Clock.now () -. t0;
         degraded = None;
         cache_stats = stats () }
     in

@@ -137,6 +137,15 @@ val plans_of :
 val lower_physical :
   ?stats:Algebra.Plan.Card.stats -> Algebra.Plan.node -> Algebra.Physical.pnode
 
+(** Whether evaluating this query may append fragments to the store:
+    true when the prepared plan contains construction operators, and
+    conservatively for the interpreter backend. The query server uses
+    this to decide between the shared (read) and exclusive (write) side
+    of a store's lock; passing the same [cache] as the subsequent {!run}
+    makes the classification compile and the run compile one compile. *)
+val constructs_nodes :
+  ?cache:cache -> ?opts:opts -> Xmldb.Doc_store.t -> string -> bool
+
 (** Evaluate a query against the store. [with_profile] attaches a
     per-bucket execution profile (the paper's Table 2 instrument).
     [cache] consults/populates a prepared-plan cache; the interpreter

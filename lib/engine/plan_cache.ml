@@ -9,7 +9,14 @@
 
    The counters are the cache's observable contract: every [find] is
    either a hit or a miss, every insertion past capacity is an
-   eviction. *)
+   eviction.
+
+   All operations take an internal mutex so the query server can share
+   one cache across concurrent session threads. [find_or_add] builds
+   outside the lock — compilation can take milliseconds and must not
+   serialize unrelated lookups; two threads missing on the same key both
+   build and the second [add] wins, which costs a duplicate compile, not
+   correctness. *)
 
 type 'a entry = {
   value : 'a;
@@ -17,6 +24,7 @@ type 'a entry = {
 }
 
 type 'a t = {
+  mu : Mutex.t;
   capacity : int;
   tbl : (string, 'a entry) Hashtbl.t;
   mutable tick : int;
@@ -34,7 +42,8 @@ type stats = {
 }
 
 let create ~capacity =
-  { capacity = max 0 capacity;
+  { mu = Mutex.create ();
+    capacity = max 0 capacity;
     tbl = Hashtbl.create (max 16 capacity);
     tick = 0;
     hits = 0;
@@ -43,16 +52,23 @@ let create ~capacity =
 
 let capacity (t : 'a t) = t.capacity
 
+let[@inline] locked (t : 'a t) f =
+  Mutex.lock t.mu;
+  match f () with
+  | v -> Mutex.unlock t.mu; v
+  | exception e -> Mutex.unlock t.mu; raise e
+
 let find (t : 'a t) key =
-  match Hashtbl.find_opt t.tbl key with
-  | Some e ->
-    t.tick <- t.tick + 1;
-    e.last_used <- t.tick;
-    t.hits <- t.hits + 1;
-    Some e.value
-  | None ->
-    t.misses <- t.misses + 1;
-    None
+  locked t (fun () ->
+    match Hashtbl.find_opt t.tbl key with
+    | Some e ->
+      t.tick <- t.tick + 1;
+      e.last_used <- t.tick;
+      t.hits <- t.hits + 1;
+      Some e.value
+    | None ->
+      t.misses <- t.misses + 1;
+      None)
 
 let evict_lru (t : 'a t) =
   let victim =
@@ -70,13 +86,15 @@ let evict_lru (t : 'a t) =
   | None -> ()
 
 let add (t : 'a t) key value =
-  if t.capacity > 0 then begin
-    if (not (Hashtbl.mem t.tbl key)) && Hashtbl.length t.tbl >= t.capacity
-    then evict_lru t;
-    t.tick <- t.tick + 1;
-    Hashtbl.replace t.tbl key { value; last_used = t.tick }
-  end
+  if t.capacity > 0 then
+    locked t (fun () ->
+      if (not (Hashtbl.mem t.tbl key)) && Hashtbl.length t.tbl >= t.capacity
+      then evict_lru t;
+      t.tick <- t.tick + 1;
+      Hashtbl.replace t.tbl key { value; last_used = t.tick })
 
+(* The build runs outside the lock (see module comment): a concurrent
+   miss on the same key may build twice, last add wins. *)
 let find_or_add t key build =
   match find t key with
   | Some v -> v
@@ -86,11 +104,12 @@ let find_or_add t key build =
     v
 
 let stats (t : 'a t) =
-  { hits = t.hits;
-    misses = t.misses;
-    evictions = t.evictions;
-    size = Hashtbl.length t.tbl;
-    capacity = t.capacity }
+  locked t (fun () ->
+    { hits = t.hits;
+      misses = t.misses;
+      evictions = t.evictions;
+      size = Hashtbl.length t.tbl;
+      capacity = t.capacity })
 
 let pp_stats fmt s =
   Format.fprintf fmt "%d hits, %d misses, %d evictions, %d/%d entries"

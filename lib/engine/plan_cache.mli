@@ -4,8 +4,13 @@
     every insertion past capacity evicts the least recently used entry.
     Used by {!Engine} keyed on (normalized query, options fingerprint),
     but generic over the cached value. Capacity 0 disables insertion
-    (every lookup is a miss). Not thread-safe — one cache per serving
-    domain. *)
+    (every lookup is a miss).
+
+    Thread-safe: all operations take an internal mutex, so the query
+    server shares one cache across concurrent sessions. {!find_or_add}
+    builds outside the lock — two threads missing on the same key may
+    both build, and the later insertion wins (a duplicate compile, never
+    a wrong entry). *)
 
 type 'a t
 

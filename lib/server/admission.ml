@@ -1,0 +1,83 @@
+(* The bounded admission queue (see the interface). A plain
+   mutex+condition MPMC queue; the only subtlety is the drain contract:
+   draining refuses new work immediately but lets workers finish what was
+   already admitted, so [take] keeps returning jobs until the queue is
+   empty and only then reports exhaustion. *)
+
+type 'a t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  q : 'a Queue.t;
+  capacity : int;
+  mutable draining : bool;
+  mutable admitted : int;
+  mutable shed_full : int;
+  mutable shed_draining : int;
+}
+
+type stats = {
+  admitted : int;
+  shed_full : int;
+  shed_draining : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Admission.create: capacity must be > 0";
+  { mu = Mutex.create ();
+    nonempty = Condition.create ();
+    q = Queue.create ();
+    capacity;
+    draining = false;
+    admitted = 0;
+    shed_full = 0;
+    shed_draining = 0 }
+
+let[@inline] locked t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v -> Mutex.unlock t.mu; v
+  | exception e -> Mutex.unlock t.mu; raise e
+
+let submit t job =
+  locked t (fun () ->
+    if t.draining then begin
+      t.shed_draining <- t.shed_draining + 1;
+      `Draining
+    end
+    else if Queue.length t.q >= t.capacity then begin
+      t.shed_full <- t.shed_full + 1;
+      `Queue_full
+    end
+    else begin
+      Queue.push job t.q;
+      t.admitted <- t.admitted + 1;
+      Condition.signal t.nonempty;
+      `Admitted
+    end)
+
+let take t =
+  locked t (fun () ->
+    let rec wait () =
+      if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
+      else if t.draining then None
+      else begin
+        Condition.wait t.nonempty t.mu;
+        wait ()
+      end
+    in
+    wait ())
+
+let drain t =
+  locked t (fun () ->
+    t.draining <- true;
+    Condition.broadcast t.nonempty)
+
+let draining t = locked t (fun () -> t.draining)
+
+let depth t = locked t (fun () -> Queue.length t.q)
+
+let stats t =
+  locked t (fun () ->
+    { admitted = t.admitted;
+      shed_full = t.shed_full;
+      shed_draining = t.shed_draining })

@@ -1,0 +1,39 @@
+(** The bounded admission queue between connection readers and the worker
+    pool — the server's load-shedding point.
+
+    Admission is explicit and immediate: {!submit} either enqueues or
+    refuses right now ([`Queue_full] / [`Draining]); nothing ever blocks
+    a connection reader, so an overloaded server answers every request
+    promptly — with work or with a shed error — instead of letting the
+    queue (and client-perceived latency) grow without bound.
+
+    Draining ({!drain}) closes admission but keeps the queue's contents:
+    workers finish everything already admitted ({!take} only returns
+    [None] once draining {e and} empty), which is the graceful-shutdown
+    contract — no admitted request loses its response. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+
+val submit : 'a t -> 'a -> [ `Admitted | `Queue_full | `Draining ]
+
+(** Block until a job is available; [None] once the queue is draining and
+    empty (the worker's exit signal). *)
+val take : 'a t -> 'a option
+
+(** Stop admitting; wake every blocked {!take}. Idempotent. *)
+val drain : 'a t -> unit
+
+val draining : 'a t -> bool
+
+(** Current queue depth (admitted, not yet taken). *)
+val depth : 'a t -> int
+
+type stats = {
+  admitted : int;
+  shed_full : int;
+  shed_draining : int;
+}
+
+val stats : 'a t -> stats

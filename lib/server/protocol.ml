@@ -1,0 +1,223 @@
+(* The wire grammar of the query server (see the interface for the
+   request/response survey). Pure string processing: the server loop and
+   the clients (bench, fuzz loopback, tests) share this module, so a
+   framing bug cannot hide in one side's private copy. *)
+
+(* -------------------------------------------------------------- escaping *)
+
+let needs_escape ~item s =
+  let hit = ref false in
+  String.iter
+    (fun c ->
+       match c with
+       | '\\' | '\n' | '\r' -> hit := true
+       | ' ' when item -> hit := true
+       | _ -> ())
+    s;
+  !hit
+
+let escape_gen ~item s =
+  if not (needs_escape ~item s) then s
+  else begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+         match c with
+         | '\\' -> Buffer.add_string b "\\\\"
+         | '\n' -> Buffer.add_string b "\\n"
+         | '\r' -> Buffer.add_string b "\\r"
+         | ' ' when item -> Buffer.add_string b "\\s"
+         | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+
+let escape s = escape_gen ~item:false s
+let escape_item s = escape_gen ~item:true s
+
+(* Unescaping is shared: [\s] decodes to a space whether or not the field
+   was space-escaped on the way out — a non-item field never contains a
+   bare backslash followed by 's' unless it went through [escape], which
+   would have doubled the backslash. Unknown escapes decode to the
+   escaped character itself (lenient: framing only cares about \n/\r). *)
+let unescape s =
+  if not (String.contains s '\\') then s
+  else begin
+    let b = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      (if s.[!i] = '\\' && !i + 1 < n then begin
+         (match s.[!i + 1] with
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 's' -> Buffer.add_char b ' '
+          | c -> Buffer.add_char b c);
+         i := !i + 2
+       end
+       else begin
+         Buffer.add_char b s.[!i];
+         incr i
+       end)
+    done;
+    Buffer.contents b
+  end
+
+let unescape_item = unescape
+
+(* -------------------------------------------------------------- requests *)
+
+type request =
+  | Query of { itemized : bool; timeout_s : float option; text : string }
+  | Prepare of { name : string; text : string }
+  | Exec of { itemized : bool; timeout_s : float option; name : string }
+  | Load of { timeout_s : float option; uri : string; xml : string }
+  | Use of string
+  | Stats
+  | Ping
+  | Quit
+  | Sleep of { timeout_s : float option; ms : int }
+
+(* Split off the first space-delimited word; the rest (possibly empty)
+   keeps its internal spaces — last fields carry raw escaped payloads. *)
+let cut line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+    (String.sub line 0 i,
+     String.sub line (i + 1) (String.length line - i - 1))
+
+(* An optional leading [t=<ms>] field: the client's deadline wish. *)
+let parse_deadline rest =
+  let word, tail = cut rest in
+  if String.length word > 2 && String.sub word 0 2 = "t=" then
+    match
+      int_of_string_opt (String.sub word 2 (String.length word - 2))
+    with
+    | Some ms when ms >= 0 -> Ok (Some (float_of_int ms /. 1000.), tail)
+    | _ -> Error (Printf.sprintf "malformed deadline field %S" word)
+  else Ok (None, rest)
+
+let parse_request line =
+  let cmd, rest = cut line in
+  let with_deadline k =
+    Result.bind (parse_deadline rest) (fun (timeout_s, tail) ->
+        k timeout_s tail)
+  in
+  let nonempty what s k =
+    if s = "" then Error (Printf.sprintf "%s: missing %s" cmd what)
+    else k s
+  in
+  match cmd with
+  | "Q" | "QI" ->
+    with_deadline (fun timeout_s tail ->
+        nonempty "query text" tail (fun text ->
+            Ok
+              (Query
+                 { itemized = cmd = "QI";
+                   timeout_s;
+                   text = unescape text })))
+  | "P" ->
+    let name, text = cut rest in
+    nonempty "statement name" name (fun name ->
+        nonempty "query text" text (fun text ->
+            Ok (Prepare { name; text = unescape text })))
+  | "E" | "EI" ->
+    with_deadline (fun timeout_s tail ->
+        nonempty "statement name" tail (fun name ->
+            Ok (Exec { itemized = cmd = "EI"; timeout_s; name })))
+  | "L" ->
+    with_deadline (fun timeout_s tail ->
+        let uri, xml = cut tail in
+        nonempty "document uri" uri (fun uri ->
+            nonempty "document text" xml (fun xml ->
+                Ok (Load { timeout_s; uri; xml = unescape xml }))))
+  | "U" -> nonempty "store name" rest (fun s -> Ok (Use s))
+  | "STATS" -> Ok Stats
+  | "PING" -> Ok Ping
+  | "QUIT" -> Ok Quit
+  | "SLEEP" ->
+    with_deadline (fun timeout_s tail ->
+        match int_of_string_opt tail with
+        | Some ms when ms >= 0 -> Ok (Sleep { timeout_s; ms })
+        | _ -> Error "SLEEP: expected a millisecond count")
+  | "" -> Error "empty request"
+  | other -> Error (Printf.sprintf "unknown request %S" other)
+
+let render_deadline = function
+  | None -> ""
+  | Some s ->
+    Printf.sprintf "t=%d " (int_of_float (Float.ceil (s *. 1000.)))
+
+let render_request = function
+  | Query { itemized; timeout_s; text } ->
+    Printf.sprintf "%s %s%s"
+      (if itemized then "QI" else "Q")
+      (render_deadline timeout_s) (escape text)
+  | Prepare { name; text } -> Printf.sprintf "P %s %s" name (escape text)
+  | Exec { itemized; timeout_s; name } ->
+    Printf.sprintf "%s %s%s"
+      (if itemized then "EI" else "E")
+      (render_deadline timeout_s) name
+  | Load { timeout_s; uri; xml } ->
+    Printf.sprintf "L %s%s %s" (render_deadline timeout_s) uri (escape xml)
+  | Use s -> "U " ^ s
+  | Stats -> "STATS"
+  | Ping -> "PING"
+  | Quit -> "QUIT"
+  | Sleep { timeout_s; ms } ->
+    Printf.sprintf "SLEEP %s%d" (render_deadline timeout_s) ms
+
+(* ------------------------------------------------------------- responses *)
+
+let ok_payload ~n payload = Printf.sprintf "OK %d %s" n (escape payload)
+
+let ok_items items =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Printf.sprintf "OK %d" (List.length items));
+  List.iter
+    (fun it ->
+       Buffer.add_char b ' ';
+       Buffer.add_string b (escape_item it))
+    items;
+  Buffer.contents b
+
+let ok_unit = "OK 0"
+
+let err kind message =
+  Printf.sprintf "ERR %s %d %s" (Basis.Err.kind_label kind)
+    (Basis.Err.exit_code kind) (escape message)
+
+let pong = "PONG"
+let bye = "BYE"
+
+type response =
+  | Resp_ok of int * string
+  | Resp_err of { class_ : string; code : int; message : string }
+  | Resp_pong
+  | Resp_bye
+
+let parse_response line =
+  let cmd, rest = cut line in
+  match cmd with
+  | "OK" ->
+    let n, fields = cut rest in
+    (match int_of_string_opt n with
+     | Some n when n >= 0 -> Ok (Resp_ok (n, fields))
+     | _ -> Error (Printf.sprintf "malformed OK count %S" n))
+  | "ERR" ->
+    let class_, rest = cut rest in
+    let code, message = cut rest in
+    (match int_of_string_opt code with
+     | Some code ->
+       Ok (Resp_err { class_; code; message = unescape message })
+     | None -> Error (Printf.sprintf "malformed ERR code %S" code))
+  | "PONG" -> Ok Resp_pong
+  | "BYE" -> Ok Resp_bye
+  | other -> Error (Printf.sprintf "unknown response %S" other)
+
+let payload_of fields = unescape fields
+
+let items_of ~n fields =
+  if n = 0 then []
+  else List.map unescape_item (String.split_on_char ' ' fields)

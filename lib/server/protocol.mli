@@ -1,0 +1,89 @@
+(** The server's line-delimited wire protocol: parsing and rendering only
+    — no sockets, no sessions — so both sides (server loop, bench/fuzz
+    clients, tests) share one grammar.
+
+    One request per line, one response line per request. Payload fields
+    are escaped so a query or document never breaks line framing:
+    [\\ -> \\\\], [LF -> \n], [CR -> \r]; itemized response fields are
+    additionally space-escaped ([SP -> \s]) so a response line can carry
+    a list of items.
+
+    Requests:
+    {v
+    Q  [t=<ms>] <query>      evaluate; respond with the serialized result
+    QI [t=<ms>] <query>      evaluate; respond with per-item fields
+    P <name> <query>         prepare a named statement
+    E  [t=<ms>] <name>       execute a prepared statement (serialized)
+    EI [t=<ms>] <name>       execute a prepared statement (per-item)
+    L  [t=<ms>] <uri> <xml>  ingest into the session-private store
+    U <store>                switch store ("session" = private store)
+    STATS                    one line of k=v counters (never queued)
+    PING / QUIT              liveness / close
+    SLEEP [t=<ms>] <ms>      debug builds: hold a worker, poll the budget
+    v}
+    [t=<ms>] is the client deadline wish, clamped under the server
+    ceiling.
+
+    Responses:
+    {v
+    OK <n> <payload>            n items, one escaped payload field
+    OK <n> <item1> ... <itemn>  itemized (space-escaped fields)
+    ERR <class> <code> <message>
+    PONG / BYE
+    v}
+    [class] is the error taxonomy label ([dynamic] | [static] |
+    [resource] | [internal]) and [code] the matching CLI exit code —
+    the wire mirrors {!Basis.Err.exit_code} exactly. *)
+
+val escape : string -> string
+val unescape : string -> string
+
+(** Like {!escape}/{!unescape}, with [SP -> \s] as well. *)
+val escape_item : string -> string
+val unescape_item : string -> string
+
+type request =
+  | Query of { itemized : bool; timeout_s : float option; text : string }
+  | Prepare of { name : string; text : string }
+  | Exec of { itemized : bool; timeout_s : float option; name : string }
+  | Load of { timeout_s : float option; uri : string; xml : string }
+  | Use of string
+  | Stats
+  | Ping
+  | Quit
+  | Sleep of { timeout_s : float option; ms : int }
+
+val parse_request : string -> (request, string) result
+
+(** Render a request (client side). *)
+val render_request : request -> string
+
+(** [OK <n> <payload>] *)
+val ok_payload : n:int -> string -> string
+
+(** [OK <n> <item1> ... <itemn>] *)
+val ok_items : string list -> string
+
+(** [OK 0] — acknowledgement with no payload. *)
+val ok_unit : string
+
+val err : Basis.Err.kind -> string -> string
+val pong : string
+val bye : string
+
+type response =
+  | Resp_ok of int * string
+      (** item count and the raw (still escaped) field text after it —
+          {!payload_of} or {!items_of} decode it, per what was asked *)
+  | Resp_err of { class_ : string; code : int; message : string }
+  | Resp_pong
+  | Resp_bye
+
+val parse_response : string -> (response, string) result
+
+(** Decode a [Resp_ok] field text as the single serialized payload. *)
+val payload_of : string -> string
+
+(** Decode a [Resp_ok] field text as itemized fields. [n] disambiguates
+    the empty payload (0 items) from one empty item. *)
+val items_of : n:int -> string -> string list

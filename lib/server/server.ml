@@ -1,0 +1,454 @@
+(* The concurrent query server. Threading model:
+
+   - one ACCEPTOR thread selects on the listen socket (with a timeout, so
+     it can observe the stopping flag without being woken);
+   - one READER thread per connection: parses requests, answers the cheap
+     ones inline (PING/STATS/U/P/QUIT — these must keep working on a
+     saturated server), and submits the rest to the admission queue. A
+     reader never executes a query, so a client can neither occupy a
+     worker by dribbling bytes nor dodge admission control;
+   - a fixed pool of WORKER threads consuming the queue, executing
+     through Session (which clamps budgets and arms per-request
+     cancellation switches) and writing the response to the client under
+     the connection's write lock;
+   - one TICKER thread sampling domain-pool contention for the overload
+     watchdog; while degraded, workers run queries with jobs = 1.
+
+   All server threads are systhreads: they interleave under the runtime
+   lock, which is exactly right for a workload of parsing lines and
+   blocking on sockets, while the actual data parallelism (morsel
+   execution inside one query) fans out over the domain pool. The
+   watchdog closes the loop between the two layers: the domain pool
+   serves one parallel query at a time and concurrent submitters degrade
+   to inline serial execution, bumping Pool.contended — sustained growth
+   of that counter is the signal that fan-out no longer pays, and the
+   server stops requesting it.
+
+   Shutdown (stop) drains: admission closes immediately (shed with the
+   "draining" resource error), workers finish everything already admitted
+   — past the grace deadline their budgets are cancelled instead, which
+   unwinds them through the ordinary Resource_error path — and every
+   admitted response is flushed before the sockets are shut down. *)
+
+(* re-exports: the library is wrapped with this module at its root, so
+   these are the public paths of the server's parts *)
+module Protocol = Protocol
+module Session = Session
+module Admission = Admission
+module Watchdog = Watchdog
+
+module Budget = Basis.Budget
+module Err = Basis.Err
+
+type config = {
+  host : string;
+  port : int;
+  stores : (string * Xmldb.Doc_store.t) list;
+  ceiling : Budget.spec;
+  opts : Engine.opts;
+  workers : int;
+  queue_capacity : int;
+  client_cap : int;
+  cache_capacity : int;
+  debug : bool;
+  wd_threshold : int;
+  wd_degrade_after : int;
+  wd_recover_after : int;
+  tick_s : float;
+}
+
+let config ?(host = "127.0.0.1") ?(port = 0)
+    ?(ceiling = Budget.limits ~timeout_s:10. ()) ?(opts = Engine.default_opts)
+    ?(workers = 4) ?(queue_capacity = 64) ?(client_cap = 4)
+    ?(cache_capacity = 128) ?(debug = false) ?(wd_threshold = 4)
+    ?(wd_degrade_after = 3) ?(wd_recover_after = 5) ?(tick_s = 0.1) ~stores
+    () =
+  { host; port; stores; ceiling; opts; workers; queue_capacity; client_cap;
+    cache_capacity; debug; wd_threshold; wd_degrade_after; wd_recover_after;
+    tick_s }
+
+type conn = {
+  conn_id : int;
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  write_mu : Mutex.t;
+  session : Session.t;
+  inflight : int Atomic.t;   (* admitted-but-unfinished requests *)
+  alive : bool Atomic.t;     (* false once the client is gone *)
+  mutable closed : bool;     (* under write_mu: fd actually closed *)
+}
+
+type job = { jconn : conn; jreq : Protocol.request }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  registry : Session.Registry.t;
+  default_store : string;
+  cache : Engine.cache;
+  queue : job Admission.t;
+  wd : Watchdog.t;           (* observed by the ticker thread only *)
+  degraded : bool Atomic.t;  (* the watchdog verdict, read by workers *)
+  stopping : bool Atomic.t;
+  stopped : bool Atomic.t;
+  executing : int Atomic.t;  (* jobs currently inside a worker *)
+  completed : int Atomic.t;
+  shed_cap : int Atomic.t;
+  active_workers : int Atomic.t;
+  next_conn_id : int Atomic.t;
+  conns_mu : Mutex.t;
+  mutable conns : conn list;
+  mutable readers : Thread.t list;    (* under conns_mu *)
+  mutable workers_t : Thread.t list;
+  mutable acceptor_t : Thread.t option;
+  mutable ticker_t : Thread.t option;
+  mutable last_contended : int;       (* ticker-private *)
+}
+
+(* ------------------------------------------------------------ responses *)
+
+(* Writes go through the connection's write lock: several workers (and
+   the reader) may answer one client, and a torn line would desynchronize
+   the whole response stream. A write failure just marks the client gone;
+   readers and workers check [alive] and move on. *)
+let send conn line =
+  Mutex.lock conn.write_mu;
+  (if not conn.closed then
+     try
+       output_string conn.oc line;
+       output_char conn.oc '\n';
+       flush conn.oc
+     with Sys_error _ -> Atomic.set conn.alive false);
+  Mutex.unlock conn.write_mu
+
+let close_conn conn =
+  Mutex.lock conn.write_mu;
+  (if not conn.closed then begin
+     conn.closed <- true;
+     (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+   end);
+  Mutex.unlock conn.write_mu
+
+let send_error conn (e : Engine.error) =
+  send conn (Protocol.err e.Engine.kind e.Engine.message)
+
+let shed conn message =
+  send conn (Protocol.err Err.Resource message)
+
+(* --------------------------------------------------------------- stats *)
+
+let stats t =
+  let q = Admission.stats t.queue in
+  let c = Engine.cache_stats t.cache in
+  let conns = Mutex.protect t.conns_mu (fun () -> List.length t.conns) in
+  [ ("state",
+     if Atomic.get t.degraded then "degraded"
+     else if Atomic.get t.stopping then "draining"
+     else "normal");
+    ("conns", string_of_int conns);
+    ("queue_depth", string_of_int (Admission.depth t.queue));
+    ("executing", string_of_int (Atomic.get t.executing));
+    ("admitted", string_of_int q.Admission.admitted);
+    ("completed", string_of_int (Atomic.get t.completed));
+    ("shed_full", string_of_int q.Admission.shed_full);
+    ("shed_cap", string_of_int (Atomic.get t.shed_cap));
+    ("shed_draining", string_of_int q.Admission.shed_draining);
+    ("degradations", string_of_int (Watchdog.degradations t.wd));
+    ("pool_contended", string_of_int (Basis.Pool.contended (Basis.Pool.get ())));
+    ("cache_hits", string_of_int c.Engine.Plan_cache.hits);
+    ("cache_misses", string_of_int c.Engine.Plan_cache.misses);
+    ("cache_evictions", string_of_int c.Engine.Plan_cache.evictions) ]
+
+let stats_payload t conn =
+  let kvs = stats t @ [ ("store", Session.current_store conn.session) ] in
+  String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+
+(* -------------------------------------------------------------- workers *)
+
+(* Run one admitted job; returns the response line to write, or [None]
+   when the client vanished while the job sat in the queue (its response
+   has no reader, and the session's switches were already tripped). *)
+let execute t job =
+  let conn = job.jconn in
+  if not (Atomic.get conn.alive) then None
+  else begin
+    let jobs = if Atomic.get t.degraded then Some 1 else None in
+    let reply_ok ~itemized (r : Session.reply) =
+      if itemized then Protocol.ok_items r.Session.items
+      else Protocol.ok_payload ~n:r.Session.n r.Session.serialized
+    in
+    Some
+      (match
+         match job.jreq with
+         | Protocol.Query { itemized; timeout_s; text } ->
+           Result.map (reply_ok ~itemized)
+             (Session.query ?timeout_s ?jobs conn.session text)
+         | Protocol.Exec { itemized; timeout_s; name } ->
+           Result.map (reply_ok ~itemized)
+             (Session.exec ?timeout_s ?jobs conn.session name)
+         | Protocol.Load { timeout_s; uri; xml } ->
+           Result.map
+             (fun () -> Protocol.ok_unit)
+             (Session.load ?timeout_s conn.session ~uri xml)
+         | Protocol.Sleep { timeout_s; ms } ->
+           Result.map
+             (fun () -> Protocol.ok_unit)
+             (Session.sleep ?timeout_s conn.session ~ms)
+         | Protocol.Prepare _ | Protocol.Use _ | Protocol.Stats
+         | Protocol.Ping | Protocol.Quit ->
+           (* inline requests never reach the queue *)
+           Error
+             { Engine.kind = Err.Internal; message = "request not admissible" }
+       with
+       | Ok line -> line
+       | Error e -> Protocol.err e.Engine.kind e.Engine.message
+       | exception e ->
+         (* a worker must survive anything a request throws at it *)
+         Protocol.err Err.Internal
+           ("unclassified server error: " ^ Printexc.to_string e))
+  end
+
+let rec worker_loop t =
+  match Admission.take t.queue with
+  | None -> ()  (* draining and empty: done *)
+  | Some job ->
+    Atomic.incr t.executing;
+    let resp = execute t job in
+    (* free the client's slots before the response hits the wire: a
+       client reacting to its response immediately must not be shed by
+       a cap counter we have not decremented yet *)
+    Atomic.decr t.executing;
+    Atomic.decr job.jconn.inflight;
+    Atomic.incr t.completed;
+    Option.iter (send job.jconn) resp;
+    worker_loop t
+
+(* -------------------------------------------------------------- readers *)
+
+let disconnect t conn =
+  Atomic.set conn.alive false;
+  (* cooperative cancellation: whatever this client had in flight stops
+     at its next budget check instead of running to completion for a
+     reader that no longer exists *)
+  Session.cancel_inflight conn.session;
+  close_conn conn;
+  Mutex.protect t.conns_mu (fun () ->
+    t.conns <- List.filter (fun c -> c.conn_id <> conn.conn_id) t.conns)
+
+let admit t conn req =
+  if Atomic.get conn.inflight >= t.cfg.client_cap then begin
+    Atomic.incr t.shed_cap;
+    shed conn
+      (Printf.sprintf "per-client concurrency cap reached (limit %d in flight)"
+         t.cfg.client_cap)
+  end
+  else begin
+    (* the reader is the only thread that increments, so cap-check +
+       increment cannot race with itself; workers only decrement *)
+    Atomic.incr conn.inflight;
+    match Admission.submit t.queue { jconn = conn; jreq = req } with
+    | `Admitted -> ()
+    | `Queue_full ->
+      Atomic.decr conn.inflight;
+      shed conn
+        (Printf.sprintf "server overloaded: admission queue full (capacity %d)"
+           t.cfg.queue_capacity)
+    | `Draining ->
+      Atomic.decr conn.inflight;
+      shed conn "server draining: not admitting new work"
+  end
+
+let handle t conn line =
+  match Protocol.parse_request line with
+  | Error msg -> send conn (Protocol.err Err.Static ("protocol error: " ^ msg))
+  | Ok Protocol.Ping -> send conn Protocol.pong
+  | Ok Protocol.Quit ->
+    send conn Protocol.bye;
+    Atomic.set conn.alive false
+  | Ok Protocol.Stats ->
+    send conn (Protocol.ok_payload ~n:1 (stats_payload t conn))
+  | Ok (Protocol.Use name) ->
+    let sel = if name = "session" then `Private else `Shared name in
+    (match Session.use conn.session sel with
+     | Ok () -> send conn Protocol.ok_unit
+     | Error msg -> send conn (Protocol.err Err.Dynamic msg))
+  | Ok (Protocol.Prepare { name; text }) ->
+    (match Session.prepare conn.session ~name text with
+     | Ok () -> send conn Protocol.ok_unit
+     | Error e -> send_error conn e)
+  | Ok (Protocol.Sleep _) when not t.cfg.debug ->
+    send conn (Protocol.err Err.Static "SLEEP requires --debug")
+  | Ok ((Protocol.Query _ | Protocol.Exec _ | Protocol.Load _
+        | Protocol.Sleep _) as req) ->
+    admit t conn req
+
+(* Accept both LF and CRLF framing. *)
+let chomp_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let rec reader_loop t conn =
+  match input_line conn.ic with
+  | exception (End_of_file | Sys_error _) -> disconnect t conn
+  | line ->
+    handle t conn (chomp_cr line);
+    if Atomic.get conn.alive then reader_loop t conn
+    else disconnect t conn
+
+(* ------------------------------------------------------------- acceptor *)
+
+let spawn_conn t fd =
+  let session =
+    match
+      Session.create ~cache:t.cache ~ceiling:t.cfg.ceiling ~opts:t.cfg.opts
+        ~registry:t.registry ~store:t.default_store ()
+    with
+    | Ok s -> s
+    | Error msg -> Err.internal "session on registered store: %s" msg
+  in
+  let conn =
+    { conn_id = Atomic.fetch_and_add t.next_conn_id 1;
+      fd;
+      ic = Unix.in_channel_of_descr fd;
+      oc = Unix.out_channel_of_descr fd;
+      write_mu = Mutex.create ();
+      session;
+      inflight = Atomic.make 0;
+      alive = Atomic.make true;
+      closed = false }
+  in
+  let th = Thread.create (fun () -> reader_loop t conn) () in
+  Mutex.protect t.conns_mu (fun () ->
+    t.conns <- conn :: t.conns;
+    t.readers <- th :: t.readers)
+
+let rec acceptor_loop t =
+  if not (Atomic.get t.stopping) then begin
+    (match Unix.select [ t.listen_fd ] [] [] 0.1 with
+     | [], _, _ -> ()
+     | _ ->
+       (match Unix.accept t.listen_fd with
+        | fd, _ -> spawn_conn t fd
+        | exception Unix.Unix_error _ -> ())
+     | exception Unix.Unix_error _ -> ());
+    acceptor_loop t
+  end
+
+(* -------------------------------------------------------------- watchdog *)
+
+let rec ticker_loop t =
+  if not (Atomic.get t.stopping) then begin
+    Thread.delay t.cfg.tick_s;
+    let total = Basis.Pool.contended (Basis.Pool.get ()) in
+    let delta = total - t.last_contended in
+    t.last_contended <- total;
+    let st = Watchdog.observe t.wd delta in
+    Atomic.set t.degraded (st = Watchdog.Degraded);
+    ticker_loop t
+  end
+
+(* ------------------------------------------------------------ lifecycle *)
+
+let start cfg =
+  if cfg.stores = [] then invalid_arg "Server.start: no stores";
+  (* a worker writing to a freshly disconnected client must get EPIPE as
+     an exception (caught in [send]), not a process-killing signal *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let registry = Session.Registry.create () in
+  List.iter
+    (fun (name, store) -> Session.Registry.add registry ~name store)
+    cfg.stores;
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  (try
+     Unix.bind listen_fd
+       (Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port));
+     Unix.listen listen_fd 64
+   with e -> (try Unix.close listen_fd with _ -> ()); raise e);
+  let bound_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  let t =
+    { cfg;
+      listen_fd;
+      bound_port;
+      registry;
+      default_store = fst (List.hd cfg.stores);
+      cache = Engine.create_cache ~capacity:cfg.cache_capacity ();
+      queue = Admission.create ~capacity:cfg.queue_capacity;
+      wd =
+        Watchdog.create ~threshold:cfg.wd_threshold
+          ~degrade_after:cfg.wd_degrade_after
+          ~recover_after:cfg.wd_recover_after ();
+      degraded = Atomic.make false;
+      stopping = Atomic.make false;
+      stopped = Atomic.make false;
+      executing = Atomic.make 0;
+      completed = Atomic.make 0;
+      shed_cap = Atomic.make 0;
+      active_workers = Atomic.make 0;
+      next_conn_id = Atomic.make 0;
+      conns_mu = Mutex.create ();
+      conns = [];
+      readers = [];
+      workers_t = [];
+      acceptor_t = None;
+      ticker_t = None;
+      last_contended = Basis.Pool.contended (Basis.Pool.get ()) }
+  in
+  t.workers_t <-
+    List.init (max 1 cfg.workers) (fun _ ->
+        Atomic.incr t.active_workers;
+        Thread.create
+          (fun () ->
+             Fun.protect
+               ~finally:(fun () -> Atomic.decr t.active_workers)
+               (fun () -> worker_loop t))
+          ());
+  t.acceptor_t <- Some (Thread.create (fun () -> acceptor_loop t) ());
+  t.ticker_t <- Some (Thread.create (fun () -> ticker_loop t) ());
+  t
+
+let port t = t.bound_port
+
+let stop ?(grace_s = 5.) t =
+  if not (Atomic.exchange t.stopped true) then begin
+    Atomic.set t.stopping true;
+    (* 1. close admission: everything new is shed with the draining
+       error, workers keep consuming what was already admitted *)
+    Admission.drain t.queue;
+    (* 2. wait for in-flight work — past the grace deadline, cancel it:
+       every session switch flips, and the stragglers unwind through
+       Resource_error with their (error) responses still delivered *)
+    let deadline = Basis.Clock.now () +. Float.max 0. grace_s in
+    let cancelled = ref false in
+    while Atomic.get t.active_workers > 0 do
+      if (not !cancelled) && Basis.Clock.now () >= deadline then begin
+        cancelled := true;
+        Mutex.protect t.conns_mu (fun () -> t.conns)
+        |> List.iter (fun c -> Session.cancel_inflight c.session)
+      end;
+      Thread.delay 0.01
+    done;
+    List.iter Thread.join t.workers_t;
+    (* 3. all admitted responses are flushed; now take the listener and
+       the client sockets down (shutdown wakes readers blocked in
+       input_line) and join every remaining thread *)
+    Option.iter Thread.join t.acceptor_t;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    let conns, readers =
+      Mutex.protect t.conns_mu (fun () -> (t.conns, t.readers))
+    in
+    List.iter
+      (fun c ->
+         try Unix.shutdown c.fd Unix.SHUTDOWN_ALL
+         with Unix.Unix_error _ -> ())
+      conns;
+    List.iter Thread.join readers;
+    Option.iter Thread.join t.ticker_t
+  end

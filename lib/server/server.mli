@@ -1,0 +1,87 @@
+(** The concurrent query server: line-delimited TCP ({!Protocol}) over
+    persistently loaded document stores ({!Session.Registry}), built for
+    predictable behaviour under overload.
+
+    The request pipeline is {b admission → budget → shed/degrade}:
+
+    - connection readers never execute queries; they parse a request and
+      {!Admission.submit} it to a bounded queue consumed by a fixed pool
+      of worker threads. When the queue is full, or the client already
+      has its per-client cap in flight, or the server is draining, the
+      request is refused {e immediately} with a wire-level
+      [ERR resource 3 ...] — load is shed, never silently buffered;
+    - every admitted request runs under a fresh budget guard: the
+      client's deadline wish clamped below the server ceiling
+      ({!Basis.Budget.clamp}), plus a cancellation switch that the
+      reader trips when the client disconnects mid-query;
+    - a watchdog thread samples domain-pool contention
+      ({!Basis.Pool.contended}) and, on sustained contention, degrades
+      query execution to [jobs = 1] ({!Watchdog}) — concurrent queries
+      stop fighting over the morsel pool and run serially-parallel
+      instead.
+
+    {!stop} is the graceful drain: admission closes (new work is shed
+    with the [draining] error), workers finish everything already
+    admitted — past [grace_s] their budgets are cancelled instead — and
+    every in-flight response is flushed before sockets close. After
+    {!stop} returns no server thread is left running.
+
+    Cheap protocol work (PING, STATS, U, P, QUIT) is answered inline by
+    the reader, off-admission, so health checks and test synchronization
+    still work on a saturated server. *)
+
+(** The server's parts, re-exported (the library is wrapped with this
+    module at its root): the wire grammar, the session/prepared-statement
+    layer, the bounded admission queue, and the overload watchdog. *)
+module Protocol : module type of Protocol
+
+module Session : module type of Session
+module Admission : module type of Admission
+module Watchdog : module type of Watchdog
+
+type config = {
+  host : string;
+  port : int;                     (** 0 picks an ephemeral port *)
+  stores : (string * Xmldb.Doc_store.t) list;
+      (** preloaded shared stores; the first is every session's initial
+          store. Must be non-empty. *)
+  ceiling : Basis.Budget.spec;    (** per-request budget ceiling *)
+  opts : Engine.opts;             (** engine configuration for all runs *)
+  workers : int;                  (** executing worker threads *)
+  queue_capacity : int;           (** admission queue bound *)
+  client_cap : int;               (** per-client in-flight cap *)
+  cache_capacity : int;           (** shared prepared-plan cache *)
+  debug : bool;                   (** enable the SLEEP test request *)
+  wd_threshold : int;             (** watchdog: hot-tick contention delta *)
+  wd_degrade_after : int;         (** hot ticks before degrading *)
+  wd_recover_after : int;         (** calm ticks before recovering *)
+  tick_s : float;                 (** watchdog sampling period *)
+}
+
+(** Defaults: 4 workers, queue 64, client cap 4, cache 128, 10s ceiling,
+    watchdog 4/3/5 at 100ms ticks, [debug = false]. *)
+val config :
+  ?host:string -> ?port:int -> ?ceiling:Basis.Budget.spec ->
+  ?opts:Engine.opts -> ?workers:int -> ?queue_capacity:int ->
+  ?client_cap:int -> ?cache_capacity:int -> ?debug:bool ->
+  ?wd_threshold:int -> ?wd_degrade_after:int -> ?wd_recover_after:int ->
+  ?tick_s:float -> stores:(string * Xmldb.Doc_store.t) list -> unit ->
+  config
+
+type t
+
+(** Bind, listen, and spawn the acceptor, workers and watchdog. Raises
+    [Invalid_argument] on an empty store list; socket errors propagate
+    as [Unix.Unix_error]. *)
+val start : config -> t
+
+(** The bound port (useful with [port = 0]). *)
+val port : t -> int
+
+(** Graceful drain (idempotent): stop admitting, finish — or after
+    [grace_s] (default 5s) budget-cancel — in-flight work, flush every
+    admitted response, close sockets, join every thread. *)
+val stop : ?grace_s:float -> t -> unit
+
+(** The STATS counters, as the wire reports them. *)
+val stats : t -> (string * string) list

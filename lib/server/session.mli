@@ -1,0 +1,105 @@
+(** Sessions and the shared-store registry: the engine-side substrate of
+    the query server, independent of any wire protocol.
+
+    A {!Registry.t} names the stores loaded at server start; sessions
+    evaluate against one of them at a time (or against a session-private
+    store populated by {!load}). Each shared store carries a
+    reader-writer lock: queries whose plans cannot construct nodes share
+    the store, queries that may append fragments get exclusivity (see
+    {!Engine.constructs_nodes}).
+
+    A session owns:
+    - its current store selection ({!use});
+    - a lazily created private store for ingested documents;
+    - named prepared statements ({!prepare} / {!exec}) backed by the
+      server-wide prepared-plan cache, so two sessions preparing the same
+      query share one compile;
+    - the cancellation switches of its in-flight requests
+      ({!cancel_inflight}), flipped by the server when the client
+      disconnects mid-query.
+
+    Every request budget is clamped under the server [ceiling]
+    ({!Basis.Budget.clamp}): a client may tighten its own deadline, never
+    widen the server's. *)
+
+module Registry : sig
+  type t
+
+  val create : unit -> t
+
+  (** Register a store under a name. Last registration wins. *)
+  val add : t -> name:string -> Xmldb.Doc_store.t -> unit
+
+  val mem : t -> string -> bool
+
+  (** Registration order. *)
+  val names : t -> string list
+end
+
+type t
+
+(** [create ~registry ~store ()] opens a session on the named shared
+    store. [ceiling] caps every request budget; [opts] is the engine
+    configuration (the per-request [jobs] override in {!query} patches
+    it); [cache] is the shared prepared-plan cache. Returns [Error] when
+    [store] is not registered. *)
+val create :
+  ?cache:Engine.cache -> ?ceiling:Basis.Budget.spec -> ?opts:Engine.opts ->
+  registry:Registry.t -> store:string -> unit -> (t, string) result
+
+(** Switch the current store: [`Shared name] (must be registered) or
+    [`Private] (the session's own store, created on first use). *)
+val use : t -> [ `Shared of string | `Private ] -> (unit, string) result
+
+(** The current selection, for STATS lines. *)
+val current_store : t -> string
+
+(** A request's outcome: per-item serializations (what differential
+    tooling compares), the whole-sequence serialization (what [Q]
+    returns), and the degradation notice when the interpreter fallback
+    answered. *)
+type reply = {
+  items : string list;
+  serialized : string;
+  n : int;
+  degraded : string option;
+}
+
+(** Evaluate query text under the session's current store and a fresh
+    clamped budget. [timeout_s] is the client's deadline wish;
+    [jobs] overrides the engine parallelism (the overload watchdog
+    degrades it to 1). All classified failures come back as [Error];
+    unclassified exceptions escape (server maps them to internal). *)
+val query :
+  ?timeout_s:float -> ?jobs:int -> t -> string ->
+  (reply, Engine.error) result
+
+(** Name a query text for later {!exec}. Compiles eagerly (through the
+    shared plan cache), so static errors surface at prepare time. *)
+val prepare : t -> name:string -> string -> (unit, Engine.error) result
+
+(** Run a prepared statement; dynamic error when the name is unknown. *)
+val exec :
+  ?timeout_s:float -> ?jobs:int -> t -> string ->
+  (reply, Engine.error) result
+
+(** Parse [xml] into the session-private store and register it under
+    [uri] (so [fn:doc(uri)] finds it once the session switches to
+    [`Private]). Runs under the same clamped budget as queries — ingest
+    of a hostile payload trips [Resource_error], and an abandoned parse
+    publishes nothing. *)
+val load :
+  ?timeout_s:float -> t -> uri:string -> string ->
+  (unit, Engine.error) result
+
+(** Debug work simulator (the wire's [SLEEP], admitted like a query):
+    hold the calling worker for [ms] milliseconds under the session's
+    clamped budget, polling the guard every ~2ms — so deadlines trip it
+    and a disconnect cancels it, deterministically. *)
+val sleep :
+  ?timeout_s:float -> t -> ms:int -> (unit, Engine.error) result
+
+(** Flip the cancellation switches of all in-flight requests, if any:
+    their next budget checks raise [Resource_error]. Safe from any
+    thread. *)
+val cancel_inflight : t -> unit

@@ -1,0 +1,53 @@
+(* The overload watchdog — a pure hysteresis machine over pool-contention
+   deltas (see the interface for the full story). Kept free of threads
+   and clocks on purpose: the server owns the sampling cadence, tests
+   drive it with synthetic deltas, and the transition logic stays
+   exhaustively checkable. *)
+
+type state = Normal | Degraded
+
+type t = {
+  threshold : int;      (* a tick is "hot" when delta >= threshold *)
+  degrade_after : int;  (* consecutive hot ticks before degrading *)
+  recover_after : int;  (* consecutive calm ticks before recovering *)
+  mutable st : state;
+  mutable streak : int; (* consecutive ticks agreeing with a flip *)
+  mutable degradations : int;
+}
+
+let create ?(threshold = 4) ?(degrade_after = 3) ?(recover_after = 5) () =
+  if threshold <= 0 || degrade_after <= 0 || recover_after <= 0 then
+    invalid_arg "Watchdog.create: parameters must be positive";
+  { threshold;
+    degrade_after;
+    recover_after;
+    st = Normal;
+    streak = 0;
+    degradations = 0 }
+
+let observe t delta =
+  let hot = delta >= t.threshold in
+  (match t.st with
+   | Normal ->
+     if hot then begin
+       t.streak <- t.streak + 1;
+       if t.streak >= t.degrade_after then begin
+         t.st <- Degraded;
+         t.streak <- 0;
+         t.degradations <- t.degradations + 1
+       end
+     end
+     else t.streak <- 0
+   | Degraded ->
+     if hot then t.streak <- 0
+     else begin
+       t.streak <- t.streak + 1;
+       if t.streak >= t.recover_after then begin
+         t.st <- Normal;
+         t.streak <- 0
+       end
+     end);
+  t.st
+
+let state t = t.st
+let degradations t = t.degradations

@@ -1,0 +1,37 @@
+(** The overload watchdog: a pure state machine that decides when to
+    degrade intra-query parallelism to serial execution.
+
+    The domain pool serves one morsel-parallel query at a time; every
+    concurrent submission degrades itself to inline serial execution and
+    bumps the pool's {!Basis.Pool.contended} counter. Under light load
+    that counter barely moves; under sustained concurrency it climbs
+    every tick. The server samples the counter periodically and feeds
+    the per-tick delta to {!observe}:
+
+    - [degrade_after] consecutive ticks with [delta >= threshold] switch
+      the state to [Degraded] — the server then runs queries with
+      [jobs = 1], so no query pays the fan-out cost only to lose the
+      pool lottery;
+    - [recover_after] consecutive calm ticks ([delta < threshold])
+      switch back to [Normal].
+
+    Pure and synchronous: no threads, no clocks — the caller owns the
+    sampling cadence, and tests drive it with synthetic deltas. *)
+
+type state = Normal | Degraded
+
+type t
+
+(** Defaults: [threshold = 4], [degrade_after = 3], [recover_after = 5].
+    All must be positive. *)
+val create :
+  ?threshold:int -> ?degrade_after:int -> ?recover_after:int -> unit -> t
+
+(** Feed one sampling tick's contention delta; returns the state after
+    the tick. *)
+val observe : t -> int -> state
+
+val state : t -> state
+
+(** How many [Normal -> Degraded] transitions have happened. *)
+val degradations : t -> int

@@ -32,6 +32,13 @@ type frag = {
 }
 
 type t = {
+  mu : Mutex.t;
+      (* guards frags appends, the documents list, and name_counts; the
+         pools carry their own locks. Readers of already-published
+         fragments do not take it — fragments are immutable once pushed,
+         and cross-thread visibility of the push itself is the lock's
+         job on the writing side (server-level store locks keep whole
+         queries from racing a concurrent append). *)
   name_pool : Qname_pool.t;
   text_pool : String_pool.t;
   frags : frag Vec.t;
@@ -46,6 +53,7 @@ let empty_frag = {
 }
 
 let create () = {
+  mu = Mutex.create ();
   name_pool = Qname_pool.create ();
   text_pool = String_pool.create ();
   frags = Vec.create empty_frag;
@@ -53,6 +61,12 @@ let create () = {
   name_counts = Hashtbl.create 64;
   counted_frags = 0;
 }
+
+let[@inline] locked t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v -> Mutex.unlock t.mu; v
+  | exception e -> Mutex.unlock t.mu; raise e
 
 let n_frags t = Vec.length t.frags
 let frag t i = Vec.get t.frags i
@@ -110,11 +124,11 @@ let string_value t (n : Node_id.t) =
 (* -- documents ----------------------------------------------------------- *)
 
 let register_document t uri root =
-  t.documents <- (uri, root) :: t.documents
+  locked t (fun () -> t.documents <- (uri, root) :: t.documents)
 
-let find_document t uri = List.assoc_opt uri t.documents
+let find_document t uri = locked t (fun () -> List.assoc_opt uri t.documents)
 
-let documents t = List.rev t.documents
+let documents t = locked t (fun () -> List.rev t.documents)
 
 (* -- builder ------------------------------------------------------------- *)
 
@@ -285,8 +299,12 @@ module Builder = struct
       levels = Vec.to_array b.levels;
       parents = Vec.to_array b.parents;
     } in
-    let fid = Vec.length b.store.frags in
-    Vec.push b.store.frags f;
+    let fid =
+      locked b.store (fun () ->
+        let fid = Vec.length b.store.frags in
+        Vec.push b.store.frags f;
+        fid)
+    in
     let roots = Vec.create (-1) in
     let p = ref 0 in
     while !p < Array.length f.kinds do
@@ -306,16 +324,19 @@ let total_nodes t =
    once finished, so only the frags appended since the last query need a
    scan. Used to seed the optimizer's cardinality estimates. *)
 let name_occurrences t q =
-  for fid = t.counted_frags to n_frags t - 1 do
-    let f = frag t fid in
-    Array.iter
-      (fun id ->
-         if id >= 0 then
-           Hashtbl.replace t.name_counts id
-             (1 + Option.value ~default:0 (Hashtbl.find_opt t.name_counts id)))
-      f.names
-  done;
-  t.counted_frags <- n_frags t;
-  match Qname_pool.find_opt t.name_pool q with
-  | None -> 0
-  | Some id -> Option.value ~default:0 (Hashtbl.find_opt t.name_counts id)
+  let qid = Qname_pool.find_opt t.name_pool q in
+  locked t (fun () ->
+    for fid = t.counted_frags to n_frags t - 1 do
+      let f = frag t fid in
+      Array.iter
+        (fun id ->
+           if id >= 0 then
+             Hashtbl.replace t.name_counts id
+               (1 + Option.value ~default:0
+                      (Hashtbl.find_opt t.name_counts id)))
+        f.names
+    done;
+    t.counted_frags <- n_frags t;
+    match qid with
+    | None -> 0
+    | Some id -> Option.value ~default:0 (Hashtbl.find_opt t.name_counts id))

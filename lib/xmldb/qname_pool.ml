@@ -1,25 +1,37 @@
-(* Interning of qualified names, mirroring String_pool for QNames. *)
+(* Interning of qualified names, mirroring String_pool for QNames —
+   including the internal mutex: the query server shares one store across
+   concurrent sessions, and name interning happens during evaluation
+   (constructors, name tests on computed names), not just at load time. *)
 
 type t = {
+  mu : Mutex.t;
   table : (Qname.t, int) Hashtbl.t;
   qnames : Qname.t Basis.Vec.t;
 }
 
 let create () =
-  { table = Hashtbl.create 64;
+  { mu = Mutex.create ();
+    table = Hashtbl.create 64;
     qnames = Basis.Vec.create (Qname.make "") }
 
+let[@inline] locked t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v -> Mutex.unlock t.mu; v
+  | exception e -> Mutex.unlock t.mu; raise e
+
 let intern t q =
-  match Hashtbl.find_opt t.table q with
-  | Some id -> id
-  | None ->
-    let id = Basis.Vec.length t.qnames in
-    Basis.Vec.push t.qnames q;
-    Hashtbl.add t.table q id;
-    id
+  locked t (fun () ->
+    match Hashtbl.find_opt t.table q with
+    | Some id -> id
+    | None ->
+      let id = Basis.Vec.length t.qnames in
+      Basis.Vec.push t.qnames q;
+      Hashtbl.add t.table q id;
+      id)
 
-let find_opt t q = Hashtbl.find_opt t.table q
+let find_opt t q = locked t (fun () -> Hashtbl.find_opt t.table q)
 
-let get t id = Basis.Vec.get t.qnames id
+let get t id = locked t (fun () -> Basis.Vec.get t.qnames id)
 
-let size t = Basis.Vec.length t.qnames
+let size t = locked t (fun () -> Basis.Vec.length t.qnames)

@@ -17,7 +17,16 @@ type state = {
   mutable pos : int;
   builder : Doc_store.Builder.t;
   strip_ws : bool;
+  guard : Budget.t option;
+      (* budget checked at element boundaries: remote-ingested documents
+         (server LOAD) run under the session budget, so a hostile or
+         oversized payload trips Resource_error instead of occupying the
+         worker indefinitely. Abandoning the builder mid-parse is safe:
+         fragments only publish at [finish]. *)
 }
+
+let check_guard st =
+  match st.guard with None -> () | Some g -> Budget.check g
 
 let error st fmt =
   Format.kasprintf (fun m -> raise (Parse_error (m, st.pos))) fmt
@@ -169,6 +178,7 @@ let parse_cdata st =
   Doc_store.Builder.text st.builder content
 
 let rec parse_element st =
+  check_guard st;
   expect st "<";
   let name = parse_name st in
   let qname = Qname.of_string name in
@@ -247,9 +257,9 @@ let parse_prolog st =
   misc ()
 
 (* Parse a complete document; returns its document node. *)
-let parse_document ?(strip_ws = false) store src =
+let parse_document ?(strip_ws = false) ?guard store src =
   let builder = Doc_store.Builder.create store in
-  let st = { src; pos = 0; builder; strip_ws } in
+  let st = { src; pos = 0; builder; strip_ws; guard } in
   Doc_store.Builder.start_document builder;
   parse_prolog st;
   (match peek st with
@@ -271,14 +281,14 @@ let parse_document ?(strip_ws = false) store src =
   | _ -> Err.internal "document parse produced %d roots" (Array.length roots)
 
 (* Parse and register under a URI so that fn:doc can find it. *)
-let load_document ?strip_ws store ~uri src =
-  let root = parse_document ?strip_ws store src in
+let load_document ?strip_ws ?guard store ~uri src =
+  let root = parse_document ?strip_ws ?guard store src in
   Doc_store.register_document store uri root;
   root
 
-let load_file ?strip_ws store ~uri path =
+let load_file ?strip_ws ?guard store ~uri path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
   let src = really_input_string ic len in
   close_in ic;
-  load_document ?strip_ws store ~uri src
+  load_document ?strip_ws ?guard store ~uri src

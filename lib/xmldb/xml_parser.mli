@@ -12,15 +12,23 @@
 exception Parse_error of string * int
 
 (** Parse a complete document into [store]; returns its document node.
-    [strip_ws] drops whitespace-only text nodes (boundary whitespace). *)
+    [strip_ws] drops whitespace-only text nodes (boundary whitespace).
+    [guard] is checked at every element boundary, so ingest runs under
+    the same budget regime as evaluation: a deadline, operator budget, or
+    cancellation trips [Err.Resource_error] mid-parse. Abandoning a parse
+    this way leaves the store untouched apart from interned names/text —
+    fragments only publish at builder [finish]. *)
 val parse_document :
-  ?strip_ws:bool -> Doc_store.t -> string -> Node_id.t
+  ?strip_ws:bool -> ?guard:Basis.Budget.t -> Doc_store.t -> string ->
+  Node_id.t
 
 (** Like {!parse_document}, and also registers the document under [uri]
     so that [fn:doc(uri)] finds it. *)
 val load_document :
-  ?strip_ws:bool -> Doc_store.t -> uri:string -> string -> Node_id.t
+  ?strip_ws:bool -> ?guard:Basis.Budget.t -> Doc_store.t -> uri:string ->
+  string -> Node_id.t
 
 (** Read [path] from disk and {!load_document} it. *)
 val load_file :
-  ?strip_ws:bool -> Doc_store.t -> uri:string -> string -> Node_id.t
+  ?strip_ws:bool -> ?guard:Basis.Budget.t -> Doc_store.t -> uri:string ->
+  string -> Node_id.t

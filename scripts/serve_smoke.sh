@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of bin/serve, as CI runs it: boot the server,
+# drive concurrent healthy clients, force the admission queue to shed
+# with an overload burst, then SIGTERM with work still in flight and
+# require a graceful drain — every admitted response delivered, final
+# stats flushed, exit status 0, process actually gone.
+#
+# Usage: scripts/serve_smoke.sh [path/to/serve.exe]
+# (default: _build/default/bin/serve.exe, i.e. run after `dune build`)
+
+set -euo pipefail
+
+SERVE=${1:-_build/default/bin/serve.exe}
+PORT=${PORT:-7077}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"; kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+echo '<a><b/><b/></a>' > "$WORK/t.xml"
+
+# Tiny capacity on purpose: two workers + a two-slot queue hold exactly
+# the four healthy clients below, and the eight-request burst after them
+# must shed.
+"$SERVE" -d "t.xml=$WORK/t.xml" --port "$PORT" --debug \
+  --workers 2 --queue-cap 2 --client-cap 8 --grace 10 \
+  > "$WORK/serve.out" 2> "$WORK/serve.err" &
+SERVE_PID=$!
+
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$WORK/serve.out" 2>/dev/null && break
+  sleep 0.1
+done
+grep "listening on" "$WORK/serve.out"
+
+echo "== healthy concurrent clients =="
+client_pids=()
+for i in 1 2 3 4; do
+  (
+    exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+    printf 'Q count(doc("t.xml")//b)\n' >&3
+    read -r -u 3 resp
+    resp=${resp%$'\r'}
+    if [ "$resp" != "OK 1 2" ]; then
+      echo "client $i: unexpected response: $resp" >&2
+      exit 1
+    fi
+    printf 'QUIT\n' >&3
+  ) &
+  client_pids+=($!)
+done
+for pid in "${client_pids[@]}"; do wait "$pid"; done
+echo "4 clients served"
+
+echo "== forced-shed overload burst =="
+# Pipeline more work than workers + queue can hold: the SLEEPs pin both
+# workers and the queue slots, so trailing requests must be refused
+# immediately with the resource error class.
+exec 4<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'SLEEP 400\nSLEEP 400\nSLEEP 400\nQ 1\nQ 2\nQ 3\nQ 4\nQ 5\n' >&4
+burst=$(timeout 15 head -n 8 <&4)
+echo "$burst"
+shed=$(echo "$burst" | grep -c "ERR resource" || true)
+ok=$(echo "$burst" | grep -c "^OK" || true)
+if [ "$shed" -lt 1 ]; then
+  echo "overload burst did not shed" >&2
+  exit 1
+fi
+if [ "$ok" -lt 2 ]; then
+  echo "admitted work was lost under overload" >&2
+  exit 1
+fi
+echo "shed=$shed ok=$ok"
+printf 'QUIT\n' >&4 || true
+
+echo "== graceful SIGTERM drain with work in flight =="
+exec 5<>"/dev/tcp/127.0.0.1/$PORT"
+printf 'SLEEP 300\nQ 40 + 2\n' >&5
+sleep 0.2
+kill -TERM "$SERVE_PID"
+drain=$(timeout 15 cat <&5 || true)
+echo "$drain"
+echo "$drain" | grep -q "^OK 0" || { echo "in-flight response lost" >&2; exit 1; }
+echo "$drain" | grep -q "^OK 1 42" || { echo "queued response lost" >&2; exit 1; }
+
+# the process must exit 0 of its own accord — a clean drain joins every
+# thread and domain, so a hang here is a leak
+status=0
+wait "$SERVE_PID" || status=$?
+if [ "$status" -ne 0 ]; then
+  echo "serve exited with status $status" >&2
+  exit 1
+fi
+if kill -0 "$SERVE_PID" 2>/dev/null; then
+  echo "serve process still alive after drain" >&2
+  exit 1
+fi
+grep -q "draining" "$WORK/serve.err" || { echo "no drain notice" >&2; exit 1; }
+grep -q "final stats" "$WORK/serve.err" || { echo "no final stats" >&2; exit 1; }
+grep "final stats" "$WORK/serve.err"
+
+echo "serve smoke: PASS"

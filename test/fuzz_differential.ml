@@ -9,11 +9,12 @@
    layer {typed kernels, boxed logical executor}, the logical rewriter
    {on, off — both against each other and against the interpreter},
    morsel-parallel execution {jobs 4 over tiny forced morsels, with the
-   serial runs as oracle} and the prepared-plan cache {cold, warm},
-   asserting identical results — or identically *classified* errors —
-   across the whole matrix. (For the interpreter the plan options are
-   vacuous, so its plan variants collapse into one run per budget
-   setting.)
+   serial runs as oracle}, the prepared-plan cache {cold, warm} and the
+   query server {direct Engine, loopback TCP through a lazily started
+   in-process server}, asserting identical results — or identically
+   *classified* errors — across the whole matrix. (For the interpreter
+   the plan options are vacuous, so its plan variants collapse into one
+   run per budget setting.)
 
    To keep the 300-seed nightly sweep bounded as dimensions accrue, the
    budget overlay rides on only one config per backend (default and
@@ -165,6 +166,53 @@ let evaluate ?cache ~opts q =
   | Error { Engine.kind; message } -> Failed (kind, message)
   | exception e -> Blew_up (Printexc.to_string e)
 
+(* The server side of the differential pair: the same query through a
+   loopback TCP connection to an in-process server, itemized (QI), so
+   the wire serialization is compared field by field against [ser]. The
+   server store persists across seeds — constructors append fragments to
+   it — but every generated query navigates from doc("t.xml"), which
+   never changes, so results stay comparable. Started lazily: a fuzz
+   sweep that never reaches this config pays nothing. *)
+let server_conn =
+  lazy
+    (let st = mk_store () in
+     let cfg =
+       Server.config ~port:0 ~workers:2 ~queue_capacity:64 ~client_cap:8
+         ~ceiling:(Budget.limits ~timeout_s:30. ())
+         ~stores:[ ("main", st) ] ()
+     in
+     let srv = Server.start cfg in
+     at_exit (fun () -> Server.stop ~grace_s:5. srv);
+     let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+     Unix.connect fd Unix.(ADDR_INET (inet_addr_loopback, Server.port srv));
+     (Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd))
+
+let kind_of_label = function
+  | "dynamic" -> Some Err.Dynamic
+  | "static" -> Some Err.Static
+  | "resource" -> Some Err.Resource
+  | "internal" -> Some Err.Internal
+  | _ -> None
+
+let evaluate_server q =
+  let ic, oc = Lazy.force server_conn in
+  match
+    output_string oc ("QI " ^ q ^ "\n");
+    flush oc;
+    input_line ic
+  with
+  | exception e -> Blew_up ("server connection: " ^ Printexc.to_string e)
+  | line ->
+    (match Server.Protocol.parse_response line with
+     | Ok (Server.Protocol.Resp_ok (n, raw)) ->
+       Items (Server.Protocol.items_of ~n raw)
+     | Ok (Server.Protocol.Resp_err { class_; message; _ }) ->
+       (match kind_of_label class_ with
+        | Some k -> Failed (k, message)
+        | None -> Blew_up ("unknown wire error class: " ^ class_))
+     | Ok _ -> Blew_up ("unexpected response: " ^ line)
+     | Error m -> Blew_up ("response did not parse: " ^ m))
+
 (* Each config is (name, q -> outcome). Beyond the backend/options/budget
    matrix, two executor dimensions ride along:
      - tree evaluation: the sharing-oblivious Tree mode re-derives every
@@ -213,7 +261,11 @@ let configs ~budget_spec =
        tolerated (see the main loop), not divergences. *)
     ("compiled/tree", plain (with_budget tree));
     ("compiled/cold-cache", cold_cache Engine.default_opts);
-    ("compiled/warm-cache", warm_cache Engine.default_opts) ]
+    ("compiled/warm-cache", warm_cache Engine.default_opts);
+    (* the query served over loopback TCP: wire framing, session budget
+       clamping and per-item response serialization must all be
+       invisible — same items, same error classes as the direct run *)
+    ("server/loopback", evaluate_server) ]
 
 (* ------------------------------------------------------------ comparison *)
 

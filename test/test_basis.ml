@@ -211,6 +211,222 @@ let test_budget_fault () =
      | exception Err.Internal_error _ -> true
      | () -> false)
 
+(* ---------------------------------------------------- budget: clamping *)
+
+let test_budget_clamp () =
+  let c = Budget.cancel_switch () in
+  let ceiling =
+    Budget.limits ~timeout_s:10. ~max_rows:1000 ~fault_at:7
+      ~cancel:(Budget.cancel_switch ()) ()
+  in
+  let wish = Budget.limits ~timeout_s:60. ~max_bytes:500 ~cancel:c () in
+  let s = Budget.clamp ~ceiling wish in
+  Alcotest.(check (option (float 1e-9))) "timeout: min wins"
+    (Some 10.) s.Budget.timeout_s;
+  Alcotest.(check (option int)) "rows: ceiling-only limit kept"
+    (Some 1000) s.Budget.max_rows;
+  Alcotest.(check (option int)) "bytes: spec-only limit kept"
+    (Some 500) s.Budget.max_bytes;
+  Alcotest.(check (option int)) "ops: unarmed stays unarmed"
+    None s.Budget.max_ops;
+  (* policy boundaries: the ceiling must not alias its cancel switch or
+     fault hook into the clamped request *)
+  Alcotest.(check bool) "cancel comes from the spec side" true
+    (match s.Budget.cancel with Some x -> x == c | None -> false);
+  Alcotest.(check (option int)) "ceiling fault_at is not inherited"
+    None s.Budget.fault_at;
+  let tighter =
+    Budget.clamp ~ceiling (Budget.limits ~timeout_s:0.5 ~max_rows:10 ())
+  in
+  Alcotest.(check (option (float 1e-9))) "client may wish tighter"
+    (Some 0.5) tighter.Budget.timeout_s;
+  Alcotest.(check (option int)) "rows: min wins" (Some 10)
+    tighter.Budget.max_rows
+
+let test_budget_remaining () =
+  let g = Budget.start (Budget.limits ~timeout_s:60. ()) in
+  (match Budget.remaining_s g with
+   | Some r -> Alcotest.(check bool) "remaining in (0, 60]" true (r > 0. && r <= 60.)
+   | None -> Alcotest.fail "deadline armed but no remaining time");
+  let unarmed = Budget.start Budget.unlimited in
+  Alcotest.(check bool) "unarmed guard has no remaining" true
+    (Budget.remaining_s unarmed = None)
+
+let test_budget_interrupted () =
+  let c = Budget.cancel_switch () in
+  let g = Budget.start (Budget.limits ~cancel:c ~max_ops:100 ()) in
+  Alcotest.(check bool) "live guard not interrupted" false
+    (Budget.interrupted g);
+  Budget.check_interrupted g;
+  (* interruption probes are free: they must not eat the op budget *)
+  Alcotest.(check int) "probes don't count ops" 0 (Budget.ops g);
+  Budget.cancel c;
+  Alcotest.(check bool) "cancelled guard is interrupted" true
+    (Budget.interrupted g);
+  Alcotest.(check bool) "check_interrupted raises" true
+    (resource_raised (fun () -> Budget.check_interrupted g))
+
+(* ------------------------------------------------------------------ pool *)
+
+(* The hardening contract: nothing a task body or stop hook does — up to
+   and including Stack_overflow — may wedge the pool. Every test reuses
+   the pool after the failure to prove the workers survived. *)
+
+let reusable p =
+  let hits = Array.make 8 0 in
+  Pool.run p ~jobs:2 8 (fun i -> hits.(i) <- hits.(i) + 1);
+  Alcotest.(check bool) "pool reusable: every task ran once" true
+    (Array.for_all (fun n -> n = 1) hits)
+
+let test_pool_body_raises () =
+  let p = Pool.create () in
+  let ran = Array.make 6 false in
+  (match
+     Pool.run p ~jobs:2 6 (fun i ->
+       ran.(i) <- true;
+       if i = 2 then Err.dynamic "task %d failed" i)
+   with
+   | exception Err.Dynamic_error "task 2 failed" -> ()
+   | () -> Alcotest.fail "exception swallowed");
+  (* determinism: the remaining tasks still execute *)
+  Alcotest.(check bool) "all tasks ran despite the failure" true
+    (Array.for_all Fun.id ran);
+  reusable p;
+  Pool.shutdown p
+
+let test_pool_lowest_failure_wins () =
+  let p = Pool.create () in
+  (match
+     Pool.run p ~jobs:2 8 (fun i ->
+       if i = 5 then Err.dynamic "later"
+       else if i = 1 then Err.resource "earlier")
+   with
+   | exception Err.Resource_error "earlier" -> ()
+   | exception e ->
+     Alcotest.failf "wrong failure surfaced: %s" (Printexc.to_string e)
+   | () -> Alcotest.fail "exception swallowed");
+  reusable p;
+  Pool.shutdown p
+
+let test_pool_stack_overflow () =
+  let p = Pool.create () in
+  (* raised directly: growing a real 8MB+ fiber stack by copying takes
+     ~10s on this class of host, and the pool's recovery path — catch,
+     record, re-raise after the job, survive — is identical *)
+  (match
+     Pool.run p ~jobs:2 4 (fun i -> if i = 1 then raise Stack_overflow)
+   with
+   | exception Stack_overflow -> ()
+   | exception e ->
+     Alcotest.failf "expected Stack_overflow, got %s" (Printexc.to_string e)
+   | () -> Alcotest.fail "overflow swallowed");
+  reusable p;
+  Pool.shutdown p
+
+let test_pool_raising_stop () =
+  let p = Pool.create () in
+  (* a raising stop hook acts as a trip and surfaces its exception... *)
+  (match
+     Pool.run p ~jobs:2 16
+       ~stop:(fun () -> Err.resource "budget mid-claim")
+       (fun _ -> ())
+   with
+   | exception Err.Resource_error "budget mid-claim" -> ()
+   | exception e ->
+     Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+   | () -> Alcotest.fail "raising stop hook ignored");
+  reusable p;
+  (* ...unless a task body also failed: body failures carry lower
+     indices (serial order), so they win. The hook only starts raising
+     once the body failure has happened — a hook that raises on first
+     check trips the run before any body executes. *)
+  let body_failed = Atomic.make false in
+  (match
+     Pool.run p ~jobs:2 16
+       ~stop:(fun () ->
+         if Atomic.get body_failed then Err.resource "hook" else false)
+       (fun i ->
+         if i = 0 then begin
+           Atomic.set body_failed true;
+           Err.dynamic "body"
+         end)
+   with
+   | exception Err.Dynamic_error "body" -> ()
+   | exception e ->
+     Alcotest.failf "body failure must win: %s" (Printexc.to_string e)
+   | () -> Alcotest.fail "both failures swallowed");
+  reusable p;
+  Pool.shutdown p
+
+let test_pool_contention_counter () =
+  let p = Pool.create () in
+  Alcotest.(check int) "fresh pool: no contention" 0 (Pool.contended p);
+  (* a nested submission finds the job board occupied, degrades to
+     inline serial execution, and is counted — the watchdog's signal *)
+  let inner_ran = ref 0 in
+  Pool.run p ~jobs:2 2 (fun _ ->
+    Pool.run p ~jobs:2 2 (fun _ -> incr inner_ran));
+  Alcotest.(check bool) "nested runs counted as contention" true
+    (Pool.contended p >= 1);
+  Alcotest.(check int) "degraded runs still execute every task" 4 !inner_ran;
+  reusable p;
+  Pool.shutdown p
+
+(* ---------------------------------------------------------------- rwlock *)
+
+let test_rwlock_basic () =
+  let l = Rwlock.create () in
+  Alcotest.(check int) "with_read returns" 1 (Rwlock.with_read l (fun () -> 1));
+  Alcotest.(check int) "with_write returns" 2 (Rwlock.with_write l (fun () -> 2));
+  (* exception safety: a raising section must release the lock *)
+  (match Rwlock.with_write l (fun () -> failwith "boom") with
+   | exception Failure _ -> ()
+   | _ -> Alcotest.fail "exception swallowed");
+  Alcotest.(check int) "lock free after raising writer" 3
+    (Rwlock.with_write l (fun () -> 3));
+  (match Rwlock.with_read l (fun () -> failwith "boom") with
+   | exception Failure _ -> ()
+   | _ -> Alcotest.fail "exception swallowed");
+  Alcotest.(check int) "lock free after raising reader" 4
+    (Rwlock.with_write l (fun () -> 4))
+
+let test_rwlock_readers_share () =
+  let l = Rwlock.create () in
+  Rwlock.lock_read l;
+  (* a second reader gets in while the first still holds the lock *)
+  let d = Domain.spawn (fun () -> Rwlock.with_read l (fun () -> 42)) in
+  Alcotest.(check int) "concurrent reader admitted" 42 (Domain.join d);
+  Rwlock.unlock_read l
+
+let test_rwlock_writer_excludes () =
+  let l = Rwlock.create () in
+  let entered = Atomic.make false in
+  Rwlock.lock_write l;
+  let d =
+    Domain.spawn (fun () ->
+      Rwlock.with_read l (fun () -> Atomic.set entered true))
+  in
+  (* give the reader ample opportunity to (wrongly) slip past *)
+  Unix.sleepf 0.05;
+  Alcotest.(check bool) "reader blocked by writer" false (Atomic.get entered);
+  Rwlock.unlock_write l;
+  Domain.join d;
+  Alcotest.(check bool) "reader admitted after release" true
+    (Atomic.get entered)
+
+let test_rwlock_writes_exclusive () =
+  let l = Rwlock.create () in
+  let counter = ref 0 in
+  let bump () =
+    for _ = 1 to 2_000 do
+      Rwlock.with_write l (fun () -> counter := !counter + 1)
+    done
+  in
+  let ds = List.init 3 (fun _ -> Domain.spawn bump) in
+  List.iter Domain.join ds;
+  (* a plain ref: only writer exclusivity makes this count exact *)
+  Alcotest.(check int) "no lost updates" 6_000 !counter
+
 let () =
   Alcotest.run "basis"
     [ ( "vec",
@@ -229,5 +445,26 @@ let () =
           Alcotest.test_case "row and byte budgets" `Quick test_budget_rows_bytes;
           Alcotest.test_case "deadline" `Quick test_budget_deadline;
           Alcotest.test_case "cancellation" `Quick test_budget_cancel;
-          Alcotest.test_case "fault injection" `Quick test_budget_fault ] );
+          Alcotest.test_case "fault injection" `Quick test_budget_fault;
+          Alcotest.test_case "ceiling clamp" `Quick test_budget_clamp;
+          Alcotest.test_case "remaining time" `Quick test_budget_remaining;
+          Alcotest.test_case "interruption probes" `Quick
+            test_budget_interrupted ] );
+      ( "pool",
+        [ Alcotest.test_case "task body raises" `Quick test_pool_body_raises;
+          Alcotest.test_case "lowest failure wins" `Quick
+            test_pool_lowest_failure_wins;
+          Alcotest.test_case "stack overflow in body" `Quick
+            test_pool_stack_overflow;
+          Alcotest.test_case "raising stop hook" `Quick test_pool_raising_stop;
+          Alcotest.test_case "contention counter" `Quick
+            test_pool_contention_counter ] );
+      ( "rwlock",
+        [ Alcotest.test_case "basics and exception safety" `Quick
+          test_rwlock_basic;
+          Alcotest.test_case "readers share" `Quick test_rwlock_readers_share;
+          Alcotest.test_case "writer excludes readers" `Quick
+            test_rwlock_writer_excludes;
+          Alcotest.test_case "writers mutually exclusive" `Quick
+            test_rwlock_writes_exclusive ] );
     ]

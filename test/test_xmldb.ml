@@ -579,6 +579,74 @@ let encoding_invariants_prop =
        done;
        !ok)
 
+(* ---------------------------------------------------------- ingest guard *)
+
+(* Budgeted ingest (the server's remote LOAD path): a guard tripping
+   mid-parse must abort with Resource_error and leave the store exactly
+   as it was — fragments only publish at Builder.finish, so an abandoned
+   parse is invisible — and the store must stay fully usable after. *)
+
+module Budget = Basis.Budget
+
+let big_xml =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "<root>";
+  for i = 1 to 200 do
+    Buffer.add_string b (Printf.sprintf "<item n=\"%d\">x</item>" i)
+  done;
+  Buffer.add_string b "</root>";
+  Buffer.contents b
+
+let check_unpublished st ~frags_before ~docs_before =
+  Alcotest.(check int) "no fragment published" frags_before
+    (Doc_store.n_frags st);
+  Alcotest.(check int) "no document registered" docs_before
+    (List.length (Doc_store.documents st));
+  (* the store survives: a subsequent unguarded load works *)
+  let _ = Xml_parser.load_document st ~uri:"after.xml" "<ok/>" in
+  Alcotest.(check bool) "store usable after the trip" true
+    (Doc_store.find_document st "after.xml" <> None)
+
+let test_ingest_op_budget_trip () =
+  let st = store () in
+  let _ = Xml_parser.load_document st ~uri:"pre.xml" "<pre/>" in
+  let frags_before = Doc_store.n_frags st in
+  let docs_before = List.length (Doc_store.documents st) in
+  let guard = Budget.start (Budget.limits ~max_ops:10 ()) in
+  (match Xml_parser.load_document ~guard st ~uri:"big.xml" big_xml with
+   | exception Basis.Err.Resource_error _ -> ()
+   | _ -> Alcotest.fail "op budget did not trip mid-parse");
+  Alcotest.(check bool) "the guard did count element work" true
+    (Budget.ops guard >= 10);
+  check_unpublished st ~frags_before ~docs_before
+
+let test_ingest_deadline_trip () =
+  let st = store () in
+  let guard = Budget.start (Budget.limits ~timeout_s:0.0 ()) in
+  (match Xml_parser.load_document ~guard st ~uri:"big.xml" big_xml with
+   | exception Basis.Err.Resource_error _ -> ()
+   | _ -> Alcotest.fail "expired deadline did not trip");
+  check_unpublished st ~frags_before:0 ~docs_before:0
+
+let test_ingest_cancellation () =
+  let st = store () in
+  let c = Budget.cancel_switch () in
+  let guard = Budget.start (Budget.limits ~cancel:c ()) in
+  Budget.cancel c;
+  (match Xml_parser.load_document ~guard st ~uri:"big.xml" big_xml with
+   | exception Basis.Err.Resource_error _ -> ()
+   | _ -> Alcotest.fail "cancelled guard did not trip");
+  check_unpublished st ~frags_before:0 ~docs_before:0
+
+let test_ingest_generous_guard_is_invisible () =
+  let st = store () in
+  let guard = Budget.start (Budget.limits ~max_ops:1_000_000 ()) in
+  let guarded = Xml_parser.load_document ~guard st ~uri:"g.xml" big_xml in
+  let st' = store () in
+  let plain = Xml_parser.load_document st' ~uri:"g.xml" big_xml in
+  Alcotest.(check string) "guarded parse = unguarded parse"
+    (ser st' plain) (ser st guarded)
+
 (* ------------------------------------------------------------------ main *)
 
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
@@ -619,6 +687,15 @@ let () =
           Alcotest.test_case "ancestor" `Quick test_axis_ancestor;
           Alcotest.test_case "cross fragment order" `Quick test_axis_cross_fragment_order;
           Alcotest.test_case "unknown name" `Quick test_axis_unknown_name ] );
+      ( "ingest guard",
+        [ Alcotest.test_case "op budget trips mid-parse" `Quick
+            test_ingest_op_budget_trip;
+          Alcotest.test_case "expired deadline trips" `Quick
+            test_ingest_deadline_trip;
+          Alcotest.test_case "cancellation trips" `Quick
+            test_ingest_cancellation;
+          Alcotest.test_case "generous guard is invisible" `Quick
+            test_ingest_generous_guard_is_invisible ] );
       qsuite "properties"
         [ axis_oracle_prop; tag_index_prop; roundtrip_prop;
           encoding_invariants_prop ];
