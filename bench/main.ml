@@ -764,6 +764,125 @@ return count($auction/site/people/person[@id =
       close_out oc;
       Printf.printf "wrote %s\n" out_path)
 
+(* ----------------------------------------------------------------- order *)
+
+(* Ordering-property reasoning on vs off over the paper-query corpus:
+   wall time per query, the elision counters (interior sorts elided,
+   sorts degraded to merges, root sort skipped), and a three-way parity
+   check — serialized results must agree byte-for-byte with the
+   sort-preserving plans, in the default mode AND under a forced
+   [ordering mode ordered] prolog. Knobs: XRQ_ORDER_SCALE (default
+   0.05), XRQ_ORDER_OUT (default BENCH_order.json). *)
+let order_bench () =
+  section "Order — ordering-property reasoning on vs off, corpus";
+  let scale =
+    try float_of_string (Sys.getenv "XRQ_ORDER_SCALE")
+    with Not_found | Failure _ -> 0.05
+  in
+  let out_path =
+    Option.value (Sys.getenv_opt "XRQ_ORDER_OUT") ~default:"BENCH_order.json"
+  in
+  let noorder_opts = { Engine.default_opts with Engine.order_props = false } in
+  let queries_dir =
+    if Sys.file_exists "queries" then "queries" else "../queries"
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let corpus =
+    Sys.readdir queries_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".xq")
+    |> List.sort compare
+    |> List.map (fun f ->
+        (Filename.chop_suffix f ".xq",
+         read_file (Filename.concat queries_dir f)))
+  in
+  with_store scale (fun st bytes ->
+      (* the corpus also touches the toy document t.xml *)
+      let _ =
+        Xmldb.Xml_parser.load_document st ~uri:"t.xml"
+          "<a><b><c/><d/></b><c/><e k=\"1\">x<f/>y</e></a>"
+      in
+      Printf.printf "auction.xml: %.2f MB serialized, %d nodes\n\n"
+        (float_of_int bytes /. 1e6) (Xmldb.Doc_store.total_nodes st);
+      Printf.printf "%-18s %10s %10s %8s %6s %6s %5s %6s\n" "query" "off"
+        "on" "speedup" "elide" "merge" "root" "parity";
+      let rows =
+        List.map
+          (fun (name, q) ->
+             let _, run_off = Engine.prepare ~opts:noorder_opts st q in
+             let _, run_on = Engine.prepare ~opts:Engine.default_opts st q in
+             let n_off, t_off = measure_exec run_off in
+             let n_on, t_on = measure_exec run_on in
+             let prof = Engine.run ~with_profile:true st q in
+             let elided, merges, root =
+               match prof.Engine.profile with
+               | Some p ->
+                 let ph = Algebra.Profile.phys p in
+                 (ph.Algebra.Profile.sorts_elided,
+                  ph.Algebra.Profile.sorts_to_merges,
+                  ph.Algebra.Profile.root_sort_elided)
+               | None -> (0, 0, 0)
+             in
+             let parity =
+               n_off = n_on
+               && (let s opts = (Engine.run ~opts st q).Engine.serialized in
+                   s Engine.default_opts = s noorder_opts
+                   && (let forced o =
+                         { o with Engine.mode = Some Xquery.Ast.Ordered }
+                       in
+                       s (forced Engine.default_opts)
+                       = s (forced noorder_opts)))
+             in
+             Printf.printf
+               "%-18s %8.2fms %8.2fms %7.2fx %6d %6d %5d %6s%s\n%!" name
+               (t_off *. 1000.) (t_on *. 1000.) (t_off /. t_on) elided
+               merges root
+               (if parity then "ok" else "FAIL")
+               (if parity then "" else "  !! result mismatch");
+             (name, t_off, t_on, n_on, elided, merges, root, parity))
+          corpus
+      in
+      let best_name, best =
+        List.fold_left
+          (fun (bn, bs) (name, t_off, t_on, _, _, _, _, _) ->
+             let s = t_off /. t_on in
+             if s > bs then (name, s) else (bn, bs))
+          ("-", 0.0) rows
+      in
+      let total_elided =
+        List.fold_left (fun a (_, _, _, _, e, _, _, _) -> a + e) 0 rows
+      in
+      let total_root =
+        List.fold_left (fun a (_, _, _, _, _, _, r, _) -> a + r) 0 rows
+      in
+      Printf.printf
+        "\n%d interior sorts elided and %d root sorts skipped across the\n\
+         corpus; best speedup %.2fx on %s. Parity holds iff every elision\n\
+         was a proof, not a guess.\n"
+        total_elided total_root best best_name;
+      let oc = open_out out_path in
+      Printf.fprintf oc
+        "{\n  \"experiment\": \"order\",\n  \"scale\": %g,\n\
+        \  \"document_bytes\": %d,\n  \"queries\": [\n" scale bytes;
+      List.iteri
+        (fun i (name, t_off, t_on, n_on, elided, merges, root, parity) ->
+           Printf.fprintf oc
+             "    { \"query\": %S, \"no_order_props_ms\": %.3f, \
+              \"order_props_ms\": %.3f, \"speedup\": %.3f, \"items\": %d, \
+              \"sorts_elided\": %d, \"sorts_to_merges\": %d, \
+              \"root_sort_elided\": %d, \"parity\": %b }%s\n"
+             name (t_off *. 1000.) (t_on *. 1000.) (t_off /. t_on) n_on
+             elided merges root parity
+             (if i < List.length rows - 1 then "," else ""))
+        rows;
+      Printf.fprintf oc "  ]\n}\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" out_path)
+
 (* ----------------------------------------------------------------- serve *)
 
 (* The query server under concurrent load, measured from the client side
@@ -979,7 +1098,7 @@ let experiments =
     ("plansizes", plansizes); ("fig12", fig12); ("micro", micro);
     ("sharing", sharing); ("ablation", ablation); ("physical", physical);
     ("parallel", parallel_bench); ("rewrite", rewrite_bench);
-    ("serve", serve_bench) ]
+    ("order", order_bench); ("serve", serve_bench) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -10,6 +10,8 @@
      --no-rules                  disable the Figure-7 rules (baseline)
      --no-cda                    disable column dependency analysis
      --no-rewrite                disable the logical rewriter
+     --no-order-props            disable ordering-property reasoning
+                                 (sort elision, root-sort skip, merges)
      --no-hoist                  disable loop-invariant hoisting
      --interpret                 use the reference interpreter
      --profile                   print the per-bucket execution profile
@@ -93,6 +95,12 @@ let dot_arg =
 let no_rewrite_arg =
   Arg.(value & flag & info [ "no-rewrite" ]
          ~doc:"Disable the logical rewriter (selection/function pushdown,                join synthesis over cross products, order-insensitive join                reassociation, cardinality-driven join input ordering).")
+
+let no_order_props_arg =
+  Arg.(value & flag & info [ "no-order-props" ]
+         ~doc:"Disable ordering-property reasoning: no sort elision, no \
+               root-sort-on-pos skip, no merge-degraded sorts. Results \
+               are identical either way; plans keep every sort.")
 
 let no_joinrec_arg =
   Arg.(value & flag & info [ "no-joinrec" ]
@@ -184,7 +192,8 @@ let budget_spec timeout_s max_rows max_bytes max_ops =
 
 let mk_opts ?(no_joinrec = false) ?budget ?(no_fallback = false)
     ?(tree_eval = false) ?(no_physical = false) ?jobs ?(no_parallel = false)
-    ?(no_rewrite = false) mode no_rules no_cda no_hoist interpret tag_index =
+    ?(no_rewrite = false) ?(no_order_props = false) mode no_rules no_cda
+    no_hoist interpret tag_index =
   { Engine.mode;
     unordered_rules = not no_rules;
     cda = not no_cda;
@@ -203,7 +212,8 @@ let mk_opts ?(no_joinrec = false) ?budget ?(no_fallback = false)
          match jobs with
          | Some j -> max 1 j
          | None -> Engine.default_opts.Engine.jobs);
-    rewrite = not no_rewrite }
+    rewrite = not no_rewrite;
+    order_props = not no_order_props }
 
 let load_documents store specs =
   List.iter
@@ -256,15 +266,15 @@ let run_cmd =
   let action docs qf expr mode no_rules no_cda no_hoist interpret profile
       tag_index no_joinrec timeout max_rows max_bytes max_ops no_fallback
       tree_eval no_physical jobs no_parallel plan_cache no_plan_cache
-      no_rewrite =
+      no_rewrite no_order_props =
     handle (fun () ->
         let store = Xmldb.Doc_store.create () in
         load_documents store docs;
         let budget = budget_spec timeout max_rows max_bytes max_ops in
         let opts =
           mk_opts ~no_joinrec ?budget ~no_fallback ~tree_eval ~no_physical
-            ?jobs ~no_parallel ~no_rewrite mode no_rules no_cda no_hoist
-            interpret tag_index
+            ?jobs ~no_parallel ~no_rewrite ~no_order_props mode no_rules
+            no_cda no_hoist interpret tag_index
         in
         let cache = mk_cache ~plan_cache ~no_plan_cache in
         let r =
@@ -288,14 +298,16 @@ let run_cmd =
           $ profile_arg $ tag_index_arg $ no_joinrec_arg $ timeout_arg
           $ max_rows_arg $ max_bytes_arg $ max_ops_arg $ no_fallback_arg
           $ tree_eval_arg $ no_physical_arg $ jobs_arg $ no_parallel_arg
-          $ plan_cache_arg $ no_plan_cache_arg $ no_rewrite_arg)
+          $ plan_cache_arg $ no_plan_cache_arg $ no_rewrite_arg
+          $ no_order_props_arg)
 
 (* ---------------------------------------------------------------- plan *)
 
 (* Per-node property note for the plan dump: constant, dense and key
-   columns as inferred by Exrquy.Properties. Dense implies key, so a
-   dense column is reported once, under "dense". *)
-let props_annot hints n =
+   columns as inferred by Exrquy.Properties, plus the guaranteed sort
+   orders from the ordering analysis (Algebra.Order). Dense implies key,
+   so a dense column is reported once, under "dense". *)
+let props_annot ?ord hints n =
   let module P = Exrquy.Properties in
   let p = P.props hints n in
   let set name s skip =
@@ -304,17 +316,24 @@ let props_annot hints n =
     else [ Printf.sprintf "%s:%s" name (String.concat "," (P.SSet.elements s)) ]
   in
   let consts = P.SSet.of_list (List.map fst (P.SMap.bindings p.P.consts)) in
+  let ordering =
+    match ord with
+    | None -> []
+    | Some a -> (
+      match Algebra.Order.annotate a n with "" -> [] | s -> [ s ])
+  in
   let parts =
     set "const" consts P.SSet.empty
     @ set "dense" p.P.dense P.SSet.empty
     @ set "key" p.P.keys p.P.dense
+    @ ordering
   in
   if parts = [] then None
   else Some ("(" ^ String.concat " " parts ^ ")")
 
 let plan_cmd =
   let action docs qf expr mode no_rules no_cda no_hoist dot no_physical
-      no_rewrite =
+      no_rewrite no_order_props =
     handle (fun () ->
         (* documents are loaded only for their statistics: the rewriter's
            and the lowerer's cost decisions (join sides) *)
@@ -327,8 +346,8 @@ let plan_cmd =
           end
         in
         let opts =
-          mk_opts ~no_physical ~no_rewrite mode no_rules no_cda no_hoist
-            false false
+          mk_opts ~no_physical ~no_rewrite ~no_order_props mode no_rules
+            no_cda no_hoist false false
         in
         let a = Engine.analyze ~opts ?stats (query_text qf expr) in
         let raw = a.Engine.araw and optimized = a.Engine.aoptimized in
@@ -336,7 +355,10 @@ let plan_cmd =
           if dot then Algebra.Plan_pp.to_dot p
           else
             let hints = Exrquy.Properties.infer p in
-            Algebra.Plan_pp.to_tree ~annot:(props_annot hints) p
+            let ord =
+              if no_order_props then None else Some (Algebra.Order.make ())
+            in
+            Algebra.Plan_pp.to_tree ~annot:(props_annot ?ord hints) p
         in
         let sharing p =
           Printf.sprintf "%d DAG nodes, %d as a tree (sharing factor %.2f)"
@@ -362,7 +384,10 @@ let plan_cmd =
         end;
         if opts.Engine.cda then print_string (render optimized);
         if (not no_physical) && not dot then begin
-          let pp = Engine.lower_physical ?stats optimized in
+          let pp =
+            Engine.lower_physical ?stats ~order_props:(not no_order_props)
+              optimized
+          in
           Printf.printf
             "-- physical plan: %d kernels covering %d logical ops, \
              %d parallelizable (\xE2\x88\xA5)\n"
@@ -375,7 +400,7 @@ let plan_cmd =
   Cmd.v (Cmd.info "plan" ~doc:"Compile a query and print its algebra plan")
     Term.(const action $ docs_arg $ query_file_arg $ expr_arg $ mode_arg
           $ no_rules_arg $ no_cda_arg $ no_hoist_arg $ dot_arg
-          $ no_physical_arg $ no_rewrite_arg)
+          $ no_physical_arg $ no_rewrite_arg $ no_order_props_arg)
 
 (* --------------------------------------------------------------- xmark *)
 
@@ -396,7 +421,7 @@ let xmark_cmd =
   let action scale qname mode no_rules no_cda no_hoist interpret profile
       tag_index timeout max_rows max_bytes max_ops no_fallback tree_eval
       no_physical jobs no_parallel plan_cache no_plan_cache repeat
-      no_rewrite =
+      no_rewrite no_order_props =
     handle (fun () ->
         let store = Xmldb.Doc_store.create () in
         let _, bytes = Xmark.Xmark_gen.load ~scale store in
@@ -405,8 +430,8 @@ let xmark_cmd =
         let budget = budget_spec timeout max_rows max_bytes max_ops in
         let opts =
           mk_opts ?budget ~no_fallback ~tree_eval ~no_physical ?jobs
-            ~no_parallel ~no_rewrite mode no_rules no_cda no_hoist interpret
-            tag_index
+            ~no_parallel ~no_rewrite ~no_order_props mode no_rules no_cda
+            no_hoist interpret tag_index
         in
         let cache = mk_cache ~plan_cache ~no_plan_cache in
         let queries =
@@ -434,7 +459,7 @@ let xmark_cmd =
           $ tag_index_arg $ timeout_arg $ max_rows_arg $ max_bytes_arg
           $ max_ops_arg $ no_fallback_arg $ tree_eval_arg $ no_physical_arg
           $ jobs_arg $ no_parallel_arg $ plan_cache_arg $ no_plan_cache_arg
-          $ repeat_arg $ no_rewrite_arg)
+          $ repeat_arg $ no_rewrite_arg $ no_order_props_arg)
 
 (* ----------------------------------------------------------------- gen *)
 

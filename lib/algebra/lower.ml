@@ -64,21 +64,27 @@ let label_of (n : Plan.node) =
 
 (* Order-indifference licence per kernel (see the module comment). A
    build-left join runs serial: its accumulation order is the build of
-   the output itself, not a probe that can be sliced into morsels. *)
+   the output itself, not a probe that can be sliced into morsels.
+   A standalone [#] stamp fans out: the dense path is O(1) and the
+   scattered path writes disjoint, index-determined slots per morsel —
+   this is what makes sort-elision (% becoming #) widen the ∥ fraction
+   of the plan, not just remove a sort. *)
 let parallelizable (pop : Physical.pop) =
   match pop with
   | Physical.K_join { build_left = true; _ } -> false
-  | Physical.K_pipe _ | Physical.K_join _ | Physical.K_thetajoin _ -> true
+  | Physical.K_pipe _ | Physical.K_join _ | Physical.K_thetajoin _
+  | Physical.K_rowid _ -> true
   | Physical.K_aggr { agg; _ } -> (
     match agg with
     | Plan.A_count | Plan.A_sum | Plan.A_min | Plan.A_max -> true
     | _ -> false)
   | Physical.K_project _ | Physical.K_distinct | Physical.K_union
-  | Physical.K_rowid _ | Physical.K_rownum _ | Physical.K_semijoin _
+  | Physical.K_rownum _ | Physical.K_semijoin _
   | Physical.K_boxed _ -> false
 
 let lower ?(types = fun (_ : Plan.node) -> ([] : (string * Column.ty) list))
-    ?card (root : Plan.node) : Physical.pnode =
+    ?card ?(merge_hint = fun (_ : Plan.node) -> (None : int option))
+    (root : Plan.node) : Physical.pnode =
   (* Cardinality estimates pick the hash-join build side: build on the
      left when it is estimated (with margin) smaller than the right. A
      wrong estimate costs time, never correctness — both builds emit the
@@ -129,7 +135,10 @@ let lower ?(types = fun (_ : Plan.node) -> ([] : (string * Column.ty) list))
           | Plan.Rowid { input; res } ->
             mk (Physical.K_rowid res) [ go input ] 1
           | Plan.Rownum { input; res; order; part } ->
-            mk (Physical.K_rownum { res; order; part }) [ go input ] 1
+            mk
+              (Physical.K_rownum
+                 { res; order; part; merge_hint = merge_hint n })
+              [ go input ] 1
           | Plan.Join { left; right; lcol; rcol } ->
             mk
               (Physical.K_join

@@ -1,0 +1,433 @@
+(* Ordering-property inference over the logical plan DAG.
+
+   The rewriter's const/dense/key lattice (Exrquy.Properties) answers
+   "what VALUES can this column hold"; this module answers "in what ORDER
+   do the rows come out" — the missing half of the paper's order story.
+   A fact is a lexicographic sortedness claim: the node's output rows,
+   in physical row order, are non-strictly sorted by a list of
+   (column, direction) keys under [Value.compare_total]. Facts are
+   statements about *physical row order*, which in this engine is
+   deterministic and identical across the boxed executor, the typed
+   physical executor, and every morsel width (the parallel machinery
+   stitches per-morsel results in morsel order by construction) — so one
+   analysis serves every backend.
+
+   Every propagation rule below encodes a row-order invariant of the
+   kernels themselves, independent of any ordering-mode latitude:
+
+     - the staircase/tag-index step emits, per input row group, result
+       nodes sorted by document order, groups in first-seen iter order —
+       so an iter-sorted input yields (iter, item)-sorted output;
+     - # (Rowid) appends a dense 1..n stamp in row order: its result
+       column is always a sorted key;
+     - @ (Attach), Fun*, % (Rownum) append a column and keep the carrier
+       rows in place;
+     - equi-joins probe the left side in row order (left-major pair
+       order), so the outer side's facts survive;
+     - Union is an append: facts die, but each side keeps its own —
+       which is exactly what [sorted_runs] recovers for k-way merges;
+     - Select/Distinct/Semijoin/Antijoin emit a subsequence of their
+       (left) input, and subsequences of sorted rows stay sorted.
+
+   Soundness matters more than completeness: a missing fact costs a sort
+   that was already paid for; a wrong fact changes answers. Facts are
+   therefore derived only from invariants the kernels guarantee
+   unconditionally — never from the query's ordering mode. *)
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type req = (Plan.col * Plan.dir) list
+
+type props = {
+  facts : req list;
+      (* each: rows are non-strictly lex-sorted by these keys *)
+  keys : SSet.t;         (* columns with pairwise-distinct values *)
+  consts : Value.t SMap.t;  (* columns equal to one value on every row *)
+  one_row : bool;        (* at most one row: every ordering holds *)
+}
+
+let empty =
+  { facts = []; keys = SSet.empty; consts = SMap.empty; one_row = false }
+
+(* Keep the analysis O(plan size): a handful of short facts per node. *)
+let max_facts = 8
+let max_fact_len = 4
+
+let clip p =
+  let facts =
+    List.filteri (fun i _ -> i < max_facts) p.facts
+    |> List.map (fun f -> List.filteri (fun i _ -> i < max_fact_len) f)
+  in
+  { p with facts = List.sort_uniq compare facts }
+
+(* Constant columns are order-neutral: all rows carry one value, so they
+   can be dropped both from a requirement and from a fact. *)
+let strip_consts consts l =
+  List.filter (fun (c, _) -> not (SMap.mem c consts)) l
+
+(* Does [fact] prove [req]? Walk matching (col, dir) prefixes; a matched
+   key column sorts strictly, pinning every remaining requirement key. *)
+let fact_proves keys fact req =
+  let rec go fact req =
+    match req with
+    | [] -> true
+    | (c, d) :: req' -> (
+      match fact with
+      | [] -> false
+      | (fc, fd) :: fact' ->
+        String.equal fc c && fd = d && (SSet.mem c keys || go fact' req'))
+  in
+  go fact req
+
+let proves p req =
+  p.one_row
+  ||
+  let req = strip_consts p.consts req in
+  req = []
+  || List.exists (fun f -> fact_proves p.keys (strip_consts p.consts f) req) p.facts
+
+(* ---------------------------------------------------------- propagation *)
+
+(* Rename facts/keys/consts through a projection; a fact survives as its
+   longest kept prefix (a prefix of a lex ordering is a lex ordering). *)
+let remap_fact cols fact =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (c, d) :: rest -> (
+      match List.find_opt (fun (_, src) -> String.equal src c) cols with
+      | Some (nw, _) -> go ((nw, d) :: acc) rest
+      | None -> List.rev acc)
+  in
+  go [] fact
+
+(* Facts whose leading columns all pass [kept]; truncated at the first
+   column that does not. *)
+let truncate_facts kept facts =
+  List.map
+    (fun f ->
+       let rec go acc = function
+         | (c, d) :: rest when kept c -> go ((c, d) :: acc) rest
+         | _ -> List.rev acc
+       in
+       go [] f)
+    facts
+  |> List.filter (fun f -> f <> [])
+
+let drop_cols dropped p =
+  let kept c = not (List.mem c dropped) in
+  { facts = truncate_facts kept p.facts;
+    keys = SSet.filter kept p.keys;
+    consts = SMap.filter (fun c _ -> kept c) p.consts;
+    one_row = p.one_row }
+
+(* Exact single-column properties of a literal table (loop relations,
+   small constant sequences): cheap, and the seed for everything else. *)
+let lit_props schema rows =
+  let nrows = List.length rows in
+  if nrows = 0 then { empty with one_row = true }
+  else if nrows = 1 then begin
+    (* the 1-row loop relation seeding every plan: each column is both
+       constant and a key, and downstream const-stripping depends on it *)
+    let row = List.hd rows in
+    let consts =
+      Array.to_seq (Array.mapi (fun i name -> (name, Array.get row i)) schema)
+      |> SMap.of_seq
+    in
+    { facts = [];
+      keys = SSet.of_list (Array.to_list schema);
+      consts;
+      one_row = true }
+  end
+  else if nrows > 64 then empty
+  else begin
+    let cols = Array.length schema in
+    let facts = ref [] and keys = ref SSet.empty and consts = ref SMap.empty in
+    for ci = 0 to cols - 1 do
+      let vs = List.map (fun r -> Array.get r ci) rows in
+      let rec pairs f = function
+        | a :: (b :: _ as rest) -> f a b && pairs f rest
+        | _ -> true
+      in
+      let name = schema.(ci) in
+      if pairs (fun a b -> Value.compare_total a b = 0) vs then
+        consts := SMap.add name (List.hd vs) !consts
+      else begin
+        if pairs (fun a b -> Value.compare_total a b <= 0) vs then
+          facts := [ (name, Plan.Asc) ] :: !facts;
+        if pairs (fun a b -> Value.compare_total a b >= 0) vs then
+          facts := [ (name, Plan.Desc) ] :: !facts
+      end;
+      if
+        List.length (List.sort_uniq Value.compare_total vs) = nrows
+      then keys := SSet.add name !keys
+    done;
+    { facts = !facts; keys = !keys; consts = !consts; one_row = false }
+  end
+
+type analyzer = Plan.node -> props
+
+let make () : analyzer =
+  let memo : (int, props) Hashtbl.t = Hashtbl.create 64 in
+  let rec props (n : Plan.node) : props =
+    match Hashtbl.find_opt memo n.Plan.id with
+    | Some p -> p
+    | None ->
+      let p = clip (derive n) in
+      Hashtbl.replace memo n.Plan.id p;
+      p
+  and satisfies n req = proves (props n) req
+  and derive (n : Plan.node) : props =
+    match n.Plan.op with
+    | Plan.Lit { schema; rows } -> lit_props schema rows
+    | Plan.Project { input; cols } ->
+      let p = props input in
+      { facts = List.filter (fun f -> f <> []) (List.map (remap_fact cols) p.facts);
+        keys =
+          List.fold_left
+            (fun acc (nw, src) -> if SSet.mem src p.keys then SSet.add nw acc else acc)
+            SSet.empty cols;
+        consts =
+          List.fold_left
+            (fun acc (nw, src) ->
+               match SMap.find_opt src p.consts with
+               | Some v -> SMap.add nw v acc
+               | None -> acc)
+            SMap.empty cols;
+        one_row = p.one_row }
+    | Plan.Select { input; col } ->
+      (* a subsequence of the input; the filter column is all-true after *)
+      let p = props input in
+      { p with consts = SMap.add col (Value.Bool true) p.consts }
+    | Plan.Distinct { input } -> props input
+    | Plan.Semijoin { left; _ } | Plan.Antijoin { left; _ } -> props left
+    | Plan.Join { left; right; lcol; rcol } ->
+      let pl = props left and pr = props right in
+      (* pair order is left-major with right matches in right-row order
+         (hash buckets accumulate probe hits in scan order) *)
+      let facts = pl.facts @ (if pl.one_row then pr.facts else []) in
+      let keys =
+        SSet.union
+          (if SSet.mem rcol pr.keys then pl.keys else SSet.empty)
+          (if SSet.mem lcol pl.keys then pr.keys else SSet.empty)
+      in
+      (* output rows satisfy lcol = rcol: a const on one join column is a
+         const on the other *)
+      let consts =
+        let merged =
+          SMap.union (fun _ v _ -> Some v) pl.consts pr.consts
+        in
+        match (SMap.find_opt lcol merged, SMap.find_opt rcol merged) with
+        | Some v, None -> SMap.add rcol v merged
+        | None, Some v -> SMap.add lcol v merged
+        | _ -> merged
+      in
+      { facts; keys; consts; one_row = pl.one_row && pr.one_row }
+    | Plan.Thetajoin { left; right; _ } ->
+      let pl = props left and pr = props right in
+      (* left-major; inequality matches need not come out in right-row
+         order (the sort-based path reorders), so right facts never pass *)
+      { facts = pl.facts;
+        keys = SSet.empty;
+        consts = SMap.union (fun _ v _ -> Some v) pl.consts pr.consts;
+        one_row = false }
+    | Plan.Cross { left; right } ->
+      let pl = props left and pr = props right in
+      { facts = pl.facts @ (if pl.one_row then pr.facts else []);
+        keys =
+          SSet.union
+            (if pr.one_row then pl.keys else SSet.empty)
+            (if pl.one_row then pr.keys else SSet.empty);
+        consts = SMap.union (fun _ v _ -> Some v) pl.consts pr.consts;
+        one_row = pl.one_row && pr.one_row }
+    | Plan.Union { left; right } ->
+      (* an append: per-side facts become runs (see [sorted_runs]), not
+         global facts *)
+      let pl = props left and pr = props right in
+      { facts = [];
+        keys = SSet.empty;
+        consts =
+          SMap.merge
+            (fun _ a b ->
+               match (a, b) with
+               | Some va, Some vb when Value.compare_total va vb = 0 -> Some va
+               | _ -> None)
+            pl.consts pr.consts;
+        one_row = false }
+    | Plan.Rownum { input; res; order; part } ->
+      (* the carrier rows stay in place; [res] is appended *)
+      let p = props input in
+      let extra =
+        match part with
+        | None ->
+          (* input already in the requested order: ranks are 1..n in row
+             order — exactly # *)
+          if proves p order then [ [ (res, Plan.Asc) ] ] else []
+        | Some pc ->
+          (* input grouped-and-sorted by the partition: per-partition
+             ranks ascend within each run of the partition column *)
+          List.filter_map
+            (fun d ->
+               if proves p ((pc, d) :: order) then
+                 Some [ (pc, d); (res, Plan.Asc) ]
+               else None)
+            [ Plan.Asc; Plan.Desc ]
+      in
+      { p with
+        facts = extra @ p.facts;
+        keys = (if part = None then SSet.add res p.keys else p.keys) }
+    | Plan.Rowid { input; res } ->
+      let p = props input in
+      { p with
+        facts = [ (res, Plan.Asc) ] :: p.facts;
+        keys = SSet.add res p.keys }
+    | Plan.Attach { input; res; value } ->
+      let p = props input in
+      { p with consts = SMap.add res value p.consts }
+    | Plan.Fun1 { input; _ } | Plan.Fun2 { input; _ } | Plan.Fun3 { input; _ }
+      ->
+      props input
+    | Plan.Aggr { input; res; part; _ } -> (
+      match part with
+      | None ->
+        { empty with one_row = true; keys = SSet.singleton res }
+      | Some pc ->
+        let p = props input in
+        (* one output row per group, groups in first-seen order — which
+           is sorted iff the input was sorted by the partition column *)
+        let facts =
+          List.filter_map
+            (fun d -> if proves p [ (pc, d) ] then Some [ (pc, d) ] else None)
+            [ Plan.Asc; Plan.Desc ]
+        in
+        { facts;
+          keys = SSet.singleton pc;
+          consts =
+            (match SMap.find_opt pc p.consts with
+             | Some v -> SMap.singleton pc v
+             | None -> SMap.empty);
+          one_row = p.one_row })
+    | Plan.Step { input; _ } ->
+      (* per-iteration results sorted by document order (the staircase /
+         tag-index contract), iteration groups in first-seen iter order,
+         duplicate-free within a group *)
+      let p = props input in
+      let facts =
+        if satisfies input [ ("iter", Plan.Asc) ] then
+          [ [ ("iter", Plan.Asc); ("item", Plan.Asc) ] ]
+        else []
+      in
+      let one_group = p.one_row || SMap.mem "iter" p.consts in
+      { facts;
+        keys = (if one_group then SSet.singleton "item" else SSet.empty);
+        consts =
+          (match SMap.find_opt "iter" p.consts with
+           | Some v -> SMap.singleton "iter" v
+           | None -> SMap.empty);
+        one_row = false }
+    | Plan.Id_lookup _ -> empty
+    | Plan.Doc { input } -> drop_cols [ "item" ] (props input)
+    | Plan.Elem { qnames; _ } | Plan.Attr { qnames; _ } ->
+      (* one constructed node per qnames row, in qnames row order *)
+      drop_cols [ "item" ] (props qnames)
+    | Plan.Textnode { input } | Plan.Commentnode { input } ->
+      drop_cols [ "item" ] (props input)
+    | Plan.Pinode { input } ->
+      drop_cols [ "item"; "target"; "value" ] (props input)
+    | Plan.Range { input; _ } ->
+      (* each input row expands to pos = 1..k with ascending items *)
+      let p = props input in
+      let iter_sorted = satisfies input [ ("iter", Plan.Asc) ] in
+      let facts =
+        if iter_sorted && SSet.mem "iter" p.keys then
+          [ [ ("iter", Plan.Asc); ("pos", Plan.Asc) ];
+            [ ("iter", Plan.Asc); ("item", Plan.Asc) ] ]
+        else if iter_sorted then [ [ ("iter", Plan.Asc) ] ]
+        else []
+      in
+      { facts;
+        keys = SSet.empty;
+        consts =
+          (match SMap.find_opt "iter" p.consts with
+           | Some v -> SMap.singleton "iter" v
+           | None -> SMap.empty);
+        one_row = false }
+    | Plan.Textify { input } ->
+      (* emits rows explicitly sorted by (iter, pos) *)
+      let p = props input in
+      { facts = [ [ ("iter", Plan.Asc); ("pos", Plan.Asc) ] ];
+        keys = SSet.empty;
+        consts =
+          (match SMap.find_opt "iter" p.consts with
+           | Some v -> SMap.singleton "iter" v
+           | None -> SMap.empty);
+        one_row = p.one_row }
+  in
+  props
+
+let satisfies (a : analyzer) n req = proves (a n) req
+
+(* ------------------------------------------------------ piecewise runs *)
+
+(* How many sorted runs (w.r.t. [req]) is this node's output a
+   concatenation of? [Some 1] = globally sorted; [Some k] licenses a
+   k-way merge instead of a full sort; [None] = nothing provable. Unions
+   are the producers (each side contributes its own runs); row-preserving
+   and subsequence operators pass the count through. *)
+let sorted_runs (a : analyzer) node req =
+  let cap = 64 in
+  let rec runs (n : Plan.node) req =
+    let req = strip_consts (a n).consts req in
+    if proves (a n) req then Some 1
+    else
+      match n.Plan.op with
+      | Plan.Union { left; right } -> (
+        match (runs left req, runs right req) with
+        | Some k1, Some k2 when k1 + k2 <= cap -> Some (k1 + k2)
+        | _ -> None)
+      | Plan.Select { input; _ } | Plan.Distinct { input } ->
+        (* a subsequence of k sorted runs is at most k sorted runs *)
+        runs input req
+      | Plan.Semijoin { left; _ } | Plan.Antijoin { left; _ } ->
+        runs left req
+      | Plan.Project { input; cols } ->
+        let rec back acc = function
+          | [] -> Some (List.rev acc)
+          | (c, d) :: rest -> (
+            match List.assoc_opt c cols with
+            | Some src -> back ((src, d) :: acc) rest
+            | None -> None)
+        in
+        Option.bind (back [] req) (fun req' -> runs input req')
+      | Plan.Rownum { input; res; _ }
+      | Plan.Rowid { input; res }
+      | Plan.Attach { input; res; _ }
+      | Plan.Fun1 { input; res; _ }
+      | Plan.Fun2 { input; res; _ }
+      | Plan.Fun3 { input; res; _ } ->
+        if List.mem_assoc res req then None else runs input req
+      | _ -> None
+  in
+  runs node req
+
+(* ----------------------------------------------------------- rendering *)
+
+let dir_arrow = function Plan.Asc -> "\xE2\x86\x91" | Plan.Desc -> "\xE2\x86\x93"
+
+let req_to_string req =
+  String.concat "," (List.map (fun (c, d) -> c ^ dir_arrow d) req)
+
+(* A compact per-node annotation for plan dumps: the facts (shortest
+   first), plus the one-row marker. *)
+let annotate (a : analyzer) n =
+  let p = a n in
+  if p.one_row then "ord:1row"
+  else
+    match
+      List.sort (fun f g -> compare (List.length f, f) (List.length g, g)) p.facts
+    with
+    | [] -> ""
+    | fs ->
+      "ord:"
+      ^ String.concat "; "
+          (List.filteri (fun i _ -> i < 2) (List.map req_to_string fs))

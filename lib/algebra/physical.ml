@@ -89,6 +89,10 @@ type pop =
       res : string;
       order : (string * Plan.dir) list;
       part : string option;
+      merge_hint : int option;
+          (* ordering analysis proved the input piecewise sorted in at
+             most this many runs: replace the O(n log n) sort with run
+             detection + a k-way merge. None = no guarantee, full sort. *)
     }
   | K_join of { lcol : string; rcol : string; build_left : bool }
       (* [build_left]: hash the left column instead of the right (chosen
@@ -1024,7 +1028,7 @@ let k_union lb rb =
     base = lb.nrows + rb.nrows;
     table = None }
 
-let k_rowid ctx b res =
+let k_rowid ctx ~par b res =
   match b.sel with
   | None ->
     (* dense numbering is MonetDB's void column: O(1), nothing stored *)
@@ -1035,9 +1039,14 @@ let k_rowid ctx b res =
       typed = Array.append b.typed [| None |];
       table = None }
   | Some s ->
-    (* scattered: number the selected rows 1..n in selection order *)
+    (* scattered: number the selected rows 1..n in selection order; each
+       write targets [s.(i)] and the selection is injective, so morsels
+       scatter into disjoint slots *)
     let out = Array.make b.base 0 in
-    Array.iteri (fun k r -> out.(r) <- k + 1) s;
+    run_spans ctx ~par (Array.length s) (fun lo hi ->
+        for i = lo to hi - 1 do
+          out.(s.(i)) <- i + 1
+        done);
     { b with
       schema = Array.append b.schema [| res |];
       cols = Array.append b.cols [| Column.Ints out |];
@@ -1048,7 +1057,7 @@ let k_rowid ctx b res =
    Compact, sort a permutation — typed comparators where columns are
    typed; [Value.compare_total] agrees with [Int.compare]/[Float.compare]
    on homogeneous columns — then number within partitions. *)
-let k_rownum ctx b res order part =
+let k_rownum ctx b res order part merge_hint =
   let b = compact b in
   let n = b.nrows in
   let cmp_of name =
@@ -1092,7 +1101,75 @@ let k_rownum ctx b res order part =
       in
       go ocmps
   in
-  Array.sort compare_rows perm;
+  (* Piecewise-sorted input (ordering analysis bounded the run count,
+     e.g. a union of per-branch sorted sides): detect the runs in one
+     linear scan and replace the O(n log n) sort with a bottom-up merge
+     of adjacent runs. [compare_rows] is a total order (row-position
+     tie-break), so the merge result is the unique sorted permutation —
+     bit-identical to [Array.sort]. Fall back to the full sort if the
+     input has more runs than promised (the hint is a performance claim;
+     correctness never depends on it). *)
+  let merged =
+    match merge_hint with
+    | None -> false
+    | Some hint ->
+      let cap = max hint 64 in
+      let bounds = ref [ 0 ] and runs = ref 1 in
+      (try
+         for i = 1 to n - 1 do
+           if compare_rows (i - 1) i > 0 then begin
+             incr runs;
+             if !runs > cap then raise Exit;
+             bounds := i :: !bounds
+           end
+         done;
+         let segments =
+           (* (lo, hi) run extents, in input order *)
+           let rec go hi acc = function
+             | [] -> acc
+             | lo :: rest -> go lo ((lo, hi) :: acc) rest
+           in
+           go n [] !bounds
+         in
+         let arrays =
+           List.map (fun (lo, hi) -> Array.init (hi - lo) (fun k -> lo + k))
+             segments
+         in
+         let merge xs ys =
+           let nx = Array.length xs and ny = Array.length ys in
+           let out = Array.make (nx + ny) 0 in
+           let i = ref 0 and j = ref 0 in
+           for k = 0 to nx + ny - 1 do
+             if
+               !i < nx
+               && (!j >= ny || compare_rows xs.(!i) ys.(!j) <= 0)
+             then begin
+               out.(k) <- xs.(!i);
+               incr i
+             end
+             else begin
+               out.(k) <- ys.(!j);
+               incr j
+             end
+           done;
+           out
+         in
+         let rec rounds = function
+           | [] -> ()
+           | [ final ] -> Array.blit final 0 perm 0 n
+           | many ->
+             let rec pair = function
+               | a :: c :: rest -> merge a c :: pair rest
+               | tail -> tail
+             in
+             rounds (pair many)
+         in
+         rounds arrays;
+         bump ctx Profile.count_sort_merge;
+         true
+       with Exit -> false)
+  in
+  if not merged then Array.sort compare_rows perm;
   let out = Array.make n 0 in
   (match pcmp with
    | None -> Array.iteri (fun k r -> out.(r) <- k + 1) perm
@@ -1245,8 +1322,9 @@ let exec_kernel ctx (p : pnode) (inputs : batch list) : batch =
   | K_union ->
     let l, r = two () in
     k_union l r
-  | K_rowid res -> k_rowid ctx (one ()) res
-  | K_rownum { res; order; part } -> k_rownum ctx (one ()) res order part
+  | K_rowid res -> k_rowid ctx ~par (one ()) res
+  | K_rownum { res; order; part; merge_hint } ->
+    k_rownum ctx (one ()) res order part merge_hint
   | K_join { lcol; rcol; build_left } ->
     let l, r = two () in
     k_join ctx ~par ~build_left l r lcol rcol

@@ -26,6 +26,12 @@ type phys = {
   mutable retypes : int;      (* Mixed -> typed column conversions *)
   mutable build_flips : int;  (* joins executed with the hash built on the
                                  (estimated-smaller) left side *)
+  mutable sorts_elided : int; (* interior % nodes rewritten away because the
+                                 required order was proved to already hold *)
+  mutable sorts_to_merges : int; (* % sorts degraded to k-way run merges of
+                                    piecewise-sorted input *)
+  mutable root_sort_elided : int; (* root sort-on-pos skipped: the plan
+                                     proved pos-order *)
 }
 
 (* A profile may be observed while a morsel-parallel query is running
@@ -49,7 +55,8 @@ let create () =
     nodes = Hashtbl.create 64;
     phys =
       { kernels = 0; fused_ops = 0; rows_in = 0; rows_out = 0;
-        mat_avoided = 0; mat_forced = 0; retypes = 0; build_flips = 0 } }
+        mat_avoided = 0; mat_forced = 0; retypes = 0; build_flips = 0;
+        sorts_elided = 0; sorts_to_merges = 0; root_sort_elided = 0 } }
 
 let locked t f =
   Mutex.lock t.mu;
@@ -78,6 +85,15 @@ let count_retype t =
 
 let count_build_flip t =
   locked t (fun () -> t.phys.build_flips <- t.phys.build_flips + 1)
+
+let add_sorts_elided t k =
+  locked t (fun () -> t.phys.sorts_elided <- t.phys.sorts_elided + k)
+
+let count_sort_merge t =
+  locked t (fun () -> t.phys.sorts_to_merges <- t.phys.sorts_to_merges + 1)
+
+let count_root_sort_elided t =
+  locked t (fun () -> t.phys.root_sort_elided <- t.phys.root_sort_elided + 1)
 
 let add t label seconds =
   locked t (fun () ->
@@ -144,6 +160,12 @@ let pp fmt t =
     if p.build_flips > 0 then
       Format.fprintf fmt "physical: %d joins built their hash on the left@."
         p.build_flips
-  end
+  end;
+  if p.sorts_elided > 0 || p.sorts_to_merges > 0 || p.root_sort_elided > 0
+  then
+    Format.fprintf fmt
+      "order: %d sorts elided, %d degraded to merges, root sort %s@."
+      p.sorts_elided p.sorts_to_merges
+      (if p.root_sort_elided > 0 then "elided" else "kept")
 
 let to_string t = Format.asprintf "%a" pp t

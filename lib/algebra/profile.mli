@@ -28,6 +28,14 @@ type phys = {
   mutable build_flips : int;
       (** joins executed with the hash built on the (estimated-smaller)
           left side *)
+  mutable sorts_elided : int;
+      (** interior [%] nodes rewritten away because the required order
+          was proved to already hold ({!Order}) *)
+  mutable sorts_to_merges : int;
+      (** [%] sorts degraded to k-way run merges of piecewise-sorted
+          input *)
+  mutable root_sort_elided : int;
+      (** root sort-on-pos skipped because the plan proved pos-order *)
 }
 
 val create : unit -> t
@@ -42,6 +50,13 @@ val count_mat_avoided : t -> unit
 val count_mat_forced : t -> unit
 val count_retype : t -> unit
 val count_build_flip : t -> unit
+
+(** [add_sorts_elided t k] records [k] interior [%] nodes the rewriter
+    replaced with [#] stamps for the profiled query. *)
+val add_sorts_elided : t -> int -> unit
+
+val count_sort_merge : t -> unit
+val count_root_sort_elided : t -> unit
 
 (** [add t label seconds] accumulates into [label]'s bucket. *)
 val add : t -> string -> float -> unit

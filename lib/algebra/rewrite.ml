@@ -169,8 +169,11 @@ let empty_stats =
 
 let total_fires s = List.fold_left (fun acc (_, k) -> acc + k) 0 s.fires
 
-(* One bottom-up rebuild pass. [fire] counts rule applications. *)
-let rewrite_once b ~est ~fire (root : Plan.node) : Plan.node =
+(* One bottom-up rebuild pass. [fire] counts rule applications.
+   [ord] is the ordering-property analyzer for "sort-elision" (None when
+   order-property reasoning is disabled); it is created fresh per pass so
+   its facts describe the pass's own rebuilt nodes. *)
+let rewrite_once b ~est ~fire ~ord (root : Plan.node) : Plan.node =
   let schema_of = make_schema_of () in
   let insensitive = order_insensitive root in
   let mapped : (int, Plan.node) Hashtbl.t = Hashtbl.create 64 in
@@ -431,6 +434,19 @@ let rewrite_once b ~est ~fire (root : Plan.node) : Plan.node =
                   { left = right; right = left; lcol = rcol;
                     cmp = mirror_cmp cmp; rcol = lcol })
            | _ -> keep op')
+         (* -- sort elision: % whose order already holds becomes # ------- *)
+         | Plan.Rownum { input; res; order; part = None }
+           when (match ord with
+                 | Some a -> Order.satisfies a input order
+                 | None -> false) ->
+           (* the input provably arrives sorted by [order] under
+              compare_total; the sort comparator ends in a row-position
+              tie-break, so the stable sort of an already-sorted input is
+              the identity permutation and the rank column is exactly the
+              1..n row stamp # produces — bit-identical, breaker-free,
+              and ∥-eligible after lowering *)
+           fire "sort-elision";
+           keep (Plan.Rowid { input; res })
          | _ -> keep op'
        in
        if result.Plan.label = "" then Plan.set_label result orig.Plan.label;
@@ -440,8 +456,8 @@ let rewrite_once b ~est ~fire (root : Plan.node) : Plan.node =
 
 (* --------------------------------------------------------------- driver *)
 
-let optimize ?(max_rounds = 50) ?stats:card_stats b (root : Plan.node) :
-  Plan.node * stats =
+let optimize ?(max_rounds = 50) ?(order_props = true) ?stats:card_stats b
+  (root : Plan.node) : Plan.node * stats =
   let est = Plan.Card.estimator ?stats:card_stats () in
   let counts : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let fire rule =
@@ -452,7 +468,8 @@ let optimize ?(max_rounds = 50) ?stats:card_stats b (root : Plan.node) :
   let rec go i root =
     if i >= max_rounds then (root, i)
     else
-      let root' = rewrite_once b ~est ~fire root in
+      let ord = if order_props then Some (Order.make ()) else None in
+      let root' = rewrite_once b ~est ~fire ~ord root in
       if root'.Plan.id = root.Plan.id then (root, i) else go (i + 1) root'
   in
   let root', rounds = go 0 root in

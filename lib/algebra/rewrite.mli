@@ -28,7 +28,13 @@
     {- ["join-swap"] — order-indifferent join inputs are swapped so the
        hash build side is the estimated-smaller one ({!Plan.Card};
        order-changing, same gate; a strict 2x ratio prevents
-       oscillation).}}
+       oscillation);}
+    {- ["sort-elision"] — an unpartitioned [%] (Rownum) whose input
+       provably arrives sorted by the requested keys ({!Order}) becomes
+       a [#] (Rowid) stamp: the stable sort of a sorted input is the
+       identity, so ranks equal row positions bit-for-bit. Unlike the
+       order-changing rules this needs no insensitivity gate — it
+       changes no row order, it only stops pretending to.}}
 
     Order-changing rules fire only on nodes whose row order provably
     cannot be observed: every path to the root passes a Distinct, a
@@ -52,9 +58,13 @@ val total_fires : stats -> int
 (** [optimize b root] rewrites to fixpoint (bounded by [max_rounds],
     default 50) and returns the new root with run statistics.
     [stats] seeds cardinality estimates for ["join-swap"]; estimates are
-    advisory — they steer performance choices, never correctness. *)
+    advisory — they steer performance choices, never correctness.
+    [order_props] (default [true]) enables the {!Order}-backed
+    ["sort-elision"] rule; switching it off restores sort-preserving
+    plans for differential testing. *)
 val optimize :
   ?max_rounds:int ->
+  ?order_props:bool ->
   ?stats:Plan.Card.stats ->
   Plan.builder ->
   Plan.node ->

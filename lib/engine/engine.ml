@@ -45,6 +45,11 @@ type opts = {
          join synthesis over cross products, order-insensitive join
          reassociation and cardinality-driven input ordering, run between
          CDA and lowering *)
+  order_props : bool;
+      (* ordering-property reasoning (Algebra.Order): the rewriter's
+         sort-elision rule, the root sort-on-pos skip, and merge-degraded
+         % kernels. Pure optimization — a proof of an order already held
+         can change no result *)
 }
 
 (* Engine-wide default parallelism, from XRQ_JOBS (CI runs the whole
@@ -68,12 +73,15 @@ let default_opts = {
   fallback = true;
   jobs = default_jobs;
   rewrite = true;
+  order_props = true;
 }
 
 (* Pathfinder with order indifference disabled: every plan is emitted as if
    ordering mode ordered were in effect, and no cleanup runs. *)
 let ordered_baseline =
-  { default_opts with unordered_rules = false; cda = false; rewrite = false }
+  { default_opts with
+    unordered_rules = false; cda = false; rewrite = false;
+    order_props = false }
 
 type result = {
   items : Value.t list;        (* the result sequence *)
@@ -126,9 +134,12 @@ let analyze ?(opts = default_opts) ?stats text =
   let optimized, rstats =
     if not opts.rewrite then (optimized, Algebra.Rewrite.empty_stats)
     else begin
-      let o1, s1 = Algebra.Rewrite.optimize ?stats cfg.b optimized in
+      let order_props = opts.order_props in
+      let o1, s1 =
+        Algebra.Rewrite.optimize ~order_props ?stats cfg.b optimized
+      in
       let o1 = if o1.Algebra.Plan.id <> optimized.Algebra.Plan.id then cda o1 else o1 in
-      let o2, s2 = Algebra.Rewrite.optimize ?stats cfg.b o1 in
+      let o2, s2 = Algebra.Rewrite.optimize ~order_props ?stats cfg.b o1 in
       let o2 = if o2.Algebra.Plan.id <> o1.Algebra.Plan.id then cda o2 else o2 in
       let fires =
         List.fold_left
@@ -159,10 +170,20 @@ let plans_of ?opts ?stats text =
    resolved by Doc at evaluation time), so a prepared entry is reusable
    against any store. *)
 type prepared =
-  | Prepared_plans of
-      Algebra.Plan.node * Algebra.Plan.node * Algebra.Physical.pnode option
-      (* raw, optimized, and — when the physical backend is on — the
-         lowered physical plan (lowering is cached with the plans) *)
+  | Prepared_plans of {
+      raw : Algebra.Plan.node;
+      optimized : Algebra.Plan.node;
+      physical : Algebra.Physical.pnode option;
+          (* when the physical backend is on — the lowered physical plan
+             (lowering is cached with the plans) *)
+      pos_sorted : bool;
+          (* the ordering analysis proved the optimized plan delivers its
+             rows already sorted by pos: the root sort is a no-op and the
+             executors skip it. A plan property, cached with the plan. *)
+      sorts_elided : int;
+          (* "sort-elision" fires during optimization, stamped into the
+             profile of every run of this prepared plan *)
+    }
   | Prepared_core of Xquery.Core_ast.core
 
 type cache = prepared Plan_cache.t
@@ -180,7 +201,7 @@ let cache_stats (c : cache) = Plan_cache.stats c
    would make cache hits silently change a query's parallelism when a
    caller mixes widths in one cache. *)
 let opts_fingerprint opts =
-  Printf.sprintf "m%sr%bc%bh%bj%bb%sp%sx%dw%b"
+  Printf.sprintf "m%sr%bc%bh%bj%bb%sp%sx%dw%bO%b"
     (match opts.mode with
      | None -> "-"
      | Some Xquery.Ast.Ordered -> "o"
@@ -188,7 +209,7 @@ let opts_fingerprint opts =
     opts.unordered_rules opts.cda opts.hoist opts.join_rec
     (match opts.backend with Compiled -> "c" | Interpreted -> "i")
     (match opts.physical with `On -> "1" | `Off -> "0")
-    opts.jobs opts.rewrite
+    opts.jobs opts.rewrite opts.order_props
 
 let cache_key opts text =
   opts_fingerprint opts ^ "\x00" ^ Plan_cache.normalize_query text
@@ -222,7 +243,7 @@ let label_plan root =
 (* Lower an optimized logical plan to the physical-operator DAG, wiring
    the statically inferred column types in as dump annotations and the
    cardinality estimates in as the hash-build-side chooser. *)
-let lower_physical ?stats optimized =
+let lower_physical ?stats ?(order_props = true) optimized =
   let hints = Exrquy.Properties.infer optimized in
   let types n =
     List.map
@@ -230,23 +251,60 @@ let lower_physical ?stats optimized =
       (Exrquy.Properties.schema_list hints n)
   in
   let card = Algebra.Plan.Card.estimator ?stats () in
-  Algebra.Lower.lower ~types ~card optimized
+  (* Surviving % nodes whose input the ordering analysis proves piecewise
+     sorted (k runs) get a merge hint: the kernel verifies the runs and
+     merges instead of sorting. The hint is advisory — a wrong count
+     falls back to the full sort. *)
+  let merge_hint =
+    if not order_props then fun _ -> None
+    else begin
+      let a = Algebra.Order.make () in
+      fun (n : Algebra.Plan.node) ->
+        match n.Algebra.Plan.op with
+        | Algebra.Plan.Rownum { input; order; part; _ } ->
+          let req =
+            (match part with
+             | Some p -> [ (p, Algebra.Plan.Asc) ]
+             | None -> [])
+            @ order
+          in
+          Algebra.Order.sorted_runs a input req
+        | _ -> None
+    end
+  in
+  Algebra.Lower.lower ~types ~card ~merge_hint optimized
 
 let prepared_of ?cache ?stats opts text =
   let build () =
     match opts.backend with
     | Interpreted -> Prepared_core (parse_and_normalize ?mode:opts.mode text)
     | Compiled ->
-      let _, raw, optimized = plans_of ~opts ?stats text in
+      let a = analyze ~opts ?stats text in
+      let raw = a.araw and optimized = a.aoptimized in
       (* label before lowering so physical kernels inherit the profile
          buckets of their logical head operators *)
       label_plan optimized;
       let physical =
         match opts.physical with
         | `Off -> None
-        | `On -> Some (lower_physical ?stats optimized)
+        | `On ->
+          Some (lower_physical ?stats ~order_props:opts.order_props optimized)
       in
-      Prepared_plans (raw, optimized, physical)
+      (* The root sort exists to order items by pos; when the optimized
+         plan already proves pos-order (non-strict suffices: the root
+         sort is stable), both executors may serialize in row order.
+         This is a structural fact about the plan — it never consults
+         the query's ordering mode. *)
+      let pos_sorted =
+        opts.order_props
+        && Algebra.Order.satisfies (Algebra.Order.make ()) optimized
+             [ ("pos", Algebra.Plan.Asc) ]
+      in
+      let sorts_elided =
+        Option.value ~default:0
+          (List.assoc_opt "sort-elision" a.arewrite.Algebra.Rewrite.fires)
+      in
+      Prepared_plans { raw; optimized; physical; pos_sorted; sorts_elided }
   in
   match cache with
   | None -> build ()
@@ -264,7 +322,7 @@ let constructs_nodes ?cache ?(opts = default_opts) store text =
   | Compiled ->
     (match prepared_of ?cache ~stats:(stats_of_store store) opts text with
      | Prepared_core _ -> true
-     | Prepared_plans (_, optimized, _) ->
+     | Prepared_plans { optimized; _ } ->
        List.exists
          (fun (n : Algebra.Plan.node) ->
             match n.Algebra.Plan.op with
@@ -274,15 +332,20 @@ let constructs_nodes ?cache ?(opts = default_opts) store text =
             | _ -> false)
          (Algebra.Plan.topo_order optimized))
 
-(* Extract the result sequence from the final iter|pos|item table. *)
-let items_of_table t =
+(* Extract the result sequence from the final iter|pos|item table.
+   [pos_sorted] is the ordering analysis's verdict on the optimized plan:
+   when the rows provably arrive sorted by pos, the (stable) root sort
+   would be the identity and is skipped outright. *)
+let items_of_table ?(pos_sorted = false) t =
   let n = Algebra.Table.nrows t in
-  let rows =
-    List.init n (fun i ->
-        (Algebra.Value.int_value (Algebra.Table.get t "pos" i),
-         Algebra.Table.get t "item" i))
-  in
-  List.map snd (List.sort (fun (a, _) (b, _) -> Int.compare a b) rows)
+  if pos_sorted then List.init n (fun i -> Algebra.Table.get t "item" i)
+  else
+    let rows =
+      List.init n (fun i ->
+          (Algebra.Value.int_value (Algebra.Table.get t "pos" i),
+           Algebra.Table.get t "item" i))
+    in
+    List.map snd (List.sort (fun (a, _) (b, _) -> Int.compare a b) rows)
 
 (* The fault-injection hook lives in the compiled executor's boundary
    checks only: the interpreter (and in particular the fallback retry)
@@ -320,12 +383,19 @@ let run ?cache ?(opts = default_opts) ?(with_profile = false) store text : resul
     run_interpreted ~degraded:None core
   | Compiled ->
     let run_compiled () =
-      let raw, optimized, physical =
+      let raw, optimized, physical, pos_sorted, sorts_elided =
         match prepared_of ?cache ~stats:card_stats opts text with
-        | Prepared_plans (raw, optimized, physical) -> (raw, optimized, physical)
+        | Prepared_plans { raw; optimized; physical; pos_sorted; sorts_elided }
+          ->
+          (raw, optimized, physical, pos_sorted, sorts_elided)
         | Prepared_core _ -> assert false
       in
       let profile = if with_profile then Some (Algebra.Profile.create ()) else None in
+      Option.iter
+        (fun p ->
+           if sorts_elided > 0 then Algebra.Profile.add_sorts_elided p sorts_elided;
+           if pos_sorted then Algebra.Profile.count_root_sort_elided p)
+        profile;
       let guard = Option.map Budget.start opts.budget in
       let table =
         match physical with
@@ -336,7 +406,7 @@ let run ?cache ?(opts = default_opts) ?(with_profile = false) store text : resul
           Algebra.Eval.run ?profile ?guard ~step_impl:opts.step_impl
             ~mode:opts.eval_mode store optimized
       in
-      let items = items_of_table table in
+      let items = items_of_table ~pos_sorted table in
       { items;
         serialized = Interp.Xdm.serialize store items;
         plan = Some optimized; raw_plan = Some raw; physical_plan = physical;
@@ -403,7 +473,7 @@ let prepare ?cache ?(opts = default_opts) store text =
         List.length
           (Interp.Interpreter.eval_core ?guard:(interp_guard opts) store core)
     )
-  | Prepared_plans (_, optimized, physical) ->
+  | Prepared_plans { optimized; physical; _ } ->
     ( Some optimized,
       fun () ->
         let guard = Option.map Budget.start opts.budget in

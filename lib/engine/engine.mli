@@ -57,6 +57,15 @@ type opts = {
           cardinality-driven join input ordering. Pure optimization —
           results and error behaviour are unchanged (default [true]).
           Participates in the plan-cache fingerprint. *)
+  order_props : bool;
+      (** ordering-property reasoning ({!Algebra.Order}): the rewriter's
+          sort-elision rule ([%] → [#] when the required order already
+          holds), the root sort-on-pos skip when the plan proves
+          pos-order, and merge-degraded [%] kernels over piecewise-sorted
+          input. Structural proofs about physical row order — never the
+          query's ordering mode — so results are identical on or off
+          (default [true]). Participates in the plan-cache
+          fingerprint. *)
 }
 
 val default_opts : opts
@@ -133,9 +142,14 @@ val plans_of :
 (** Lower an optimized logical plan to its physical-operator DAG, with
     statically inferred column types attached as plan-dump annotations
     (what the compiled backend executes when [physical = `On]). [stats]
-    steers the hash-join build-side choice; omitted = defaults. *)
+    steers the hash-join build-side choice; omitted = defaults.
+    [order_props] (default [true]) lets the ordering analysis attach
+    merge hints to surviving [%] kernels. *)
 val lower_physical :
-  ?stats:Algebra.Plan.Card.stats -> Algebra.Plan.node -> Algebra.Physical.pnode
+  ?stats:Algebra.Plan.Card.stats ->
+  ?order_props:bool ->
+  Algebra.Plan.node ->
+  Algebra.Physical.pnode
 
 (** Whether evaluating this query may append fragments to the store:
     true when the prepared plan contains construction operators, and

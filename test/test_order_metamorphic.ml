@@ -37,18 +37,26 @@ let mk_store () =
   let _ = Xmldb.Xml_parser.load_document st ~uri:"t.xml" doc_xml in
   st
 
-(* The four executor configurations of relation 2. The boxed executor
-   ignores [jobs]; running it at jobs=4 anyway pins down exactly that. *)
+(* The executor configurations of relation 2: {boxed, physical} ×
+   {serial, jobs=4}, each with ordering-property reasoning on, plus both
+   executors with it off. The boxed executor ignores [jobs]; running it
+   at jobs=4 anyway pins down exactly that. Keeping the no-order-props
+   runs in the same exact-agreement matrix is the elision oracle: a sort
+   wrongly proved away would desynchronize them from the reference. *)
 let configs =
-  [ ("physical/serial", `On, 1);
-    ("physical/jobs4", `On, 4);
-    ("boxed/serial", `Off, 1);
-    ("boxed/jobs4", `Off, 4) ]
+  [ ("physical/serial", `On, 1, true);
+    ("physical/jobs4", `On, 4, true);
+    ("boxed/serial", `Off, 1, true);
+    ("boxed/jobs4", `Off, 4, true);
+    ("physical/serial/no-order-props", `On, 1, false);
+    ("boxed/serial/no-order-props", `Off, 1, false) ]
 
 type outcome = Items of string list | Failed of string
 
-let run ?mode (name, physical, jobs) q =
-  let opts = { Engine.default_opts with Engine.physical; jobs; mode } in
+let run ?mode (name, physical, jobs, order_props) q =
+  let opts =
+    { Engine.default_opts with Engine.physical; jobs; mode; order_props }
+  in
   let st = mk_store () in
   ignore name;
   match Engine.run_result ~opts st q with
@@ -118,7 +126,7 @@ let test_unordered_wrap_is_permutation () =
     (fun (file, text) ->
        let wrapped = wrap_unordered text in
        List.iter
-         (fun ((name, _, _) as cfg) ->
+         (fun ((name, _, _, _) as cfg) ->
             Alcotest.(check string)
               (Printf.sprintf "%s [%s]: unordered{} at most permutes" file name)
               (multiset (run cfg text))
@@ -135,7 +143,7 @@ let check_configs_exact ?mode label text =
   | reference_cfg :: rest ->
     let reference = exact (run ?mode reference_cfg text) in
     List.iter
-      (fun ((name, _, _) as cfg) ->
+      (fun ((name, _, _, _) as cfg) ->
          Alcotest.(check string)
            (Printf.sprintf "%s [%s]" label name)
            reference
@@ -173,11 +181,43 @@ let test_ordered_context_exact () =
       return $p/name/text()|}
   in
   List.iter
-    (fun ((name, _, _) as cfg) ->
+    (fun ((name, _, _, _) as cfg) ->
        Alcotest.(check string)
          (Printf.sprintf "order-by survives unordered{} [%s]" name)
          (exact (run cfg q))
          (exact (run cfg (wrap_unordered q))))
+    configs
+
+(* The soundness boundary of sort elision, pinned adversarially: an
+   [unordered { ... order by ... descending ... }] under a FORCED
+   ordered mode. The wrap grants maximum latitude and a mode-peeking
+   implementation might take it as licence to skip the root sort — but
+   elision must be purely structural (a proof the rows already arrive
+   pos-sorted), and a descending order-by makes that proof impossible.
+   So: the root sort must NOT be elided, the result must be the
+   descending sequence exactly, and order-props on/off must agree to the
+   byte in every configuration. *)
+let test_unordered_wrap_never_licenses_elision () =
+  let q = "unordered { for $i in (1, 2, 3) order by $i descending return $i }"
+  in
+  (* structural check: the engine did not elide the root sort *)
+  let st = mk_store () in
+  let r =
+    Engine.run ~opts:{ Engine.default_opts with mode = Some Xquery.Ast.Ordered }
+      ~with_profile:true st q
+  in
+  (match r.Engine.profile with
+   | None -> Alcotest.fail "profile requested but absent"
+   | Some p ->
+     Alcotest.(check int) "root sort NOT elided under unordered{}+desc" 0
+       (Algebra.Profile.phys p).Algebra.Profile.root_sort_elided);
+  (* behavioural check: exact descending result, every config, on = off *)
+  List.iter
+    (fun ((name, _, _, _) as cfg) ->
+       Alcotest.(check string)
+         (Printf.sprintf "desc result exact under forced ordered [%s]" name)
+         "ok: 3 | 2 | 1"
+         (exact (run ~mode:Xquery.Ast.Ordered cfg q)))
     configs
 
 let () =
@@ -190,4 +230,7 @@ let () =
        [ Alcotest.test_case "plain" `Slow test_configs_agree_plain;
          Alcotest.test_case "wrapped" `Slow test_configs_agree_wrapped;
          Alcotest.test_case "forced ordered mode" `Slow
-           test_configs_agree_forced_ordered ]) ]
+           test_configs_agree_forced_ordered ]);
+      ("sort-elision soundness boundary",
+       [ Alcotest.test_case "unordered{} + order-by-desc never elides"
+           `Quick test_unordered_wrap_never_licenses_elision ]) ]

@@ -38,24 +38,39 @@ type shape = {
   rowids : int;     (* # *)
   joins : int;      (* ⋈, ⋈θ, semi/anti, × *)
   tree_nodes : int; (* the plan unfolded without sharing *)
+  ord_nodes : int;  (* nodes with a provable ordering fact (Algebra.Order) *)
+  root_ord : string;
+      (* the root's ordering annotation; "ord:pos↑" (or a const pos /
+         one-row proof folded into it) is what licenses root-sort
+         elision *)
 }
 
 let shape_of root =
   let rownums = ref 0 and rowids = ref 0 and joins = ref 0 in
+  let a = Algebra.Order.make () in
+  let ord_nodes = ref 0 in
   List.iter
     (fun (n : P.node) ->
-       match n.P.op with
-       | P.Rownum _ -> incr rownums
-       | P.Rowid _ -> incr rowids
-       | P.Join _ | P.Thetajoin _ | P.Semijoin _ | P.Antijoin _
-       | P.Cross _ -> incr joins
-       | _ -> ())
+       (match n.P.op with
+        | P.Rownum _ -> incr rownums
+        | P.Rowid _ -> incr rowids
+        | P.Join _ | P.Thetajoin _ | P.Semijoin _ | P.Antijoin _
+        | P.Cross _ -> incr joins
+        | _ -> ());
+       if Algebra.Order.annotate a n <> "" then incr ord_nodes)
     (P.topo_order root);
+  let root_ord =
+    if Algebra.Order.satisfies a root [ ("pos", P.Asc) ] then "pos-sorted"
+    else
+      match Algebra.Order.annotate a root with "" -> "unordered" | s -> s
+  in
   { ops = P.count_ops root;
     rownums = !rownums;
     rowids = !rowids;
     joins = !joins;
-    tree_nodes = P.count_tree_nodes root }
+    tree_nodes = P.count_tree_nodes root;
+    ord_nodes = !ord_nodes;
+    root_ord }
 
 let compile opts text =
   let _, _, optimized = Engine.plans_of ~opts text in
@@ -73,29 +88,45 @@ let rule_fires text =
    regenerate with PLAN_SHAPES_DUMP=1 (see header). *)
 let golden : (string * shape * shape) list =
   [ ("existential_join.xq",
-     { ops = 68; rownums = 2; rowids = 1; joins = 9; tree_nodes = 694 },
-     { ops = 115; rownums = 14; rowids = 0; joins = 9; tree_nodes = 1384 });
+     { ops = 66; rownums = 0; rowids = 2; joins = 9; tree_nodes = 646;
+       ord_nodes = 47; root_ord = "pos-sorted" },
+     { ops = 115; rownums = 14; rowids = 0; joins = 9; tree_nodes = 1384;
+       ord_nodes = 104; root_ord = "pos-sorted" });
     ("gold_items.xq",
-     { ops = 129; rownums = 1; rowids = 3; joins = 19; tree_nodes = 4086 },
-     { ops = 201; rownums = 12; rowids = 0; joins = 19; tree_nodes = 8830 });
+     { ops = 129; rownums = 1; rowids = 3; joins = 19; tree_nodes = 4086;
+       ord_nodes = 93; root_ord = "pos-sorted" },
+     { ops = 201; rownums = 12; rowids = 0; joins = 19; tree_nodes = 8830;
+       ord_nodes = 151; root_ord = "pos-sorted" });
     ("income_histogram.xq",
-     { ops = 239; rownums = 1; rowids = 2; joins = 32; tree_nodes = 2696 },
-     { ops = 356; rownums = 20; rowids = 0; joins = 32; tree_nodes = 5647 });
+     { ops = 239; rownums = 1; rowids = 2; joins = 32; tree_nodes = 2696;
+       ord_nodes = 201; root_ord = "pos-sorted" },
+     { ops = 356; rownums = 20; rowids = 0; joins = 32; tree_nodes = 5647;
+       ord_nodes = 288; root_ord = "pos-sorted" });
     ("paper_expression3.xq",
-     { ops = 86; rownums = 4; rowids = 0; joins = 10; tree_nodes = 329 },
-     { ops = 122; rownums = 7; rowids = 0; joins = 10; tree_nodes = 588 });
+     { ops = 86; rownums = 2; rowids = 2; joins = 10; tree_nodes = 329;
+       ord_nodes = 58; root_ord = "unordered" },
+     { ops = 122; rownums = 7; rowids = 0; joins = 10; tree_nodes = 588;
+       ord_nodes = 98; root_ord = "unordered" });
     ("paper_fig10.xq",
-     { ops = 26; rownums = 0; rowids = 2; joins = 2; tree_nodes = 54 },
-     { ops = 49; rownums = 7; rowids = 0; joins = 2; tree_nodes = 104 });
+     { ops = 26; rownums = 0; rowids = 2; joins = 2; tree_nodes = 54;
+       ord_nodes = 23; root_ord = "pos-sorted" },
+     { ops = 49; rownums = 7; rowids = 0; joins = 2; tree_nodes = 104;
+       ord_nodes = 43; root_ord = "ord:iter\226\134\145; iter\226\134\147" });
     ("paper_q11.xq",
-     { ops = 100; rownums = 8; rowids = 0; joins = 13; tree_nodes = 700 },
-     { ops = 163; rownums = 16; rowids = 0; joins = 13; tree_nodes = 1326 });
+     { ops = 98; rownums = 2; rowids = 4; joins = 13; tree_nodes = 666;
+       ord_nodes = 88; root_ord = "pos-sorted" },
+     { ops = 163; rownums = 16; rowids = 0; joins = 13; tree_nodes = 1326;
+       ord_nodes = 143; root_ord = "pos-sorted" });
     ("paper_q6.xq",
-     { ops = 28; rownums = 3; rowids = 0; joins = 3; tree_nodes = 81 },
-     { ops = 54; rownums = 7; rowids = 0; joins = 3; tree_nodes = 168 });
+     { ops = 27; rownums = 0; rowids = 2; joins = 3; tree_nodes = 76;
+       ord_nodes = 24; root_ord = "pos-sorted" },
+     { ops = 54; rownums = 7; rowids = 0; joins = 3; tree_nodes = 168;
+       ord_nodes = 49; root_ord = "pos-sorted" });
     ("top_sellers.xq",
-     { ops = 136; rownums = 4; rowids = 2; joins = 20; tree_nodes = 6732 },
-     { ops = 210; rownums = 17; rowids = 1; joins = 20; tree_nodes = 13656 });
+     { ops = 134; rownums = 2; rowids = 3; joins = 20; tree_nodes = 6540;
+       ord_nodes = 108; root_ord = "unordered" },
+     { ops = 210; rownums = 17; rowids = 1; joins = 20; tree_nodes = 13656;
+       ord_nodes = 124; root_ord = "ord:iter\226\134\145; iter\226\134\147" });
   ]
 
 let golden_fires : (string * (string * int) list) list =
@@ -106,7 +137,8 @@ let golden_fires : (string * (string * int) list) list =
        ("join-synthesis", 1);
        ("project-fuse", 4);
        ("project-split", 2);
-       ("select-pushdown", 4) ]);
+       ("select-pushdown", 4);
+       ("sort-elision", 1) ]);
     ("gold_items.xq",
      [ ("project-fuse", 7);
        ("project-split", 4);
@@ -117,19 +149,21 @@ let golden_fires : (string * (string * int) list) list =
        ("project-split", 4);
        ("select-pushdown", 13) ]);
     ("paper_expression3.xq",
-     [  ]);
+     [ ("sort-elision", 2) ]);
     ("paper_fig10.xq",
      [  ]);
     ("paper_q11.xq",
      [ ("fun-pushdown", 1);
        ("project-fuse", 6);
-       ("project-split", 4) ]);
+       ("project-split", 4);
+       ("sort-elision", 5) ]);
     ("paper_q6.xq",
-     [  ]);
+     [ ("sort-elision", 3) ]);
     ("top_sellers.xq",
      [ ("project-fuse", 6);
        ("project-split", 4);
-       ("select-pushdown", 4) ]);
+       ("select-pushdown", 4);
+       ("sort-elision", 1) ]);
   ]
 
 let measure file =
@@ -144,11 +178,12 @@ let dump () =
   List.iteri
     (fun i file ->
        let d, b = measure file in
-       let pp { ops; rownums; rowids; joins; tree_nodes } =
+       let pp { ops; rownums; rowids; joins; tree_nodes; ord_nodes; root_ord }
+         =
          Printf.sprintf
            "{ ops = %d; rownums = %d; rowids = %d; joins = %d; \
-            tree_nodes = %d }"
-           ops rownums rowids joins tree_nodes
+            tree_nodes = %d;\n       ord_nodes = %d; root_ord = %S }"
+           ops rownums rowids joins tree_nodes ord_nodes root_ord
        in
        Printf.printf "%s(%S,\n     %s,\n     %s);\n"
          (if i = 0 then "" else "    ")
@@ -168,9 +203,10 @@ let dump () =
   print_string "  ]\n"
 
 let check_shape name expected actual =
-  let pp { ops; rownums; rowids; joins; tree_nodes } =
-    Printf.sprintf "ops=%d rownums=%d rowids=%d joins=%d tree=%d" ops
-      rownums rowids joins tree_nodes
+  let pp { ops; rownums; rowids; joins; tree_nodes; ord_nodes; root_ord } =
+    Printf.sprintf
+      "ops=%d rownums=%d rowids=%d joins=%d tree=%d ord_nodes=%d root=%s"
+      ops rownums rowids joins tree_nodes ord_nodes root_ord
   in
   Alcotest.(check string) name (pp expected) (pp actual)
 
