@@ -15,6 +15,8 @@
                 writes BENCH_parallel.json
      rewrite    the logical rewriter on vs off over join-bearing queries;
                 writes BENCH_rewrite.json
+     joingraph  join-graph isolation on vs off (Q9 vs Q8 headline ratio);
+                writes BENCH_joingraph.json
      serve      the query server under concurrent clients: capacity and
                 2x-overload phases, throughput + p50/p99 + shed counts;
                 writes BENCH_serve.json
@@ -30,6 +32,10 @@
      XRQ_PAR_OUT       output path for BENCH_parallel.json
      XRQ_RW_SCALE      XMark scale for the rewrite experiment (default 0.05)
      XRQ_RW_OUT        output path for BENCH_rewrite.json
+     XRQ_JG_SCALE      XMark scale for the joingraph experiment (default 0.05)
+     XRQ_JG_OUT        output path for BENCH_joingraph.json
+     XRQ_JG_MAX_RATIO  fail (exit 1) when q9/q8 with isolation on exceeds
+                       this ratio (the CI guard; unset = report only)
      XRQ_SERVE_SCALE   XMark scale for the serve experiment (default 0.02)
      XRQ_SERVE_REQS    requests per client in each serve phase (default 40)
      XRQ_SERVE_OUT     output path for BENCH_serve.json *)
@@ -684,6 +690,27 @@ let parallel_bench () =
       close_out oc;
       Printf.printf "wrote %s\n" out_path)
 
+(* The join-graph isolation headline queries (queries/README.md): an
+   anti-join and a semi-join existential whose count-then-filter
+   scaffolds the jg-* rules collapse. The jg-* rules run inside the same
+   rewrite fixpoint, so rewrite-off is also isolation-off. *)
+let xpath_ex =
+  {|let $auction := doc("auction.xml")
+return
+  for $p in $auction/site/people/person
+  where empty(for $t in $auction/site/closed_auctions/closed_auction
+              where $t/buyer/@person = $p/@id
+              return $t)
+  return <quiet>{ $p/name/text() }</quiet>|}
+
+let quant_semi =
+  {|let $auction := doc("auction.xml")
+return
+  for $a in $auction/site/open_auctions/open_auction
+  where some $b in $a/bidder/increase
+        satisfies $b >= 2 * zero-or-one($a/initial)
+  return <hot>{ $a/reserve/text() }</hot>|}
+
 (* --------------------------------------------------------------- rewrite *)
 
 (* The logical rewriter's dividend: join-bearing queries prepared with the
@@ -711,6 +738,8 @@ return count($auction/site/people/person[@id =
   in
   let queries =
     [ ("exjoin", exjoin);
+      ("xpathex", xpath_ex);
+      ("quantsj", quant_semi);
       ("q8", Xmark.Xmark_queries.q8);
       ("q10", Xmark.Xmark_queries.q10);
       ("q11", Xmark.Xmark_queries.q11);
@@ -763,6 +792,110 @@ return count($auction/site/people/person[@id =
       Printf.fprintf oc "  ]\n}\n";
       close_out oc;
       Printf.printf "wrote %s\n" out_path)
+
+(* ------------------------------------------------------------- joingraph *)
+
+(* Join-graph isolation on vs off: the corpus outlier Q9 (a value
+   equijoin hidden behind an intervening let), its scaffold-free sibling
+   Q8, the other join-bearing XMark queries, and the two existential
+   headline queries. The headline number is Q9's time relative to Q8
+   with isolation on — the pass's goal is to bring the outlier onto the
+   same curve. Writes BENCH_joingraph.json (override XRQ_JG_OUT; scale
+   XRQ_JG_SCALE, default 0.05). With XRQ_JG_MAX_RATIO set, exits
+   nonzero when the on-ratio exceeds it (the CI guard). *)
+let joingraph_bench () =
+  section "Joingraph — join-graph isolation on vs off";
+  let scale =
+    try float_of_string (Sys.getenv "XRQ_JG_SCALE")
+    with Not_found | Failure _ -> 0.05
+  in
+  let out_path =
+    Option.value (Sys.getenv_opt "XRQ_JG_OUT") ~default:"BENCH_joingraph.json"
+  in
+  let off_opts = { Engine.default_opts with Engine.join_isolation = false } in
+  let queries =
+    [ ("q8", Xmark.Xmark_queries.q8);
+      ("q9", Xmark.Xmark_queries.q9);
+      ("q4", Xmark.Xmark_queries.q4);
+      ("q16", Xmark.Xmark_queries.q16);
+      ("q17", Xmark.Xmark_queries.q17);
+      ("q20", Xmark.Xmark_queries.q20);
+      ("xpathex", xpath_ex);
+      ("quantsj", quant_semi) ]
+  in
+  with_store scale (fun st bytes ->
+      Printf.printf "auction.xml: %.2f MB serialized, %d nodes\n\n"
+        (float_of_int bytes /. 1e6) (Xmldb.Doc_store.total_nodes st);
+      Printf.printf "%-8s %12s %12s %9s %8s\n" "query" "off" "on" "speedup"
+        "items";
+      let rows =
+        List.map
+          (fun (name, q) ->
+             let _, run_off = Engine.prepare ~opts:off_opts st q in
+             let plan_on, run_on =
+               Engine.prepare ~opts:Engine.default_opts st q
+             in
+             let n_off, t_off = measure_exec run_off in
+             let n_on, t_on = measure_exec run_on in
+             let s_on =
+               match plan_on with
+               | Some p -> Algebra.Joingraph.summary_to_string
+                             (Algebra.Joingraph.summary p)
+               | None -> "-"
+             in
+             Printf.printf "%-8s %10.2fms %10.2fms %8.2fx %8d%s\n%!" name
+               (t_off *. 1000.) (t_on *. 1000.) (t_off /. t_on) n_on
+               (if n_off <> n_on then "  !! result count mismatch" else "");
+             Printf.printf "         join graph (on): %s\n%!" s_on;
+             (name, t_off, t_on, n_on, n_off = n_on))
+          queries
+      in
+      let t_of n =
+        List.find_map
+          (fun (name, _, t_on, _, _) -> if name = n then Some t_on else None)
+          rows
+      in
+      let ratio =
+        match (t_of "q9", t_of "q8") with
+        | Some t9, Some t8 when t8 > 0. -> t9 /. t8
+        | _ -> nan
+      in
+      Printf.printf
+        "\nq9 vs q8 with isolation on: %.2fx (the outlier pulled onto the \
+         corpus curve)\n"
+        ratio;
+      let oc = open_out out_path in
+      Printf.fprintf oc
+        "{\n  \"experiment\": \"joingraph\",\n  \"scale\": %g,\n\
+        \  \"document_bytes\": %d,\n  \"q9_vs_q8\": %.3f,\n\
+        \  \"queries\": [\n"
+        scale bytes ratio;
+      List.iteri
+        (fun i (name, t_off, t_on, n_on, parity) ->
+           Printf.fprintf oc
+             "    { \"query\": %S, \"no_isolation_ms\": %.3f, \
+              \"isolation_ms\": %.3f, \"speedup\": %.3f, \"items\": %d, \
+              \"count_parity\": %b }%s\n"
+             name (t_off *. 1000.) (t_on *. 1000.) (t_off /. t_on) n_on
+             parity
+             (if i < List.length rows - 1 then "," else ""))
+        rows;
+      Printf.fprintf oc "  ]\n}\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" out_path;
+      match Sys.getenv_opt "XRQ_JG_MAX_RATIO" with
+      | Some m -> (
+        match float_of_string_opt m with
+        | Some max_ratio when ratio > max_ratio ->
+          Printf.eprintf
+            "joingraph guard: q9/q8 = %.2f exceeds XRQ_JG_MAX_RATIO = %.2f\n"
+            ratio max_ratio;
+          exit 1
+        | Some max_ratio ->
+          Printf.printf "joingraph guard: q9/q8 = %.2f within %.2f\n" ratio
+            max_ratio
+        | None -> ())
+      | None -> ())
 
 (* ----------------------------------------------------------------- order *)
 
@@ -1098,7 +1231,8 @@ let experiments =
     ("plansizes", plansizes); ("fig12", fig12); ("micro", micro);
     ("sharing", sharing); ("ablation", ablation); ("physical", physical);
     ("parallel", parallel_bench); ("rewrite", rewrite_bench);
-    ("order", order_bench); ("serve", serve_bench) ]
+    ("joingraph", joingraph_bench); ("order", order_bench);
+    ("serve", serve_bench) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -12,6 +12,9 @@
      --no-rewrite                disable the logical rewriter
      --no-order-props            disable ordering-property reasoning
                                  (sort elision, root-sort skip, merges)
+     --no-join-isolation         disable join-graph isolation (the
+                                 where-past-lets slide and the semijoin/
+                                 antijoin synthesis rules)
      --no-hoist                  disable loop-invariant hoisting
      --interpret                 use the reference interpreter
      --profile                   print the per-bucket execution profile
@@ -106,6 +109,13 @@ let no_joinrec_arg =
   Arg.(value & flag & info [ "no-joinrec" ]
          ~doc:"Disable FLWOR where-clause value-join recognition.")
 
+let no_join_isolation_arg =
+  Arg.(value & flag & info [ "no-join-isolation" ]
+         ~doc:"Disable join-graph isolation: no where-past-lets slide at \
+               compile time, no semijoin/antijoin synthesis from the \
+               existential count-then-filter scaffolds. Results are \
+               identical either way.")
+
 let no_physical_arg =
   Arg.(value & flag & info [ "no-physical" ]
          ~doc:"Execute plans with the boxed logical executor instead of \
@@ -190,10 +200,10 @@ let budget_spec timeout_s max_rows max_bytes max_ops =
       { Basis.Budget.unlimited with
         Basis.Budget.timeout_s; max_rows; max_bytes; max_ops }
 
-let mk_opts ?(no_joinrec = false) ?budget ?(no_fallback = false)
-    ?(tree_eval = false) ?(no_physical = false) ?jobs ?(no_parallel = false)
-    ?(no_rewrite = false) ?(no_order_props = false) mode no_rules no_cda
-    no_hoist interpret tag_index =
+let mk_opts ?(no_joinrec = false) ?(no_join_isolation = false) ?budget
+    ?(no_fallback = false) ?(tree_eval = false) ?(no_physical = false) ?jobs
+    ?(no_parallel = false) ?(no_rewrite = false) ?(no_order_props = false)
+    mode no_rules no_cda no_hoist interpret tag_index =
   { Engine.mode;
     unordered_rules = not no_rules;
     cda = not no_cda;
@@ -204,6 +214,7 @@ let mk_opts ?(no_joinrec = false) ?budget ?(no_fallback = false)
     eval_mode = (if tree_eval then Algebra.Eval.Tree else Algebra.Eval.Dag);
     physical = (if no_physical then `Off else `On);
     join_rec = not no_joinrec;
+    join_isolation = not no_join_isolation;
     budget;
     fallback = not no_fallback;
     jobs =
@@ -264,17 +275,17 @@ let report_degraded r =
 
 let run_cmd =
   let action docs qf expr mode no_rules no_cda no_hoist interpret profile
-      tag_index no_joinrec timeout max_rows max_bytes max_ops no_fallback
-      tree_eval no_physical jobs no_parallel plan_cache no_plan_cache
-      no_rewrite no_order_props =
+      tag_index no_joinrec no_join_isolation timeout max_rows max_bytes
+      max_ops no_fallback tree_eval no_physical jobs no_parallel plan_cache
+      no_plan_cache no_rewrite no_order_props =
     handle (fun () ->
         let store = Xmldb.Doc_store.create () in
         load_documents store docs;
         let budget = budget_spec timeout max_rows max_bytes max_ops in
         let opts =
-          mk_opts ~no_joinrec ?budget ~no_fallback ~tree_eval ~no_physical
-            ?jobs ~no_parallel ~no_rewrite ~no_order_props mode no_rules
-            no_cda no_hoist interpret tag_index
+          mk_opts ~no_joinrec ~no_join_isolation ?budget ~no_fallback
+            ~tree_eval ~no_physical ?jobs ~no_parallel ~no_rewrite
+            ~no_order_props mode no_rules no_cda no_hoist interpret tag_index
         in
         let cache = mk_cache ~plan_cache ~no_plan_cache in
         let r =
@@ -295,11 +306,11 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Evaluate an XQuery expression")
     Term.(const action $ docs_arg $ query_file_arg $ expr_arg $ mode_arg
           $ no_rules_arg $ no_cda_arg $ no_hoist_arg $ interpret_arg
-          $ profile_arg $ tag_index_arg $ no_joinrec_arg $ timeout_arg
-          $ max_rows_arg $ max_bytes_arg $ max_ops_arg $ no_fallback_arg
-          $ tree_eval_arg $ no_physical_arg $ jobs_arg $ no_parallel_arg
-          $ plan_cache_arg $ no_plan_cache_arg $ no_rewrite_arg
-          $ no_order_props_arg)
+          $ profile_arg $ tag_index_arg $ no_joinrec_arg
+          $ no_join_isolation_arg $ timeout_arg $ max_rows_arg
+          $ max_bytes_arg $ max_ops_arg $ no_fallback_arg $ tree_eval_arg
+          $ no_physical_arg $ jobs_arg $ no_parallel_arg $ plan_cache_arg
+          $ no_plan_cache_arg $ no_rewrite_arg $ no_order_props_arg)
 
 (* ---------------------------------------------------------------- plan *)
 
@@ -333,7 +344,7 @@ let props_annot ?ord hints n =
 
 let plan_cmd =
   let action docs qf expr mode no_rules no_cda no_hoist dot no_physical
-      no_rewrite no_order_props =
+      no_rewrite no_order_props no_join_isolation =
     handle (fun () ->
         (* documents are loaded only for their statistics: the rewriter's
            and the lowerer's cost decisions (join sides) *)
@@ -346,8 +357,8 @@ let plan_cmd =
           end
         in
         let opts =
-          mk_opts ~no_physical ~no_rewrite ~no_order_props mode no_rules
-            no_cda no_hoist false false
+          mk_opts ~no_join_isolation ~no_physical ~no_rewrite
+            ~no_order_props mode no_rules no_cda no_hoist false false
         in
         let a = Engine.analyze ~opts ?stats (query_text qf expr) in
         let raw = a.Engine.araw and optimized = a.Engine.aoptimized in
@@ -382,6 +393,9 @@ let plan_cmd =
             (fun (rule, k) -> Printf.printf "--   %-18s %d\n" rule k)
             rs.Algebra.Rewrite.fires
         end;
+        Printf.printf "-- join graph: %s\n"
+          (Algebra.Joingraph.summary_to_string
+             (Algebra.Joingraph.summary optimized));
         if opts.Engine.cda then print_string (render optimized);
         if (not no_physical) && not dot then begin
           let pp =
@@ -400,7 +414,8 @@ let plan_cmd =
   Cmd.v (Cmd.info "plan" ~doc:"Compile a query and print its algebra plan")
     Term.(const action $ docs_arg $ query_file_arg $ expr_arg $ mode_arg
           $ no_rules_arg $ no_cda_arg $ no_hoist_arg $ dot_arg
-          $ no_physical_arg $ no_rewrite_arg $ no_order_props_arg)
+          $ no_physical_arg $ no_rewrite_arg $ no_order_props_arg
+          $ no_join_isolation_arg)
 
 (* --------------------------------------------------------------- xmark *)
 
@@ -421,7 +436,7 @@ let xmark_cmd =
   let action scale qname mode no_rules no_cda no_hoist interpret profile
       tag_index timeout max_rows max_bytes max_ops no_fallback tree_eval
       no_physical jobs no_parallel plan_cache no_plan_cache repeat
-      no_rewrite no_order_props =
+      no_rewrite no_order_props no_join_isolation =
     handle (fun () ->
         let store = Xmldb.Doc_store.create () in
         let _, bytes = Xmark.Xmark_gen.load ~scale store in
@@ -429,9 +444,9 @@ let xmark_cmd =
           (float_of_int bytes /. 1e6) (Xmldb.Doc_store.total_nodes store);
         let budget = budget_spec timeout max_rows max_bytes max_ops in
         let opts =
-          mk_opts ?budget ~no_fallback ~tree_eval ~no_physical ?jobs
-            ~no_parallel ~no_rewrite ~no_order_props mode no_rules no_cda
-            no_hoist interpret tag_index
+          mk_opts ~no_join_isolation ?budget ~no_fallback ~tree_eval
+            ~no_physical ?jobs ~no_parallel ~no_rewrite ~no_order_props
+            mode no_rules no_cda no_hoist interpret tag_index
         in
         let cache = mk_cache ~plan_cache ~no_plan_cache in
         let queries =
@@ -459,7 +474,8 @@ let xmark_cmd =
           $ tag_index_arg $ timeout_arg $ max_rows_arg $ max_bytes_arg
           $ max_ops_arg $ no_fallback_arg $ tree_eval_arg $ no_physical_arg
           $ jobs_arg $ no_parallel_arg $ plan_cache_arg $ no_plan_cache_arg
-          $ repeat_arg $ no_rewrite_arg $ no_order_props_arg)
+          $ repeat_arg $ no_rewrite_arg $ no_order_props_arg
+          $ no_join_isolation_arg)
 
 (* ----------------------------------------------------------------- gen *)
 

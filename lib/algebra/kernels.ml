@@ -578,17 +578,55 @@ let eval_thetajoin l r lcol cmp rcol =
   let li, ri = theta_indices (Table.col l lcol) cmp (Table.col r rcol) in
   combine_rows l r li ri
 
-(* Which left rows survive a semi/anti join, given the key columns of
-   both sides (columns in matching on-pair order). *)
-let semi_keep ~anti ~nl ~nr (lcols : Value.t array array)
-    (rcols : Value.t array array) =
+(* The hash side of a semi/anti join, split out so the physical layer can
+   fan the probe out over morsels: the set of right-side key rows.
+   Building it is sequential; after that the table is never mutated, so
+   concurrent probes only perform racing reads of frozen state. *)
+let semi_key_set ~nr (rcols : Value.t array array) =
   let set = Row_tbl.create (max 16 nr) in
   for j = 0 to nr - 1 do
     Row_tbl.replace set (Array.map (fun c -> c.(j)) rcols) ()
   done;
+  set
+
+(* Probe left rows [lo, hi) against the frozen key set; kept indices come
+   back ascending, so per-morsel results concatenated in morsel order
+   reproduce the serial scan. *)
+let semi_probe set ~anti (lcols : Value.t array array) lo hi =
+  let idx = Vec.create 0 in
+  for i = lo to hi - 1 do
+    let mem = Row_tbl.mem set (Array.map (fun c -> c.(i)) lcols) in
+    if mem <> anti then Vec.push idx i
+  done;
+  Vec.to_array idx
+
+(* Which left rows survive a semi/anti join, given the key columns of
+   both sides (columns in matching on-pair order). *)
+let semi_keep ~anti ~nl ~nr (lcols : Value.t array array)
+    (rcols : Value.t array array) =
+  let set = semi_key_set ~nr rcols in
+  semi_probe set ~anti lcols 0 nl
+
+(* Build-flipped variant: hash the (estimated-smaller) left side's keys,
+   mark the matched ones in one scan of the right, then keep the left
+   rows whose membership agrees with the polarity. The marking scan
+   mutates the table, so this path is inherently sequential. Emits the
+   same ascending left subsequence as [semi_keep]. *)
+let semi_keep_build_left ~anti ~nl ~nr (lcols : Value.t array array)
+    (rcols : Value.t array array) =
+  let tbl = Row_tbl.create (max 16 nl) in
+  for i = 0 to nl - 1 do
+    let k = Array.map (fun c -> c.(i)) lcols in
+    if not (Row_tbl.mem tbl k) then Row_tbl.add tbl k (ref false)
+  done;
+  for j = 0 to nr - 1 do
+    match Row_tbl.find_opt tbl (Array.map (fun c -> c.(j)) rcols) with
+    | Some hit -> hit := true
+    | None -> ()
+  done;
   let idx = Vec.create 0 in
   for i = 0 to nl - 1 do
-    let mem = Row_tbl.mem set (Array.map (fun c -> c.(i)) lcols) in
+    let mem = !(Row_tbl.find tbl (Array.map (fun c -> c.(i)) lcols)) in
     if mem <> anti then Vec.push idx i
   done;
   Vec.to_array idx

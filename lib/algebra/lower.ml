@@ -25,10 +25,11 @@
    morsels ([ppar]) — the plan-shape story of the paper, mapped onto the
    executor: Rowid is the [#] shape (order immaterial — dense renumbering
    at the end), Rownum is the [%] shape (an order the query can observe),
-   so pipes, join probes and the order-indifferent aggregates
-   (count/sum/min/max) parallelize, while Rownum — and everything whose
-   matching logic is inherently sequential (Distinct's first-wins dedup,
-   Semijoin's hash build, Union's append) or boxed — stays serial. *)
+   so pipes, join and semijoin probes and the order-indifferent
+   aggregates (count/sum/min/max) parallelize, while Rownum — and
+   everything whose matching logic is inherently sequential (Distinct's
+   first-wins dedup, any hash build that is itself the output, Union's
+   append) or boxed — stays serial. *)
 
 type chain = Physical.chain_op list
 
@@ -71,16 +72,16 @@ let label_of (n : Plan.node) =
    of the plan, not just remove a sort. *)
 let parallelizable (pop : Physical.pop) =
   match pop with
-  | Physical.K_join { build_left = true; _ } -> false
+  | Physical.K_join { build_left = true; _ }
+  | Physical.K_semijoin { build_left = true; _ } -> false
   | Physical.K_pipe _ | Physical.K_join _ | Physical.K_thetajoin _
-  | Physical.K_rowid _ -> true
+  | Physical.K_semijoin _ | Physical.K_rowid _ -> true
   | Physical.K_aggr { agg; _ } -> (
     match agg with
     | Plan.A_count | Plan.A_sum | Plan.A_min | Plan.A_max -> true
     | _ -> false)
   | Physical.K_project _ | Physical.K_distinct | Physical.K_union
-  | Physical.K_rownum _ | Physical.K_semijoin _
-  | Physical.K_boxed _ -> false
+  | Physical.K_rownum _ | Physical.K_boxed _ -> false
 
 let lower ?(types = fun (_ : Plan.node) -> ([] : (string * Column.ty) list))
     ?card ?(merge_hint = fun (_ : Plan.node) -> (None : int option))
@@ -149,9 +150,15 @@ let lower ?(types = fun (_ : Plan.node) -> ([] : (string * Column.ty) list))
               (Physical.K_thetajoin { lcol; cmp; rcol })
               [ go left; go right ] 1
           | Plan.Semijoin { left; right; on } ->
-            mk (Physical.K_semijoin { anti = false; on }) [ go left; go right ] 1
+            mk
+              (Physical.K_semijoin
+                 { anti = false; on; build_left = build_left_of left right })
+              [ go left; go right ] 1
           | Plan.Antijoin { left; right; on } ->
-            mk (Physical.K_semijoin { anti = true; on }) [ go left; go right ] 1
+            mk
+              (Physical.K_semijoin
+                 { anti = true; on; build_left = build_left_of left right })
+              [ go left; go right ] 1
           | Plan.Aggr { input; res; agg; arg; part; order } ->
             mk (Physical.K_aggr { res; agg; arg; part; order }) [ go input ] 1
           | op ->

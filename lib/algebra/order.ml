@@ -200,7 +200,21 @@ let make () : analyzer =
       let p = props input in
       { p with consts = SMap.add col (Value.Bool true) p.consts }
     | Plan.Distinct { input } -> props input
-    | Plan.Semijoin { left; _ } | Plan.Antijoin { left; _ } -> props left
+    | Plan.Semijoin { left; right; on } ->
+      (* a subsequence of the left input; every surviving row matched some
+         right row on [on], so a constant right column pins its left
+         partner (vacuously sound when no row survives) *)
+      let pl = props left and pr = props right in
+      let consts =
+        List.fold_left
+          (fun acc (lcol, rcol) ->
+             match SMap.find_opt rcol pr.consts with
+             | Some v -> SMap.add lcol v acc
+             | None -> acc)
+          pl.consts on
+      in
+      { pl with consts }
+    | Plan.Antijoin { left; _ } -> props left
     | Plan.Join { left; right; lcol; rcol } ->
       let pl = props left and pr = props right in
       (* pair order is left-major with right matches in right-row order

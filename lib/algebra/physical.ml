@@ -65,7 +65,7 @@
    and typed-path dispatch happen on the coordinator before a row loop
    fans out; workers only read frozen columns and the document store
    (whose reads are pure). [%]-bearing kernels (Rownum), Distinct,
-   Semijoin and boxed fallbacks stay serial. *)
+   build-flipped joins/semijoins and boxed fallbacks stay serial. *)
 
 open Basis
 
@@ -99,7 +99,13 @@ type pop =
          by the lowering when estimates say the left side is smaller);
          output pair order is identical either way *)
   | K_thetajoin of { lcol : string; cmp : Plan.prim2; rcol : string }
-  | K_semijoin of { anti : bool; on : (string * string) list }
+  | K_semijoin of { anti : bool; on : (string * string) list; build_left : bool }
+      (* [build_left]: hash the (smaller) left side's keys and mark them
+         while scanning the right, instead of hashing the right and
+         probing per left row. The marking scan is the output build
+         itself, so a flipped semijoin stays serial; the default probe
+         fans out over morsels like [K_join]. Either way the kept rows
+         are an ascending subsequence of the left input. *)
   | K_aggr of {
       res : string;
       agg : Plan.agg;
@@ -119,9 +125,9 @@ type pnode = {
       (* statically inferred column types of the output (plan-dump aid) *)
   ppar : bool;
       (* order-indifferent kernel, licensed to fan out over morsels:
-         rowid/[#] pipeline shapes, hash/theta join probes, and
-         count/sum/min/max aggregates — never [%]-bearing (Rownum) or
-         boxed kernels. Set by the lowering ([Lower]). *)
+         rowid/[#] pipeline shapes, hash/theta join and semijoin probes,
+         and count/sum/min/max aggregates — never [%]-bearing (Rownum)
+         or boxed kernels. Set by the lowering ([Lower]). *)
 }
 
 let pop_name = function
@@ -134,7 +140,9 @@ let pop_name = function
   | K_join { build_left = true; _ } -> "join(build:left)"
   | K_join _ -> "join"
   | K_thetajoin _ -> "thetajoin"
+  | K_semijoin { anti = false; build_left = true; _ } -> "semijoin(build:left)"
   | K_semijoin { anti = false; _ } -> "semijoin"
+  | K_semijoin { anti = true; build_left = true; _ } -> "antijoin(build:left)"
   | K_semijoin { anti = true; _ } -> "antijoin"
   | K_aggr _ -> "aggr"
   | K_boxed op -> "boxed:" ^ Plan.op_symbol op
@@ -945,15 +953,37 @@ let k_thetajoin ctx ~par lb rb lcol cmp rcname =
   join_output lb rb li ri
 
 (* Semi/anti join: the output is the left batch with a composed selection
-   — nothing materializes. *)
-let k_semijoin ctx ~anti lb rb on =
+   — nothing materializes. The default path hashes the right side's keys
+   (serial) and probes the left side, fanning the probe out over morsels
+   exactly like the join probe: the key set is frozen before workers
+   start, the boxed key arrays are materialized on the coordinator (no
+   [String_pool] access inside the loop), and per-morsel kept indices
+   concatenated in morsel order reproduce the serial ascending scan.
+   [build_left] hashes the estimated-smaller left side instead and marks
+   matches in one scan of the right — serial by construction ([ppar] is
+   off for flipped semijoins). *)
+let k_semijoin ctx ~par ~anti ~build_left lb rb on =
   let lkeys =
     Array.of_list (List.map (fun (lc, _) -> boxed_vis ctx lb lc) on)
   in
   let rkeys =
     Array.of_list (List.map (fun (_, rc) -> boxed_vis ctx rb rc) on)
   in
-  let keep = Kernels.semi_keep ~anti ~nl:lb.nrows ~nr:rb.nrows lkeys rkeys in
+  let keep =
+    if build_left then begin
+      bump ctx Profile.count_build_flip;
+      Kernels.semi_keep_build_left ~anti ~nl:lb.nrows ~nr:rb.nrows lkeys
+        rkeys
+    end
+    else
+      let set = Kernels.semi_key_set ~nr:rb.nrows rkeys in
+      match
+        map_spans ctx ~par lb.nrows (fun lo hi ->
+            Kernels.semi_probe set ~anti lkeys lo hi)
+      with
+      | [| one |] -> one
+      | parts -> Array.concat (Array.to_list parts)
+  in
   let sel' =
     match lb.sel with
     | None -> keep
@@ -1331,9 +1361,9 @@ let exec_kernel ctx (p : pnode) (inputs : batch list) : batch =
   | K_thetajoin { lcol; cmp; rcol } ->
     let l, r = two () in
     k_thetajoin ctx ~par l r lcol cmp rcol
-  | K_semijoin { anti; on } ->
+  | K_semijoin { anti; on; build_left } ->
     let l, r = two () in
-    k_semijoin ctx ~anti l r on
+    k_semijoin ctx ~par ~anti ~build_left l r on
   | K_aggr { res; agg; arg; part; order } ->
     k_aggr ctx ~par (one ()) res agg arg part order
   | K_boxed op ->

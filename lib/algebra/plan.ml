@@ -394,8 +394,13 @@ module Card = struct
             est input
           | Select { input; _ } -> max 1 (est input / 3)
           | Distinct { input } -> max 1 (est input / 2)
-          | Semijoin { left; _ } -> max 1 (est left / 2)
-          | Antijoin { left; _ } -> max 1 (est left / 2)
+          (* a semijoin keeps at most one copy of each left row per right
+             match class: bounded by both sides. The antijoin keeps the
+             complement of that bound. *)
+          | Semijoin { left; right; _ } ->
+            max 1 (min (est left) (est right))
+          | Antijoin { left; right; _ } ->
+            max 1 (est left - min (est left) (est right))
           | Join { left; right; _ } -> max (est left) (est right)
           | Thetajoin { left; right; _ } ->
             max 1 (sat_mul (est left) (est right) / 4)

@@ -18,7 +18,10 @@
        quadratic iteration spaces loop-lifting builds for existential
        predicates;
      - join inputs are reordered so the hash build side is the smaller
-       one (cardinality estimates from [Plan.Card]).
+       one (cardinality estimates from [Plan.Card]);
+     - the join-graph isolation rules ([Joingraph]) collapse the
+       count-then-filter scaffolds of where-empty / quantifier
+       existentials into Semijoin/Antijoin operators.
 
    Soundness and row order. Every rule preserves the result multiset
    exactly. The first three groups also preserve row order bit-for-bit
@@ -172,12 +175,34 @@ let total_fires s = List.fold_left (fun acc (_, k) -> acc + k) 0 s.fires
 (* One bottom-up rebuild pass. [fire] counts rule applications.
    [ord] is the ordering-property analyzer for "sort-elision" (None when
    order-property reasoning is disabled); it is created fresh per pass so
-   its facts describe the pass's own rebuilt nodes. *)
-let rewrite_once b ~est ~fire ~ord (root : Plan.node) : Plan.node =
+   its facts describe the pass's own rebuilt nodes. [jg] enables the
+   join-graph isolation rules ([Joingraph]), consulted first: their
+   patterns (sigma over its own attached constant, Distinct over a
+   left-only projection of a join, ...) are disjoint from the arms below,
+   so the order only decides who answers, never what. *)
+let rewrite_once b ~est ~fire ~ord ~jg (root : Plan.node) : Plan.node =
   let schema_of = make_schema_of () in
   let insensitive = order_insensitive root in
   let mapped : (int, Plan.node) Hashtbl.t = Hashtbl.create 64 in
   let owns side col = SSet.mem col (schema_of side) in
+  (* pre-pass parent counts, for the Joingraph prune gate: a node with
+     two parents entering the pass keeps its other reference when one is
+     discarded. Nodes created during the pass miss the table and count
+     as unshared — erring toward vetoing a prune. *)
+  let parents : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  if jg then
+    List.iter
+      (fun (n : Plan.node) ->
+         List.iter
+           (fun (c : Plan.node) ->
+              Hashtbl.replace parents c.Plan.id
+                (1 + Option.value ~default:0
+                       (Hashtbl.find_opt parents c.Plan.id)))
+           (Plan.children n.Plan.op))
+      (Plan.topo_order root);
+  let shared (n : Plan.node) =
+    Option.value ~default:0 (Hashtbl.find_opt parents n.Plan.id) > 1
+  in
   List.iter
     (fun (orig : Plan.node) ->
        let op' =
@@ -186,7 +211,14 @@ let rewrite_once b ~est ~fire ~ord (root : Plan.node) : Plan.node =
            orig.Plan.op
        in
        let keep op = Plan.mk b op in
+       let joingraph_result =
+         if jg then Joingraph.try_rule b ~schema_of ~shared ~fire op'
+         else None
+       in
        let result =
+         match joingraph_result with
+         | Some n -> n
+         | None ->
          match op' with
          (* -- selection pushdown --------------------------------------- *)
          | Plan.Select { input; col } -> (
@@ -456,7 +488,8 @@ let rewrite_once b ~est ~fire ~ord (root : Plan.node) : Plan.node =
 
 (* --------------------------------------------------------------- driver *)
 
-let optimize ?(max_rounds = 50) ?(order_props = true) ?stats:card_stats b
+let optimize ?(max_rounds = 50) ?(order_props = true)
+  ?(join_isolation = true) ?stats:card_stats b
   (root : Plan.node) : Plan.node * stats =
   let est = Plan.Card.estimator ?stats:card_stats () in
   let counts : (string, int) Hashtbl.t = Hashtbl.create 8 in
@@ -469,7 +502,7 @@ let optimize ?(max_rounds = 50) ?(order_props = true) ?stats:card_stats b
     if i >= max_rounds then (root, i)
     else
       let ord = if order_props then Some (Order.make ()) else None in
-      let root' = rewrite_once b ~est ~fire ~ord root in
+      let root' = rewrite_once b ~est ~fire ~ord ~jg:join_isolation root in
       if root'.Plan.id = root.Plan.id then (root, i) else go (i + 1) root'
   in
   let root', rounds = go 0 root in

@@ -34,7 +34,17 @@
        a [#] (Rowid) stamp: the stable sort of a sorted input is the
        identity, so ranks equal row positions bit-for-bit. Unlike the
        order-changing rules this needs no insensitivity gate — it
-       changes no row order, it only stops pretending to.}}
+       changes no row order, it only stops pretending to;}
+    {- ["jg-select-const"] / ["jg-empty-prune"] / ["jg-union-empty"] /
+       ["jg-semijoin-synthesis"] / ["jg-semijoin-dedup"] — the join-graph
+       isolation rules ({!Joingraph}), which collapse the
+       count-then-filter scaffolds of [where empty(for ...)] and
+       [some ... satisfies] existentials into {!Plan.op.Semijoin} /
+       {!Plan.op.Antijoin} operators. Gated by [join_isolation], not by
+       the insensitivity analysis: they are row-order-exact (or prune
+       provably empty subtrees under the same 2.3.4 error latitude as
+       select pushdown — refusing to discard required-check operators,
+       whose errors that latitude does not cover).}}
 
     Order-changing rules fire only on nodes whose row order provably
     cannot be observed: every path to the root passes a Distinct, a
@@ -61,10 +71,13 @@ val total_fires : stats -> int
     advisory — they steer performance choices, never correctness.
     [order_props] (default [true]) enables the {!Order}-backed
     ["sort-elision"] rule; switching it off restores sort-preserving
-    plans for differential testing. *)
+    plans for differential testing. [join_isolation] (default [true])
+    enables the {!Joingraph} rules; switching it off restores the
+    count-then-filter scaffolds for differential testing. *)
 val optimize :
   ?max_rounds:int ->
   ?order_props:bool ->
+  ?join_isolation:bool ->
   ?stats:Plan.Card.stats ->
   Plan.builder ->
   Plan.node ->

@@ -37,10 +37,14 @@ type cfg = {
   unordered_rules : bool;  (* enable FN:UNORDERED / LOC# / BIND# *)
   hoist : bool;            (* loop-invariant hoisting *)
   join_rec : bool;         (* FLWOR where-clause value-join recognition [9] *)
+  join_isolation : bool;   (* slide a joinable where past intervening lets
+                              so join recognition sees it (Q9's
+                              for-let-where shape) *)
 }
 
 let default_cfg () =
-  { b = A.builder (); unordered_rules = true; hoist = true; join_rec = true }
+  { b = A.builder (); unordered_rules = true; hoist = true; join_rec = true;
+    join_isolation = true }
 
 type binding = {
   plan : A.node;
@@ -754,12 +758,43 @@ and compile_flwor cfg env (f : flwor) =
     (not cfg.unordered_rules)
     || (f.mode = Xquery.Ast.Ordered && f.order_by = [])
   in
+  (* Join isolation, compile-level half: a joinable where may slide left
+     past let clauses that neither bind its free variables nor are bound
+     over by it, making it adjacent to the for so [compile_join_for]
+     fires (Q9's for-let-where shape). The slid-over lets then compile
+     under the join-filtered inner loop — their definitions are evaluated
+     only for surviving iterations, the same dynamic-error latitude
+     (XQuery 2.3.4) the predicate reordering of join recognition itself
+     already uses. Result and order are unchanged: a where only restricts
+     the iteration set, and a let neither adds, drops nor reorders
+     iterations. With [join_isolation] off the scan stops at the first
+     non-where clause, which is exactly the old adjacent-only behavior. *)
+  let isolated_join env_cur fc rest =
+    let rec scan lets = function
+      | CWhere cond :: rest' -> (
+        let clear =
+          List.for_all
+            (function
+              | CLet { var; _ } -> not (SS.mem var (free_vars cond))
+              | _ -> false)
+            lets
+        in
+        match (if clear then joinable_where cfg env_cur fc cond else None) with
+        | Some spec -> Some (spec, List.rev_append lets rest')
+        | None -> None)
+      | (CLet _ as cl) :: rest' when cfg.join_isolation ->
+        scan (cl :: lets) rest'
+      | _ -> None
+    in
+    scan [] rest
+  in
   let rec process env_cur clauses =
     match clauses with
-    | (CFor _ as fc) :: CWhere cond :: rest
-      when joinable_where cfg env_cur fc cond <> None ->
-      let spec = Option.get (joinable_where cfg env_cur fc cond) in
-      process (compile_join_for cfg env_cur ~bind_ordered spec) rest
+    | (CFor _ as fc) :: rest -> (
+      match isolated_join env_cur fc rest with
+      | Some (spec, rest') ->
+        process (compile_join_for cfg env_cur ~bind_ordered spec) rest'
+      | None -> process (step_clause env_cur fc) rest)
     | cl :: rest -> process (step_clause env_cur cl) rest
     | [] -> env_cur
   and step_clause env_cur cl =

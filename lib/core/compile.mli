@@ -37,6 +37,14 @@ type cfg = {
           [9]): [for $v in D where a cmp b] with a fully loop-invariant D,
           a independent of $v, and b depending on at most $v compiles the
           filtered inner loop as a theta join instead of cross + filter *)
+  join_isolation : bool;
+      (** compile-level join-graph isolation: a joinable where may slide
+          left past intervening let clauses that do not bind its free
+          variables, so join recognition fires on for-let-where shapes
+          (XMark Q9). The slid-over lets compile under the join-filtered
+          loop — evaluated only for surviving iterations, the
+          dynamic-error latitude (XQuery 2.3.4) join recognition already
+          uses *)
 }
 
 val default_cfg : unit -> cfg

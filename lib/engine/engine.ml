@@ -33,6 +33,11 @@ type opts = {
       (* execute through the lowered physical plan (typed columns,
          selection vectors, fused kernels) or the boxed logical executor *)
   join_rec : bool;
+  join_isolation : bool;
+      (* join-graph isolation: the compile-level where-past-lets slide
+         (Compile.cfg.join_isolation) plus the rewriter's Joingraph rules
+         that collapse existential count-then-filter scaffolds into
+         semijoin/antijoin operators *)
   budget : Budget.spec option;
   fallback : bool;
   jobs : int;
@@ -69,6 +74,7 @@ let default_opts = {
   eval_mode = Algebra.Eval.Dag;
   physical = `On;
   join_rec = true;
+  join_isolation = true;
   budget = None;
   fallback = true;
   jobs = default_jobs;
@@ -126,7 +132,8 @@ let analyze ?(opts = default_opts) ?stats text =
     { (Exrquy.Compile.default_cfg ()) with
       unordered_rules = opts.unordered_rules;
       hoist = opts.hoist;
-      join_rec = opts.join_rec }
+      join_rec = opts.join_rec;
+      join_isolation = opts.join_isolation }
   in
   let _, raw = Exrquy.Compile.compile_core ~cfg core in
   let cda p = if opts.cda then Exrquy.Icols.optimize cfg.b p else p in
@@ -135,11 +142,15 @@ let analyze ?(opts = default_opts) ?stats text =
     if not opts.rewrite then (optimized, Algebra.Rewrite.empty_stats)
     else begin
       let order_props = opts.order_props in
+      let join_isolation = opts.join_isolation in
       let o1, s1 =
-        Algebra.Rewrite.optimize ~order_props ?stats cfg.b optimized
+        Algebra.Rewrite.optimize ~order_props ~join_isolation ?stats cfg.b
+          optimized
       in
       let o1 = if o1.Algebra.Plan.id <> optimized.Algebra.Plan.id then cda o1 else o1 in
-      let o2, s2 = Algebra.Rewrite.optimize ~order_props ?stats cfg.b o1 in
+      let o2, s2 =
+        Algebra.Rewrite.optimize ~order_props ~join_isolation ?stats cfg.b o1
+      in
       let o2 = if o2.Algebra.Plan.id <> o1.Algebra.Plan.id then cda o2 else o2 in
       let fires =
         List.fold_left
@@ -201,7 +212,7 @@ let cache_stats (c : cache) = Plan_cache.stats c
    would make cache hits silently change a query's parallelism when a
    caller mixes widths in one cache. *)
 let opts_fingerprint opts =
-  Printf.sprintf "m%sr%bc%bh%bj%bb%sp%sx%dw%bO%b"
+  Printf.sprintf "m%sr%bc%bh%bj%bb%sp%sx%dw%bO%bg%b"
     (match opts.mode with
      | None -> "-"
      | Some Xquery.Ast.Ordered -> "o"
@@ -209,7 +220,7 @@ let opts_fingerprint opts =
     opts.unordered_rules opts.cda opts.hoist opts.join_rec
     (match opts.backend with Compiled -> "c" | Interpreted -> "i")
     (match opts.physical with `On -> "1" | `Off -> "0")
-    opts.jobs opts.rewrite opts.order_props
+    opts.jobs opts.rewrite opts.order_props opts.join_isolation
 
 let cache_key opts text =
   opts_fingerprint opts ^ "\x00" ^ Plan_cache.normalize_query text

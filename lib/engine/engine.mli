@@ -35,6 +35,16 @@ type opts = {
           identical; the physical path is the fast one. Participates in
           the plan-cache fingerprint (the lowered plan is cached). *)
   join_rec : bool;  (** FLWOR where-clause value-join recognition *)
+  join_isolation : bool;
+      (** join-graph isolation: the compile-level slide of a joinable
+          [where] past intervening [let] clauses it does not depend on
+          (so join recognition fires on for-let-where shapes), plus the
+          {!Algebra.Joingraph} rewrite rules that collapse the
+          count-then-filter scaffolds of [where empty(...)] and
+          [some ... satisfies] existentials into semijoin/antijoin
+          operators. Results, error choice and forced-ordered behaviour
+          are identical on or off (default [true]). Participates in the
+          plan-cache fingerprint. *)
   budget : Basis.Budget.spec option;
       (** resource governance — a fresh guard is armed per run (and per
           {!prepare} closure call); exhaustion raises

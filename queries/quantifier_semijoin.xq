@@ -1,0 +1,11 @@
+(: Quantified existential: open auctions where some bidder bid at least
+   twice the initial price. [some ... satisfies] compiles to a
+   count-then-filter scaffold whose hit test is a distinct-projected
+   equijoin; jg-semijoin-synthesis turns it into a hash semijoin, and
+   the companion prunes drop the scaffold around it. :)
+let $auction := doc("auction.xml")
+return
+  for $a in $auction/site/open_auctions/open_auction
+  where some $b in $a/bidder/increase
+        satisfies $b >= 2 * zero-or-one($a/initial)
+  return <hot>{ $a/reserve/text() }</hot>

@@ -1,0 +1,14 @@
+(: The Links "xpath1" pattern — a leaf test phrased as a nested
+   emptiness check over a value join: persons who never bought a closed
+   auction. Loop-lifting compiles [where empty(for ...)] into a
+   count-then-filter presence scaffold (attach false over the inner
+   query, attach true over the iterations it misses, union, filter);
+   the join-graph isolation rules collapse the whole scaffold into a
+   single hash anti-join filtering the person loop. :)
+let $auction := doc("auction.xml")
+return
+  for $p in $auction/site/people/person
+  where empty(for $t in $auction/site/closed_auctions/closed_auction
+              where $t/buyer/@person = $p/@id
+              return $t)
+  return <quiet>{ $p/name/text() }</quiet>

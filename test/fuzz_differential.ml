@@ -230,6 +230,7 @@ let configs ~budget_spec =
   let parallel = { Engine.default_opts with Engine.jobs = 4 } in
   let norewrite = { Engine.default_opts with Engine.rewrite = false } in
   let noorder = { Engine.default_opts with Engine.order_props = false } in
+  let nojg = { Engine.default_opts with Engine.join_isolation = false } in
   let plain opts q = evaluate ~opts q in
   let warm_cache opts q =
     let cache = Engine.create_cache () in
@@ -269,6 +270,13 @@ let configs ~budget_spec =
     ("compiled/no-order-props", plain noorder);
     ("compiled/no-order-props/boxed",
      plain { noorder with Engine.physical = `Off });
+    (* join-graph isolation off, on both executors: every scaffold the
+       jg-* rules collapse (and every where that slid past a let at
+       compile time) is differentially checked against the
+       count-then-filter plan it replaced *)
+    ("compiled/no-join-isolation", plain nojg);
+    ("compiled/no-join-isolation/boxed",
+     plain { nojg with Engine.physical = `Off });
     ("compiled/warm-cache", warm_cache Engine.default_opts);
     (* the query served over loopback TCP: wire framing, session budget
        clamping and per-item response serialization must all be

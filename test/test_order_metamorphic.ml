@@ -39,23 +39,28 @@ let mk_store () =
 
 (* The executor configurations of relation 2: {boxed, physical} ×
    {serial, jobs=4}, each with ordering-property reasoning on, plus both
-   executors with it off. The boxed executor ignores [jobs]; running it
-   at jobs=4 anyway pins down exactly that. Keeping the no-order-props
-   runs in the same exact-agreement matrix is the elision oracle: a sort
-   wrongly proved away would desynchronize them from the reference. *)
+   executors with it off, plus both with join-graph isolation off. The
+   boxed executor ignores [jobs]; running it at jobs=4 anyway pins down
+   exactly that. Keeping the no-order-props and no-join-isolation runs
+   in the same exact-agreement matrix is the elision oracle: a sort
+   wrongly proved away — or a scaffold wrongly collapsed to a
+   semi/anti-join — would desynchronize them from the reference. *)
 let configs =
-  [ ("physical/serial", `On, 1, true);
-    ("physical/jobs4", `On, 4, true);
-    ("boxed/serial", `Off, 1, true);
-    ("boxed/jobs4", `Off, 4, true);
-    ("physical/serial/no-order-props", `On, 1, false);
-    ("boxed/serial/no-order-props", `Off, 1, false) ]
+  [ ("physical/serial", `On, 1, true, true);
+    ("physical/jobs4", `On, 4, true, true);
+    ("boxed/serial", `Off, 1, true, true);
+    ("boxed/jobs4", `Off, 4, true, true);
+    ("physical/serial/no-order-props", `On, 1, false, true);
+    ("boxed/serial/no-order-props", `Off, 1, false, true);
+    ("physical/serial/no-join-isolation", `On, 1, true, false);
+    ("boxed/serial/no-join-isolation", `Off, 1, true, false) ]
 
 type outcome = Items of string list | Failed of string
 
-let run ?mode (name, physical, jobs, order_props) q =
+let run ?mode (name, physical, jobs, order_props, join_isolation) q =
   let opts =
-    { Engine.default_opts with Engine.physical; jobs; mode; order_props }
+    { Engine.default_opts with
+      Engine.physical; jobs; mode; order_props; join_isolation }
   in
   let st = mk_store () in
   ignore name;
@@ -126,7 +131,7 @@ let test_unordered_wrap_is_permutation () =
     (fun (file, text) ->
        let wrapped = wrap_unordered text in
        List.iter
-         (fun ((name, _, _, _) as cfg) ->
+         (fun ((name, _, _, _, _) as cfg) ->
             Alcotest.(check string)
               (Printf.sprintf "%s [%s]: unordered{} at most permutes" file name)
               (multiset (run cfg text))
@@ -143,7 +148,7 @@ let check_configs_exact ?mode label text =
   | reference_cfg :: rest ->
     let reference = exact (run ?mode reference_cfg text) in
     List.iter
-      (fun ((name, _, _, _) as cfg) ->
+      (fun ((name, _, _, _, _) as cfg) ->
          Alcotest.(check string)
            (Printf.sprintf "%s [%s]" label name)
            reference
@@ -181,7 +186,7 @@ let test_ordered_context_exact () =
       return $p/name/text()|}
   in
   List.iter
-    (fun ((name, _, _, _) as cfg) ->
+    (fun ((name, _, _, _, _) as cfg) ->
        Alcotest.(check string)
          (Printf.sprintf "order-by survives unordered{} [%s]" name)
          (exact (run cfg q))
@@ -213,7 +218,7 @@ let test_unordered_wrap_never_licenses_elision () =
        (Algebra.Profile.phys p).Algebra.Profile.root_sort_elided);
   (* behavioural check: exact descending result, every config, on = off *)
   List.iter
-    (fun ((name, _, _, _) as cfg) ->
+    (fun ((name, _, _, _, _) as cfg) ->
        Alcotest.(check string)
          (Printf.sprintf "desc result exact under forced ordered [%s]" name)
          "ok: 3 | 2 | 1"

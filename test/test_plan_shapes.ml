@@ -24,7 +24,7 @@ let queries_dir =
 let query_files =
   [ "existential_join.xq"; "gold_items.xq"; "income_histogram.xq";
     "paper_expression3.xq"; "paper_fig10.xq"; "paper_q11.xq"; "paper_q6.xq";
-    "top_sellers.xq" ]
+    "quantifier_semijoin.xq"; "top_sellers.xq"; "xpath_existentials.xq" ]
 
 let read_file path =
   let ic = open_in_bin path in
@@ -88,8 +88,8 @@ let rule_fires text =
    regenerate with PLAN_SHAPES_DUMP=1 (see header). *)
 let golden : (string * shape * shape) list =
   [ ("existential_join.xq",
-     { ops = 66; rownums = 0; rowids = 2; joins = 9; tree_nodes = 646;
-       ord_nodes = 47; root_ord = "pos-sorted" },
+     { ops = 57; rownums = 0; rowids = 2; joins = 8; tree_nodes = 350;
+       ord_nodes = 41; root_ord = "pos-sorted" },
      { ops = 115; rownums = 14; rowids = 0; joins = 9; tree_nodes = 1384;
        ord_nodes = 104; root_ord = "pos-sorted" });
     ("gold_items.xq",
@@ -98,8 +98,8 @@ let golden : (string * shape * shape) list =
      { ops = 201; rownums = 12; rowids = 0; joins = 19; tree_nodes = 8830;
        ord_nodes = 151; root_ord = "pos-sorted" });
     ("income_histogram.xq",
-     { ops = 239; rownums = 1; rowids = 2; joins = 32; tree_nodes = 2696;
-       ord_nodes = 201; root_ord = "pos-sorted" },
+     { ops = 215; rownums = 1; rowids = 2; joins = 30; tree_nodes = 2040;
+       ord_nodes = 183; root_ord = "pos-sorted" },
      { ops = 356; rownums = 20; rowids = 0; joins = 32; tree_nodes = 5647;
        ord_nodes = 288; root_ord = "pos-sorted" });
     ("paper_expression3.xq",
@@ -122,20 +122,34 @@ let golden : (string * shape * shape) list =
        ord_nodes = 24; root_ord = "pos-sorted" },
      { ops = 54; rownums = 7; rowids = 0; joins = 3; tree_nodes = 168;
        ord_nodes = 49; root_ord = "pos-sorted" });
+    ("quantifier_semijoin.xq",
+     { ops = 80; rownums = 1; rowids = 3; joins = 11; tree_nodes = 534;
+       ord_nodes = 75; root_ord = "pos-sorted" },
+     { ops = 149; rownums = 11; rowids = 0; joins = 13; tree_nodes = 4086;
+       ord_nodes = 125; root_ord = "pos-sorted" });
     ("top_sellers.xq",
-     { ops = 134; rownums = 2; rowids = 3; joins = 20; tree_nodes = 6540;
-       ord_nodes = 108; root_ord = "unordered" },
+     { ops = 125; rownums = 2; rowids = 3; joins = 19; tree_nodes = 3692;
+       ord_nodes = 101; root_ord = "unordered" },
      { ops = 210; rownums = 17; rowids = 1; joins = 20; tree_nodes = 13656;
        ord_nodes = 124; root_ord = "ord:iter\226\134\145; iter\226\134\147" });
+    ("xpath_existentials.xq",
+     { ops = 63; rownums = 1; rowids = 4; joins = 10; tree_nodes = 615;
+       ord_nodes = 61; root_ord = "pos-sorted" },
+     { ops = 126; rownums = 15; rowids = 0; joins = 10; tree_nodes = 2346;
+       ord_nodes = 104; root_ord = "pos-sorted" });
   ]
 
 let golden_fires : (string * (string * int) list) list =
   [ ("existential_join.xq",
      [ ("fun-pushdown", 1);
+       ("jg-empty-prune", 1);
+       ("jg-select-const", 2);
+       ("jg-semijoin-dedup", 1);
+       ("jg-union-empty", 1);
        ("join-cross-elim", 1);
        ("join-swap", 2);
        ("join-synthesis", 1);
-       ("project-fuse", 4);
+       ("project-fuse", 5);
        ("project-split", 2);
        ("select-pushdown", 4);
        ("sort-elision", 1) ]);
@@ -145,7 +159,11 @@ let golden_fires : (string * (string * int) list) list =
        ("select-pushdown", 1) ]);
     ("income_histogram.xq",
      [ ("fun-pushdown", 2);
-       ("project-fuse", 8);
+       ("jg-empty-prune", 3);
+       ("jg-select-const", 6);
+       ("jg-semijoin-dedup", 5);
+       ("jg-union-empty", 3);
+       ("project-fuse", 11);
        ("project-split", 4);
        ("select-pushdown", 13) ]);
     ("paper_expression3.xq",
@@ -159,11 +177,37 @@ let golden_fires : (string * (string * int) list) list =
        ("sort-elision", 5) ]);
     ("paper_q6.xq",
      [ ("sort-elision", 3) ]);
+    ("quantifier_semijoin.xq",
+     [ ("fun-pushdown", 1);
+       ("jg-empty-prune", 2);
+       ("jg-select-const", 4);
+       ("jg-semijoin-dedup", 2);
+       ("jg-semijoin-synthesis", 1);
+       ("jg-union-empty", 2);
+       ("join-cross-elim", 1);
+       ("project-fuse", 9);
+       ("project-split", 3);
+       ("select-pushdown", 8);
+       ("sort-elision", 3) ]);
     ("top_sellers.xq",
-     [ ("project-fuse", 6);
+     [ ("jg-empty-prune", 1);
+       ("jg-select-const", 2);
+       ("jg-semijoin-dedup", 1);
+       ("jg-union-empty", 1);
+       ("project-fuse", 7);
        ("project-split", 4);
        ("select-pushdown", 4);
        ("sort-elision", 1) ]);
+    ("xpath_existentials.xq",
+     [ ("jg-empty-prune", 1);
+       ("jg-select-const", 2);
+       ("jg-semijoin-dedup", 1);
+       ("jg-semijoin-synthesis", 1);
+       ("jg-union-empty", 1);
+       ("project-fuse", 4);
+       ("project-split", 1);
+       ("select-pushdown", 4);
+       ("sort-elision", 5) ]);
   ]
 
 let measure file =
