@@ -20,6 +20,9 @@
      serve      the query server under concurrent clients: capacity and
                 2x-overload phases, throughput + p50/p99 + shed counts;
                 writes BENCH_serve.json
+     storage    packed columns vs boxed arrays (bytes/node), monolithic vs
+                chunked ingest (MB/s), snapshot save/load vs re-parse;
+                writes BENCH_storage.json
 
    Run with no arguments to execute everything; pass experiment names to
    select. Environment knobs:
@@ -38,7 +41,11 @@
                        this ratio (the CI guard; unset = report only)
      XRQ_SERVE_SCALE   XMark scale for the serve experiment (default 0.02)
      XRQ_SERVE_REQS    requests per client in each serve phase (default 40)
-     XRQ_SERVE_OUT     output path for BENCH_serve.json *)
+     XRQ_SERVE_OUT     output path for BENCH_serve.json
+     XRQ_STORAGE_SCALES comma-separated scales for storage (default 0.01,0.05)
+     XRQ_STORAGE_OUT   output path for BENCH_storage.json
+     XRQ_STORE_CACHE   directory caching generated stores as snapshots;
+                       every experiment's store build goes through it *)
 
 module A = Algebra.Plan
 
@@ -55,9 +62,51 @@ let mode_unordered_nocda =
 let cutoff =
   try float_of_string (Sys.getenv "XRQ_CUTOFF") with Not_found | Failure _ -> 30.0
 
+(* Build (or reuse) the XMark store for a scale. With XRQ_STORE_CACHE set
+   to a directory, the generated+parsed store is saved there as a snapshot
+   keyed by scale and format version; later runs load the snapshot instead
+   of regenerating — at bench scales the load is far cheaper than
+   generate+parse. A .bytes sidecar records the serialized document size
+   (the snapshot holds the encoded table, not the XML). *)
 let with_store scale f =
-  let st = Xmldb.Doc_store.create () in
-  let _, bytes = Xmark.Xmark_gen.load ~scale st in
+  let build () =
+    let st = Xmldb.Doc_store.create () in
+    let _, bytes = Xmark.Xmark_gen.load ~scale st in
+    (st, bytes)
+  in
+  let st, bytes =
+    match Sys.getenv_opt "XRQ_STORE_CACHE" with
+    | None | Some "" -> build ()
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let key =
+        Printf.sprintf "xmark-%g-v%d" scale
+          Xmldb.Doc_store.Snapshot.format_version
+      in
+      let snap = Filename.concat dir (key ^ ".xrqs") in
+      let sidecar = Filename.concat dir (key ^ ".bytes") in
+      if Sys.file_exists snap && Sys.file_exists sidecar then begin
+        let st = Xmldb.Doc_store.Snapshot.load snap in
+        let ic = open_in sidecar in
+        let bytes =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> int_of_string (String.trim (input_line ic)))
+        in
+        Printf.printf "[store cache] hit: %s (%d nodes)\n%!" snap
+          (Xmldb.Doc_store.total_nodes st);
+        (st, bytes)
+      end
+      else begin
+        let st, bytes = build () in
+        Xmldb.Doc_store.Snapshot.save st snap;
+        let oc = open_out sidecar in
+        Printf.fprintf oc "%d\n" bytes;
+        close_out oc;
+        Printf.printf "[store cache] saved: %s\n%!" snap;
+        (st, bytes)
+      end
+  in
   f st bytes
 
 let time f =
@@ -1224,6 +1273,182 @@ let serve_bench () =
       close_out oc;
       Printf.printf "wrote %s\n" out_path)
 
+(* --------------------------------------------------------------- storage *)
+
+(* The encoded-store experiment: bytes/node of the packed columns vs the
+   boxed reference build, ingest throughput monolithic vs chunked (64 KB
+   reader windows), and snapshot save/load vs re-parsing the document —
+   plus a whole-corpus packed-vs-boxed parity check at a small scale.
+   Writes BENCH_storage.json (override XRQ_STORAGE_OUT; scales
+   XRQ_STORAGE_SCALES, default "0.01,0.05"). *)
+let storage_bench () =
+  section "Storage — packed columns, chunked ingest, snapshot persistence";
+  let scales =
+    match Sys.getenv_opt "XRQ_STORAGE_SCALES" with
+    | None -> [ 0.01; 0.05 ]
+    | Some s -> List.map float_of_string (String.split_on_char ',' (String.trim s))
+  in
+  let out_path =
+    Option.value (Sys.getenv_opt "XRQ_STORAGE_OUT")
+      ~default:"BENCH_storage.json"
+  in
+  let parse_into st xml =
+    ignore (Xmldb.Xml_parser.load_document st ~uri:"auction.xml" xml)
+  in
+  let parse_chunked st xml =
+    let pos = ref 0 in
+    let reader b ofs len =
+      let n = min (min len 65536) (String.length xml - !pos) in
+      Bytes.blit_string xml !pos b ofs n;
+      pos := !pos + n;
+      n
+    in
+    ignore
+      (Xmldb.Xml_parser.load_reader ~window:65536 st ~uri:"auction.xml"
+         reader)
+  in
+  (* best of two runs; each run parses into a throwaway store *)
+  let best_time mk run =
+    let one () =
+      let st = mk () in
+      let _, t = time (fun () -> run st) in
+      t
+    in
+    let a = one () and b = one () in
+    Float.min a b
+  in
+  let rows =
+    List.map
+      (fun scale ->
+         let xml = Xmark.Xmark_gen.generate ~scale () in
+         let doc_bytes = String.length xml in
+         let mb = float_of_int doc_bytes /. 1e6 in
+         let packed () = Xmldb.Doc_store.create ~packed:true () in
+         let boxed () = Xmldb.Doc_store.create ~packed:false () in
+         let t_mono = best_time packed (fun st -> parse_into st xml) in
+         let t_chunk = best_time packed (fun st -> parse_chunked st xml) in
+         (* one retained packed store for sizes, snapshots and parity *)
+         let st = packed () in
+         parse_into st xml;
+         let nodes = Xmldb.Doc_store.total_nodes st in
+         let p_bytes = Xmldb.Doc_store.encoded_bytes st in
+         let stb = boxed () in
+         parse_into stb xml;
+         let b_bytes = Xmldb.Doc_store.encoded_bytes stb in
+         let per n bytes = float_of_int bytes /. float_of_int n in
+         (* chunked ingest must produce the byte-identical store *)
+         let stc = packed () in
+         parse_chunked stc xml;
+         let chunk_identical =
+           Xmldb.Doc_store.Snapshot.to_string st
+           = Xmldb.Doc_store.Snapshot.to_string stc
+         in
+         let snap = Filename.temp_file "xrq-storage" ".xrqs" in
+         let _, t_save = time (fun () -> Xmldb.Doc_store.Snapshot.save st snap) in
+         let snap_bytes = (Unix.stat snap).Unix.st_size in
+         let loaded = ref None in
+         let t_load =
+           let a = snd (time (fun () -> loaded := Some (Xmldb.Doc_store.Snapshot.load snap))) in
+           let b = snd (time (fun () -> loaded := Some (Xmldb.Doc_store.Snapshot.load snap))) in
+           Float.min a b
+         in
+         let load_nodes =
+           match !loaded with
+           | Some l -> Xmldb.Doc_store.total_nodes l
+           | None -> -1
+         in
+         Sys.remove snap;
+         Printf.printf
+           "--- scale %g: %.2f MB, %d nodes ---\n\
+           \  bytes/node        packed %6.2f   boxed %6.2f   ratio %.2fx\n\
+           \  ingest            monolithic %7.1f ms (%.1f MB/s)   chunked-64K \
+            %7.1f ms (%.1f MB/s)%s\n\
+           \  snapshot          %d bytes   save %6.1f ms   load %6.1f ms   \
+            load vs re-parse %.1fx%s\n%!"
+           scale mb nodes (per nodes p_bytes) (per nodes b_bytes)
+           (per nodes b_bytes /. per nodes p_bytes)
+           (t_mono *. 1000.) (mb /. t_mono)
+           (t_chunk *. 1000.) (mb /. t_chunk)
+           (if chunk_identical then "" else "  !! chunked snapshot differs")
+           snap_bytes (t_save *. 1000.) (t_load *. 1000.) (t_mono /. t_load)
+           (if load_nodes = nodes then "" else "  !! node count mismatch after load");
+         (scale, doc_bytes, nodes, per nodes p_bytes, per nodes b_bytes,
+          t_mono, t_chunk, chunk_identical, snap_bytes, t_save, t_load,
+          load_nodes = nodes))
+      scales
+  in
+  (* whole-corpus parity packed vs boxed at a small fixed scale *)
+  let parity_scale = 0.002 in
+  let queries_dir =
+    if Sys.file_exists "queries" then "queries" else "../queries"
+  in
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let corpus =
+    Sys.readdir queries_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".xq")
+    |> List.sort compare
+    |> List.map (fun f ->
+        (Filename.chop_suffix f ".xq",
+         read_file (Filename.concat queries_dir f)))
+  in
+  let mk_parity_store packed =
+    let st = Xmldb.Doc_store.create ~packed () in
+    ignore (Xmark.Xmark_gen.load ~scale:parity_scale st);
+    ignore
+      (Xmldb.Xml_parser.load_document st ~uri:"t.xml"
+         "<a><b><c/><d/></b><c/><e k=\"1\">x<f/>y</e></a>");
+    st
+  in
+  let stp = mk_parity_store true and stb = mk_parity_store false in
+  let mismatches =
+    List.filter
+      (fun (_, q) ->
+         (Engine.run stp q).Engine.serialized
+         <> (Engine.run stb q).Engine.serialized)
+      corpus
+  in
+  let all_match = mismatches = [] in
+  Printf.printf
+    "\ncorpus parity packed vs boxed (scale %g, %d queries): %s\n"
+    parity_scale (List.length corpus)
+    (if all_match then "ok"
+     else
+       "MISMATCH on "
+       ^ String.concat ", " (List.map fst mismatches));
+  let oc = open_out out_path in
+  Printf.fprintf oc
+    "{\n  \"experiment\": \"storage\",\n  \"format_version\": %d,\n\
+    \  \"scales\": [\n"
+    Xmldb.Doc_store.Snapshot.format_version;
+  List.iteri
+    (fun i (scale, doc_bytes, nodes, ppn, bpn, t_mono, t_chunk, ident,
+            snap_bytes, t_save, t_load, load_ok) ->
+       let mb = float_of_int doc_bytes /. 1e6 in
+       Printf.fprintf oc
+         "    { \"scale\": %g, \"document_bytes\": %d, \"nodes\": %d, \
+          \"packed_bytes_per_node\": %.3f, \"boxed_bytes_per_node\": %.3f, \
+          \"compression_ratio\": %.3f, \"parse_ms\": %.3f, \
+          \"parse_mb_s\": %.2f, \"chunked_parse_ms\": %.3f, \
+          \"chunked_mb_s\": %.2f, \"chunk_snapshot_identical\": %b, \
+          \"snapshot_bytes\": %d, \"save_ms\": %.3f, \"load_ms\": %.3f, \
+          \"load_vs_reparse\": %.3f, \"load_node_parity\": %b }%s\n"
+         scale doc_bytes nodes ppn bpn (bpn /. ppn) (t_mono *. 1000.)
+         (mb /. t_mono) (t_chunk *. 1000.) (mb /. t_chunk) ident snap_bytes
+         (t_save *. 1000.) (t_load *. 1000.) (t_mono /. t_load) load_ok
+         (if i < List.length rows - 1 then "," else ""))
+    rows;
+  Printf.fprintf oc
+    "  ],\n  \"corpus_parity\": { \"scale\": %g, \"queries\": %d, \
+     \"all_match\": %b }\n}\n"
+    parity_scale (List.length corpus) all_match;
+  close_out oc;
+  Printf.printf "wrote %s\n" out_path
+
 (* ---------------------------------------------------------------- driver *)
 
 let experiments =
@@ -1232,7 +1457,7 @@ let experiments =
     ("sharing", sharing); ("ablation", ablation); ("physical", physical);
     ("parallel", parallel_bench); ("rewrite", rewrite_bench);
     ("joingraph", joingraph_bench); ("order", order_bench);
-    ("serve", serve_bench) ]
+    ("serve", serve_bench); ("storage", storage_bench) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -498,9 +498,103 @@ let gen_cmd =
   Cmd.v (Cmd.info "gen" ~doc:"Generate an XMark auction.xml instance")
     Term.(const action $ scale_arg $ out_arg)
 
+(* --------------------------------------------------------------- store *)
+
+let file_size path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  close_in ic;
+  n
+
+let store_stats_line store =
+  Printf.sprintf "%d documents, %d nodes, %d table bytes"
+    (List.length (Xmldb.Doc_store.documents store))
+    (Xmldb.Doc_store.total_nodes store)
+    (Xmldb.Doc_store.encoded_bytes store)
+
+let store_save_cmd =
+  let out_arg =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the snapshot to $(docv).")
+  in
+  let xmark_arg =
+    Arg.(value & opt (some float) None
+         & info [ "xmark" ] ~docv:"F"
+             ~doc:"Also load a generated XMark instance at scale $(docv), \
+                   registered as auction.xml.")
+  in
+  let action docs xmark_scale out =
+    handle (fun () ->
+        let store = Xmldb.Doc_store.create () in
+        load_documents store docs;
+        (match xmark_scale with
+         | Some scale -> ignore (Xmark.Xmark_gen.load ~scale store)
+         | None -> ());
+        if Xmldb.Doc_store.documents store = [] then
+          Basis.Err.static "nothing to save (give -d uri=file and/or --xmark F)";
+        Xmldb.Doc_store.Snapshot.save store out;
+        Printf.eprintf "snapshot v%d: %s -> %s (%d bytes)\n"
+          Xmldb.Doc_store.Snapshot.format_version (store_stats_line store) out
+          (file_size out))
+  in
+  Cmd.v
+    (Cmd.info "save"
+       ~doc:"Build a store from documents and write a versioned snapshot")
+    Term.(const action $ docs_arg $ xmark_arg $ out_arg)
+
+let store_load_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"The snapshot file to load.")
+  in
+  let expr_opt_arg =
+    Arg.(value & opt (some string) None
+         & info [ "e"; "expr" ] ~docv:"QUERY" ~doc:"The query text itself.")
+  in
+  let action file qf expr mode interpret profile no_physical jobs =
+    handle (fun () ->
+        let store = Xmldb.Doc_store.Snapshot.load file in
+        Printf.eprintf "loaded %s: %s\n" file (store_stats_line store);
+        match (qf, expr) with
+        | None, None ->
+          List.iter
+            (fun (uri, _) -> print_endline uri)
+            (Xmldb.Doc_store.documents store)
+        | _ ->
+          let opts =
+            mk_opts ~no_physical ?jobs mode false false false interpret false
+          in
+          let r =
+            Engine.run ~opts ~with_profile:profile store (query_text qf expr)
+          in
+          print_endline r.Engine.serialized;
+          report_degraded r;
+          (match r.Engine.profile with
+           | Some p ->
+             prerr_newline ();
+             prerr_string (Algebra.Profile.to_string p)
+           | None -> ());
+          Printf.eprintf "-- %d items, %.1f ms\n" (List.length r.Engine.items)
+            (r.Engine.wall_seconds *. 1000.0))
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:"Load a snapshot; list its documents or evaluate a query on it")
+    Term.(const action $ file_arg $ query_file_arg $ expr_opt_arg $ mode_arg
+          $ interpret_arg $ profile_arg $ no_physical_arg $ jobs_arg)
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Save and load encoded document-store snapshots")
+    [ store_save_cmd; store_load_cmd ]
+
 let () =
   let info =
     Cmd.info "xrquy" ~version:"1.0.0"
       ~doc:"Order indifference in XQuery: a relational XQuery engine"
   in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; plan_cmd; xmark_cmd; gen_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ run_cmd; plan_cmd; xmark_cmd; gen_cmd; store_cmd ]))

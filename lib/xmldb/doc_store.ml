@@ -18,11 +18,25 @@
    Fragments are append-only once finished; runtime node construction
    allocates fresh fragments, giving constructed trees a document order
    after all existing nodes — the seq->doc order interaction (paper 2(2))
-   is realized by the *order of content rows* fed to the builder. *)
+   is realized by the *order of content rows* fed to the builder.
+
+   Physical layout (paper Section 3: the MonetDB/X100-style encoded
+   relational back-end). A finished fragment is frozen into bit-width
+   minimal packed columns: each integer column picks the narrowest of
+   u8/u16/u32 that holds its actual maximum, kinds are one byte per row,
+   and the name/value columns are dictionary-encoded per fragment on top
+   of the global pools whenever the local dictionary shrinks the column
+   (a scale-10 XMark document has ~80 distinct tag names, so tag columns
+   drop from 32 to 8 bits per row). The boxed representation is kept both
+   as the builder's working form and as a runtime-selectable reference
+   build ([create ~packed:false], env XRQ_STORE_PACK=0) that the property
+   tests and the differential fuzzer compare against row for row. *)
 
 open Basis
 
-type frag = {
+(* -- fragment representations -------------------------------------------- *)
+
+type boxed = {
   kinds : Node_kind.t array;
   names : int array;
   values : int array;
@@ -30,6 +44,165 @@ type frag = {
   levels : int array;
   parents : int array;
 }
+
+(* A packed integer column: u8 / u16 / u32 little-endian, chosen at freeze
+   time from the column's actual maximum. *)
+type col = C8 of Bytes.t | C16 of Bytes.t | C32 of Bytes.t
+
+type packed = {
+  p_len : int;
+  p_kinds : Bytes.t;       (* Node_kind code, one byte per row *)
+  p_names : col;           (* 0 = no name; see [decode_dict] *)
+  p_name_dict : int array; (* local code - 1 -> global pool id; [||] = identity *)
+  p_values : col;
+  p_value_dict : int array;
+  p_sizes : col;
+  p_levels : col;
+  p_parents : col;         (* parent pre + 1, 0 for roots *)
+}
+
+type frag = Boxed of boxed | Packed of packed
+
+let frag_length = function
+  | Boxed b -> Array.length b.kinds
+  | Packed p -> p.p_len
+
+let frag_packed = function Boxed _ -> false | Packed _ -> true
+
+let[@inline] col_get c i =
+  match c with
+  | C8 b -> Char.code (Bytes.get b i)
+  | C16 b -> Bytes.get_uint16_le b (i * 2)
+  | C32 b -> Int32.to_int (Bytes.get_int32_le b (i * 4)) land 0xFFFFFFFF
+
+(* Name/value column codes: 0 means "none" (-1 in the boxed form). With a
+   dictionary, code k > 0 stands for dict.(k - 1); without one the code is
+   the global pool id + 1. *)
+let[@inline] decode_dict dict code =
+  if code = 0 then -1
+  else if Array.length dict = 0 then code - 1
+  else Array.unsafe_get dict (code - 1)
+
+let[@inline] kind_at f pre =
+  match f with
+  | Boxed b -> b.kinds.(pre)
+  | Packed p -> Node_kind.of_int (Char.code (Bytes.get p.p_kinds pre))
+
+let[@inline] name_at f pre =
+  match f with
+  | Boxed b -> b.names.(pre)
+  | Packed p -> decode_dict p.p_name_dict (col_get p.p_names pre)
+
+let[@inline] value_at f pre =
+  match f with
+  | Boxed b -> b.values.(pre)
+  | Packed p -> decode_dict p.p_value_dict (col_get p.p_values pre)
+
+let[@inline] size_at f pre =
+  match f with
+  | Boxed b -> b.sizes.(pre)
+  | Packed p -> col_get p.p_sizes pre
+
+let[@inline] level_at f pre =
+  match f with
+  | Boxed b -> b.levels.(pre)
+  | Packed p -> col_get p.p_levels pre
+
+let[@inline] parent_at f pre =
+  match f with
+  | Boxed b -> b.parents.(pre)
+  | Packed p -> col_get p.p_parents pre - 1
+
+(* -- freezing a boxed fragment into packed columns ------------------------ *)
+
+let width_for maxv = if maxv < 0x100 then 1 else if maxv < 0x10000 then 2 else 4
+
+(* Pack a non-negative integer column at the narrowest width that holds
+   its maximum. *)
+let pack_col (a : int array) : col =
+  let n = Array.length a in
+  let maxv = Array.fold_left (fun m v -> if v > m then v else m) 0 a in
+  match width_for maxv with
+  | 1 ->
+    let b = Bytes.create n in
+    for i = 0 to n - 1 do Bytes.unsafe_set b i (Char.unsafe_chr a.(i)) done;
+    C8 b
+  | 2 ->
+    let b = Bytes.create (2 * n) in
+    for i = 0 to n - 1 do Bytes.set_uint16_le b (2 * i) a.(i) done;
+    C16 b
+  | _ ->
+    if maxv > 0xFFFFFFFF then
+      Err.internal "Doc_store: column value %d exceeds u32" maxv;
+    let b = Bytes.create (4 * n) in
+    for i = 0 to n - 1 do Bytes.set_int32_le b (4 * i) (Int32.of_int a.(i)) done;
+    C32 b
+
+(* Dictionary-encode a pool-id column (-1 = none). Returns the code column
+   and the dictionary; the dictionary is [||] (identity coding: global
+   id + 1) whenever it would not shrink the bytes — local codes are dense
+   in first-occurrence order, so the encoding is deterministic. *)
+let dict_encode (ids : int array) : int array * int array =
+  let n = Array.length ids in
+  let tbl = Hashtbl.create 64 in
+  let dict = Vec.create 0 in
+  let codes = Array.make n 0 in
+  let maxg = ref (-1) in
+  for i = 0 to n - 1 do
+    let id = ids.(i) in
+    if id >= 0 then begin
+      if id > !maxg then maxg := id;
+      let c =
+        match Hashtbl.find_opt tbl id with
+        | Some c -> c
+        | None ->
+          let c = Vec.length dict + 1 in
+          Vec.push dict id;
+          Hashtbl.add tbl id c;
+          c
+      in
+      codes.(i) <- c
+    end
+  done;
+  let k = Vec.length dict in
+  let with_dict = (n * width_for k) + (8 * k) in
+  let without = n * width_for (!maxg + 1) in
+  if k > 0 && with_dict < without then (codes, Vec.to_array dict)
+  else (Array.map (fun id -> id + 1) ids, [||])
+
+let pack_frag (b : boxed) : packed =
+  let n = Array.length b.kinds in
+  let kinds = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set kinds i (Char.unsafe_chr (Node_kind.to_int b.kinds.(i)))
+  done;
+  let name_codes, name_dict = dict_encode b.names in
+  let value_codes, value_dict = dict_encode b.values in
+  {
+    p_len = n;
+    p_kinds = kinds;
+    p_names = pack_col name_codes;
+    p_name_dict = name_dict;
+    p_values = pack_col value_codes;
+    p_value_dict = value_dict;
+    p_sizes = pack_col b.sizes;
+    p_levels = pack_col b.levels;
+    p_parents = pack_col (Array.map (fun p -> p + 1) b.parents);
+  }
+
+let col_bytes = function C8 b | C16 b | C32 b -> Bytes.length b
+
+(* Table bytes of one fragment as held in memory (dictionaries count at
+   one word per entry; boxed fragments at one word per cell). *)
+let frag_bytes = function
+  | Boxed b -> 8 * 6 * Array.length b.kinds
+  | Packed p ->
+    Bytes.length p.p_kinds
+    + col_bytes p.p_names + (8 * Array.length p.p_name_dict)
+    + col_bytes p.p_values + (8 * Array.length p.p_value_dict)
+    + col_bytes p.p_sizes + col_bytes p.p_levels + col_bytes p.p_parents
+
+(* -- the store ------------------------------------------------------------ *)
 
 type t = {
   mu : Mutex.t;
@@ -42,21 +215,28 @@ type t = {
   name_pool : Qname_pool.t;
   text_pool : String_pool.t;
   frags : frag Vec.t;
+  pack : bool; (* freeze finished fragments into packed columns? *)
   mutable documents : (string * Node_id.t) list; (* uri -> document node *)
   name_counts : (int, int) Hashtbl.t;  (* name id -> total occurrences *)
   mutable counted_frags : int;         (* frags folded into name_counts *)
 }
 
-let empty_frag = {
+let empty_frag = Boxed {
   kinds = [||]; names = [||]; values = [||];
   sizes = [||]; levels = [||]; parents = [||];
 }
 
-let create () = {
+let default_pack () =
+  match Sys.getenv_opt "XRQ_STORE_PACK" with
+  | Some ("0" | "off" | "false") -> false
+  | _ -> true
+
+let create ?packed () = {
   mu = Mutex.create ();
   name_pool = Qname_pool.create ();
   text_pool = String_pool.create ();
   frags = Vec.create empty_frag;
+  pack = (match packed with Some b -> b | None -> default_pack ());
   documents = [];
   name_counts = Hashtbl.create 64;
   counted_frags = 0;
@@ -70,7 +250,9 @@ let[@inline] locked t f =
 
 let n_frags t = Vec.length t.frags
 let frag t i = Vec.get t.frags i
-let frag_length f = Array.length f.kinds
+let packing t = t.pack
+
+let encoded_bytes t = Vec.fold_left (fun acc f -> acc + frag_bytes f) 0 t.frags
 
 (* -- name/text pools ----------------------------------------------------- *)
 
@@ -88,21 +270,21 @@ let text_of_id t id = String_pool.get t.text_pool id
 
 (* -- node accessors ------------------------------------------------------ *)
 
-let kind t (n : Node_id.t) = (frag t (Node_id.frag n)).kinds.(Node_id.pre n)
-let name_id t (n : Node_id.t) = (frag t (Node_id.frag n)).names.(Node_id.pre n)
-let size t (n : Node_id.t) = (frag t (Node_id.frag n)).sizes.(Node_id.pre n)
-let level t (n : Node_id.t) = (frag t (Node_id.frag n)).levels.(Node_id.pre n)
+let kind t (n : Node_id.t) = kind_at (frag t (Node_id.frag n)) (Node_id.pre n)
+let name_id t (n : Node_id.t) = name_at (frag t (Node_id.frag n)) (Node_id.pre n)
+let size t (n : Node_id.t) = size_at (frag t (Node_id.frag n)) (Node_id.pre n)
+let level t (n : Node_id.t) = level_at (frag t (Node_id.frag n)) (Node_id.pre n)
 
 let name t n =
   let id = name_id t n in
   if id < 0 then None else Some (name_of_id t id)
 
 let value t (n : Node_id.t) =
-  let id = (frag t (Node_id.frag n)).values.(Node_id.pre n) in
+  let id = value_at (frag t (Node_id.frag n)) (Node_id.pre n) in
   if id < 0 then "" else text_of_id t id
 
 let parent t (n : Node_id.t) =
-  let p = (frag t (Node_id.frag n)).parents.(Node_id.pre n) in
+  let p = parent_at (frag t (Node_id.frag n)) (Node_id.pre n) in
   if p < 0 then None else Some (Node_id.make ~frag:(Node_id.frag n) ~pre:p)
 
 (* String value per XDM: elements and documents concatenate the text
@@ -113,9 +295,9 @@ let string_value t (n : Node_id.t) =
     let f = frag t (Node_id.frag n) in
     let pre = Node_id.pre n in
     let buf = Buffer.create 32 in
-    for p = pre + 1 to pre + f.sizes.(pre) do
-      if f.kinds.(p) = Node_kind.Text then
-        Buffer.add_string buf (text_of_id t f.values.(p))
+    for p = pre + 1 to pre + size_at f pre do
+      if kind_at f p = Node_kind.Text then
+        Buffer.add_string buf (text_of_id t (value_at f p))
     done;
     Buffer.contents buf
   | Node_kind.Attribute | Node_kind.Text | Node_kind.Comment
@@ -244,17 +426,17 @@ module Builder = struct
   let copy_node b (src : frag) pre0 =
     b.last_text <- -1;
     let dst0 = Vec.length b.kinds in
-    let delta_level = depth b - src.levels.(pre0) in
-    for p = pre0 to pre0 + src.sizes.(pre0) do
+    let delta_level = depth b - level_at src pre0 in
+    for p = pre0 to pre0 + size_at src pre0 do
       let parent =
         if p = pre0 then cur_parent b
-        else src.parents.(p) - pre0 + dst0
+        else parent_at src p - pre0 + dst0
       in
-      Vec.push b.kinds src.kinds.(p);
-      Vec.push b.names src.names.(p);
-      Vec.push b.values src.values.(p);
-      Vec.push b.sizes src.sizes.(p);
-      Vec.push b.levels (src.levels.(p) + delta_level);
+      Vec.push b.kinds (kind_at src p);
+      Vec.push b.names (name_at src p);
+      Vec.push b.values (value_at src p);
+      Vec.push b.sizes (size_at src p);
+      Vec.push b.levels (level_at src p + delta_level);
       Vec.push b.parents parent
     done;
     b.last_text <- -1
@@ -266,32 +448,34 @@ module Builder = struct
   let copy b (n : Node_id.t) =
     let src = frag b.store (Node_id.frag n) in
     let pre0 = Node_id.pre n in
-    match src.kinds.(pre0) with
+    match kind_at src pre0 with
     | Node_kind.Text ->
-      text b (text_of_id b.store src.values.(pre0))
+      text b (text_of_id b.store (value_at src pre0))
     | Node_kind.Attribute ->
-      attribute b (name_of_id b.store src.names.(pre0))
-        (text_of_id b.store src.values.(pre0))
+      attribute b (name_of_id b.store (name_at src pre0))
+        (text_of_id b.store (value_at src pre0))
     | Node_kind.Document ->
       b.last_text <- -1;
       let p = ref (pre0 + 1) in
-      let stop = pre0 + src.sizes.(pre0) in
+      let stop = pre0 + size_at src pre0 in
       while !p <= stop do
-        if src.kinds.(!p) = Node_kind.Text then
-          text b (text_of_id b.store src.values.(!p))
+        if kind_at src !p = Node_kind.Text then
+          text b (text_of_id b.store (value_at src !p))
         else copy_node b src !p;
-        p := !p + src.sizes.(!p) + 1
+        p := !p + size_at src !p + 1
       done
     | Node_kind.Element | Node_kind.Comment | Node_kind.Processing_instruction ->
       copy_node b src pre0
 
   (* Freeze the builder into a new fragment; returns the fragment id and
-     the preorder ranks of the fragment's roots. *)
+     the preorder ranks of the fragment's roots. The freeze step is where
+     the packed columns are built: the boxed working arrays are scanned
+     once for their maxima and re-emitted at minimal width. *)
   let finish b =
     if b.finished then Err.internal "Builder.finish called twice";
     if b.stack <> [] then Err.internal "Builder.finish with open nodes";
     b.finished <- true;
-    let f = {
+    let boxed = {
       kinds = Vec.to_array b.kinds;
       names = Vec.to_array b.names;
       values = Vec.to_array b.values;
@@ -299,6 +483,7 @@ module Builder = struct
       levels = Vec.to_array b.levels;
       parents = Vec.to_array b.parents;
     } in
+    let f = if b.store.pack then Packed (pack_frag boxed) else Boxed boxed in
     let fid =
       locked b.store (fun () ->
         let fid = Vec.length b.store.frags in
@@ -307,9 +492,10 @@ module Builder = struct
     in
     let roots = Vec.create (-1) in
     let p = ref 0 in
-    while !p < Array.length f.kinds do
+    let n = frag_length f in
+    while !p < n do
       Vec.push roots !p;
-      p := !p + f.sizes.(!p) + 1
+      p := !p + size_at f !p + 1
     done;
     (fid, Array.map (fun pre -> Node_id.make ~frag:fid ~pre) (Vec.to_array roots))
 end
@@ -322,21 +508,428 @@ let total_nodes t =
 (* How many nodes (elements and attributes) carry the given name, across
    all fragments. Counts are folded incrementally: fragments are immutable
    once finished, so only the frags appended since the last query need a
-   scan. Used to seed the optimizer's cardinality estimates. *)
+   scan. Packed fragments with a name dictionary fold by counting local
+   codes and expanding once through the dictionary. Used to seed the
+   optimizer's cardinality estimates. *)
 let name_occurrences t q =
   let qid = Qname_pool.find_opt t.name_pool q in
   locked t (fun () ->
+    let bump id k =
+      if k > 0 then
+        Hashtbl.replace t.name_counts id
+          (k + Option.value ~default:0 (Hashtbl.find_opt t.name_counts id))
+    in
     for fid = t.counted_frags to n_frags t - 1 do
-      let f = frag t fid in
-      Array.iter
-        (fun id ->
-           if id >= 0 then
-             Hashtbl.replace t.name_counts id
-               (1 + Option.value ~default:0
-                      (Hashtbl.find_opt t.name_counts id)))
-        f.names
+      match frag t fid with
+      | Boxed b ->
+        Array.iter (fun id -> if id >= 0 then bump id 1) b.names
+      | Packed p ->
+        let k = Array.length p.p_name_dict in
+        if k > 0 then begin
+          let counts = Array.make (k + 1) 0 in
+          for pre = 0 to p.p_len - 1 do
+            let c = col_get p.p_names pre in
+            counts.(c) <- counts.(c) + 1
+          done;
+          for c = 1 to k do bump p.p_name_dict.(c - 1) counts.(c) done
+        end else
+          for pre = 0 to p.p_len - 1 do
+            let c = col_get p.p_names pre in
+            if c > 0 then bump (c - 1) 1
+          done
     done;
     t.counted_frags <- n_frags t;
     match qid with
     | None -> 0
     | Some id -> Option.value ~default:0 (Hashtbl.find_opt t.name_counts id))
+
+(* -- snapshots ------------------------------------------------------------ *)
+
+(* A versioned, checksummed on-disk image of a whole store. Layout:
+
+     magic "XRQSNAP1" | u32 version
+     qname pool   : u32 count | blob of (u32 plen, prefix, u32 llen, local)*
+     text pool    : u32 count | blob of (u32 len, bytes)*
+     documents    : u32 count | blob of (u32 len, uri, u32 frag, u32 pre)*
+     fragments    : u32 count | per fragment:
+                      u32 rows
+                      kinds   : u8 width=1 | blob
+                      names   : u8 width | blob ; u32 dict count | blob
+                      values  : u8 width | blob ; u32 dict count | blob
+                      sizes   : u8 width | blob
+                      levels  : u8 width | blob
+                      parents : u8 width | blob
+     trailer "XRQEND1\n"
+
+   where blob = u64 byte length | payload | u32 crc32(payload). Column
+   payloads are the packed column bytes verbatim, so a fragment loads
+   with one read per column and no re-encoding; boxed fragments pack on
+   the fly at save, which also makes save -> load -> save byte-identical
+   regardless of the source store's representation. Pools are written in
+   dense id order and re-interned in that order at load, reproducing ids
+   exactly. All corruption — bad magic, version skew, truncation, a
+   checksum mismatch, out-of-range structure — raises [Err.Dynamic_error]
+   ("the input is bad", exit code 1); a failed load never publishes a
+   partial store because the store is only returned after every section
+   validated. *)
+module Snapshot = struct
+  let magic = "XRQSNAP1"
+  let trailer = "XRQEND1\n"
+  let format_version = 1
+
+  (* CRC-32 (IEEE 802.3, reflected), table-driven. *)
+  let crc_table = lazy (Array.init 256 (fun n ->
+    let c = ref n in
+    for _ = 0 to 7 do
+      c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+    done;
+    !c))
+
+  let crc32 b ofs len =
+    let t = Lazy.force crc_table in
+    let c = ref 0xFFFFFFFF in
+    for i = ofs to ofs + len - 1 do
+      c := Array.unsafe_get t
+             ((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF)
+           lxor (!c lsr 8)
+    done;
+    !c lxor 0xFFFFFFFF
+
+  (* --- writing --- *)
+
+  type sink = Bytes.t -> int -> int -> unit
+
+  let put_bytes (out : sink) b = out b 0 (Bytes.length b)
+  let put_string out s = put_bytes out (Bytes.unsafe_of_string s)
+
+  let put_u8 out v =
+    let b = Bytes.create 1 in
+    Bytes.set_uint8 b 0 v;
+    put_bytes out b
+
+  let put_u32 out v =
+    if v < 0 || v > 0xFFFFFFFF then Err.internal "snapshot: u32 overflow (%d)" v;
+    let b = Bytes.create 4 in
+    Bytes.set_int32_le b 0 (Int32.of_int v);
+    put_bytes out b
+
+  let put_u64 out v =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 (Int64.of_int v);
+    put_bytes out b
+
+  let put_blob out payload =
+    put_u64 out (Bytes.length payload);
+    put_bytes out payload;
+    put_u32 out (crc32 payload 0 (Bytes.length payload))
+
+  let put_col out c =
+    let width, payload =
+      match c with C8 b -> (1, b) | C16 b -> (2, b) | C32 b -> (4, b)
+    in
+    put_u8 out width;
+    put_blob out payload
+
+  let put_dict out d =
+    put_u32 out (Array.length d);
+    let payload = Bytes.create (4 * Array.length d) in
+    Array.iteri
+      (fun i v -> Bytes.set_int32_le payload (4 * i) (Int32.of_int v)) d;
+    put_blob out payload
+
+  let add_u32 buf v =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_le b 0 (Int32.of_int v);
+    Buffer.add_bytes buf b
+
+  let write (out : sink) t =
+    (* Capture fragments and documents under the lock first, pool sizes
+       after: every id referenced by a captured fragment was interned
+       before that fragment finished, hence before the capture. *)
+    let frags, docs =
+      locked t (fun () ->
+        (Array.init (Vec.length t.frags) (Vec.get t.frags),
+         List.rev t.documents))
+    in
+    let frags =
+      Array.map (function Boxed b -> pack_frag b | Packed p -> p) frags
+    in
+    put_string out magic;
+    put_u32 out format_version;
+    (* qname pool, dense id order; prefix and local part separately so
+       colons in either survive the round trip *)
+    let n_names = Qname_pool.size t.name_pool in
+    put_u32 out n_names;
+    let buf = Buffer.create 1024 in
+    for id = 0 to n_names - 1 do
+      let q = Qname_pool.get t.name_pool id in
+      let p = Qname.prefix q and l = Qname.local q in
+      add_u32 buf (String.length p); Buffer.add_string buf p;
+      add_u32 buf (String.length l); Buffer.add_string buf l
+    done;
+    put_blob out (Buffer.to_bytes buf);
+    (* text pool *)
+    let n_texts = String_pool.size t.text_pool in
+    put_u32 out n_texts;
+    let buf = Buffer.create 4096 in
+    for id = 0 to n_texts - 1 do
+      let s = String_pool.get t.text_pool id in
+      add_u32 buf (String.length s); Buffer.add_string buf s
+    done;
+    put_blob out (Buffer.to_bytes buf);
+    (* document registry, registration order *)
+    put_u32 out (List.length docs);
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun (uri, n) ->
+         add_u32 buf (String.length uri); Buffer.add_string buf uri;
+         add_u32 buf (Node_id.frag n); add_u32 buf (Node_id.pre n))
+      docs;
+    put_blob out (Buffer.to_bytes buf);
+    (* fragments *)
+    put_u32 out (Array.length frags);
+    Array.iter
+      (fun p ->
+         put_u32 out p.p_len;
+         put_u8 out 1; put_blob out p.p_kinds;
+         put_col out p.p_names; put_dict out p.p_name_dict;
+         put_col out p.p_values; put_dict out p.p_value_dict;
+         put_col out p.p_sizes;
+         put_col out p.p_levels;
+         put_col out p.p_parents)
+      frags;
+    put_string out trailer
+
+  (* --- reading --- *)
+
+  let corrupt fmt = Err.dynamic ("corrupt snapshot: " ^^ fmt)
+
+  type source = {
+    read_exact : Bytes.t -> int -> int -> unit;
+    remaining : unit -> int; (* bytes left, for length sanity checks *)
+  }
+
+  let source_of_channel ic =
+    { read_exact =
+        (fun b ofs len ->
+           try really_input ic b ofs len
+           with End_of_file -> corrupt "truncated (unexpected end of file)");
+      remaining = (fun () -> in_channel_length ic - pos_in ic) }
+
+  let source_of_string s =
+    let pos = ref 0 in
+    { read_exact =
+        (fun b ofs len ->
+           if !pos + len > String.length s then
+             corrupt "truncated (unexpected end of data)";
+           Bytes.blit_string s !pos b ofs len;
+           pos := !pos + len);
+      remaining = (fun () -> String.length s - !pos) }
+
+  let get_bytes src n =
+    let b = Bytes.create n in
+    src.read_exact b 0 n;
+    b
+
+  let get_u8 src = Bytes.get_uint8 (get_bytes src 1) 0
+
+  let get_u32 src =
+    Int32.to_int (Bytes.get_int32_le (get_bytes src 4) 0) land 0xFFFFFFFF
+
+  let get_blob src =
+    let len = Int64.to_int (Bytes.get_int64_le (get_bytes src 8) 0) in
+    if len < 0 || len > src.remaining () then
+      corrupt "section length %d exceeds remaining input" len;
+    let payload = get_bytes src len in
+    let stored = get_u32 src in
+    let actual = crc32 payload 0 len in
+    if stored <> actual then
+      corrupt "checksum mismatch (stored %08lx, computed %08lx)"
+        (Int32.of_int stored) (Int32.of_int actual);
+    payload
+
+  let get_col src rows =
+    let width = get_u8 src in
+    let payload = get_blob src in
+    if Bytes.length payload <> rows * width then
+      corrupt "column has %d bytes, expected %d rows at width %d"
+        (Bytes.length payload) rows width;
+    match width with
+    | 1 -> C8 payload
+    | 2 -> C16 payload
+    | 4 -> C32 payload
+    | w -> corrupt "invalid column width %d" w
+
+  let get_dict src =
+    let k = get_u32 src in
+    let payload = get_blob src in
+    if Bytes.length payload <> 4 * k then
+      corrupt "dictionary has %d bytes, expected %d entries"
+        (Bytes.length payload) k;
+    Array.init k
+      (fun i -> Int32.to_int (Bytes.get_int32_le payload (4 * i)) land 0xFFFFFFFF)
+
+  (* Cursor over a validated section payload. *)
+  let c_u32 payload pos =
+    if !pos + 4 > Bytes.length payload then corrupt "section truncated";
+    let v = Int32.to_int (Bytes.get_int32_le payload !pos) land 0xFFFFFFFF in
+    pos := !pos + 4;
+    v
+
+  let c_str payload pos n =
+    if n < 0 || !pos + n > Bytes.length payload then corrupt "section truncated";
+    let s = Bytes.sub_string payload !pos n in
+    pos := !pos + n;
+    s
+
+  let c_end payload pos what =
+    if !pos <> Bytes.length payload then corrupt "trailing bytes in %s section" what
+
+  (* Bounds-validate one loaded fragment so that no accessor, axis scan or
+     serialization over it can index out of range: kind codes, dictionary
+     codes, pool ids, subtree extents and parent pointers are all checked.
+     Structural coherence beyond bounds (size nesting, level arithmetic)
+     is the byte-identity tests' job, not the loader's. *)
+  let validate_frag p ~n_names ~n_texts =
+    let rows = p.p_len in
+    Array.iter
+      (fun id -> if id < 0 || id >= n_names then corrupt "name dictionary entry out of range")
+      p.p_name_dict;
+    Array.iter
+      (fun id -> if id < 0 || id >= n_texts then corrupt "text dictionary entry out of range")
+      p.p_value_dict;
+    let nk = Array.length p.p_name_dict in
+    let vk = Array.length p.p_value_dict in
+    for pre = 0 to rows - 1 do
+      let k = Char.code (Bytes.get p.p_kinds pre) in
+      if k > 5 then corrupt "invalid node kind code %d" k;
+      let nc = col_get p.p_names pre in
+      if (if nk > 0 then nc > nk else nc > n_names) then
+        corrupt "name code out of range at row %d" pre;
+      let vc = col_get p.p_values pre in
+      if (if vk > 0 then vc > vk else vc > n_texts) then
+        corrupt "text code out of range at row %d" pre;
+      if pre + col_get p.p_sizes pre > rows - 1 then
+        corrupt "subtree size out of range at row %d" pre;
+      if col_get p.p_parents pre > rows then
+        corrupt "parent out of range at row %d" pre
+    done
+
+  let read src =
+    let m = get_bytes src (String.length magic) in
+    if not (Bytes.equal m (Bytes.of_string magic)) then
+      corrupt "bad magic (not a snapshot file)";
+    let v = get_u32 src in
+    if v <> format_version then
+      Err.dynamic
+        "corrupt snapshot: unsupported format version %d (this build reads %d)"
+        v format_version;
+    let st = create ~packed:true () in
+    (* qname pool *)
+    let n_names = get_u32 src in
+    let payload = get_blob src in
+    let pos = ref 0 in
+    for id = 0 to n_names - 1 do
+      let p = c_str payload pos (c_u32 payload pos) in
+      let l = c_str payload pos (c_u32 payload pos) in
+      if intern_name st (Qname.make ~prefix:p l) <> id then
+        corrupt "duplicate qname pool entry"
+    done;
+    c_end payload pos "qname pool";
+    (* text pool *)
+    let n_texts = get_u32 src in
+    let payload = get_blob src in
+    let pos = ref 0 in
+    for id = 0 to n_texts - 1 do
+      let s = c_str payload pos (c_u32 payload pos) in
+      if String_pool.intern st.text_pool s <> id then
+        corrupt "duplicate text pool entry"
+    done;
+    c_end payload pos "text pool";
+    (* document registry (applied after fragments are known) *)
+    let n_docs = get_u32 src in
+    let payload = get_blob src in
+    let pos = ref 0 in
+    let docs = ref [] in
+    for _ = 1 to n_docs do
+      let uri = c_str payload pos (c_u32 payload pos) in
+      let fid = c_u32 payload pos in
+      let pre = c_u32 payload pos in
+      docs := (uri, fid, pre) :: !docs
+    done;
+    let docs = List.rev !docs in
+    c_end payload pos "document registry";
+    (* fragments: decode and validate everything before publishing any *)
+    let nf = get_u32 src in
+    let frags = ref [] in
+    for _ = 1 to nf do
+      let rows = get_u32 src in
+      let kw = get_u8 src in
+      if kw <> 1 then corrupt "invalid kind column width %d" kw;
+      let kinds = get_blob src in
+      if Bytes.length kinds <> rows then
+        corrupt "kind column has %d bytes, expected %d rows"
+          (Bytes.length kinds) rows;
+      let names = get_col src rows in
+      let name_dict = get_dict src in
+      let values = get_col src rows in
+      let value_dict = get_dict src in
+      let sizes = get_col src rows in
+      let levels = get_col src rows in
+      let parents = get_col src rows in
+      let p = {
+        p_len = rows; p_kinds = kinds;
+        p_names = names; p_name_dict = name_dict;
+        p_values = values; p_value_dict = value_dict;
+        p_sizes = sizes; p_levels = levels; p_parents = parents;
+      } in
+      validate_frag p ~n_names ~n_texts;
+      frags := p :: !frags
+    done;
+    let frags = List.rev !frags in
+    let tr = get_bytes src (String.length trailer) in
+    if not (Bytes.equal tr (Bytes.of_string trailer)) then
+      corrupt "bad trailer";
+    if src.remaining () <> 0 then corrupt "trailing garbage after snapshot";
+    (* everything validated: publish *)
+    List.iter (fun p -> Vec.push st.frags (Packed p)) frags;
+    List.iter
+      (fun (uri, fid, pre) ->
+         if fid >= nf then corrupt "document fragment id out of range";
+         if pre >= frag_length (frag st fid) then
+           corrupt "document root out of range";
+         register_document st uri (Node_id.make ~frag:fid ~pre))
+      docs;
+    st
+
+  (* --- public entry points --- *)
+
+  let save t path =
+    let tmp = path ^ ".tmp" in
+    let oc =
+      try open_out_bin tmp
+      with Sys_error m -> Err.dynamic "cannot write snapshot: %s" m
+    in
+    (try write (fun b ofs len -> output oc b ofs len) t
+     with e ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    close_out oc;
+    Sys.rename tmp path
+
+  let load path =
+    let ic =
+      try open_in_bin path
+      with Sys_error m -> Err.dynamic "cannot open snapshot: %s" m
+    in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> read (source_of_channel ic))
+
+  let to_string t =
+    let buf = Buffer.create 4096 in
+    write (fun b ofs len -> Buffer.add_subbytes buf b ofs len) t;
+    Buffer.contents buf
+
+  let of_string s = read (source_of_string s)
+end

@@ -10,35 +10,68 @@
     allocates fresh fragments, giving constructed trees a document order
     after all existing nodes; *within* a constructed fragment, document
     order is the order content was fed to the {!Builder} — this realizes
-    the seq→doc order interaction (paper, Section 2, interaction 2). *)
+    the seq→doc order interaction (paper, Section 2, interaction 2).
 
-(** The raw encoding of one fragment, indexed by preorder rank:
-    {ul
-    {- [kinds.(pre)] — node kind;}
-    {- [names.(pre)] — name-pool id (elements, attributes, PI targets), -1;}
-    {- [values.(pre)] — text-pool id (text/attribute/comment/PI), -1;}
-    {- [sizes.(pre)] — number of rows in the subtree (includes inlined
-       attribute rows);}
-    {- [levels.(pre)] — depth, fragment roots at level 0;}
-    {- [parents.(pre)] — preorder rank of the parent, -1 for roots.}}
-    Exposed so that axis evaluation ({!Staircase}) and serialization can
-    scan it directly. *)
-type frag = {
-  kinds : Node_kind.t array;
-  names : int array;
-  values : int array;
-  sizes : int array;
-  levels : int array;
-  parents : int array;
-}
+    Physically, a finished fragment is frozen into bit-width minimal
+    packed columns (u8/u16/u32 per column, chosen from the actual
+    maximum; per-fragment dictionaries over the global name/text pools) —
+    the MonetDB/X100-style encoded relational back-end of the paper's
+    experiments. The boxed word-per-cell representation remains available
+    as a reference build ([create ~packed:false], env [XRQ_STORE_PACK=0])
+    whose accessors must agree row for row with the packed one. *)
+
+(** One fragment's pre/size/level table, indexed by preorder rank through
+    the [*_at] accessors below. The concrete layout (packed columns or
+    boxed arrays) is private to the store; per-row access cost is O(1)
+    either way. *)
+type frag
 
 type t
 
-val create : unit -> t
+(** [create ()] makes an empty store. [packed] selects the physical
+    fragment representation frozen at builder [finish] (default: packed,
+    unless the environment sets [XRQ_STORE_PACK=0]). *)
+val create : ?packed:bool -> unit -> t
 
 val n_frags : t -> int
 val frag : t -> int -> frag
 val frag_length : frag -> int
+
+(** Whether this fragment was frozen into packed columns. *)
+val frag_packed : frag -> bool
+
+(** Whether this store packs fragments at freeze time. *)
+val packing : t -> bool
+
+(** Bytes held by all fragment tables (packed column bytes plus one word
+    per dictionary entry; boxed fragments count one word per cell).
+    Excludes the shared name/text pools. *)
+val encoded_bytes : t -> int
+
+(** {2 Per-fragment row accessors}
+
+    These are the only way to read a fragment's table; {!Staircase},
+    {!Serialize} and the index structures scan through them. *)
+
+val kind_at : frag -> int -> Node_kind.t
+
+(** Name-pool id at a row (elements, attributes, PI targets); -1 for
+    rows without a name. *)
+val name_at : frag -> int -> int
+
+(** Text-pool id at a row (text/attribute/comment/PI content); -1 for
+    rows without a value. *)
+val value_at : frag -> int -> int
+
+(** Number of table rows in the row's subtree (includes inlined
+    attribute rows). *)
+val size_at : frag -> int -> int
+
+(** Depth; fragment roots are at level 0. *)
+val level_at : frag -> int -> int
+
+(** Preorder rank of the parent, -1 for fragment roots. *)
+val parent_at : frag -> int -> int
 
 (** {2 Name and text pools} *)
 
@@ -124,6 +157,27 @@ module Builder : sig
 
   (** Freeze into a new fragment; returns its id and the node ids of the
       fragment's roots. The builder must be balanced and is dead
-      afterwards. *)
+      afterwards. Freezing is where packed columns are built. *)
   val finish : t -> int * Node_id.t array
+end
+
+(** {2 Snapshots}
+
+    A versioned, checksummed on-disk image of a whole store: magic,
+    format version, the two pools in dense id order, the document
+    registry, then each fragment's packed columns verbatim (one read per
+    column at load, no re-encoding). Saving a boxed store packs on the
+    fly, so save → load → save is byte-identical regardless of the
+    source representation. Any corruption — bad magic, version skew,
+    truncation, checksum mismatch, out-of-range structure — raises
+    {!Basis.Err.Dynamic_error}; a failed load never yields a partially
+    populated store. *)
+module Snapshot : sig
+  (** Version written by [save]; [load] refuses any other. *)
+  val format_version : int
+
+  val save : t -> string -> unit
+  val load : string -> t
+  val to_string : t -> string
+  val of_string : string -> t
 end

@@ -24,11 +24,11 @@ let frag_table t frag_id =
     let tbl = Hashtbl.create 256 in
     let f = Doc_store.frag t.store frag_id in
     for pre = 0 to Doc_store.frag_length f - 1 do
-      if Node_kind.equal f.Doc_store.kinds.(pre) Node_kind.Attribute then begin
-        let q = Doc_store.name_of_id t.store f.Doc_store.names.(pre) in
+      if Node_kind.equal (Doc_store.kind_at f pre) Node_kind.Attribute then begin
+        let q = Doc_store.name_of_id t.store (Doc_store.name_at f pre) in
         if String.equal (Qname.local q) "id" then begin
-          let v = Doc_store.text_of_id t.store f.Doc_store.values.(pre) in
-          let owner = f.Doc_store.parents.(pre) in
+          let v = Doc_store.text_of_id t.store (Doc_store.value_at f pre) in
+          let owner = Doc_store.parent_at f pre in
           if owner >= 0 && not (Hashtbl.mem tbl v) then
             Hashtbl.add tbl v (Node_id.make ~frag:frag_id ~pre:owner)
         end

@@ -13,6 +13,25 @@ type t =
 
 let equal (a : t) (b : t) = a = b
 
+(* Stable one-byte codes for the packed store and its snapshot format —
+   renumbering is a snapshot format change. *)
+let to_int = function
+  | Document -> 0
+  | Element -> 1
+  | Attribute -> 2
+  | Text -> 3
+  | Comment -> 4
+  | Processing_instruction -> 5
+
+let of_int = function
+  | 0 -> Document
+  | 1 -> Element
+  | 2 -> Attribute
+  | 3 -> Text
+  | 4 -> Comment
+  | 5 -> Processing_instruction
+  | k -> invalid_arg (Printf.sprintf "Node_kind.of_int: %d" k)
+
 let to_string = function
   | Document -> "document"
   | Element -> "element"

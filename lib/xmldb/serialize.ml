@@ -25,22 +25,22 @@ let escape_attr buf s =
     s
 
 let rec serialize_pre store (f : Doc_store.frag) frag_id buf pre =
-  match f.kinds.(pre) with
+  match Doc_store.kind_at f pre with
   | Node_kind.Document ->
     iter_children store f frag_id buf pre
   | Node_kind.Element ->
-    let name = Qname.to_string (Doc_store.name_of_id store f.names.(pre)) in
+    let name = Qname.to_string (Doc_store.name_of_id store (Doc_store.name_at f pre)) in
     Buffer.add_char buf '<';
     Buffer.add_string buf name;
     (* attribute rows directly follow the element row *)
     let p = ref (pre + 1) in
-    let stop = pre + f.sizes.(pre) in
-    while !p <= stop && f.kinds.(!p) = Node_kind.Attribute do
-      let aname = Qname.to_string (Doc_store.name_of_id store f.names.(!p)) in
+    let stop = pre + Doc_store.size_at f pre in
+    while !p <= stop && Doc_store.kind_at f !p = Node_kind.Attribute do
+      let aname = Qname.to_string (Doc_store.name_of_id store (Doc_store.name_at f !p)) in
       Buffer.add_char buf ' ';
       Buffer.add_string buf aname;
       Buffer.add_string buf "=\"";
-      escape_attr buf (Doc_store.text_of_id store f.values.(!p));
+      escape_attr buf (Doc_store.text_of_id store (Doc_store.value_at f !p));
       Buffer.add_char buf '"';
       incr p
     done;
@@ -49,7 +49,7 @@ let rec serialize_pre store (f : Doc_store.frag) frag_id buf pre =
       Buffer.add_char buf '>';
       while !p <= stop do
         serialize_pre store f frag_id buf !p;
-        p := !p + f.sizes.(!p) + 1
+        p := !p + Doc_store.size_at f !p + 1
       done;
       Buffer.add_string buf "</";
       Buffer.add_string buf name;
@@ -57,22 +57,22 @@ let rec serialize_pre store (f : Doc_store.frag) frag_id buf pre =
     end
   | Node_kind.Attribute ->
     (* a free-standing attribute serializes as name="value" *)
-    let aname = Qname.to_string (Doc_store.name_of_id store f.names.(pre)) in
+    let aname = Qname.to_string (Doc_store.name_of_id store (Doc_store.name_at f pre)) in
     Buffer.add_string buf aname;
     Buffer.add_string buf "=\"";
-    escape_attr buf (Doc_store.text_of_id store f.values.(pre));
+    escape_attr buf (Doc_store.text_of_id store (Doc_store.value_at f pre));
     Buffer.add_char buf '"'
   | Node_kind.Text ->
-    escape_text buf (Doc_store.text_of_id store f.values.(pre))
+    escape_text buf (Doc_store.text_of_id store (Doc_store.value_at f pre))
   | Node_kind.Comment ->
     Buffer.add_string buf "<!--";
-    Buffer.add_string buf (Doc_store.text_of_id store f.values.(pre));
+    Buffer.add_string buf (Doc_store.text_of_id store (Doc_store.value_at f pre));
     Buffer.add_string buf "-->"
   | Node_kind.Processing_instruction ->
     Buffer.add_string buf "<?";
     Buffer.add_string buf
-      (Qname.to_string (Doc_store.name_of_id store f.names.(pre)));
-    let content = Doc_store.text_of_id store f.values.(pre) in
+      (Qname.to_string (Doc_store.name_of_id store (Doc_store.name_at f pre)));
+    let content = Doc_store.text_of_id store (Doc_store.value_at f pre) in
     if content <> "" then begin
       Buffer.add_char buf ' ';
       Buffer.add_string buf content
@@ -81,11 +81,11 @@ let rec serialize_pre store (f : Doc_store.frag) frag_id buf pre =
 
 and iter_children store f frag_id buf pre =
   let p = ref (pre + 1) in
-  let stop = pre + f.sizes.(pre) in
+  let stop = pre + Doc_store.size_at f pre in
   while !p <= stop do
-    if f.kinds.(!p) <> Node_kind.Attribute then
+    if Doc_store.kind_at f !p <> Node_kind.Attribute then
       serialize_pre store f frag_id buf !p;
-    p := !p + f.sizes.(!p) + 1
+    p := !p + Doc_store.size_at f !p + 1
   done
 
 let node_to_buf store buf (n : Node_id.t) =

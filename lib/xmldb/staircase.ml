@@ -47,12 +47,13 @@ let resolve_test store (test : Node_test.t) =
   | t -> t
 
 let matches (f : Doc_store.frag) principal test pre =
-  let k = f.kinds.(pre) in
+  let k = Doc_store.kind_at f pre in
   match (test : Node_test.t) with
   | Node_test.Any_node -> true
   | Node_test.Kind k' -> Node_kind.equal k k'
   | Node_test.Name_wild -> Node_kind.equal k principal
-  | Node_test.Name id -> Node_kind.equal k principal && f.names.(pre) = id
+  | Node_test.Name id ->
+    Node_kind.equal k principal && Doc_store.name_at f pre = id
   | Node_test.Pi_target _ -> Err.internal "unresolved PI target test"
 
 let principal_kind (axis : Axis.t) =
@@ -66,7 +67,10 @@ let eval_group store (axis : Axis.t) test frag_id (ctxs : int array) out =
   let principal = principal_kind axis in
   let m pre = matches f principal test pre in
   let emit pre = Vec.push out (Node_id.make ~frag:frag_id ~pre) in
-  let is_attr pre = Node_kind.equal f.kinds.(pre) Node_kind.Attribute in
+  let size_ pre = Doc_store.size_at f pre in
+  let parent_ pre = Doc_store.parent_at f pre in
+  let is_attr pre =
+    Node_kind.equal (Doc_store.kind_at f pre) Node_kind.Attribute in
   let sorted_output = ref true in
   (match axis with
    | Axis.Self ->
@@ -77,21 +81,21 @@ let eval_group store (axis : Axis.t) test frag_id (ctxs : int array) out =
      Array.iter
        (fun pre ->
           if pre <= !covered_end then sorted_output := false;
-          covered_end := max !covered_end (pre + f.sizes.(pre));
+          covered_end := max !covered_end (pre + size_ pre);
           let p = ref (pre + 1) in
-          let stop = pre + f.sizes.(pre) in
+          let stop = pre + size_ pre in
           while !p <= stop do
             if is_attr !p then incr p
             else begin
               if m !p then emit !p;
-              p := !p + f.sizes.(!p) + 1
+              p := !p + size_ !p + 1
             end
           done)
        ctxs
    | Axis.Attribute ->
      Array.iter
        (fun pre ->
-          if Node_kind.equal f.kinds.(pre) Node_kind.Element then begin
+          if Node_kind.equal (Doc_store.kind_at f pre) Node_kind.Element then begin
             let p = ref (pre + 1) in
             while !p < n && is_attr !p do
               if m !p then emit !p;
@@ -113,7 +117,7 @@ let eval_group store (axis : Axis.t) test frag_id (ctxs : int array) out =
             let lo =
               if axis = Axis.Descendant_or_self then pre else pre + 1 in
             let lo = max lo (!covered_end + 1) in
-            let hi = pre + f.sizes.(pre) in
+            let hi = pre + size_ pre in
             for p = lo to hi do
               if (axis = Axis.Descendant_or_self && p = pre) || not (is_attr p)
               then (if m p then emit p)
@@ -125,7 +129,7 @@ let eval_group store (axis : Axis.t) test frag_id (ctxs : int array) out =
      sorted_output := false;
      Array.iter
        (fun pre ->
-          let pa = f.parents.(pre) in
+          let pa = parent_ pre in
           if pa >= 0 && m pa then emit pa)
        ctxs
    | Axis.Ancestor | Axis.Ancestor_or_self ->
@@ -133,25 +137,25 @@ let eval_group store (axis : Axis.t) test frag_id (ctxs : int array) out =
      Array.iter
        (fun pre ->
           if axis = Axis.Ancestor_or_self && m pre then emit pre;
-          let p = ref f.parents.(pre) in
+          let p = ref (parent_ pre) in
           while !p >= 0 do
             if m !p then emit !p;
-            p := f.parents.(!p)
+            p := parent_ !p
           done)
        ctxs
    | Axis.Following_sibling ->
      sorted_output := false;
      Array.iter
        (fun pre ->
-          if not (is_attr pre) && f.parents.(pre) >= 0 then begin
-            let parent = f.parents.(pre) in
-            let stop = parent + f.sizes.(parent) in
-            let p = ref (pre + f.sizes.(pre) + 1) in
+          if not (is_attr pre) && parent_ pre >= 0 then begin
+            let parent = parent_ pre in
+            let stop = parent + size_ parent in
+            let p = ref (pre + size_ pre + 1) in
             while !p <= stop do
               if is_attr !p then incr p
               else begin
                 if m !p then emit !p;
-                p := !p + f.sizes.(!p) + 1
+                p := !p + size_ !p + 1
               end
             done
           end)
@@ -160,14 +164,14 @@ let eval_group store (axis : Axis.t) test frag_id (ctxs : int array) out =
      sorted_output := false;
      Array.iter
        (fun pre ->
-          if not (is_attr pre) && f.parents.(pre) >= 0 then begin
-            let parent = f.parents.(pre) in
+          if not (is_attr pre) && parent_ pre >= 0 then begin
+            let parent = parent_ pre in
             let p = ref (parent + 1) in
             while !p < pre do
               if is_attr !p then incr p
               else begin
                 if m !p then emit !p;
-                p := !p + f.sizes.(!p) + 1
+                p := !p + size_ !p + 1
               end
             done
           end)
@@ -177,7 +181,7 @@ let eval_group store (axis : Axis.t) test frag_id (ctxs : int array) out =
      if Array.length ctxs > 0 then begin
        let start =
          Array.fold_left
-           (fun acc pre -> min acc (pre + f.sizes.(pre) + 1))
+           (fun acc pre -> min acc (pre + size_ pre + 1))
            max_int ctxs
        in
        for p = start to n - 1 do
@@ -190,7 +194,7 @@ let eval_group store (axis : Axis.t) test frag_id (ctxs : int array) out =
      if Array.length ctxs > 0 then begin
        let max_ctx = ctxs.(Array.length ctxs - 1) in
        for p = 0 to max_ctx - 1 do
-         if p + f.sizes.(p) < max_ctx && (not (is_attr p)) && m p then emit p
+         if p + size_ p < max_ctx && (not (is_attr p)) && m p then emit p
        done
      end);
   !sorted_output

@@ -33,8 +33,8 @@ let stream t frag_id name_id ~attr =
       if attr then Node_kind.Attribute else Node_kind.Element
     in
     for pre = 0 to Doc_store.frag_length f - 1 do
-      if f.Doc_store.names.(pre) = name_id
-         && Node_kind.equal f.Doc_store.kinds.(pre) wanted_kind
+      if Doc_store.name_at f pre = name_id
+         && Node_kind.equal (Doc_store.kind_at f pre) wanted_kind
       then Vec.push acc pre
     done;
     let s = Vec.to_array acc in
@@ -81,7 +81,7 @@ let step t (axis : Axis.t) (test : Node_test.t) (contexts : Node_id.t array) =
            let covered_end = ref (-1) in
            Array.iter
              (fun pre ->
-                let hi = pre + f.Doc_store.sizes.(pre) in
+                let hi = pre + Doc_store.size_at f pre in
                 let lo =
                   if axis = Axis.Descendant_or_self then pre else pre + 1
                 in
@@ -100,10 +100,10 @@ let step t (axis : Axis.t) (test : Node_test.t) (contexts : Node_id.t array) =
            let sorted = ref true in
            Array.iter
              (fun pre ->
-                let hi = pre + f.Doc_store.sizes.(pre) in
+                let hi = pre + Doc_store.size_at f pre in
                 let i = ref (lower_bound s (pre + 1)) in
                 while !i < Array.length s && s.(!i) <= hi do
-                  if f.Doc_store.parents.(s.(!i)) = pre then begin
+                  if Doc_store.parent_at f s.(!i) = pre then begin
                     if s.(!i) < !last then sorted := false;
                     last := s.(!i);
                     emit s.(!i)
@@ -120,11 +120,11 @@ let step t (axis : Axis.t) (test : Node_test.t) (contexts : Node_id.t array) =
                 let continue_ = ref true in
                 while !continue_ && !i < Array.length s do
                   let p = s.(!i) in
-                  if f.Doc_store.parents.(p) = pre then begin
+                  if Doc_store.parent_at f p = pre then begin
                     emit p;
                     incr i
                   end
-                  else if p <= pre + f.Doc_store.sizes.(pre) then incr i
+                  else if p <= pre + Doc_store.size_at f pre then incr i
                   else continue_ := false
                 done)
              ctxs

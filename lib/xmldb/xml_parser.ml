@@ -6,38 +6,102 @@
    namespace resolution (prefixes are kept lexically, see Qname).
 
    Parsing streams straight into a Doc_store.Builder, so a parsed document
-   becomes one pre/size/level fragment without an intermediate tree. *)
+   becomes one pre/size/level fragment without an intermediate tree.
+
+   The parser reads through a sliding window over an optional refill
+   callback, so ingest is O(window) in live memory regardless of document
+   size: a multi-GB file streams through a fixed-size buffer straight
+   into the builder's growable columns. Parsing a whole in-memory string
+   is the degenerate case where the window *is* the string (zero copy,
+   no refills). The window only grows when a single token needs more
+   lookahead than it holds, and every refill is a chunk boundary: the
+   budget guard is polled there, so cancellation and deadlines cut a
+   streaming ingest off mid-file — abandoning the builder then is safe
+   because fragments only publish at [finish]. *)
 
 open Basis
 
 exception Parse_error of string * int (* message, byte offset *)
 
 type state = {
-  src : string;
-  mutable pos : int;
+  mutable buf : Bytes.t; (* the window *)
+  mutable lo : int;      (* read position within [buf] *)
+  mutable hi : int;      (* filled extent of [buf] *)
+  mutable base : int;    (* absolute offset of buf.[0] in the input *)
+  refill : (Bytes.t -> int -> int -> int) option;
+      (* [refill b ofs len] stores up to [len] fresh bytes at [ofs],
+         returning how many (<= 0 means end of input); None when the
+         whole input is already in [buf]. *)
+  mutable eof : bool;
   builder : Doc_store.Builder.t;
   strip_ws : bool;
   guard : Budget.t option;
-      (* budget checked at element boundaries: remote-ingested documents
-         (server LOAD) run under the session budget, so a hostile or
-         oversized payload trips Resource_error instead of occupying the
-         worker indefinitely. Abandoning the builder mid-parse is safe:
-         fragments only publish at [finish]. *)
+      (* budget checked at element boundaries and at every refill:
+         remote-ingested documents (server LOAD) run under the session
+         budget, so a hostile or oversized payload trips Resource_error
+         instead of occupying the worker indefinitely. Abandoning the
+         builder mid-parse is safe: fragments only publish at [finish]. *)
 }
 
 let check_guard st =
   match st.guard with None -> () | Some g -> Budget.check g
 
 let error st fmt =
-  Format.kasprintf (fun m -> raise (Parse_error (m, st.pos))) fmt
+  Format.kasprintf (fun m -> raise (Parse_error (m, st.base + st.lo))) fmt
 
-let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+(* Pull the next chunk into the window, compacting the consumed prefix
+   first and growing the window only if a token needs more lookahead than
+   it holds. Returns whether any bytes arrived; always either makes
+   progress or sets [eof]. *)
+let fill st =
+  match st.refill with
+  | None -> st.eof <- true; false
+  | Some refill ->
+    if st.eof then false
+    else begin
+      if st.lo > 0 then begin
+        let live = st.hi - st.lo in
+        Bytes.blit st.buf st.lo st.buf 0 live;
+        st.base <- st.base + st.lo;
+        st.hi <- live;
+        st.lo <- 0
+      end;
+      if st.hi = Bytes.length st.buf then begin
+        let nb = Bytes.create (2 * Bytes.length st.buf) in
+        Bytes.blit st.buf 0 nb 0 st.hi;
+        st.buf <- nb
+      end;
+      check_guard st; (* chunk boundary *)
+      let n = refill st.buf st.hi (Bytes.length st.buf - st.hi) in
+      if n <= 0 then begin st.eof <- true; false end
+      else begin st.hi <- st.hi + n; true end
+    end
+
+let rec peek st =
+  if st.lo < st.hi then Some (Bytes.unsafe_get st.buf st.lo)
+  else if st.eof then None
+  else begin ignore (fill st : bool); peek st end
+
+(* Try to make the window hold at least [n] unread bytes (fewer only at
+   end of input). *)
+let rec ensure st n =
+  if st.hi - st.lo < n && not st.eof then begin
+    ignore (fill st : bool);
+    ensure st n
+  end
 
 let looking_at st s =
   let n = String.length s in
-  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+  ensure st n;
+  st.hi - st.lo >= n
+  && begin
+    let rec eq i =
+      i >= n || (Bytes.unsafe_get st.buf (st.lo + i) = s.[i] && eq (i + 1))
+    in
+    eq 0
+  end
 
-let advance st n = st.pos <- st.pos + n
+let advance st n = st.lo <- st.lo + n
 
 let expect st s =
   if looking_at st s then advance st (String.length s)
@@ -58,37 +122,47 @@ let is_name_char c =
   is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
 
 let parse_name st =
-  let start = st.pos in
+  let buf = Buffer.create 16 in
   (match peek st with
-   | Some c when is_name_start c -> advance st 1
+   | Some c when is_name_start c -> Buffer.add_char buf c; advance st 1
    | _ -> error st "expected a name");
-  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
-    advance st 1
-  done;
-  String.sub st.src start (st.pos - start)
+  let rec loop () =
+    match peek st with
+    | Some c when is_name_char c -> Buffer.add_char buf c; advance st 1; loop ()
+    | _ -> ()
+  in
+  loop ();
+  Buffer.contents buf
 
 (* Decode an entity reference starting right after '&'. *)
 let parse_entity st buf =
   if looking_at st "#x" || looking_at st "#X" then begin
     advance st 2;
-    let start = st.pos in
-    while (match peek st with
-        | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> true
-        | _ -> false) do advance st 1 done;
-    let hex = String.sub st.src start (st.pos - start) in
+    let hex = Buffer.create 8 in
+    let rec digits () =
+      match peek st with
+      | Some (('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') as c) ->
+        Buffer.add_char hex c; advance st 1; digits ()
+      | _ -> ()
+    in
+    digits ();
     expect st ";";
-    let code = int_of_string ("0x" ^ hex) in
+    if Buffer.length hex = 0 then error st "empty character reference";
+    let code = int_of_string ("0x" ^ Buffer.contents hex) in
     Buffer.add_utf_8_uchar buf (Uchar.of_int code)
   end
   else if looking_at st "#" then begin
     advance st 1;
-    let start = st.pos in
-    while (match peek st with Some ('0' .. '9') -> true | _ -> false) do
-      advance st 1
-    done;
-    let dec = String.sub st.src start (st.pos - start) in
+    let dec = Buffer.create 8 in
+    let rec digits () =
+      match peek st with
+      | Some ('0' .. '9' as c) -> Buffer.add_char dec c; advance st 1; digits ()
+      | _ -> ()
+    in
+    digits ();
     expect st ";";
-    Buffer.add_utf_8_uchar buf (Uchar.of_int (int_of_string dec))
+    if Buffer.length dec = 0 then error st "empty character reference";
+    Buffer.add_utf_8_uchar buf (Uchar.of_int (int_of_string (Buffer.contents dec)))
   end
   else begin
     let name = parse_name st in
@@ -124,28 +198,55 @@ let all_ws s =
   String.iter (fun c -> if not (is_ws c) then ok := false) s;
   !ok
 
+(* Bulk-copy window bytes into [buf] until a byte satisfying [stop]
+   appears at the head of the window (or end of input). *)
+let copy_until st stop buf =
+  let rec loop () =
+    let i = ref st.lo in
+    while !i < st.hi && not (stop (Bytes.unsafe_get st.buf !i)) do incr i done;
+    if !i > st.lo then begin
+      Buffer.add_subbytes buf st.buf st.lo (!i - st.lo);
+      st.lo <- !i
+    end;
+    if st.lo >= st.hi && not st.eof then begin
+      ignore (fill st : bool);
+      loop ()
+    end
+  in
+  loop ()
+
 let parse_text st =
   let buf = Buffer.create 32 in
   let rec loop () =
+    copy_until st (fun c -> c = '<' || c = '&') buf;
     match peek st with
     | None | Some '<' -> ()
-    | Some '&' -> advance st 1; parse_entity st buf; loop ()
-    | Some c -> Buffer.add_char buf c; advance st 1; loop ()
+    | Some _ -> advance st 1; parse_entity st buf; loop ()
   in
   loop ();
   let s = Buffer.contents buf in
   if st.strip_ws && all_ws s then () else Doc_store.Builder.text st.builder s
 
+(* Collect raw bytes up to (excluding) the delimiter, which the caller
+   then advances over; used for comments, PIs and CDATA, whose content
+   takes no entity processing. *)
+let scan_until st delim what =
+  let buf = Buffer.create 32 in
+  let d0 = delim.[0] in
+  let rec loop () =
+    copy_until st (fun c -> c = d0) buf;
+    if looking_at st delim then ()
+    else
+      match peek st with
+      | None -> error st "unterminated %s" what
+      | Some c -> Buffer.add_char buf c; advance st 1; loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
 let parse_comment st =
   expect st "<!--";
-  let start = st.pos in
-  let rec find () =
-    if st.pos + 2 >= String.length st.src then error st "unterminated comment"
-    else if looking_at st "-->" then ()
-    else (advance st 1; find ())
-  in
-  find ();
-  let content = String.sub st.src start (st.pos - start) in
+  let content = scan_until st "-->" "comment" in
   advance st 3;
   Doc_store.Builder.comment st.builder content
 
@@ -153,27 +254,13 @@ let parse_pi st =
   expect st "<?";
   let target = parse_name st in
   skip_ws st;
-  let start = st.pos in
-  let rec find () =
-    if st.pos + 1 >= String.length st.src then error st "unterminated PI"
-    else if looking_at st "?>" then ()
-    else (advance st 1; find ())
-  in
-  find ();
-  let content = String.sub st.src start (st.pos - start) in
+  let content = scan_until st "?>" "PI" in
   advance st 2;
   Doc_store.Builder.pi st.builder target content
 
 let parse_cdata st =
   expect st "<![CDATA[";
-  let start = st.pos in
-  let rec find () =
-    if st.pos + 2 >= String.length st.src then error st "unterminated CDATA"
-    else if looking_at st "]]>" then ()
-    else (advance st 1; find ())
-  in
-  find ();
-  let content = String.sub st.src start (st.pos - start) in
+  let content = scan_until st "]]>" "CDATA" in
   advance st 3;
   Doc_store.Builder.text st.builder content
 
@@ -243,8 +330,10 @@ let parse_prolog st =
   if looking_at st "<?xml" then begin
     let rec find () =
       if looking_at st "?>" then advance st 2
-      else if st.pos >= String.length st.src then error st "unterminated XML declaration"
-      else (advance st 1; find ())
+      else
+        match peek st with
+        | None -> error st "unterminated XML declaration"
+        | Some _ -> advance st 1; find ()
     in
     find ()
   end;
@@ -256,11 +345,9 @@ let parse_prolog st =
   in
   misc ()
 
-(* Parse a complete document; returns its document node. *)
-let parse_document ?(strip_ws = false) ?guard store src =
-  let builder = Doc_store.Builder.create store in
-  let st = { src; pos = 0; builder; strip_ws; guard } in
-  Doc_store.Builder.start_document builder;
+(* Drive a prepared state through one complete document. *)
+let run st =
+  Doc_store.Builder.start_document st.builder;
   parse_prolog st;
   (match peek st with
    | Some '<' -> parse_element st
@@ -272,13 +359,49 @@ let parse_document ?(strip_ws = false) ?guard store src =
     else if looking_at st "<?" then (parse_pi st; misc ())
   in
   misc ();
-  if st.pos <> String.length st.src then
-    error st "trailing garbage after document element";
-  Doc_store.Builder.end_document builder;
-  let _, roots = Doc_store.Builder.finish builder in
+  if peek st <> None then error st "trailing garbage after document element";
+  Doc_store.Builder.end_document st.builder;
+  let _, roots = Doc_store.Builder.finish st.builder in
   match roots with
   | [| root |] -> root
   | _ -> Err.internal "document parse produced %d roots" (Array.length roots)
+
+(* Parse a complete in-memory document; returns its document node. The
+   string itself serves as the (never-written) window. *)
+let parse_document ?(strip_ws = false) ?guard store src =
+  let builder = Doc_store.Builder.create store in
+  let st = {
+    buf = Bytes.unsafe_of_string src;
+    lo = 0;
+    hi = String.length src;
+    base = 0;
+    refill = None;
+    eof = true;
+    builder;
+    strip_ws;
+    guard;
+  } in
+  run st
+
+(* Parse a document streamed through [reader]; each call to [reader b ofs
+   len] supplies at most [len] bytes (<= 0 ends the input). Live memory
+   is bounded by the window (initially [window] bytes, growing only past
+   oversized tokens), and the guard is polled at every refill. *)
+let parse_reader ?(strip_ws = false) ?guard ?(window = 65536) store reader =
+  if window <= 0 then Err.internal "parse_reader: window must be positive";
+  let builder = Doc_store.Builder.create store in
+  let st = {
+    buf = Bytes.create window;
+    lo = 0;
+    hi = 0;
+    base = 0;
+    refill = Some reader;
+    eof = false;
+    builder;
+    strip_ws;
+    guard;
+  } in
+  run st
 
 (* Parse and register under a URI so that fn:doc can find it. *)
 let load_document ?strip_ws ?guard store ~uri src =
@@ -286,9 +409,15 @@ let load_document ?strip_ws ?guard store ~uri src =
   Doc_store.register_document store uri root;
   root
 
-let load_file ?strip_ws ?guard store ~uri path =
+let load_reader ?strip_ws ?guard ?window store ~uri reader =
+  let root = parse_reader ?strip_ws ?guard ?window store reader in
+  Doc_store.register_document store uri root;
+  root
+
+(* Stream [path] from disk in [chunk_size]-byte reads. *)
+let load_file ?strip_ws ?guard ?(chunk_size = 65536) store ~uri path =
+  if chunk_size <= 0 then Err.internal "load_file: chunk_size must be positive";
   let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let src = really_input_string ic len in
-  close_in ic;
-  load_document ?strip_ws ?guard store ~uri src
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+    let reader b ofs len = input ic b ofs (min len chunk_size) in
+    load_reader ?strip_ws ?guard ~window:chunk_size store ~uri reader)

@@ -6,7 +6,11 @@
     (prefixes are kept lexically, see {!Qname}).
 
     Parsing streams directly into a {!Doc_store.Builder}, so a document
-    becomes one pre/size/level fragment without an intermediate tree. *)
+    becomes one pre/size/level fragment without an intermediate tree.
+    Input arrives either as one in-memory string or through a chunked
+    reader callback ({!parse_reader}): the reader variants keep only a
+    sliding window live, so ingest memory is O(chunk), and the resulting
+    store is byte-identical to a monolithic parse at any chunk size. *)
 
 (** Raised on malformed input, with a message and byte offset. *)
 exception Parse_error of string * int
@@ -22,13 +26,32 @@ val parse_document :
   ?strip_ws:bool -> ?guard:Basis.Budget.t -> Doc_store.t -> string ->
   Node_id.t
 
+(** Parse a document streamed through a reader callback: [reader b ofs
+    len] must store at most [len] fresh input bytes into [b] at [ofs] and
+    return how many it stored (0 or negative ends the input — short reads
+    are fine and define the chunking). Live memory is bounded by the
+    sliding window ([window] bytes initially, default 64 KB, growing only
+    when a single token outsizes it), and [guard] is additionally polled
+    at every refill, i.e. at chunk boundaries. An aborted ingest
+    publishes nothing: fragments only appear at builder [finish]. *)
+val parse_reader :
+  ?strip_ws:bool -> ?guard:Basis.Budget.t -> ?window:int -> Doc_store.t ->
+  (Bytes.t -> int -> int -> int) -> Node_id.t
+
 (** Like {!parse_document}, and also registers the document under [uri]
     so that [fn:doc(uri)] finds it. *)
 val load_document :
   ?strip_ws:bool -> ?guard:Basis.Budget.t -> Doc_store.t -> uri:string ->
   string -> Node_id.t
 
-(** Read [path] from disk and {!load_document} it. *)
+(** Like {!parse_reader}, registering the document under [uri]. *)
+val load_reader :
+  ?strip_ws:bool -> ?guard:Basis.Budget.t -> ?window:int -> Doc_store.t ->
+  uri:string -> (Bytes.t -> int -> int -> int) -> Node_id.t
+
+(** Stream [path] from disk in [chunk_size]-byte reads (default 64 KB)
+    and {!load_reader} it: whole-file slurping is gone, so multi-GB
+    documents ingest in O(chunk) parser memory. *)
 val load_file :
-  ?strip_ws:bool -> ?guard:Basis.Budget.t -> Doc_store.t -> uri:string ->
-  string -> Node_id.t
+  ?strip_ws:bool -> ?guard:Basis.Budget.t -> ?chunk_size:int ->
+  Doc_store.t -> uri:string -> string -> Node_id.t

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the snapshot store path, as CI runs it:
+# build a store from a generated XMark document plus a hand-written one,
+# save a snapshot, load it back, and require query results identical to
+# evaluating directly against the source documents. Then the failure
+# side: truncated, bit-flipped and version-skewed snapshots must all be
+# refused with a clean "corrupt snapshot" dynamic error (exit 1, no
+# crash), and two saves of the same store must be byte-identical.
+#
+# Usage: scripts/snapshot_smoke.sh [path/to/xrquy.exe]
+# (default: _build/default/bin/xrquy.exe, i.e. run after `dune build`)
+
+set -euo pipefail
+
+XRQUY=${1:-_build/default/bin/xrquy.exe}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+echo '<a><b><c/><d/></b><c/><e k="1">x<f/>y</e></a>' > "$WORK/t.xml"
+"$XRQUY" gen --scale 0.003 -o "$WORK/auction.xml"
+
+echo "== save =="
+"$XRQUY" store save -d "t.xml=$WORK/t.xml" -d "auction.xml=$WORK/auction.xml" \
+  -o "$WORK/store.xrqs"
+
+echo "== load lists both documents =="
+"$XRQUY" store load "$WORK/store.xrqs" | sort > "$WORK/docs.txt"
+printf 'auction.xml\nt.xml\n' | diff - "$WORK/docs.txt"
+
+echo "== snapshot results == direct results =="
+queries=(
+  'count(doc("auction.xml")//item)'
+  'count(doc("t.xml")//c)'
+  'for $p in doc("auction.xml")/site/people/person[position() <= 3] return $p/name/text()'
+)
+for q in "${queries[@]}"; do
+  "$XRQUY" run -d "t.xml=$WORK/t.xml" -d "auction.xml=$WORK/auction.xml" \
+    "$q" 2>/dev/null > "$WORK/direct.out"
+  "$XRQUY" store load "$WORK/store.xrqs" -e "$q" 2>/dev/null > "$WORK/snap.out"
+  diff "$WORK/direct.out" "$WORK/snap.out"
+  echo "  ok: $q"
+done
+
+echo "== deterministic save =="
+"$XRQUY" store save -d "t.xml=$WORK/t.xml" -d "auction.xml=$WORK/auction.xml" \
+  -o "$WORK/store2.xrqs" 2>/dev/null
+cmp "$WORK/store.xrqs" "$WORK/store2.xrqs"
+
+expect_corrupt () {
+  # $1: label, $2: file — load must exit 1 with a "corrupt snapshot" error
+  local label=$1 file=$2 status=0
+  "$XRQUY" store load "$file" > "$WORK/corrupt.out" 2> "$WORK/corrupt.err" \
+    || status=$?
+  if [ "$status" -ne 1 ]; then
+    echo "FAIL: $label: expected exit 1, got $status"; exit 1
+  fi
+  grep -q "corrupt snapshot" "$WORK/corrupt.err" \
+    || { echo "FAIL: $label: no 'corrupt snapshot' in stderr:"; \
+         cat "$WORK/corrupt.err"; exit 1; }
+  echo "  ok: $label"
+}
+
+echo "== corruption is refused cleanly =="
+size=$(wc -c < "$WORK/store.xrqs")
+
+head -c $((size / 2)) "$WORK/store.xrqs" > "$WORK/trunc.xrqs"
+expect_corrupt "truncated to half" "$WORK/trunc.xrqs"
+
+head -c 4 "$WORK/store.xrqs" > "$WORK/tiny.xrqs"
+expect_corrupt "truncated to 4 bytes" "$WORK/tiny.xrqs"
+
+cp "$WORK/store.xrqs" "$WORK/flip.xrqs"
+printf '\xff' | dd of="$WORK/flip.xrqs" bs=1 seek=$((size * 2 / 3)) \
+  conv=notrunc status=none
+expect_corrupt "bit flip in a column payload" "$WORK/flip.xrqs"
+
+cp "$WORK/store.xrqs" "$WORK/ver.xrqs"
+printf '\x09' | dd of="$WORK/ver.xrqs" bs=1 seek=8 conv=notrunc status=none
+expect_corrupt "format version skew" "$WORK/ver.xrqs"
+
+cat "$WORK/store.xrqs" <(printf 'junk') > "$WORK/tail.xrqs"
+expect_corrupt "trailing garbage" "$WORK/tail.xrqs"
+
+echo "snapshot smoke: all checks passed"

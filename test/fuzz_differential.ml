@@ -9,9 +9,11 @@
    layer {typed kernels, boxed logical executor}, the logical rewriter
    {on, off — both against each other and against the interpreter},
    morsel-parallel execution {jobs 4 over tiny forced morsels, with the
-   serial runs as oracle}, the prepared-plan cache {cold, warm} and the
+   serial runs as oracle}, the prepared-plan cache {cold, warm}, the
    query server {direct Engine, loopback TCP through a lazily started
-   in-process server}, asserting identical results — or identically
+   in-process server} and the storage layer {packed columnar store,
+   boxed reference arrays, chunked streaming ingest}, asserting
+   identical results — or identically
    *classified* errors — across the whole matrix. (For the interpreter
    the plan options are vacuous, so its plan variants collapse into one
    run per budget setting.)
@@ -51,9 +53,24 @@ let () = Unix.putenv "XRQ_MORSEL" "4"
 
 let doc_xml = "<a><b><c/><d/></b><c/><e k=\"1\">x<f/>y</e></a>"
 
-let mk_store () =
-  let st = Xmldb.Doc_store.create () in
-  let _ = Xmldb.Xml_parser.load_document st ~uri:"t.xml" doc_xml in
+(* [packed] selects the fragment representation (packed columns vs the
+   boxed reference arrays); [chunk > 0] ingests t.xml through the
+   streaming reader in [chunk]-byte pieces over a tiny sliding window
+   instead of the monolithic string parse. Both are pure representation
+   or ingest-path choices and must be invisible to every query. *)
+let mk_store ?(packed = true) ?(chunk = 0) () =
+  let st = Xmldb.Doc_store.create ~packed () in
+  (if chunk > 0 then begin
+     let pos = ref 0 in
+     let reader b ofs len =
+       let n = min (min len chunk) (String.length doc_xml - !pos) in
+       Bytes.blit_string doc_xml !pos b ofs n;
+       pos := !pos + n;
+       n
+     in
+     ignore (Xmldb.Xml_parser.load_reader ~window:16 st ~uri:"t.xml" reader)
+   end
+   else ignore (Xmldb.Xml_parser.load_document st ~uri:"t.xml" doc_xml));
   st
 
 (* ------------------------------------------------------------- generator *)
@@ -157,10 +174,10 @@ let ser st items =
        | v -> Value.to_string v)
     items
 
-let evaluate ?cache ~opts q =
+let evaluate ?cache ?(mk = fun () -> mk_store ()) ~opts q =
   (* a fresh store per evaluation: constructors mutate the store, and
      isolation keeps node serializations comparable *)
-  let st = mk_store () in
+  let st = mk () in
   match Engine.run_result ?cache ~opts st q with
   | Ok r -> Items (ser st r.Engine.items)
   | Error { Engine.kind; message } -> Failed (kind, message)
@@ -278,6 +295,16 @@ let configs ~budget_spec =
     ("compiled/no-join-isolation/boxed",
      plain { nojg with Engine.physical = `Off });
     ("compiled/warm-cache", warm_cache Engine.default_opts);
+    (* the storage dimensions: the boxed reference representation (the
+       default store packs fragments into bit-width minimal columns) and
+       a store ingested through the streaming reader in 3-byte chunks
+       over a 16-byte window — both must be invisible to every query *)
+    ("store/boxed",
+     fun q -> evaluate ~mk:(fun () -> mk_store ~packed:false ())
+         ~opts:Engine.default_opts q);
+    ("store/chunked",
+     fun q -> evaluate ~mk:(fun () -> mk_store ~chunk:3 ())
+         ~opts:Engine.default_opts q);
     (* the query served over loopback TCP: wire framing, session budget
        clamping and per-item response serialization must all be
        invisible — same items, same error classes as the direct run *)

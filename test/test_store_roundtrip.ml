@@ -1,0 +1,433 @@
+(* The storage parity layer: the packed columnar store, the streaming
+   chunked parser and the snapshot format are all *representation*
+   changes — none may be observable through the accessor API, the query
+   engine, or a save/load cycle. Five property families pin that down:
+
+     1. accessor parity — packed and boxed builds of the same document
+        agree row for row on all six accessors, over PRNG-generated
+        documents (dictionary-friendly and dictionary-hostile name
+        distributions), an XMark instance, and runtime-constructed
+        fragments;
+     2. snapshot identity — save -> load -> save is byte-identical,
+        boxed and packed sources produce the same image, and a loaded
+        store is accessor-identical to its source;
+     3. chunk invariance — parsing through a reader at chunk sizes
+        {1, 7, 64K, whole-document} yields a store byte-identical (as a
+        snapshot) to the monolithic parse;
+     4. engine parity — every corpus query returns identical serialized
+        results on packed, boxed, and snapshot-loaded stores, across
+        {boxed, physical} executors x {serial, jobs=4};
+     5. corruption — truncations, bit flips, version/magic skew and
+        trailing garbage all fail as clean dynamic errors and never
+        surface a partially loaded store. *)
+
+module DS = Xmldb.Doc_store
+
+(* ------------------------------------------------- random documents *)
+
+(* A PRNG-driven XML generator. [names] controls dictionary pressure:
+   a tiny vocabulary makes per-fragment dictionaries pay off, a large
+   one makes the encoder reject them — both paths must stay invisible. *)
+let gen_xml ~seed ~names ~max_children ~depth () =
+  let rng = Basis.Prng.create seed in
+  let name i = Printf.sprintf "n%d" i in
+  let buf = Buffer.create 1024 in
+  let rec element d =
+    let tag = name (Basis.Prng.int rng names) in
+    Buffer.add_char buf '<';
+    Buffer.add_string buf tag;
+    for _ = 1 to Basis.Prng.int rng 3 do
+      Buffer.add_string buf
+        (Printf.sprintf " a%d=\"v%d\"" (Basis.Prng.int rng names)
+           (Basis.Prng.int rng 1000))
+    done;
+    if d = 0 || Basis.Prng.int rng 10 = 0 then Buffer.add_string buf "/>"
+    else begin
+      Buffer.add_char buf '>';
+      for _ = 1 to 1 + Basis.Prng.int rng max_children do
+        match Basis.Prng.int rng 10 with
+        | 0 -> Buffer.add_string buf "<!--c-->"
+        | 1 -> Buffer.add_string buf "<?pi data?>"
+        | 2 | 3 | 4 ->
+          Buffer.add_string buf
+            (Printf.sprintf "t%d&amp;x" (Basis.Prng.int rng 500))
+        | _ -> element (d - 1)
+      done;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf tag;
+      Buffer.add_char buf '>'
+    end
+  in
+  element depth;
+  Buffer.contents buf
+
+let sample_docs =
+  lazy
+    (let small = List.init 8 (fun i ->
+         gen_xml ~seed:(100 + i) ~names:5 ~max_children:4 ~depth:5 ()) in
+     let wide = List.init 4 (fun i ->
+         gen_xml ~seed:(200 + i) ~names:400 ~max_children:8 ~depth:3 ()) in
+     let fixed =
+       [ "<a/>"; "<a b=\"c\"/>"; "<a><!--x--><?t d?><![CDATA[<raw>]]></a>" ]
+     in
+     small @ wide @ fixed)
+
+let auction_xml = lazy (Xmark.Xmark_gen.generate ~scale:0.002 ())
+
+let build packed xml =
+  let st = DS.create ~packed () in
+  ignore (Xmldb.Xml_parser.load_document st ~uri:"d.xml" xml);
+  st
+
+(* --------------------------------------------- 1. accessor parity *)
+
+let check_frag_parity label fp fb =
+  let n = DS.frag_length fp in
+  Alcotest.(check int) (label ^ ": frag length") (DS.frag_length fb) n;
+  for pre = 0 to n - 1 do
+    let ctx what got want =
+      if got <> want then
+        Alcotest.failf "%s: %s at pre %d: packed %d, boxed %d" label what
+          pre got want
+    in
+    ctx "kind"
+      (Xmldb.Node_kind.to_int (DS.kind_at fp pre))
+      (Xmldb.Node_kind.to_int (DS.kind_at fb pre));
+    ctx "name" (DS.name_at fp pre) (DS.name_at fb pre);
+    ctx "value" (DS.value_at fp pre) (DS.value_at fb pre);
+    ctx "size" (DS.size_at fp pre) (DS.size_at fb pre);
+    ctx "level" (DS.level_at fp pre) (DS.level_at fb pre);
+    ctx "parent" (DS.parent_at fp pre) (DS.parent_at fb pre)
+  done
+
+let check_store_parity label sp sb =
+  Alcotest.(check int) (label ^ ": n_frags") (DS.n_frags sb) (DS.n_frags sp);
+  for fi = 0 to DS.n_frags sp - 1 do
+    let lf = Printf.sprintf "%s frag %d" label fi in
+    Alcotest.(check bool) (lf ^ " packed flag") true
+      (DS.frag_packed (DS.frag sp fi));
+    Alcotest.(check bool) (lf ^ " boxed flag") false
+      (DS.frag_packed (DS.frag sb fi));
+    check_frag_parity lf (DS.frag sp fi) (DS.frag sb fi)
+  done
+
+let test_accessor_parity_random () =
+  List.iteri
+    (fun i xml ->
+       let label = Printf.sprintf "doc %d" i in
+       let sp = build true xml and sb = build false xml in
+       check_store_parity label sp sb;
+       Alcotest.(check bool)
+         (label ^ ": packed no larger than boxed")
+         true
+         (DS.encoded_bytes sp <= DS.encoded_bytes sb))
+    (Lazy.force sample_docs)
+
+let test_accessor_parity_xmark () =
+  let xml = Lazy.force auction_xml in
+  let sp = build true xml and sb = build false xml in
+  check_store_parity "xmark" sp sb;
+  (* the headline claim of the issue: at least 2x denser than boxed *)
+  let ratio =
+    float_of_int (DS.encoded_bytes sb) /. float_of_int (DS.encoded_bytes sp)
+  in
+  if ratio < 2.0 then
+    Alcotest.failf "xmark compression ratio %.2f below 2x" ratio
+
+(* Runtime node construction freezes fresh fragments through the same
+   packing path; a constructor-heavy query must grow both stores
+   identically. *)
+let test_accessor_parity_constructed () =
+  let xml = "<a><b x=\"1\">t</b><b x=\"2\">u</b></a>" in
+  let q =
+    {|for $b in doc("d.xml")/a/b
+      return <r k="{$b/@x}"><copy>{$b}</copy><!--made--></r>|}
+  in
+  let sp = build true xml and sb = build false xml in
+  let rp = (Engine.run sp q).Engine.serialized in
+  let rb = (Engine.run sb q).Engine.serialized in
+  Alcotest.(check string) "constructed results agree" rb rp;
+  check_store_parity "constructed" sp sb
+
+(* ------------------------------------------- 2. snapshot identity *)
+
+let test_snapshot_roundtrip () =
+  List.iteri
+    (fun i xml ->
+       let label = Printf.sprintf "doc %d" i in
+       let st = build true xml in
+       let s1 = DS.Snapshot.to_string st in
+       let st2 = DS.Snapshot.of_string s1 in
+       let s2 = DS.Snapshot.to_string st2 in
+       Alcotest.(check bool) (label ^ ": save->load->save identical") true
+         (String.equal s1 s2);
+       for fi = 0 to DS.n_frags st2 - 1 do
+         check_frag_parity (label ^ " loaded vs source") (DS.frag st2 fi)
+           (DS.frag st fi)
+       done;
+       Alcotest.(check (list string))
+         (label ^ ": document registry survives")
+         (List.map fst (DS.documents st))
+         (List.map fst (DS.documents st2)))
+    (Lazy.force sample_docs)
+
+let test_snapshot_boxed_source_identical () =
+  List.iteri
+    (fun i xml ->
+       let sp = build true xml and sb = build false xml in
+       Alcotest.(check bool)
+         (Printf.sprintf "doc %d: boxed and packed sources save identically"
+            i)
+         true
+         (String.equal (DS.Snapshot.to_string sp) (DS.Snapshot.to_string sb)))
+    (Lazy.force sample_docs)
+
+let test_snapshot_file_roundtrip () =
+  let xml = Lazy.force auction_xml in
+  let st = build true xml in
+  let path = Filename.temp_file "xrq-roundtrip" ".xrqs" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+       DS.Snapshot.save st path;
+       let st2 = DS.Snapshot.load path in
+       Alcotest.(check bool) "file round-trip identical" true
+         (String.equal (DS.Snapshot.to_string st) (DS.Snapshot.to_string st2));
+       (* a second save of the same store is byte-identical on disk *)
+       let path2 = path ^ ".again" in
+       Fun.protect
+         ~finally:(fun () -> try Sys.remove path2 with Sys_error _ -> ())
+         (fun () ->
+            DS.Snapshot.save st path2;
+            let slurp p =
+              let ic = open_in_bin p in
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            Alcotest.(check bool) "two saves byte-identical" true
+              (String.equal (slurp path) (slurp path2))))
+
+(* -------------------------------------------- 3. chunk invariance *)
+
+let parse_chunked ?window st xml chunk =
+  let pos = ref 0 in
+  let reader b ofs len =
+    let n = min (min len chunk) (String.length xml - !pos) in
+    Bytes.blit_string xml !pos b ofs n;
+    pos := !pos + n;
+    n
+  in
+  ignore (Xmldb.Xml_parser.load_reader ?window st ~uri:"d.xml" reader)
+
+let test_chunk_invariance () =
+  let docs = Lazy.force sample_docs @ [ Lazy.force auction_xml ] in
+  List.iteri
+    (fun i xml ->
+       let reference = DS.Snapshot.to_string (build true xml) in
+       List.iter
+         (fun chunk ->
+            let chunk =
+              if chunk = max_int then String.length xml else chunk
+            in
+            (* a window smaller than the default exercises compaction and
+               growth; keep it tiny for the tiny chunks *)
+            let window = if chunk <= 7 then 16 else 65536 in
+            let st = DS.create ~packed:true () in
+            parse_chunked ~window st xml chunk;
+            Alcotest.(check bool)
+              (Printf.sprintf "doc %d chunk %d byte-identical" i chunk)
+              true
+              (String.equal reference (DS.Snapshot.to_string st)))
+         [ 1; 7; 65536; max_int ])
+    docs
+
+let test_chunk_invariance_load_file () =
+  let xml = Lazy.force auction_xml in
+  let reference = DS.Snapshot.to_string (build true xml) in
+  let path = Filename.temp_file "xrq-chunk" ".xml" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+       let oc = open_out_bin path in
+       output_string oc xml;
+       close_out oc;
+       List.iter
+         (fun chunk_size ->
+            let st = DS.create ~packed:true () in
+            ignore
+              (Xmldb.Xml_parser.load_file ~chunk_size st ~uri:"d.xml" path);
+            Alcotest.(check bool)
+              (Printf.sprintf "load_file chunk %d byte-identical" chunk_size)
+              true
+              (String.equal reference (DS.Snapshot.to_string st)))
+         [ 512; 65536 ])
+
+(* ----------------------------------------------- 4. engine parity *)
+
+let queries_dir =
+  if Sys.file_exists "../queries" then "../queries" else "queries"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let corpus () =
+  Sys.readdir queries_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".xq")
+  |> List.sort compare
+  |> List.map (fun f -> (f, read_file (Filename.concat queries_dir f)))
+
+let doc_xml = "<a><b><c/><d/></b><c/><e k=\"1\">x<f/>y</e></a>"
+
+let mk_corpus_store packed =
+  let st = DS.create ~packed () in
+  let _ =
+    Xmldb.Xml_parser.load_document st ~uri:"auction.xml"
+      (Lazy.force auction_xml)
+  in
+  let _ = Xmldb.Xml_parser.load_document st ~uri:"t.xml" doc_xml in
+  st
+
+let configs =
+  [ ("physical/serial", `On, 1);
+    ("physical/jobs4", `On, 4);
+    ("boxed/serial", `Off, 1);
+    ("boxed/jobs4", `Off, 4) ]
+
+let run_on st (physical, jobs) q =
+  let opts = { Engine.default_opts with Engine.physical; jobs } in
+  match Engine.run_result ~opts st q with
+  | Ok r -> "ok: " ^ r.Engine.serialized
+  | Error { Engine.kind; message } ->
+    Basis.Err.kind_label kind ^ ": " ^ message
+
+let test_corpus_parity () =
+  (* three stores, one document: packed, boxed, and snapshot-loaded *)
+  let sp = mk_corpus_store true in
+  let sb = mk_corpus_store false in
+  let sl = DS.Snapshot.of_string (DS.Snapshot.to_string sp) in
+  List.iter
+    (fun (file, text) ->
+       List.iter
+         (fun (cname, physical, jobs) ->
+            let reference = run_on sb (physical, jobs) text in
+            Alcotest.(check string)
+              (Printf.sprintf "%s [%s] packed = boxed" file cname)
+              reference
+              (run_on sp (physical, jobs) text);
+            Alcotest.(check string)
+              (Printf.sprintf "%s [%s] loaded = boxed" file cname)
+              reference
+              (run_on sl (physical, jobs) text))
+         configs)
+    (corpus ())
+
+(* --------------------------------------------------- 5. corruption *)
+
+let expect_dynamic label thunk =
+  match Basis.Err.protect_kind thunk with
+  | Ok _ -> Alcotest.failf "%s: corrupt snapshot loaded successfully" label
+  | Error (Basis.Err.Dynamic, msg) ->
+    if not (String.length msg >= 16 && String.sub msg 0 16 = "corrupt snapshot")
+    then Alcotest.failf "%s: unexpected message %S" label msg
+  | Error (k, msg) ->
+    Alcotest.failf "%s: wrong error class %s: %s" label
+      (Basis.Err.kind_label k) msg
+
+let test_corrupt_truncations () =
+  let st = build true (List.nth (Lazy.force sample_docs) 0) in
+  let s = DS.Snapshot.to_string st in
+  let n = String.length s in
+  List.iter
+    (fun k ->
+       let k = min k (n - 1) in
+       expect_dynamic
+         (Printf.sprintf "truncated to %d" k)
+         (fun () -> DS.Snapshot.of_string (String.sub s 0 k)))
+    [ 0; 3; 8; 11; n / 4; n / 2; n - 1 ]
+
+let test_corrupt_bitflips () =
+  let st = build true (List.nth (Lazy.force sample_docs) 0) in
+  let s = DS.Snapshot.to_string st in
+  let n = String.length s in
+  let step = max 1 (n / 97) in
+  let pos = ref 0 in
+  while !pos < n do
+    let b = Bytes.of_string s in
+    Bytes.set b !pos (Char.chr (Char.code (Bytes.get b !pos) lxor 0x40));
+    (match Basis.Err.protect_kind (fun () ->
+         DS.Snapshot.of_string (Bytes.to_string b)) with
+     | Error (Basis.Err.Dynamic, _) -> ()
+     | Error (k, msg) ->
+       Alcotest.failf "flip at %d: wrong error class %s: %s" !pos
+         (Basis.Err.kind_label k) msg
+     | Ok st' ->
+       (* a flip inside pool *string payloads* changes content the CRC
+          protects — any successful load is a checksum hole *)
+       ignore st';
+       Alcotest.failf "flip at %d loaded successfully" !pos);
+    pos := !pos + step
+  done
+
+let test_corrupt_version_and_magic () =
+  let st = build true "<a/>" in
+  let s = DS.Snapshot.to_string st in
+  let with_byte i c =
+    let b = Bytes.of_string s in
+    Bytes.set b i c;
+    Bytes.to_string b
+  in
+  (* bytes 0-7 are the magic, 8-11 the little-endian version *)
+  expect_dynamic "bad magic" (fun () ->
+      DS.Snapshot.of_string (with_byte 0 'Y'));
+  expect_dynamic "future version" (fun () ->
+      DS.Snapshot.of_string (with_byte 8 '\xFF'));
+  expect_dynamic "trailing garbage" (fun () ->
+      DS.Snapshot.of_string (s ^ "junk"));
+  expect_dynamic "empty input" (fun () -> DS.Snapshot.of_string "")
+
+let test_corrupt_missing_file () =
+  match
+    Basis.Err.protect_kind (fun () ->
+        DS.Snapshot.load "/nonexistent/xrq-no-such-file.xrqs")
+  with
+  | Ok _ -> Alcotest.fail "load of missing file succeeded"
+  | Error (Basis.Err.Dynamic, _) -> ()
+  | Error (k, msg) ->
+    Alcotest.failf "missing file: wrong error class %s: %s"
+      (Basis.Err.kind_label k) msg
+
+let () =
+  Alcotest.run "store-roundtrip"
+    [ ("1. accessor parity packed vs boxed",
+       [ Alcotest.test_case "random documents" `Quick
+           test_accessor_parity_random;
+         Alcotest.test_case "xmark instance (and the 2x bar)" `Quick
+           test_accessor_parity_xmark;
+         Alcotest.test_case "runtime-constructed fragments" `Quick
+           test_accessor_parity_constructed ]);
+      ("2. snapshot identity",
+       [ Alcotest.test_case "save -> load -> save byte-identical" `Quick
+           test_snapshot_roundtrip;
+         Alcotest.test_case "boxed source saves identically" `Quick
+           test_snapshot_boxed_source_identical;
+         Alcotest.test_case "file round-trip + deterministic save" `Quick
+           test_snapshot_file_roundtrip ]);
+      ("3. chunk invariance",
+       [ Alcotest.test_case "reader chunks {1,7,64K,whole}" `Quick
+           test_chunk_invariance;
+         Alcotest.test_case "load_file chunk sizes" `Quick
+           test_chunk_invariance_load_file ]);
+      ("4. engine parity across stores",
+       [ Alcotest.test_case "corpus x configs, packed/boxed/loaded" `Slow
+           test_corpus_parity ]);
+      ("5. corruption is a clean dynamic error",
+       [ Alcotest.test_case "truncations" `Quick test_corrupt_truncations;
+         Alcotest.test_case "bit flips" `Quick test_corrupt_bitflips;
+         Alcotest.test_case "version, magic, trailing, empty" `Quick
+           test_corrupt_version_and_magic;
+         Alcotest.test_case "missing file" `Quick test_corrupt_missing_file ])
+    ]

@@ -570,12 +570,12 @@ let encoding_invariants_prop =
        let ok = ref true in
        for p = 0 to n - 1 do
          (* subtree fits inside parent's subtree *)
-         let pa = f.Doc_store.parents.(p) in
+         let pa = Doc_store.parent_at f p in
          if pa >= 0 then begin
-           if not (pa < p && p + f.Doc_store.sizes.(p) <= pa + f.Doc_store.sizes.(pa))
+           if not (pa < p && p + Doc_store.size_at f p <= pa + Doc_store.size_at f pa)
            then ok := false;
-           if f.Doc_store.levels.(p) <> f.Doc_store.levels.(pa) + 1 then ok := false
-         end else if f.Doc_store.levels.(p) <> 0 then ok := false
+           if Doc_store.level_at f p <> Doc_store.level_at f pa + 1 then ok := false
+         end else if Doc_store.level_at f p <> 0 then ok := false
        done;
        !ok)
 
