@@ -23,6 +23,9 @@
      storage    packed columns vs boxed arrays (bytes/node), monolithic vs
                 chunked ingest (MB/s), snapshot save/load vs re-parse;
                 writes BENCH_storage.json
+     scan       compressed execution on vs off: bulk packed-column scans
+                and dictionary-code predicates, byte-parity asserted in
+                the same run; writes BENCH_scan.json
 
    Run with no arguments to execute everything; pass experiment names to
    select. Environment knobs:
@@ -44,6 +47,10 @@
      XRQ_SERVE_OUT     output path for BENCH_serve.json
      XRQ_STORAGE_SCALES comma-separated scales for storage (default 0.01,0.05)
      XRQ_STORAGE_OUT   output path for BENCH_storage.json
+     XRQ_SCAN_SCALE    XMark scale for the scan experiment (default 0.1)
+     XRQ_SCAN_OUT      output path for BENCH_scan.json
+     XRQ_SCAN_REQUIRE  fail (exit 1) unless the scan run held parity and
+                       fired both code predicates and bulk decodes (CI)
      XRQ_STORE_CACHE   directory caching generated stores as snapshots;
                        every experiment's store build goes through it *)
 
@@ -647,11 +654,11 @@ let physical () =
    jobs = 1, 2, 4, 8 over the XMark corpus. Results are parity-checked
    per width (identical item counts — the full row-level parity lives in
    test_parallel.ml); the JSON baseline records per-width times, the
-   speedup at 4 domains, and the host's core count — scaling numbers are
-   only meaningful relative to [host_cores] (a single-core container can
-   at best break even, and the committed baseline says so explicitly).
-   Knobs: XRQ_PAR_SCALE (default 0.05), XRQ_PAR_OUT
-   (default BENCH_parallel.json). *)
+   speedup at 4 domains, and the host's core count. The baseline's
+   "mode" field says what was measured: "scaling" on a multi-core host,
+   "overhead" on a single core (where a best case of ~1.0x means the
+   adaptive morsel policy got out of the way). Knobs: XRQ_PAR_SCALE
+   (default 0.05), XRQ_PAR_OUT (default BENCH_parallel.json). *)
 let parallel_bench () =
   section "Parallel — morsel-driven scaling of the physical executor";
   let scale =
@@ -705,19 +712,38 @@ let parallel_bench () =
          (Morsel scaling needs real cores: on a single-core host the\n\
          deterministic merge discipline caps the best case at ~1.0x.)\n"
         scaled host_cores;
-      let degraded = host_cores <= 1 in
-      if degraded then
-        Printf.printf
-          "WARNING: single-core host — these numbers measure overhead, not\n\
-           scaling; the baseline is marked \"degraded\": true. Regenerate on\n\
-           a multi-core machine (see EXPERIMENTS.md).\n";
+      (* What this baseline measures depends on the host: with real cores
+         it is a scaling experiment; on a single core it is an overhead
+         experiment — jobs = 4 should stay near jobs = 1 because the
+         adaptive morsel policy hands one span to each domain when rows
+         are few and caps span count near the worker count when rows are
+         plentiful. Either way the numbers are honest for what they
+         claim; [degraded] now means the numbers themselves are suspect:
+         a result-count parity failure, or single-core overhead beyond
+         30% on some query (the morsel machinery failed to get out of
+         the way). *)
+      let mode = if host_cores > 1 then "scaling" else "overhead" in
+      let min_speedup4 =
+        List.fold_left (fun acc (_, _, s, _) -> min acc s) infinity rows
+      in
+      let all_parity = List.for_all (fun (_, _, _, p) -> p) rows in
+      let degraded =
+        (not all_parity) || (host_cores <= 1 && min_speedup4 < 0.7)
+      in
+      Printf.printf
+        "mode: %s; worst speedup at 4 domains: %.2fx%s\n" mode
+        min_speedup4
+        (if degraded then
+           " — DEGRADED baseline (parity failure or uncontained overhead)"
+         else "");
       let oc = open_out out_path in
       Printf.fprintf oc
         "{\n  \"experiment\": \"parallel\",\n  \"scale\": %g,\n\
         \  \"document_bytes\": %d,\n  \"host_cores\": %d,\n\
+        \  \"mode\": %S,\n  \"min_speedup_at_4\": %.3f,\n\
         \  \"degraded\": %b,\n\
         \  \"jobs\": [%s],\n  \"queries\": [\n"
-        scale bytes host_cores degraded
+        scale bytes host_cores mode min_speedup4 degraded
         (String.concat ", " (List.map string_of_int widths));
       List.iteri
         (fun i (name, per_width, speedup4, parity) ->
@@ -1449,6 +1475,145 @@ let storage_bench () =
   close_out oc;
   Printf.printf "wrote %s\n" out_path
 
+(* ------------------------------------------------------------------ scan *)
+
+(* Compressed execution on vs off: the same prepared physical plans run
+   with code_eval enabled (batched staircase steps consuming the store's
+   bulk range decoders; atomize/string carried as per-fragment dictionary
+   codes; string-equality predicates translated once into a code and
+   evaluated as int compares) and with --no-code-eval (the materialized
+   reference path). Byte parity is asserted IN THE SAME RUN as the
+   timings — a speedup that breaks parity is a bug, not a result. The
+   query set splits into name-test-heavy descendant scans (Q6/Q7: the
+   bulk-decode path) and equality-heavy value comparisons over generated
+   attribute/text values (the code-predicate path; top_sellers probes the
+   zipf-heavy seller attribute). Writes BENCH_scan.json (override
+   XRQ_SCAN_OUT; scale XRQ_SCAN_SCALE, default 0.1). With
+   XRQ_SCAN_REQUIRE set, exits 1 unless every query holds parity, some
+   query fired code predicates and some query bulk-decoded rows — the CI
+   smoke guard that the compressed paths are actually exercised. *)
+let scan_bench () =
+  section "Scan — compressed execution (code-eval + bulk scans) on vs off";
+  let scale =
+    try float_of_string (Sys.getenv "XRQ_SCAN_SCALE")
+    with Not_found | Failure _ -> 0.1
+  in
+  let out_path =
+    Option.value (Sys.getenv_opt "XRQ_SCAN_OUT") ~default:"BENCH_scan.json"
+  in
+  let off_opts = { Engine.default_opts with Engine.code_eval = false } in
+  let top_sellers =
+    {|let $auction := doc("auction.xml")
+return count(for $t in $auction/site/closed_auctions/closed_auction
+             where $t/seller/@person eq "person0"
+             return $t)|}
+  in
+  let eq_education =
+    {|let $auction := doc("auction.xml")
+return count(for $e in $auction//profile/education
+             where $e/text() eq "Graduate School"
+             return $e)|}
+  in
+  let eq_business =
+    {|let $auction := doc("auction.xml")
+return count(for $b in $auction//profile/business
+             where $b/text() eq "Yes"
+             return $b)|}
+  in
+  let queries =
+    [ ("Q6", q6);
+      ("Q7", Xmark.Xmark_queries.get "Q7");
+      ("Q11", Xmark.Xmark_queries.q11);
+      ("top_sellers", top_sellers);
+      ("eq_education", eq_education);
+      ("eq_business", eq_business) ]
+  in
+  with_store scale (fun st bytes ->
+      Printf.printf "auction.xml: %.2f MB serialized, %d nodes\n\n"
+        (float_of_int bytes /. 1e6) (Xmldb.Doc_store.total_nodes st);
+      Printf.printf "%-12s %12s %12s %9s %7s %7s %7s %7s %7s\n" "query"
+        "off" "on" "speedup" "items" "parity" "cpreds" "bulk" "latemat";
+      let rows =
+        List.map
+          (fun (name, q) ->
+             let _, run_off = Engine.prepare ~opts:off_opts st q in
+             let _, run_on = Engine.prepare ~opts:Engine.default_opts st q in
+             let n_off, t_off = measure_exec run_off in
+             let n_on, t_on = measure_exec run_on in
+             (* byte parity, same store, same run *)
+             let parity =
+               n_off = n_on
+               && (Engine.run ~opts:Engine.default_opts st q).Engine.serialized
+                  = (Engine.run ~opts:off_opts st q).Engine.serialized
+             in
+             let cpreds, bulk, latemat =
+               match
+                 (Engine.run ~opts:Engine.default_opts ~with_profile:true st q)
+                   .Engine.profile
+               with
+               | Some p ->
+                 let ph = Algebra.Profile.phys p in
+                 (ph.Algebra.Profile.code_preds,
+                  ph.Algebra.Profile.bulk_decodes,
+                  ph.Algebra.Profile.late_materializations)
+               | None -> (0, 0, 0)
+             in
+             Printf.printf
+               "%-12s %10.2fms %10.2fms %8.2fx %7d %7s %7d %7d %7d%s\n%!"
+               name (t_off *. 1000.) (t_on *. 1000.) (t_off /. t_on) n_on
+               (if parity then "ok" else "FAIL") cpreds bulk latemat
+               (if parity then "" else "  !! result mismatch");
+             (name, t_off, t_on, n_on, parity, cpreds, bulk, latemat))
+          queries
+      in
+      let fast =
+        List.filter (fun (_, t_off, t_on, _, _, _, _, _) -> t_off /. t_on >= 1.3) rows
+      in
+      let total f = List.fold_left (fun a r -> a + f r) 0 rows in
+      let total_cpreds = total (fun (_, _, _, _, _, c, _, _) -> c) in
+      let total_bulk = total (fun (_, _, _, _, _, _, b, _) -> b) in
+      let all_parity = List.for_all (fun (_, _, _, _, p, _, _, _) -> p) rows in
+      Printf.printf
+        "\n%d of %d queries at >= 1.3x; %d code predicates and %d \
+         bulk-decoded rows fired across the set; parity %s.\n"
+        (List.length fast) (List.length rows) total_cpreds total_bulk
+        (if all_parity then "holds everywhere" else "VIOLATED");
+      let oc = open_out out_path in
+      Printf.fprintf oc
+        "{\n  \"experiment\": \"scan\",\n  \"scale\": %g,\n\
+        \  \"document_bytes\": %d,\n  \"queries\": [\n" scale bytes;
+      List.iteri
+        (fun i (name, t_off, t_on, n_on, parity, cpreds, bulk, latemat) ->
+           Printf.fprintf oc
+             "    { \"query\": %S, \"no_code_eval_ms\": %.3f, \
+              \"code_eval_ms\": %.3f, \"speedup\": %.3f, \"items\": %d, \
+              \"parity\": %b, \"code_preds\": %d, \"bulk_decodes\": %d, \
+              \"late_materializations\": %d }%s\n"
+             name (t_off *. 1000.) (t_on *. 1000.) (t_off /. t_on) n_on
+             parity cpreds bulk latemat
+             (if i < List.length rows - 1 then "," else ""))
+        rows;
+      Printf.fprintf oc "  ]\n}\n";
+      close_out oc;
+      Printf.printf "wrote %s\n" out_path;
+      if Sys.getenv_opt "XRQ_SCAN_REQUIRE" <> None then begin
+        if not all_parity then begin
+          Printf.eprintf "scan guard: parity violated\n";
+          exit 1
+        end;
+        if total_cpreds = 0 then begin
+          Printf.eprintf "scan guard: no code predicates fired\n";
+          exit 1
+        end;
+        if total_bulk = 0 then begin
+          Printf.eprintf "scan guard: no rows bulk-decoded\n";
+          exit 1
+        end;
+        Printf.printf
+          "scan guard: parity ok, %d code predicates, %d bulk rows\n"
+          total_cpreds total_bulk
+      end)
+
 (* ---------------------------------------------------------------- driver *)
 
 let experiments =
@@ -1457,7 +1622,8 @@ let experiments =
     ("sharing", sharing); ("ablation", ablation); ("physical", physical);
     ("parallel", parallel_bench); ("rewrite", rewrite_bench);
     ("joingraph", joingraph_bench); ("order", order_bench);
-    ("serve", serve_bench); ("storage", storage_bench) ]
+    ("serve", serve_bench); ("storage", storage_bench);
+    ("scan", scan_bench) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -105,6 +105,15 @@ let no_order_props_arg =
                root-sort-on-pos skip, no merge-degraded sorts. Results \
                are identical either way; plans keep every sort.")
 
+let no_code_eval_arg =
+  Arg.(value & flag & info [ "no-code-eval" ]
+         ~doc:"Disable compressed execution in the physical backend: no \
+               batched staircase scans over bulk-decoded packed columns, \
+               no dictionary-code columns, no integer-coded equality \
+               predicates. Results are bit-identical either way; this is \
+               the materialized reference path benchmarks compare \
+               against.")
+
 let no_joinrec_arg =
   Arg.(value & flag & info [ "no-joinrec" ]
          ~doc:"Disable FLWOR where-clause value-join recognition.")
@@ -203,7 +212,7 @@ let budget_spec timeout_s max_rows max_bytes max_ops =
 let mk_opts ?(no_joinrec = false) ?(no_join_isolation = false) ?budget
     ?(no_fallback = false) ?(tree_eval = false) ?(no_physical = false) ?jobs
     ?(no_parallel = false) ?(no_rewrite = false) ?(no_order_props = false)
-    mode no_rules no_cda no_hoist interpret tag_index =
+    ?(no_code_eval = false) mode no_rules no_cda no_hoist interpret tag_index =
   { Engine.mode;
     unordered_rules = not no_rules;
     cda = not no_cda;
@@ -224,7 +233,8 @@ let mk_opts ?(no_joinrec = false) ?(no_join_isolation = false) ?budget
          | Some j -> max 1 j
          | None -> Engine.default_opts.Engine.jobs);
     rewrite = not no_rewrite;
-    order_props = not no_order_props }
+    order_props = not no_order_props;
+    code_eval = not no_code_eval }
 
 let load_documents store specs =
   List.iter
@@ -277,7 +287,7 @@ let run_cmd =
   let action docs qf expr mode no_rules no_cda no_hoist interpret profile
       tag_index no_joinrec no_join_isolation timeout max_rows max_bytes
       max_ops no_fallback tree_eval no_physical jobs no_parallel plan_cache
-      no_plan_cache no_rewrite no_order_props =
+      no_plan_cache no_rewrite no_order_props no_code_eval =
     handle (fun () ->
         let store = Xmldb.Doc_store.create () in
         load_documents store docs;
@@ -285,7 +295,8 @@ let run_cmd =
         let opts =
           mk_opts ~no_joinrec ~no_join_isolation ?budget ~no_fallback
             ~tree_eval ~no_physical ?jobs ~no_parallel ~no_rewrite
-            ~no_order_props mode no_rules no_cda no_hoist interpret tag_index
+            ~no_order_props ~no_code_eval mode no_rules no_cda no_hoist
+            interpret tag_index
         in
         let cache = mk_cache ~plan_cache ~no_plan_cache in
         let r =
@@ -310,7 +321,8 @@ let run_cmd =
           $ no_join_isolation_arg $ timeout_arg $ max_rows_arg
           $ max_bytes_arg $ max_ops_arg $ no_fallback_arg $ tree_eval_arg
           $ no_physical_arg $ jobs_arg $ no_parallel_arg $ plan_cache_arg
-          $ no_plan_cache_arg $ no_rewrite_arg $ no_order_props_arg)
+          $ no_plan_cache_arg $ no_rewrite_arg $ no_order_props_arg
+          $ no_code_eval_arg)
 
 (* ---------------------------------------------------------------- plan *)
 
@@ -436,7 +448,7 @@ let xmark_cmd =
   let action scale qname mode no_rules no_cda no_hoist interpret profile
       tag_index timeout max_rows max_bytes max_ops no_fallback tree_eval
       no_physical jobs no_parallel plan_cache no_plan_cache repeat
-      no_rewrite no_order_props no_join_isolation =
+      no_rewrite no_order_props no_join_isolation no_code_eval =
     handle (fun () ->
         let store = Xmldb.Doc_store.create () in
         let _, bytes = Xmark.Xmark_gen.load ~scale store in
@@ -446,7 +458,7 @@ let xmark_cmd =
         let opts =
           mk_opts ~no_join_isolation ?budget ~no_fallback ~tree_eval
             ~no_physical ?jobs ~no_parallel ~no_rewrite ~no_order_props
-            mode no_rules no_cda no_hoist interpret tag_index
+            ~no_code_eval mode no_rules no_cda no_hoist interpret tag_index
         in
         let cache = mk_cache ~plan_cache ~no_plan_cache in
         let queries =
@@ -475,7 +487,7 @@ let xmark_cmd =
           $ max_ops_arg $ no_fallback_arg $ tree_eval_arg $ no_physical_arg
           $ jobs_arg $ no_parallel_arg $ plan_cache_arg $ no_plan_cache_arg
           $ repeat_arg $ no_rewrite_arg $ no_order_props_arg
-          $ no_join_isolation_arg)
+          $ no_join_isolation_arg $ no_code_eval_arg)
 
 (* ----------------------------------------------------------------- gen *)
 
@@ -552,7 +564,8 @@ let store_load_cmd =
     Arg.(value & opt (some string) None
          & info [ "e"; "expr" ] ~docv:"QUERY" ~doc:"The query text itself.")
   in
-  let action file qf expr mode interpret profile no_physical jobs =
+  let action file qf expr mode interpret profile no_physical jobs
+      no_code_eval =
     handle (fun () ->
         let store = Xmldb.Doc_store.Snapshot.load file in
         Printf.eprintf "loaded %s: %s\n" file (store_stats_line store);
@@ -563,7 +576,8 @@ let store_load_cmd =
             (Xmldb.Doc_store.documents store)
         | _ ->
           let opts =
-            mk_opts ~no_physical ?jobs mode false false false interpret false
+            mk_opts ~no_physical ?jobs ~no_code_eval mode false false false
+              interpret false
           in
           let r =
             Engine.run ~opts ~with_profile:profile store (query_text qf expr)
@@ -582,7 +596,8 @@ let store_load_cmd =
     (Cmd.info "load"
        ~doc:"Load a snapshot; list its documents or evaluate a query on it")
     Term.(const action $ file_arg $ query_file_arg $ expr_opt_arg $ mode_arg
-          $ interpret_arg $ profile_arg $ no_physical_arg $ jobs_arg)
+          $ interpret_arg $ profile_arg $ no_physical_arg $ jobs_arg
+          $ no_code_eval_arg)
 
 let store_cmd =
   Cmd.group

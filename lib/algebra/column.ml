@@ -34,6 +34,11 @@ type t =
   | Dbls of float array
   | Bools of Bytes.t                               (* one byte per row *)
   | Strs of { pool : String_pool.t; ids : int array }
+  | Codes of {
+      frag : Xmldb.Doc_store.frag;  (* owner: codes only mean anything here *)
+      pool : String_pool.t;         (* the store's global text pool *)
+      codes : int array;            (* local value codes, see Doc_store *)
+    }
   | Nodes of { frag : int array; pre : int array }
   | Const of { v : Value.t; n : int }              (* v, repeated n times *)
   | Seq of { start : int; n : int }                (* Int (start + i) *)
@@ -44,6 +49,7 @@ let length = function
   | Dbls a -> Array.length a
   | Bools b -> Bytes.length b
   | Strs { ids; _ } -> Array.length ids
+  | Codes { codes; _ } -> Array.length codes
   | Nodes { pre; _ } -> Array.length pre
   | Const { n; _ } -> n
   | Seq { n; _ } -> n
@@ -54,6 +60,7 @@ let ty_of = function
   | Dbls _ -> T_dbl
   | Bools _ -> T_bool
   | Strs _ -> T_str
+  | Codes _ -> T_str
   | Nodes _ -> T_node
   | Const { v; _ } -> ty_of_value v
   | Seq _ -> T_int
@@ -65,6 +72,9 @@ let get c i =
   | Dbls a -> Value.Dbl a.(i)
   | Bools b -> Value.Bool (Bytes.unsafe_get b i <> '\000')
   | Strs { pool; ids } -> Value.Str (String_pool.get pool ids.(i))
+  | Codes { frag; pool; codes } ->
+    let id = Xmldb.Doc_store.text_id_of_code frag codes.(i) in
+    Value.Str (if id < 0 then "" else String_pool.get pool id)
   | Nodes { frag; pre } ->
     Value.Node (Xmldb.Node_id.make ~frag:frag.(i) ~pre:pre.(i))
   | Const { v; n } ->
@@ -165,6 +175,8 @@ let gather c (idx : int array) : t =
     for k = 0 to n - 1 do Bytes.set out k (Bytes.get b idx.(k)) done;
     Bools out
   | Strs { pool; ids } -> Strs { pool; ids = Array.map (fun i -> ids.(i)) idx }
+  | Codes { frag; pool; codes } ->
+    Codes { frag; pool; codes = Array.map (fun i -> codes.(i)) idx }
   | Nodes { frag; pre } ->
     Nodes
       { frag = Array.map (fun i -> frag.(i)) idx;
@@ -196,6 +208,9 @@ let append a b =
   | Bools x, Bools y -> Bools (Bytes.cat x y)
   | Strs { pool = p1; ids = x }, Strs { pool = p2; ids = y } when p1 == p2 ->
     Strs { pool = p1; ids = Array.append x y }
+  | Codes c1, Codes c2 when c1.frag == c2.frag ->
+    (* same physical fragment = same dictionary: codes stay comparable *)
+    Codes { c1 with codes = Array.append c1.codes c2.codes }
   | Nodes n1, Nodes n2 ->
     Nodes
       { frag = Array.append n1.frag n2.frag;
@@ -214,6 +229,7 @@ let estimated_bytes c =
   | Dbls a -> 16 + (8 * Array.length a)
   | Bools b -> 16 + Bytes.length b
   | Strs { ids; _ } -> 16 + (8 * Array.length ids)
+  | Codes { codes; _ } -> 16 + (8 * Array.length codes)
   | Nodes { pre; _ } -> 32 + (16 * Array.length pre)
   | Const { v; _ } -> 16 + Value.estimated_bytes v
   | Seq _ -> 32
@@ -222,4 +238,6 @@ let estimated_bytes c =
 
 let describe c =
   Printf.sprintf "%s[%d]%s" (ty_name (ty_of c)) (length c)
-    (match c with Const _ -> " const" | Seq _ -> " seq" | _ -> "")
+    (match c with
+     | Const _ -> " const" | Seq _ -> " seq" | Codes _ -> " codes"
+     | _ -> "")

@@ -21,6 +21,18 @@ type t =
   | Dbls of float array
   | Bools of Bytes.t  (** one byte per row, ['\000'] = false *)
   | Strs of { pool : Basis.String_pool.t; ids : int array }
+  | Codes of {
+      frag : Xmldb.Doc_store.frag;
+      pool : Basis.String_pool.t;
+      codes : int array;
+    }
+      (** A string column kept as its owning fragment's local dictionary
+          codes ({!Xmldb.Doc_store.text_code_at}): the compressed-execution
+          carrier. Within one fragment, code equality coincides with
+          string equality, so equality predicates run as integer compares;
+          [get]/{!to_values} materialize through the store's text [pool]
+          (late materialization). Codes from different fragments are not
+          comparable — {!append} degrades across fragments. *)
   | Nodes of { frag : int array; pre : int array }
   | Const of { v : Value.t; n : int }  (** [v], repeated [n] times *)
   | Seq of { start : int; n : int }  (** [Int (start + i)] *)

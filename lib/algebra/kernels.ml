@@ -19,9 +19,14 @@ type env = {
   store : Xmldb.Doc_store.t;
   tag_index : Xmldb.Tag_index.t option;
   mutable id_index : Xmldb.Id_index.t option;
+  code_eval : bool;
+      (* compressed execution: batched staircase scans over bulk-decoded
+         packed columns, and dictionary-code predicate evaluation in the
+         physical layer. Results are bit-identical on or off. *)
 }
 
-let env ?tag_index store = { store; tag_index; id_index = None }
+let env ?tag_index ?(code_eval = true) store =
+  { store; tag_index; id_index = None; code_eval }
 
 let id_index env =
   match env.id_index with
@@ -836,7 +841,7 @@ let resolve_test store = function
   | N_any -> Xmldb.Node_test.Any_node
   | N_pi t -> Xmldb.Node_test.Pi_target t
 
-let eval_step ?tag_index store t axis test =
+let eval_step ?tag_index ?(batch = true) store t axis test =
   let test = resolve_test store test in
   let itemc = Table.col t "item" in
   let groups = group_rows t (Some "iter") in
@@ -845,7 +850,7 @@ let eval_step ?tag_index store t axis test =
     match tag_index with
     | Some ti when Xmldb.Tag_index.applicable axis test ->
       Xmldb.Tag_index.step ti axis test
-    | _ -> Xmldb.Staircase.step store axis test
+    | _ -> Xmldb.Staircase.step ~batch store axis test
   in
   List.iter
     (fun (key, rows) ->
@@ -1121,7 +1126,8 @@ let eval_op env op (inputs : Table.t list) : Table.t =
   | Aggr { res; agg; arg; part; order; _ } ->
     eval_aggr env.store (one ()) res agg arg part order
   | Step { axis; test; _ } ->
-    eval_step ?tag_index:env.tag_index env.store (one ()) axis test
+    eval_step ?tag_index:env.tag_index ~batch:env.code_eval env.store (one ())
+      axis test
   | Doc _ -> eval_doc env.store (one ())
   | Elem _ ->
     let q, c = two () in

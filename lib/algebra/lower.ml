@@ -231,10 +231,32 @@ let pp fmt (root : Physical.pnode) =
       Format.fprintf fmt "%s^%d (shared)@\n" indent p.Physical.pid
     else begin
       Hashtbl.add seen p.Physical.pid ();
+      (* equality comparisons whose operands are statically strings are
+         code-eval candidates: at run time they translate the comparand
+         into the fragment's dictionary code once and compare machine
+         ints per row (unless --no-code-eval, or the operand column
+         turns out not to carry codes). The stamp covers every shape
+         the optimizer can leave the equality in: a fused predicate, a
+         hash-join or semijoin key, or an eq thetajoin. *)
+      let tyof c = List.assoc_opt c p.Physical.ptypes in
+      let str c = tyof c = Some Column.T_str in
       let detail =
         match p.Physical.pop with
         | Physical.K_pipe ops ->
-          " [" ^ String.concat "; " (List.map chain_op_name ops) ^ "]"
+          let name op =
+            let base = chain_op_name op in
+            match op with
+            | Physical.F_fun2 (_, (Plan.P_eq | Plan.P_ne), a1, a2)
+              when str a1 || str a2 -> base ^ "[code]"
+            | _ -> base
+          in
+          " [" ^ String.concat "; " (List.map name ops) ^ "]"
+        | Physical.K_thetajoin { lcol; cmp = Plan.P_eq; rcol }
+          when str lcol || str rcol -> " [code]"
+        | Physical.K_join { lcol; rcol; _ } when str lcol || str rcol ->
+          " [code]"
+        | Physical.K_semijoin { on = [ (lc, _) ]; _ } when str lc ->
+          " [code]"
         | _ -> ""
       in
       let tys =

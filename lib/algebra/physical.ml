@@ -200,7 +200,7 @@ let default_morsel =
      | None -> 1024)
 
 let create ?profile ?guard ?(step_impl = Eval.Scan) ?(mode = Eval.Dag)
-    ?(jobs = 1) ?morsel store =
+    ?(jobs = 1) ?morsel ?(code_eval = true) store =
   let tag_index =
     match step_impl with
     | Eval.Scan -> None
@@ -216,7 +216,7 @@ let create ?profile ?guard ?(step_impl = Eval.Scan) ?(mode = Eval.Dag)
       in
       Some { ppool = Pool.get (); pjobs = jobs; pmorsel }
   in
-  { env = Kernels.env ?tag_index store;
+  { env = Kernels.env ?tag_index ~code_eval store;
     pool = String_pool.create ();
     cache = Hashtbl.create 64;
     mode;
@@ -231,21 +231,11 @@ let bump ctx f = match ctx.profile with Some p -> f p | None -> ()
 
 (* ------------------------------------------------------ morsel scheduling *)
 
-(* Contiguous [lo, hi) ranges covering [0, n): at least [morsel] rows
-   each, at most jobs*4 chunks (a little oversubscription smooths uneven
-   morsel costs without fragmenting the merge). Depends only on
-   (n, morsel, jobs) — never on scheduling — so any run of the same plan
-   splits identically. *)
-let spans n ~morsel ~jobs =
-  if n <= 0 then [||]
-  else begin
-    let parts = jobs * 4 in
-    let chunk = max morsel ((n + parts - 1) / parts) in
-    let k = (n + chunk - 1) / chunk in
-    Array.init k (fun i ->
-        let lo = i * chunk in
-        (lo, min n (lo + chunk)))
-  end
+(* Contiguous [lo, hi) ranges covering [0, n): adaptive sizing lives in
+   {!Basis.Pool.adaptive_spans}. Depends only on (n, morsel, jobs) —
+   never on scheduling — so any run of the same plan splits
+   identically. *)
+let spans n ~morsel ~jobs = Pool.adaptive_spans n ~morsel ~jobs
 
 let par_stop ctx =
   match ctx.guard with
@@ -390,6 +380,11 @@ let to_table ctx b =
   | None ->
     bump ctx Profile.count_mat_forced;
     let cb = compact b in
+    Array.iter
+      (function
+        | Column.Codes _ -> bump ctx Profile.count_late_mat
+        | _ -> ())
+      cb.cols;
     let t =
       Table.create b.schema (Array.map Column.to_values cb.cols) b.nrows
     in
@@ -400,8 +395,13 @@ let to_table ctx b =
    kernels that have no typed path). Reads the base representation — for
    Mixed columns this is the original boxed array, no retype scan, no
    re-boxing. *)
-let boxed_vis (_ : ctx) b name =
+let boxed_vis ctx b name =
   let c = b.cols.(col_pos b name) in
+  (* boxing a code-carrying column decodes every visible row: count it as
+     a late materialization (once per column use, coordinator-side) *)
+  (match c with
+   | Column.Codes _ -> bump ctx Profile.count_late_mat
+   | _ -> ());
   match (c, b.sel) with
   | Column.Mixed vs, None -> vs
   | Column.Mixed vs, Some s -> Array.map (fun r -> vs.(r)) s
@@ -425,6 +425,15 @@ let budget_bytes b =
          iter_sel b (fun r ->
              total :=
                !total + 32 + String.length (String_pool.get pool ids.(r)))
+       | Column.Codes { frag; pool; codes } ->
+         (* priced as the strings it decodes to, like [Strs]: a byte
+            budget must govern the same logical materialization on
+            either representation *)
+         iter_sel b (fun r ->
+             let id = Xmldb.Doc_store.text_id_of_code frag codes.(r) in
+             total :=
+               !total + 32
+               + (if id < 0 then 0 else String.length (String_pool.get pool id)))
        | Column.Mixed vs ->
          iter_sel b (fun r -> total := !total + Value.estimated_bytes vs.(r)))
     b.cols;
@@ -465,6 +474,25 @@ let str_reader pool c =
   match c with
   | Column.Strs { pool = p; ids } when p == pool -> Some (fun i -> ids.(i))
   | _ -> None
+
+(* Late materialization: expand a code-carrying column to query-pool ids
+   (one decode + intern per base row, coordinator-side — String_pool is
+   not thread-safe). Keys of hash joins go through this so string joins
+   keep the pool-id fast path; other columns pass through untouched. *)
+let materialize_codes ctx c =
+  match c with
+  | Column.Codes { frag; pool; codes } ->
+    bump ctx Profile.count_late_mat;
+    let ids =
+      Array.map
+        (fun code ->
+           let id = Xmldb.Doc_store.text_id_of_code frag code in
+           String_pool.intern ctx.pool
+             (if id < 0 then "" else String_pool.get pool id))
+        codes
+    in
+    Column.Strs { pool = ctx.pool; ids }
+  | c -> c
 
 (* -------------------------------------------------------- fused pipeline *)
 
@@ -547,10 +575,65 @@ let generic3 env run p f c1 c2 c3 =
           (Column.get c3 r));
   Column.Mixed out
 
+(* Compressed execution of atomize/string over a node column: when every
+   visible row lives in one fragment and is a value-carrying kind
+   (attribute / text / comment / PI — whose XDM string value IS the row's
+   own value), the result column stays as the fragment's dictionary codes
+   ([Column.Codes]) and only materializes at consumers that need the
+   text. Elements and documents (string value concatenates descendants)
+   and mixed-fragment columns fall back to the generic boxed path. The
+   eligibility scan runs on the coordinator; the fill loop only reads
+   packed columns (pure), so it may fan out over morsels. *)
+exception Not_codeable
+
+let codes_of_nodes ctx run p (frag : int array) (pre : int array) =
+  if p.pn = 0 then None
+  else
+    try
+      let fid = ref (-1) in
+      pipe_iter_span p 0 p.pn (fun r ->
+          if !fid = -1 then fid := frag.(r)
+          else if frag.(r) <> !fid then raise Not_codeable);
+      let store = ctx.env.Kernels.store in
+      let f = Xmldb.Doc_store.frag store !fid in
+      pipe_iter_span p 0 p.pn (fun r ->
+          match Xmldb.Doc_store.kind_at f pre.(r) with
+          | Xmldb.Node_kind.Attribute | Xmldb.Node_kind.Text
+          | Xmldb.Node_kind.Comment
+          | Xmldb.Node_kind.Processing_instruction -> ()
+          | Xmldb.Node_kind.Element | Xmldb.Node_kind.Document ->
+            raise Not_codeable);
+      let codes = Array.make p.pbase 0 in
+      run (fun r -> codes.(r) <- Xmldb.Doc_store.text_code_at f pre.(r));
+      Some
+        (Column.Codes
+           { frag = f; pool = Xmldb.Doc_store.text_pool store; codes })
+    with Not_codeable -> None
+
 (* Unary kernels with a typed path; everything else runs generic. *)
 let fun1_col ctx run p f c =
   let typed =
     match f with
+    | Plan.P_atomize when ctx.env.Kernels.code_eval -> (
+      match c with
+      | Column.Nodes { frag; pre } -> codes_of_nodes ctx run p frag pre
+      (* atomization only transforms nodes: every typed non-node column
+         (a string literal kept Const, in particular) passes through
+         unchanged — which is what lets a comparand survive to the
+         predicate as a Const the code translation can probe once *)
+      | Column.Ints _ | Column.Dbls _ | Column.Bools _ | Column.Strs _
+      | Column.Codes _ | Column.Seq _ -> Some c
+      | Column.Const { v = Value.Node _; _ } -> None
+      | Column.Const _ -> Some c
+      | Column.Mixed _ -> None)
+    | Plan.P_string when ctx.env.Kernels.code_eval -> (
+      match c with
+      | Column.Nodes { frag; pre } -> codes_of_nodes ctx run p frag pre
+      | Column.Strs _ | Column.Codes _
+      | Column.Const { v = Value.Str _; _ } ->
+        (* string() of a string: identity *)
+        Some c
+      | _ -> None)
     | Plan.P_not ->
       (* the ebv of a Bool is the Bool itself, so negation is direct *)
       Option.map
@@ -654,12 +737,92 @@ let fun2_col ctx run p f c1 c2 =
             | Plan.P_ge -> Some (fcmp_bools g1 g2 (fun c -> c >= 0))
             | _ -> None (* idiv/mod on doubles: rare, stays boxed *))
           | _ -> (
-            (* string equality via pool ids *)
-            match (f, str_reader ctx.pool c1, str_reader ctx.pool c2) with
-            | Plan.P_eq, Some g1, Some g2 ->
-              Some (bools (fun r -> g1 r = g2 r))
-            | Plan.P_ne, Some g1, Some g2 ->
-              Some (bools (fun r -> g1 r <> g2 r))
+            (* dictionary-coded equality: translate the comparand into
+               the fragment's local code once, then compare machine ints
+               per row — no string is ever materialized. Code 0 (row
+               without a value) and an interned "" both decode to the
+               empty string, so codes pass through [norm] first. *)
+            let code_pred () =
+              let store = ctx.env.Kernels.store in
+              let norm frag =
+                match Xmldb.Doc_store.code_of_text store frag "" with
+                | Some e -> fun code -> if code = 0 then e else code
+                | None -> fun code -> code
+              in
+              let neg = f = Plan.P_ne in
+              match (c1, c2) with
+              | ( Column.Codes { frag; codes; _ },
+                  Column.Const { v = Value.Str s; _ } )
+              | ( Column.Const { v = Value.Str s; _ },
+                  Column.Codes { frag; codes; _ } ) ->
+                let nz = norm frag in
+                let target =
+                  if String.equal s "" then Some (nz 0)
+                  else Xmldb.Doc_store.code_of_text store frag s
+                in
+                bump ctx Profile.count_code_pred;
+                (match target with
+                 | Some k ->
+                   Some (bools (fun r -> (nz codes.(r) = k) <> neg))
+                 | None ->
+                   (* the string occurs nowhere in the fragment: the
+                      predicate is constant over every row *)
+                   Some (bools (fun _ -> neg)))
+              | Column.Codes k1, Column.Codes k2 when k1.frag == k2.frag ->
+                let nz = norm k1.frag in
+                let a = k1.codes and b = k2.codes in
+                bump ctx Profile.count_code_pred;
+                Some (bools (fun r -> (nz a.(r) = nz b.(r)) <> neg))
+              | ( Column.Codes { frag; codes; _ },
+                  Column.Strs { pool; ids } )
+              | ( Column.Strs { pool; ids },
+                  Column.Codes { frag; codes; _ } ) ->
+                (* interned comparands (a replicated literal that lost its
+                   Const-ness in a boxed kernel, typically): translate each
+                   distinct pool id into the fragment's code once, then
+                   compare ints. The translation runs on the coordinator
+                   (String_pool reads + the memo are not domain-safe);
+                   the fill loop may still fan out. -1 = absent from the
+                   fragment, matching no row. *)
+                let nz = norm frag in
+                let memo : (int, int) Hashtbl.t = Hashtbl.create 8 in
+                let tcodes = Array.make p.pbase (-1) in
+                pipe_iter_span p 0 p.pn (fun r ->
+                    let id = ids.(r) in
+                    tcodes.(r) <-
+                      (match Hashtbl.find_opt memo id with
+                       | Some k -> k
+                       | None ->
+                         let s = String_pool.get pool id in
+                         let k =
+                           if String.equal s "" then nz 0
+                           else
+                             match
+                               Xmldb.Doc_store.code_of_text store frag s
+                             with
+                             | Some k -> k
+                             | None -> -1
+                         in
+                         Hashtbl.add memo id k;
+                         k));
+                bump ctx Profile.count_code_pred;
+                Some (bools (fun r -> (nz codes.(r) = tcodes.(r)) <> neg))
+              | _ -> None
+            in
+            match f with
+            | Plan.P_eq | Plan.P_ne -> (
+              match code_pred () with
+              | Some _ as res -> res
+              | None -> (
+                (* string equality via pool ids; code columns that missed
+                   the int path materialize late into the query pool *)
+                let c1 = materialize_codes ctx c1 in
+                let c2 = materialize_codes ctx c2 in
+                match (str_reader ctx.pool c1, str_reader ctx.pool c2) with
+                | Some g1, Some g2 ->
+                  if f = Plan.P_eq then Some (bools (fun r -> g1 r = g2 r))
+                  else Some (bools (fun r -> g1 r <> g2 r))
+                | _ -> None))
             | _ -> None)))
     | Plan.P_and | Plan.P_or -> (
       match (bool_reader c1, bool_reader c2) with
@@ -826,6 +989,112 @@ let int_join_indices ctx ~par g1 n1 g2 n2 =
   in
   concat_pairs (map_spans ctx ~par n1 probe)
 
+(* Normalized-code key readers for an equality join: [Some (g1, g2)]
+   when the key pair can hash and compare as machine ints with no string
+   ever materialized. Same-fragment Codes×Codes compares raw codes;
+   Codes against interned strings (or a Const comparand) translates each
+   distinct string into the fragment's code once — the reverse dictionary
+   probe — with -1 for strings the fragment never contains (codes are
+   non-negative, so -1 matches nothing). Code 0 (valueless row) and an
+   interned "" both decode to "", hence the [norm] pass on every code
+   read. Translation runs on the coordinator (pool reads and the memo
+   are not domain-safe); the returned readers are pure array reads, safe
+   under morsel fan-out. *)
+let code_key_readers ctx lc rc =
+  let store = ctx.env.Kernels.store in
+  let norm frag =
+    match Xmldb.Doc_store.code_of_text store frag "" with
+    | Some e -> fun code -> if code = 0 then e else code
+    | None -> fun code -> code
+  in
+  let translate frag n (get : int -> string) =
+    let nz = norm frag in
+    let memo : (string, int) Hashtbl.t = Hashtbl.create 8 in
+    let out = Array.make n (-1) in
+    for i = 0 to n - 1 do
+      let s = get i in
+      out.(i) <-
+        (match Hashtbl.find_opt memo s with
+         | Some k -> k
+         | None ->
+           let k =
+             if String.equal s "" then nz 0
+             else
+               match Xmldb.Doc_store.code_of_text store frag s with
+               | Some k -> k
+               | None -> -1
+           in
+           Hashtbl.add memo s k;
+           k)
+    done;
+    fun i -> out.(i)
+  in
+  let coded frag (codes : int array) =
+    let nz = norm frag in
+    fun i -> nz codes.(i)
+  in
+  match (lc, rc) with
+  | Column.Codes k1, Column.Codes k2 when k1.frag == k2.frag ->
+    Some (coded k1.frag k1.codes, coded k1.frag k2.codes)
+  | Column.Codes { frag; codes; _ }, Column.Strs { pool; ids } ->
+    Some
+      ( coded frag codes,
+        translate frag (Array.length ids) (fun i -> String_pool.get pool ids.(i)) )
+  | Column.Strs { pool; ids }, Column.Codes { frag; codes; _ } ->
+    Some
+      ( translate frag (Array.length ids) (fun i -> String_pool.get pool ids.(i)),
+        coded frag codes )
+  | Column.Codes { frag; codes; _ }, Column.Const { v = Value.Str s; n } ->
+    Some (coded frag codes, translate frag n (fun _ -> s))
+  | Column.Const { v = Value.Str s; n }, Column.Codes { frag; codes; _ } ->
+    Some (translate frag n (fun _ -> s), coded frag codes)
+  | _ -> None
+
+(* Build-left over int key readers: same (i asc, j asc within i) pair
+   order as [Kernels.join_indices_build_left] — matches accumulate per
+   left row while the right side streams ascending, then emit
+   left-major. Serial by construction (flipped joins never fan out). *)
+let int_join_indices_build_left g1 n1 g2 n2 =
+  let module IT = Kernels.Int_tbl in
+  let index : int Vec.t IT.t = IT.create (max 16 n1) in
+  for i = 0 to n1 - 1 do
+    let k = g1 i in
+    match IT.find_opt index k with
+    | Some v -> Vec.push v i
+    | None ->
+      let v = Vec.create 0 in
+      Vec.push v i;
+      IT.add index k v
+  done;
+  let matches : int Vec.t option array = Array.make n1 None in
+  for j = 0 to n2 - 1 do
+    match IT.find_opt index (g2 j) with
+    | None -> ()
+    | Some v ->
+      Vec.iter
+        (fun i ->
+           match matches.(i) with
+           | Some m -> Vec.push m j
+           | None ->
+             let m = Vec.create 0 in
+             Vec.push m j;
+             matches.(i) <- Some m)
+        v
+  done;
+  let li = Vec.create 0 and ri = Vec.create 0 in
+  Array.iteri
+    (fun i m ->
+       match m with
+       | None -> ()
+       | Some v ->
+         Vec.iter
+           (fun j ->
+              Vec.push li i;
+              Vec.push ri j)
+           v)
+    matches;
+  (Vec.to_array li, Vec.to_array ri)
+
 let k_join ctx ~par ~build_left lb rb lcol rcname =
   check_disjoint lb.schema rb.schema;
   let lb = compact lb and rb = compact rb in
@@ -835,24 +1104,47 @@ let k_join ctx ~par ~build_left lb rb lcol rcname =
        is purely a cost choice. Serial by construction (ppar is off for
        flipped joins). *)
     bump ctx Profile.count_build_flip;
+    let lc0 = rcol ctx lb lcol and rc0 = rcol ctx rb rcname in
     let li, ri =
-      Kernels.join_indices_build_left (boxed_vis ctx lb lcol)
-        (boxed_vis ctx rb rcname)
+      match code_key_readers ctx lc0 rc0 with
+      | Some (g1, g2) ->
+        bump ctx Profile.count_code_pred;
+        int_join_indices_build_left g1 lb.nrows g2 rb.nrows
+      | None ->
+        Kernels.join_indices_build_left (boxed_vis ctx lb lcol)
+          (boxed_vis ctx rb rcname)
     in
     join_output lb rb li ri
   end
-  else
-    let lc = rcol ctx lb lcol and rc = rcol ctx rb rcname in
-    let li, ri =
-      match (int_reader lc, int_reader rc) with
-      | Some g1, Some g2 -> int_join_indices ctx ~par g1 lb.nrows g2 rb.nrows
-      | _ -> (
-        match (str_reader ctx.pool lc, str_reader ctx.pool rc) with
+  else begin
+    let lc0 = rcol ctx lb lcol and rc0 = rcol ctx rb rcname in
+    match code_key_readers ctx lc0 rc0 with
+    | Some (g1, g2) ->
+      (* the join IS the equality predicate: translated once, it hashes
+         and compares normalized dictionary codes — counted as a code
+         predicate, and no key string is ever materialized *)
+      bump ctx Profile.count_code_pred;
+      let li, ri = int_join_indices ctx ~par g1 lb.nrows g2 rb.nrows in
+      join_output lb rb li ri
+    | None ->
+      (* code-carrying keys that missed the int path materialize into the
+         query pool here: a string hash join then runs on pool ids, not
+         per-pair boxed compares *)
+      let lc = materialize_codes ctx lc0 in
+      let rc = materialize_codes ctx rc0 in
+      let li, ri =
+        match (int_reader lc, int_reader rc) with
         | Some g1, Some g2 -> int_join_indices ctx ~par g1 lb.nrows g2 rb.nrows
-        | _ ->
-          Kernels.join_indices (boxed_vis ctx lb lcol) (boxed_vis ctx rb rcname))
-    in
-    join_output lb rb li ri
+        | _ -> (
+          match (str_reader ctx.pool lc, str_reader ctx.pool rc) with
+          | Some g1, Some g2 ->
+            int_join_indices ctx ~par g1 lb.nrows g2 rb.nrows
+          | _ ->
+            Kernels.join_indices (boxed_vis ctx lb lcol)
+              (boxed_vis ctx rb rcname))
+      in
+      join_output lb rb li ri
+  end
 
 (* Inequality theta where untyped strings meet numerics: the boxed
    kernel takes its nested loop and re-coerces (re-parses!) the untyped
@@ -931,14 +1223,22 @@ let k_thetajoin ctx ~par lb rb lcol cmp rcname =
   let li, ri =
     match cmp with
     | Plan.P_eq -> (
-      (* int×int equality is coercion-free: safe for the typed path *)
-      match
-        (int_reader (rcol ctx lb lcol), int_reader (rcol ctx rb rcname))
-      with
-      | Some g1, Some g2 -> int_join_indices ctx ~par g1 lb.nrows g2 rb.nrows
-      | _ ->
-        Kernels.theta_indices (boxed_vis ctx lb lcol) cmp
-          (boxed_vis ctx rb rcname))
+      (* int×int equality is coercion-free: safe for the typed path; an
+         equality over code-carrying string keys hashes normalized
+         dictionary codes instead — the same i-asc, j-asc pair order as
+         the boxed nested loop, with no string ever materialized *)
+      let lc0 = rcol ctx lb lcol and rc0 = rcol ctx rb rcname in
+      match code_key_readers ctx lc0 rc0 with
+      | Some (g1, g2) ->
+        bump ctx Profile.count_code_pred;
+        int_join_indices ctx ~par g1 lb.nrows g2 rb.nrows
+      | None -> (
+        match (int_reader lc0, int_reader rc0) with
+        | Some g1, Some g2 ->
+          int_join_indices ctx ~par g1 lb.nrows g2 rb.nrows
+        | _ ->
+          Kernels.theta_indices (boxed_vis ctx lb lcol) cmp
+            (boxed_vis ctx rb rcname)))
     | Plan.P_lt | Plan.P_le | Plan.P_gt | Plan.P_ge -> (
       let lvs = boxed_vis ctx lb lcol and rvs = boxed_vis ctx rb rcname in
       match theta_float_keys lvs rvs with
@@ -963,26 +1263,64 @@ let k_thetajoin ctx ~par lb rb lcol cmp rcname =
    matches in one scan of the right — serial by construction ([ppar] is
    off for flipped semijoins). *)
 let k_semijoin ctx ~par ~anti ~build_left lb rb on =
-  let lkeys =
-    Array.of_list (List.map (fun (lc, _) -> boxed_vis ctx lb lc) on)
-  in
-  let rkeys =
-    Array.of_list (List.map (fun (_, rc) -> boxed_vis ctx rb rc) on)
+  (* single-key semijoins over code-carrying columns keep the match on
+     normalized dictionary codes: the key column is gathered through the
+     selection (gather preserves the Codes/Strs shape), so the readers
+     index visible positions like the boxed key arrays do. Membership is
+     symmetric, so build-side choice cannot change the kept set — both
+     sides share one int-set probe. *)
+  let code_keys =
+    match on with
+    | [ (lc, rc) ] ->
+      let vis b name =
+        let c = rcol ctx b name in
+        match b.sel with None -> c | Some s -> Column.gather c s
+      in
+      code_key_readers ctx (vis lb lc) (vis rb rc)
+    | _ -> None
   in
   let keep =
-    if build_left then begin
-      bump ctx Profile.count_build_flip;
-      Kernels.semi_keep_build_left ~anti ~nl:lb.nrows ~nr:rb.nrows lkeys
-        rkeys
-    end
-    else
-      let set = Kernels.semi_key_set ~nr:rb.nrows rkeys in
-      match
-        map_spans ctx ~par lb.nrows (fun lo hi ->
-            Kernels.semi_probe set ~anti lkeys lo hi)
-      with
-      | [| one |] -> one
-      | parts -> Array.concat (Array.to_list parts)
+    match code_keys with
+    | Some (g1, g2) ->
+      bump ctx Profile.count_code_pred;
+      if build_left then bump ctx Profile.count_build_flip;
+      let module IT = Kernels.Int_tbl in
+      let set : unit IT.t = IT.create (max 16 rb.nrows) in
+      for j = 0 to rb.nrows - 1 do
+        IT.replace set (g2 j) ()
+      done;
+      let probe lo hi =
+        let keep = Vec.create 0 in
+        for i = lo to hi - 1 do
+          if IT.mem set (g1 i) <> anti then Vec.push keep i
+        done;
+        Vec.to_array keep
+      in
+      (match
+         map_spans ctx ~par:(par && not build_left) lb.nrows probe
+       with
+       | [| one |] -> one
+       | parts -> Array.concat (Array.to_list parts))
+    | None ->
+      let lkeys =
+        Array.of_list (List.map (fun (lc, _) -> boxed_vis ctx lb lc) on)
+      in
+      let rkeys =
+        Array.of_list (List.map (fun (_, rc) -> boxed_vis ctx rb rc) on)
+      in
+      if build_left then begin
+        bump ctx Profile.count_build_flip;
+        Kernels.semi_keep_build_left ~anti ~nl:lb.nrows ~nr:rb.nrows lkeys
+          rkeys
+      end
+      else
+        let set = Kernels.semi_key_set ~nr:rb.nrows rkeys in
+        (match
+           map_spans ctx ~par lb.nrows (fun lo hi ->
+               Kernels.semi_probe set ~anti lkeys lo hi)
+         with
+        | [| one |] -> one
+        | parts -> Array.concat (Array.to_list parts))
   in
   let sel' =
     match lb.sel with
@@ -1107,6 +1445,12 @@ let k_rownum ctx b res order part merge_hint =
       fun x y ->
         String.compare (String_pool.get pool ids.(x))
           (String_pool.get pool ids.(y))
+    | Column.Codes { frag; pool; codes } ->
+      let s i =
+        let id = Xmldb.Doc_store.text_id_of_code frag codes.(i) in
+        if id < 0 then "" else String_pool.get pool id
+      in
+      fun x y -> String.compare (s x) (s y)
     | _ -> (
       (* genuinely heterogeneous: compare the boxed values in place —
          never [Column.get] on a typed rep, which would allocate a box
@@ -1415,8 +1759,10 @@ let rec eval ctx (p : pnode) : batch =
    marked order-indifferent; results, errors and profile counters are
    bit-identical to [jobs = 1]. [morsel] overrides the minimum rows per
    morsel (default 1024, or XRQ_MORSEL). *)
-let run ?profile ?guard ?step_impl ?mode ?jobs ?morsel store (root : pnode) :
-  Table.t =
-  let ctx = create ?profile ?guard ?step_impl ?mode ?jobs ?morsel store in
+let run ?profile ?guard ?step_impl ?mode ?jobs ?morsel ?code_eval store
+    (root : pnode) : Table.t =
+  let ctx =
+    create ?profile ?guard ?step_impl ?mode ?jobs ?morsel ?code_eval store
+  in
   let out = eval ctx root in
   to_table ctx out

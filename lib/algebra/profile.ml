@@ -32,6 +32,14 @@ type phys = {
                                     piecewise-sorted input *)
   mutable root_sort_elided : int; (* root sort-on-pos skipped: the plan
                                      proved pos-order *)
+  mutable code_preds : int;   (* predicates translated to dictionary codes
+                                 and evaluated as integer compares *)
+  mutable bulk_decodes : int; (* rows decoded through the store's bulk
+                                 range accessors *)
+  mutable late_materializations : int; (* code-carrying columns expanded
+                                          to strings at pipeline breakers
+                                          or for a consumer that needs
+                                          the text *)
 }
 
 (* A profile may be observed while a morsel-parallel query is running
@@ -56,7 +64,8 @@ let create () =
     phys =
       { kernels = 0; fused_ops = 0; rows_in = 0; rows_out = 0;
         mat_avoided = 0; mat_forced = 0; retypes = 0; build_flips = 0;
-        sorts_elided = 0; sorts_to_merges = 0; root_sort_elided = 0 } }
+        sorts_elided = 0; sorts_to_merges = 0; root_sort_elided = 0;
+        code_preds = 0; bulk_decodes = 0; late_materializations = 0 } }
 
 let locked t f =
   Mutex.lock t.mu;
@@ -94,6 +103,16 @@ let count_sort_merge t =
 
 let count_root_sort_elided t =
   locked t (fun () -> t.phys.root_sort_elided <- t.phys.root_sort_elided + 1)
+
+let count_code_pred t =
+  locked t (fun () -> t.phys.code_preds <- t.phys.code_preds + 1)
+
+let add_bulk_decodes t k =
+  locked t (fun () -> t.phys.bulk_decodes <- t.phys.bulk_decodes + k)
+
+let count_late_mat t =
+  locked t (fun () ->
+      t.phys.late_materializations <- t.phys.late_materializations + 1)
 
 let add t label seconds =
   locked t (fun () ->
@@ -166,6 +185,12 @@ let pp fmt t =
     Format.fprintf fmt
       "order: %d sorts elided, %d degraded to merges, root sort %s@."
       p.sorts_elided p.sorts_to_merges
-      (if p.root_sort_elided > 0 then "elided" else "kept")
+      (if p.root_sort_elided > 0 then "elided" else "kept");
+  if p.code_preds > 0 || p.bulk_decodes > 0 || p.late_materializations > 0
+  then
+    Format.fprintf fmt
+      "compressed: %d code predicates, %d rows bulk-decoded, \
+       %d late materializations@."
+      p.code_preds p.bulk_decodes p.late_materializations
 
 let to_string t = Format.asprintf "%a" pp t

@@ -36,6 +36,15 @@ type phys = {
           input *)
   mutable root_sort_elided : int;
       (** root sort-on-pos skipped because the plan proved pos-order *)
+  mutable code_preds : int;
+      (** predicates translated to per-fragment dictionary codes and
+          evaluated as integer compares (no string materialization) *)
+  mutable bulk_decodes : int;
+      (** rows decoded through {!Xmldb.Doc_store}'s bulk range accessors
+          (batched staircase scans and packed-column windows) *)
+  mutable late_materializations : int;
+      (** code-carrying columns expanded to strings at pipeline breakers
+          or for consumers that need the text *)
 }
 
 val create : unit -> t
@@ -57,6 +66,14 @@ val add_sorts_elided : t -> int -> unit
 
 val count_sort_merge : t -> unit
 val count_root_sort_elided : t -> unit
+
+val count_code_pred : t -> unit
+
+(** [add_bulk_decodes t k] folds [k] bulk-decoded rows (a
+    {!Xmldb.Doc_store.Stats} delta) into the profile. *)
+val add_bulk_decodes : t -> int -> unit
+
+val count_late_mat : t -> unit
 
 (** [add t label seconds] accumulates into [label]'s bucket. *)
 val add : t -> string -> float -> unit

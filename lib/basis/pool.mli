@@ -54,3 +54,12 @@ val contended : t -> int
 
 (** [Domain.recommended_domain_count ()] — how wide this host can go. *)
 val recommended_jobs : unit -> int
+
+(** [adaptive_spans n ~morsel ~jobs] splits [0, n) into contiguous
+    [(lo, hi)] spans for morsel-driven execution. Spans start at
+    [max morsel (n / (jobs * 8))] rows and double geometrically, capped
+    near [n / (jobs * 2)]: small early spans get every worker busy,
+    large later spans amortize per-span overhead, and the cap bounds
+    tail imbalance to half a worker's fair share. Pure — depends only on
+    its arguments — so serial and parallel runs see identical spans. *)
+val adaptive_spans : int -> morsel:int -> jobs:int -> (int * int) array

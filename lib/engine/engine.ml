@@ -55,6 +55,12 @@ type opts = {
          sort-elision rule, the root sort-on-pos skip, and merge-degraded
          % kernels. Pure optimization — a proof of an order already held
          can change no result *)
+  code_eval : bool;
+      (* compressed execution in the physical backend: batched staircase
+         scans over bulk-decoded packed columns, atomize/string results
+         kept as per-fragment dictionary codes, and equality predicates
+         evaluated as integer code compares. Bit-identical results either
+         way; off (--no-code-eval) is the materialized reference path *)
 }
 
 (* Engine-wide default parallelism, from XRQ_JOBS (CI runs the whole
@@ -80,6 +86,7 @@ let default_opts = {
   jobs = default_jobs;
   rewrite = true;
   order_props = true;
+  code_eval = true;
 }
 
 (* Pathfinder with order indifference disabled: every plan is emitted as if
@@ -212,7 +219,7 @@ let cache_stats (c : cache) = Plan_cache.stats c
    would make cache hits silently change a query's parallelism when a
    caller mixes widths in one cache. *)
 let opts_fingerprint opts =
-  Printf.sprintf "m%sr%bc%bh%bj%bb%sp%sx%dw%bO%bg%b"
+  Printf.sprintf "m%sr%bc%bh%bj%bb%sp%sx%dw%bO%bg%be%b"
     (match opts.mode with
      | None -> "-"
      | Some Xquery.Ast.Ordered -> "o"
@@ -221,6 +228,7 @@ let opts_fingerprint opts =
     (match opts.backend with Compiled -> "c" | Interpreted -> "i")
     (match opts.physical with `On -> "1" | `Off -> "0")
     opts.jobs opts.rewrite opts.order_props opts.join_isolation
+    opts.code_eval
 
 let cache_key opts text =
   opts_fingerprint opts ^ "\x00" ^ Plan_cache.normalize_query text
@@ -408,15 +416,28 @@ let run ?cache ?(opts = default_opts) ?(with_profile = false) store text : resul
            if pos_sorted then Algebra.Profile.count_root_sort_elided p)
         profile;
       let guard = Option.map Budget.start opts.budget in
+      (* bulk-decode counting is a process-wide atomic (scans run inside
+         worker domains); the profile gets this run's delta *)
+      let bulk0 =
+        match profile with
+        | Some _ -> Xmldb.Doc_store.Stats.bulk_decodes ()
+        | None -> 0
+      in
       let table =
         match physical with
         | Some pp ->
           Algebra.Physical.run ?profile ?guard ~step_impl:opts.step_impl
-            ~mode:opts.eval_mode ~jobs:opts.jobs store pp
+            ~mode:opts.eval_mode ~jobs:opts.jobs ~code_eval:opts.code_eval
+            store pp
         | None ->
           Algebra.Eval.run ?profile ?guard ~step_impl:opts.step_impl
             ~mode:opts.eval_mode store optimized
       in
+      Option.iter
+        (fun p ->
+           Algebra.Profile.add_bulk_decodes p
+             (Xmldb.Doc_store.Stats.bulk_decodes () - bulk0))
+        profile;
       let items = items_of_table ~pos_sorted table in
       { items;
         serialized = Interp.Xdm.serialize store items;
@@ -492,7 +513,8 @@ let prepare ?cache ?(opts = default_opts) store text =
           match physical with
           | Some pp ->
             Algebra.Physical.run ?guard ~step_impl:opts.step_impl
-              ~mode:opts.eval_mode ~jobs:opts.jobs store pp
+              ~mode:opts.eval_mode ~jobs:opts.jobs
+              ~code_eval:opts.code_eval store pp
           | None ->
             Algebra.Eval.run ?guard ~step_impl:opts.step_impl
               ~mode:opts.eval_mode store optimized

@@ -76,6 +76,17 @@ type opts = {
           query's ordering mode — so results are identical on or off
           (default [true]). Participates in the plan-cache
           fingerprint. *)
+  code_eval : bool;
+      (** compressed execution in the physical backend: batched staircase
+          steps over bulk-decoded packed columns, atomize/string results
+          carried as per-fragment dictionary codes
+          ({!Algebra.Column.t.Codes}), and string-equality predicates
+          translated once per fragment and evaluated as integer code
+          compares, with strings materialized only at pipeline breakers
+          and output. Results are bit-identical on or off; [false]
+          ([--no-code-eval]) is the materialized reference path the
+          parity oracle and benchmarks compare against (default [true]).
+          Participates in the plan-cache fingerprint. *)
 }
 
 val default_opts : opts

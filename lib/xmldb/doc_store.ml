@@ -113,6 +113,119 @@ let[@inline] parent_at f pre =
   | Boxed b -> b.parents.(pre)
   | Packed p -> col_get p.p_parents pre - 1
 
+(* -- bulk range decoding --------------------------------------------------- *)
+
+(* Executor-visible counters for the compressed-execution paths. Plain
+   atomics at module level: bulk scans run inside worker domains where no
+   profile handle is in scope, so the engine snapshots deltas around a
+   run instead. Counting is per row decoded, which makes the numbers
+   independent of how rows were partitioned into windows — serial and
+   parallel runs agree bit for bit. *)
+module Stats = struct
+  let bulk = Atomic.make 0
+  let bulk_decodes () = Atomic.get bulk
+  let add_bulk n = ignore (Atomic.fetch_and_add bulk n)
+end
+
+(* Decode one packed column slice [lo, hi) into [buf.(0 .. hi-lo-1)]: the
+   bit-width dispatch happens once per call instead of once per row, and
+   each width gets its own tight loop. *)
+let col_range c lo hi (buf : int array) =
+  match c with
+  | C8 b ->
+    for i = lo to hi - 1 do
+      Array.unsafe_set buf (i - lo) (Char.code (Bytes.unsafe_get b i))
+    done
+  | C16 b ->
+    for i = lo to hi - 1 do
+      Array.unsafe_set buf (i - lo) (Bytes.get_uint16_le b (i * 2))
+    done
+  | C32 b ->
+    for i = lo to hi - 1 do
+      Array.unsafe_set buf (i - lo)
+        (Int32.to_int (Bytes.get_int32_le b (i * 4)) land 0xFFFFFFFF)
+    done
+
+let check_range what f lo hi buf_len =
+  let n = frag_length f in
+  if lo < 0 || hi < lo || hi > n then
+    Err.internal "Doc_store.%s: range [%d,%d) outside fragment of %d rows"
+      what lo hi n;
+  if hi - lo > buf_len then
+    Err.internal "Doc_store.%s: scratch buffer too small (%d < %d)"
+      what buf_len (hi - lo)
+
+let kinds_range f lo hi (buf : Node_kind.t array) =
+  check_range "kinds_range" f lo hi (Array.length buf);
+  (match f with
+   | Boxed b -> Array.blit b.kinds lo buf 0 (hi - lo)
+   | Packed p ->
+     for i = lo to hi - 1 do
+       Array.unsafe_set buf (i - lo)
+         (Node_kind.of_int (Char.code (Bytes.unsafe_get p.p_kinds i)))
+     done);
+  Stats.add_bulk (hi - lo)
+
+let names_range f lo hi buf =
+  check_range "names_range" f lo hi (Array.length buf);
+  (match f with
+   | Boxed b -> Array.blit b.names lo buf 0 (hi - lo)
+   | Packed p ->
+     col_range p.p_names lo hi buf;
+     let dict = p.p_name_dict in
+     if Array.length dict = 0 then
+       for i = 0 to hi - lo - 1 do buf.(i) <- buf.(i) - 1 done
+     else
+       for i = 0 to hi - lo - 1 do buf.(i) <- decode_dict dict buf.(i) done);
+  Stats.add_bulk (hi - lo)
+
+let values_range f lo hi buf =
+  check_range "values_range" f lo hi (Array.length buf);
+  (match f with
+   | Boxed b -> Array.blit b.values lo buf 0 (hi - lo)
+   | Packed p ->
+     col_range p.p_values lo hi buf;
+     let dict = p.p_value_dict in
+     if Array.length dict = 0 then
+       for i = 0 to hi - lo - 1 do buf.(i) <- buf.(i) - 1 done
+     else
+       for i = 0 to hi - lo - 1 do buf.(i) <- decode_dict dict buf.(i) done);
+  Stats.add_bulk (hi - lo)
+
+let sizes_range f lo hi buf =
+  check_range "sizes_range" f lo hi (Array.length buf);
+  (match f with
+   | Boxed b -> Array.blit b.sizes lo buf 0 (hi - lo)
+   | Packed p -> col_range p.p_sizes lo hi buf);
+  Stats.add_bulk (hi - lo)
+
+(* Local name-code column slice: the raw per-fragment codes, no dictionary
+   expansion. Boxed fragments present the identity coding (global id + 1,
+   0 = none) so predicate translation is uniform across representations. *)
+let name_codes_range f lo hi buf =
+  check_range "name_codes_range" f lo hi (Array.length buf);
+  (match f with
+   | Boxed b ->
+     for i = lo to hi - 1 do buf.(i - lo) <- b.names.(i) + 1 done
+   | Packed p -> col_range p.p_names lo hi buf);
+  Stats.add_bulk (hi - lo)
+
+(* -- dictionary-code access ------------------------------------------------ *)
+
+(* The per-row local codes (0 = none). Boxed fragments use the identity
+   coding, so code equality coincides with name/text equality in every
+   representation: the pools intern, dictionaries are injective into the
+   pools, hence local codes are injective into strings per fragment. *)
+let[@inline] name_code_at f pre =
+  match f with
+  | Boxed b -> b.names.(pre) + 1
+  | Packed p -> col_get p.p_names pre
+
+let[@inline] text_code_at f pre =
+  match f with
+  | Boxed b -> b.values.(pre) + 1
+  | Packed p -> col_get p.p_values pre
+
 (* -- freezing a boxed fragment into packed columns ------------------------ *)
 
 let width_for maxv = if maxv < 0x100 then 1 else if maxv < 0x10000 then 2 else 4
@@ -267,6 +380,60 @@ let name_test_id t q =
   | None -> -2
 
 let text_of_id t id = String_pool.get t.text_pool id
+
+let text_pool t = t.text_pool
+
+(* -- predicate-to-code translation ---------------------------------------- *)
+
+(* Reverse probes: translate a constant (a qname or a string literal) into
+   the fragment's local code, once per (predicate, fragment), so the per-
+   row evaluation is an integer compare on the stored codes. [None] means
+   the constant cannot occur in this fragment — the predicate is decided
+   without touching a single row. Dictionary scans are linear, but local
+   dictionaries are small by construction (they only exist when they
+   shrink the column) and the probe runs once per fragment, not per row. *)
+
+let code_of_id dict id =
+  if Array.length dict = 0 then Some (id + 1)
+  else
+    let n = Array.length dict in
+    let rec find i =
+      if i >= n then None
+      else if Array.unsafe_get dict i = id then Some (i + 1)
+      else find (i + 1)
+    in
+    find 0
+
+let name_code_of_id f id =
+  if id < 0 then None
+  else
+    match f with
+    | Boxed _ -> Some (id + 1)
+    | Packed p -> code_of_id p.p_name_dict id
+
+let code_of_name t f q =
+  match Qname_pool.find_opt t.name_pool q with
+  | None -> None
+  | Some id -> name_code_of_id f id
+
+let code_of_text t f s =
+  match String_pool.find_opt t.text_pool s with
+  | None -> None
+  | Some id ->
+    (match f with
+     | Boxed _ -> Some (id + 1)
+     | Packed p -> code_of_id p.p_value_dict id)
+
+(* Decode a local text code back to its global pool id (-1 for 0 = none):
+   the late-materialization step of code-carrying columns. *)
+let[@inline] text_id_of_code f code =
+  match f with
+  | Boxed _ -> code - 1
+  | Packed p -> decode_dict p.p_value_dict code
+
+let text_of_code t f code =
+  let id = text_id_of_code f code in
+  if id < 0 then "" else text_of_id t id
 
 (* -- node accessors ------------------------------------------------------ *)
 

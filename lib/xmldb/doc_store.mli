@@ -73,6 +73,76 @@ val level_at : frag -> int -> int
 (** Preorder rank of the parent, -1 for fragment roots. *)
 val parent_at : frag -> int -> int
 
+(** {2 Bulk range decoding}
+
+    Each [*_range f lo hi buf] decodes the rows [lo, hi) of one column
+    into [buf.(0 .. hi-lo-1)] in a single pass: the packed column's
+    bit-width dispatch happens once per call instead of once per row,
+    and each width gets a tight copy loop. The caller owns the scratch
+    buffer (reuse it across windows); it must hold at least [hi - lo]
+    entries. Decoded values agree exactly with the per-row accessors
+    above, for packed and boxed fragments alike. Every call adds
+    [hi - lo] to {!Stats.bulk_decodes}. *)
+
+val kinds_range : frag -> int -> int -> Node_kind.t array -> unit
+val names_range : frag -> int -> int -> int array -> unit
+val values_range : frag -> int -> int -> int array -> unit
+val sizes_range : frag -> int -> int -> int array -> unit
+
+(** Raw local name codes (see {!name_code_at}), bulk form. *)
+val name_codes_range : frag -> int -> int -> int array -> unit
+
+(** {2 Dictionary codes}
+
+    A fragment's name/value columns store small local codes: 0 = no
+    name/value; with a dictionary, code [k > 0] denotes dictionary entry
+    [k - 1]; without one the code is the global pool id + 1. Boxed
+    fragments present the identity coding (global id + 1), so code
+    equality coincides with string equality under every representation —
+    the pools intern and dictionaries are injective, hence within one
+    fragment two rows carry equal names/values iff they carry equal
+    codes. This is what lets an equality predicate be translated to a
+    code {e once} and evaluated as an integer compare per row. *)
+
+(** Local name code at a row (0 = unnamed). *)
+val name_code_at : frag -> int -> int
+
+(** Local text/value code at a row (0 = no value). *)
+val text_code_at : frag -> int -> int
+
+(** Translate a name into the fragment's local code. [None] = this name
+    cannot occur in the fragment (or is not interned at all): a name test
+    against it matches nothing. One probe per (predicate, fragment). *)
+val code_of_name : t -> frag -> Qname.t -> int option
+
+(** Same, from an already-interned global name id (negative ids — the
+    {!name_test_id} "never occurs" marker included — give [None]). *)
+val name_code_of_id : frag -> int -> int option
+
+(** Translate a string constant into the fragment's local value code.
+    [None] = no row of this fragment can carry the string. *)
+val code_of_text : t -> frag -> string -> int option
+
+(** Global text-pool id behind a local value code (-1 for code 0). *)
+val text_id_of_code : frag -> int -> int
+
+(** Materialize a local value code ([""] for code 0). *)
+val text_of_code : t -> frag -> int -> string
+
+(** The store's global text pool (late materialization of code-carrying
+    columns keys interned ids against it). *)
+val text_pool : t -> Basis.String_pool.t
+
+(** {2 Execution counters} *)
+
+(** Process-wide counters for the compressed-execution paths, maintained
+    as atomics (bulk scans run inside worker domains); the engine
+    snapshots deltas around a run. *)
+module Stats : sig
+  (** Total rows decoded through the bulk [*_range] accessors. *)
+  val bulk_decodes : unit -> int
+end
+
 (** {2 Name and text pools} *)
 
 val intern_name : t -> Qname.t -> int

@@ -61,7 +61,90 @@ let principal_kind (axis : Axis.t) =
   | Axis.Attribute -> Node_kind.Attribute
   | _ -> Node_kind.Element
 
-let eval_group store (axis : Axis.t) test frag_id (ctxs : int array) out =
+(* -- batched contiguous scans --------------------------------------------- *)
+
+(* The three axes whose staircase form is one contiguous pre-range scan
+   ([descendant](-or-self), [following], [preceding]) can consume the
+   store's bulk range accessors: decode a window of the kind column (and
+   the raw name-code column when the test is a name test) in one pass,
+   then run a branch-light match loop over the scratch buffers. The node
+   test is translated to the fragment's dictionary code once per
+   (step, fragment), so a name test is an integer compare per row — no
+   per-row dictionary expansion, no string in sight. Results are
+   bit-identical to the scalar loops. *)
+
+let window = 4096
+let batch_threshold = 64 (* below this a windowed decode is pure overhead *)
+
+type scratch = {
+  kbuf : Node_kind.t array;  (* kinds of the current window *)
+  cbuf : int array;          (* raw local name codes *)
+  sbuf : int array;          (* subtree sizes (preceding only) *)
+}
+
+let mk_scratch () = {
+  kbuf = Array.make window Node_kind.Text;
+  cbuf = Array.make window 0;
+  sbuf = Array.make window 0;
+}
+
+(* A node test translated against one fragment's dictionary. *)
+type tr_test =
+  | T_none                   (* cannot match any row of this fragment *)
+  | T_any                    (* any non-attribute row *)
+  | T_kind of Node_kind.t
+  | T_wild                   (* principal (element) rows *)
+  | T_name of int            (* element rows carrying this local code *)
+
+let translate f (test : Node_test.t) : tr_test =
+  match test with
+  | Node_test.Any_node -> T_any
+  | Node_test.Kind k ->
+    (* the batched axes never yield attribute rows *)
+    if Node_kind.equal k Node_kind.Attribute then T_none else T_kind k
+  | Node_test.Name_wild -> T_wild
+  | Node_test.Name id ->
+    (match Doc_store.name_code_of_id f id with
+     | Some c -> T_name c
+     | None -> T_none)
+  | Node_test.Pi_target _ -> Err.internal "unresolved PI target test"
+
+(* Emit every p in [lo, hi] (inclusive) that is not an attribute row and
+   satisfies [tr]; with [~before_ctx:(Some mc)], additionally require
+   [p + size(p) < mc] (the [preceding] non-ancestor condition). *)
+let scan_batched scr f tr lo hi ~before_ctx emit =
+  let w0 = ref lo in
+  while !w0 <= hi do
+    let w1 = min (hi + 1) (!w0 + window) in (* exclusive *)
+    Doc_store.kinds_range f !w0 w1 scr.kbuf;
+    (match tr with
+     | T_name _ -> Doc_store.name_codes_range f !w0 w1 scr.cbuf
+     | _ -> ());
+    (match before_ctx with
+     | Some _ -> Doc_store.sizes_range f !w0 w1 scr.sbuf
+     | None -> ());
+    let base = !w0 in
+    let len = w1 - base in
+    for i = 0 to len - 1 do
+      let k = Array.unsafe_get scr.kbuf i in
+      if (not (Node_kind.equal k Node_kind.Attribute))
+         && (match before_ctx with
+             | None -> true
+             | Some mc -> base + i + Array.unsafe_get scr.sbuf i < mc)
+         && (match tr with
+             | T_any -> true
+             | T_kind k' -> Node_kind.equal k k'
+             | T_wild -> Node_kind.equal k Node_kind.Element
+             | T_name c ->
+               Node_kind.equal k Node_kind.Element
+               && Array.unsafe_get scr.cbuf i = c
+             | T_none -> false)
+      then emit (base + i)
+    done;
+    w0 := w1
+  done
+
+let eval_group ?scr store (axis : Axis.t) test frag_id (ctxs : int array) out =
   let f = Doc_store.frag store frag_id in
   let n = Doc_store.frag_length f in
   let principal = principal_kind axis in
@@ -71,6 +154,19 @@ let eval_group store (axis : Axis.t) test frag_id (ctxs : int array) out =
   let parent_ pre = Doc_store.parent_at f pre in
   let is_attr pre =
     Node_kind.equal (Doc_store.kind_at f pre) Node_kind.Attribute in
+  let tr = lazy (translate f test) in
+  (* Try the bulk-decoding scan for a contiguous range; false = caller
+     falls back to the scalar loop (batching off, or range too small to
+     amortize the window setup). *)
+  let batched lo hi ~before_ctx =
+    match scr with
+    | Some s when hi - lo >= batch_threshold ->
+      (match Lazy.force tr with
+       | T_none -> ()
+       | t -> scan_batched s f t lo hi ~before_ctx emit);
+      true
+    | _ -> false
+  in
   let sorted_output = ref true in
   (match axis with
    | Axis.Self ->
@@ -118,10 +214,15 @@ let eval_group store (axis : Axis.t) test frag_id (ctxs : int array) out =
               if axis = Axis.Descendant_or_self then pre else pre + 1 in
             let lo = max lo (!covered_end + 1) in
             let hi = pre + size_ pre in
-            for p = lo to hi do
-              if (axis = Axis.Descendant_or_self && p = pre) || not (is_attr p)
-              then (if m p then emit p)
-            done;
+            (* the context row itself is never an attribute here (attribute
+               contexts took the special branch), so the batched scan's
+               uniform skip-attributes rule coincides with the scalar
+               or-self condition *)
+            if not (batched lo hi ~before_ctx:None) then
+              for p = lo to hi do
+                if (axis = Axis.Descendant_or_self && p = pre) || not (is_attr p)
+                then (if m p then emit p)
+              done;
             covered_end := max !covered_end hi
           end)
        ctxs
@@ -184,18 +285,20 @@ let eval_group store (axis : Axis.t) test frag_id (ctxs : int array) out =
            (fun acc pre -> min acc (pre + size_ pre + 1))
            max_int ctxs
        in
-       for p = start to n - 1 do
-         if (not (is_attr p)) && m p then emit p
-       done
+       if not (batched start (n - 1) ~before_ctx:None) then
+         for p = start to n - 1 do
+           if (not (is_attr p)) && m p then emit p
+         done
      end
    | Axis.Preceding ->
      (* p precedes some context iff it precedes the latest one and is not
         one of its ancestors: max_ctx > p + size(p) *)
      if Array.length ctxs > 0 then begin
        let max_ctx = ctxs.(Array.length ctxs - 1) in
-       for p = 0 to max_ctx - 1 do
-         if p + size_ p < max_ctx && (not (is_attr p)) && m p then emit p
-       done
+       if not (batched 0 (max_ctx - 1) ~before_ctx:(Some max_ctx)) then
+         for p = 0 to max_ctx - 1 do
+           if p + size_ p < max_ctx && (not (is_attr p)) && m p then emit p
+         done
      end);
   !sorted_output
 
@@ -211,14 +314,21 @@ let sort_dedup (v : Node_id.t Vec.t) =
     a;
   Vec.to_array out
 
-let step store (axis : Axis.t) (test : Node_test.t) (contexts : Node_id.t array) =
+let step ?(batch = true) store (axis : Axis.t) (test : Node_test.t)
+    (contexts : Node_id.t array) =
   let test = resolve_test store test in
   let groups = group_contexts contexts in
   let out = Vec.create (Node_id.make ~frag:0 ~pre:0) in
+  let scr =
+    match (batch, axis) with
+    | true, (Axis.Descendant | Axis.Descendant_or_self
+            | Axis.Following | Axis.Preceding) -> Some (mk_scratch ())
+    | _ -> None
+  in
   let all_sorted =
     List.fold_left
       (fun acc (frag_id, ctxs) ->
-         let sorted = eval_group store axis test frag_id ctxs out in
+         let sorted = eval_group ?scr store axis test frag_id ctxs out in
          acc && sorted)
       true groups
   in

@@ -11,8 +11,17 @@
     [descendant](-or-self) (each result region is scanned once), earliest-
     context-only evaluation of [following], latest-context-only evaluation
     of [preceding]. Axes whose per-context results interleave fall back to
-    collect + sort + dedup. *)
+    collect + sort + dedup.
+
+    [batch] (default [true]) lets the three contiguous-range axes
+    ([descendant](-or-self), [following], [preceding]) decode kind/name
+    columns through the store's bulk range accessors, window by window,
+    with name tests translated to per-fragment dictionary codes once and
+    compared as integers per row. Results are bit-identical either way;
+    [batch:false] is the scalar reference path (engine flag
+    [--no-code-eval]). *)
 val step :
+  ?batch:bool ->
   Doc_store.t -> Axis.t -> Node_test.t -> Node_id.t array -> Node_id.t array
 
 (** The principal node kind of an axis (attributes for the attribute axis,

@@ -295,6 +295,14 @@ let configs ~budget_spec =
     ("compiled/no-join-isolation/boxed",
      plain { nojg with Engine.physical = `Off });
     ("compiled/warm-cache", warm_cache Engine.default_opts);
+    (* compressed execution off, on the serial and morsel-parallel
+       executors: the default runs carry code-carrying columns, batched
+       steps and code-translated predicates; these materialized
+       reference runs differentially check every one of them *)
+    ("compiled/no-code-eval",
+     plain { Engine.default_opts with Engine.code_eval = false });
+    ("compiled/no-code-eval/parallel",
+     plain { parallel with Engine.code_eval = false });
     (* the storage dimensions: the boxed reference representation (the
        default store packs fragments into bit-width minimal columns) and
        a store ingested through the streaming reader in 3-byte chunks

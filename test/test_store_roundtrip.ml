@@ -1,7 +1,7 @@
 (* The storage parity layer: the packed columnar store, the streaming
    chunked parser and the snapshot format are all *representation*
    changes — none may be observable through the accessor API, the query
-   engine, or a save/load cycle. Five property families pin that down:
+   engine, or a save/load cycle. Six property families pin that down:
 
      1. accessor parity — packed and boxed builds of the same document
         agree row for row on all six accessors, over PRNG-generated
@@ -19,7 +19,12 @@
         {boxed, physical} executors x {serial, jobs=4};
      5. corruption — truncations, bit flips, version/magic skew and
         trailing garbage all fail as clean dynamic errors and never
-        surface a partially loaded store. *)
+        surface a partially loaded store;
+     6. compressed execution — the bulk [*_range] accessors agree row
+        for row with the per-row accessors (packed, boxed, and across
+        chunk seams), and query results under code-eval are
+        byte-identical to the materialized reference path, dictionary
+        or no dictionary. *)
 
 module DS = Xmldb.Doc_store
 
@@ -325,6 +330,177 @@ let test_corpus_parity () =
          configs)
     (corpus ())
 
+(* ------------------------- 6. bulk accessors and the code-eval oracle *)
+
+(* Every [*_range] decode must agree row for row with the per-row
+   accessors — packed and boxed fragments alike — over empty, 1-row,
+   interior, suffix and whole-column ranges, and each call must add
+   exactly its row count to [Stats.bulk_decodes]. *)
+let check_bulk_parity label f =
+  let n = DS.frag_length f in
+  if n > 0 then begin
+    let ranges =
+      [ (0, 0); (0, 1); (n - 1, n); (n / 3, min n ((2 * n / 3) + 1)); (0, n) ]
+    in
+    let kinds = Array.make n (DS.kind_at f 0) in
+    let names = Array.make n 0 and values = Array.make n 0 in
+    let sizes = Array.make n 0 and ncodes = Array.make n 0 in
+    List.iter
+      (fun (lo, hi) ->
+         let len = hi - lo in
+         let before = DS.Stats.bulk_decodes () in
+         DS.kinds_range f lo hi kinds;
+         DS.names_range f lo hi names;
+         DS.values_range f lo hi values;
+         DS.sizes_range f lo hi sizes;
+         DS.name_codes_range f lo hi ncodes;
+         for i = 0 to len - 1 do
+           let pre = lo + i in
+           let ck what got want =
+             if got <> want then
+               Alcotest.failf "%s [%d,%d): %s at pre %d: bulk %d, row %d"
+                 label lo hi what pre got want
+           in
+           ck "kind"
+             (Xmldb.Node_kind.to_int kinds.(i))
+             (Xmldb.Node_kind.to_int (DS.kind_at f pre));
+           ck "name" names.(i) (DS.name_at f pre);
+           ck "value" values.(i) (DS.value_at f pre);
+           ck "size" sizes.(i) (DS.size_at f pre);
+           ck "name code" ncodes.(i) (DS.name_code_at f pre)
+         done;
+         let counted = DS.Stats.bulk_decodes () - before in
+         if counted <> 5 * len then
+           Alcotest.failf "%s [%d,%d): bulk_decodes counted %d, want %d"
+             label lo hi counted (5 * len))
+      ranges
+  end
+
+let test_bulk_accessor_parity () =
+  let docs = Lazy.force sample_docs @ [ Lazy.force auction_xml ] in
+  List.iteri
+    (fun i xml ->
+       List.iter
+         (fun packed ->
+            let st = build packed xml in
+            for fi = 0 to DS.n_frags st - 1 do
+              check_bulk_parity
+                (Printf.sprintf "doc %d %s frag %d" i
+                   (if packed then "packed" else "boxed")
+                   fi)
+                (DS.frag st fi)
+            done)
+         [ true; false ])
+    docs
+
+(* A tiny parse window forces multi-chunk packed columns, so the
+   whole-column range crosses chunk seams. *)
+let test_bulk_accessor_parity_chunked () =
+  List.iteri
+    (fun i xml ->
+       let st = DS.create ~packed:true () in
+       parse_chunked ~window:16 st xml 7;
+       for fi = 0 to DS.n_frags st - 1 do
+         check_bulk_parity
+           (Printf.sprintf "chunked doc %d frag %d" i fi)
+           (DS.frag st fi)
+       done)
+    [ List.nth (Lazy.force sample_docs) 0; Lazy.force auction_xml ]
+
+(* The code-eval oracle: compressed execution (code-carrying columns,
+   code-translated predicates, batched steps) must be byte-identical to
+   the materialized reference path — over the whole query corpus and
+   over equality shapes chosen to hit every translation case (match,
+   no-match, a string the dictionary has never seen, the empty string,
+   ne). Boxed stores present the identity coding and dictionary-hostile
+   documents make the encoder reject per-fragment dictionaries; both
+   fallbacks must stay invisible too. *)
+let run_with opts st q =
+  match Engine.run_result ~opts st q with
+  | Ok r -> "ok: " ^ r.Engine.serialized
+  | Error { Engine.kind; message } ->
+    Basis.Err.kind_label kind ^ ": " ^ message
+
+let code_eval_off = { Engine.default_opts with Engine.code_eval = false }
+
+let eq_queries =
+  [ ("text eq hit",
+     {|count(for $e in doc("auction.xml")//profile/education
+            where $e/text() eq "Graduate School" return $e)|});
+    ("attr eq hit",
+     {|count(for $t in doc("auction.xml")//closed_auction
+            where $t/seller/@person eq "person0" return $t)|});
+    ("eq absent string",
+     {|count(for $e in doc("auction.xml")//profile/education
+            where $e/text() eq "No Such Degree Anywhere" return $e)|});
+    ("eq empty string",
+     {|count(for $e in doc("auction.xml")//profile/education
+            where $e/text() eq "" return $e)|});
+    ("ne",
+     {|count(for $e in doc("auction.xml")//profile/education
+            where $e/text() ne "College" return $e)|}) ]
+
+let test_code_eval_oracle_corpus () =
+  let sp = mk_corpus_store true and sb = mk_corpus_store false in
+  List.iter
+    (fun (file, text) ->
+       let want = run_with code_eval_off sp text in
+       Alcotest.(check string)
+         (Printf.sprintf "%s: code-eval on = off (packed)" file)
+         want
+         (run_with Engine.default_opts sp text);
+       Alcotest.(check string)
+         (Printf.sprintf "%s: code-eval on, boxed = off, packed" file)
+         want
+         (run_with Engine.default_opts sb text))
+    (corpus ())
+
+let test_code_eval_oracle_eq_shapes () =
+  let sp = mk_corpus_store true and sb = mk_corpus_store false in
+  List.iter
+    (fun (name, q) ->
+       let want = run_with code_eval_off sp q in
+       Alcotest.(check string) (name ^ ": on = off, packed") want
+         (run_with Engine.default_opts sp q);
+       Alcotest.(check string) (name ^ ": on = off, boxed") want
+         (run_with Engine.default_opts sb q))
+    eq_queries;
+  (* and the translated predicate really runs as a code compare on the
+     packed store: the profile must say so for the hit queries *)
+  let r =
+    Engine.run ~opts:Engine.default_opts ~with_profile:true sp
+      (List.assoc "attr eq hit" eq_queries)
+  in
+  match r.Engine.profile with
+  | None -> Alcotest.fail "profile missing"
+  | Some p ->
+    let ph = Algebra.Profile.phys p in
+    if ph.Algebra.Profile.code_preds <= 0 then
+      Alcotest.fail "packed store: equality never ran on dictionary codes"
+
+(* Dictionary-hostile vocabulary: the encoder rejects per-fragment
+   dictionaries, [code_of_text] returns [None], and the predicate falls
+   back — results must not move. *)
+let test_code_eval_oracle_hostile () =
+  let xml = gen_xml ~seed:42 ~names:400 ~max_children:8 ~depth:3 () in
+  let queries =
+    [ {|count(for $e in doc("d.xml")//* where $e/@a1 eq "v5" return $e)|};
+      {|count(for $e in doc("d.xml")//* where $e/@a1 ne "v5" return $e)|};
+      {|count(for $e in doc("d.xml")//* where $e/@a1 eq "" return $e)|} ]
+  in
+  List.iter
+    (fun packed ->
+       let st = build packed xml in
+       List.iter
+         (fun q ->
+            Alcotest.(check string)
+              (Printf.sprintf "hostile %s: on = off"
+                 (if packed then "packed" else "boxed"))
+              (run_with code_eval_off st q)
+              (run_with Engine.default_opts st q))
+         queries)
+    [ true; false ]
+
 (* --------------------------------------------------- 5. corruption *)
 
 let expect_dynamic label thunk =
@@ -424,6 +600,17 @@ let () =
       ("4. engine parity across stores",
        [ Alcotest.test_case "corpus x configs, packed/boxed/loaded" `Slow
            test_corpus_parity ]);
+      ("6. bulk accessors and the code-eval oracle",
+       [ Alcotest.test_case "bulk range = per-row, packed and boxed" `Quick
+           test_bulk_accessor_parity;
+         Alcotest.test_case "bulk ranges across chunk seams" `Quick
+           test_bulk_accessor_parity_chunked;
+         Alcotest.test_case "code-eval on = off over the corpus" `Slow
+           test_code_eval_oracle_corpus;
+         Alcotest.test_case "equality shapes (hit/miss/empty/ne)" `Quick
+           test_code_eval_oracle_eq_shapes;
+         Alcotest.test_case "dictionary-hostile fallback" `Quick
+           test_code_eval_oracle_hostile ]);
       ("5. corruption is a clean dynamic error",
        [ Alcotest.test_case "truncations" `Quick test_corrupt_truncations;
          Alcotest.test_case "bit flips" `Quick test_corrupt_bitflips;
